@@ -1,0 +1,41 @@
+"""Table II: per-image size / functions / blocks / call-graph edges.
+
+Paper targets (at REPRO_SCALE=1.0 the function counts match 1:1; at
+smaller scales the *proportions* between images must hold).
+"""
+
+from repro.corpus.profiles import PROFILES, PROFILE_ORDER
+from repro.eval.tables import format_table, table2_firmware_stats
+
+
+def test_table2_firmware_stats(benchmark, context):
+    rows = benchmark.pedantic(
+        table2_firmware_stats, args=(context,), rounds=1, iterations=1
+    )
+    headers = ["#", "vendor", "version", "arch", "binary", "KB",
+               "functions", "blocks", "edges",
+               "(paper fn)", "(paper blk)", "(paper edges)"]
+    table = [
+        [r["index"], r["manufacturer"], r["firmware_version"],
+         r["architecture"], r["binary"], r["size_kb"], r["functions"],
+         r["blocks"], r["call_graph_edges"], r["paper_functions"],
+         r["paper_blocks"], r["paper_call_graph_edges"]]
+        for r in rows
+    ]
+    print("\n" + format_table(
+        headers, table,
+        title="Table II (scale=%.2f)" % context.scale,
+    ))
+
+    # Shape: complexity ordering across images must match the paper.
+    functions = [r["functions"] for r in rows]
+    assert functions == sorted(functions), (
+        "function counts must grow from D-Link to Hikvision"
+    )
+    for row in rows:
+        assert row["blocks"] > row["functions"]
+        assert row["call_graph_edges"] > 0
+    # At full scale the function counts match Table II exactly.
+    if abs(context.scale - 1.0) < 1e-9:
+        for row, key in zip(rows, PROFILE_ORDER):
+            assert row["functions"] == PROFILES[key].functions

@@ -1,0 +1,33 @@
+"""Table IV: the seven previously reported vulnerabilities.
+
+Paper: CVE-2013-7389 (x2), CVE-2015-2051, CVE-2016-5681,
+EDB-ID:43055, CVE-2017-6334, CVE-2017-6077 — all found, all without a
+security check on the path.
+"""
+
+from repro.eval.tables import format_table, table4_known_vulnerabilities
+
+EXPECTED_LABELS = {
+    "CVE-2013-7389", "CVE-2015-2051", "CVE-2016-5681",
+    "EDB-ID:43055", "CVE-2017-6334", "CVE-2017-6077",
+}
+
+
+def test_table4_known_vulnerabilities(benchmark, context):
+    rows = benchmark.pedantic(
+        table4_known_vulnerabilities, args=(context,), rounds=1, iterations=1
+    )
+    headers = ["vulnerability", "sink", "source", "check", "detected"]
+    table = [
+        [r["vulnerability"], r["sink"], r["source"],
+         r["security_check"], "Y" if r["detected"] else "MISS"]
+        for r in rows
+    ]
+    print("\n" + format_table(headers, table, title="Table IV"))
+
+    labels = {r["vulnerability"] for r in rows}
+    assert labels == EXPECTED_LABELS
+    assert len(rows) == 7  # CVE-2013-7389 counts twice
+    for row in rows:
+        assert row["detected"], "missed %s" % row["vulnerability"]
+        assert row["security_check"] == "N"

@@ -1,0 +1,18 @@
+"""Shared fixtures for the table/figure benchmarks.
+
+``REPRO_SCALE`` (default 0.25) sizes the generated firmware; set it to
+1.0 to reproduce Table II's function counts exactly (slower).
+"""
+
+import pytest
+
+from repro.eval.runner import shared_context
+
+
+@pytest.fixture(scope="session")
+def context():
+    return shared_context()
+
+
+def print_block(text):
+    print("\n" + text + "\n")

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""The Figure 1 emulation study (paper §II-A).
+
+Generates the 6,529-image firmware fleet, attempts a FIRMADYNE-style
+boot of every image, and prints the per-year histogram plus the
+failure breakdown — reproducing the finding that ~90% of collected
+firmware cannot be dynamically analysed, which motivates DTaint's
+static approach.
+
+Run:  python examples/emulation_study.py [fleet-size]
+"""
+
+import sys
+
+from repro.eval.figures import figure1_emulation, render_figure1
+
+
+def main():
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 6529
+    data = figure1_emulation(size=size)
+
+    print(render_figure1(data))
+    print()
+    rate = 100.0 * data["emulated"] / data["total"]
+    print("emulation rate: %.1f%% (paper: ~10%%)" % rate)
+    print("\nwhy boots failed:")
+    for stage, count in sorted(
+        data["failures"].items(), key=lambda kv: -kv[1]
+    ):
+        print("  %-14s %5d" % (stage, count))
+    availability = data["source_availability"]
+    print("\nimages without source code: %d of %d (paper: 5,023 of 6,529)"
+          % (availability["no_source"], availability["total"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Heartbleed at the binary level (paper Figures 2-3, §II-B).
+
+The paper's motivating claim: no prior static binary taint analysis
+could detect Heartbleed, because the ``n2s`` macro is inlined (no
+symbol to anchor on) and the record buffer travels through structure
+fields in memory.  This example builds a mini-OpenSSL preserving
+exactly those properties, shows the regenerated Figure 3 disassembly,
+and walks the pointer-alias + interprocedural flow DTaint recovers.
+
+Run:  python examples/heartbleed.py
+"""
+
+from repro.core import DTaint
+from repro.corpus.openssl import build_openssl
+from repro.symexec.value import pretty
+
+
+def main():
+    built = build_openssl()
+    print("mini-OpenSSL: %d functions, %.1f KB ELF"
+          % (len(built.binary.local_functions), built.size_kb))
+
+    # Figure 3: the assembly carrying the flow.
+    disassembler = built.binary.arch.disassembler()
+    for name in ("ssl3_read_n", "tls1_process_heartbeat"):
+        symbol = built.binary.functions[name]
+        data = built.binary.read_bytes(symbol.addr, symbol.size)
+        print("\n<%s>" % name)
+        for i, insn in enumerate(disassembler.disasm_range(data, symbol.addr)):
+            if insn is not None:
+                print("  %08x: %s" % (symbol.addr + 4 * i, insn.text()))
+
+    detector = DTaint(built.binary, name="openssl")
+    report = detector.run()
+
+    print("\nkey interprocedural definition pairs (in ssl3_read_bytes):")
+    enriched = detector.enriched["ssl3_read_bytes"]
+    for pair in enriched.def_pairs:
+        rendered = pretty(pair.dest)
+        if "arg0" in rendered:
+            print("  %s = %s" % (rendered, pretty(pair.value)))
+    print("taint objects: %s"
+          % [pretty(t) for t in enriched.taint_objects])
+
+    print()
+    print(report.render())
+
+    hits = [f for f in report.findings if f.sink_name == "memcpy"]
+    assert len(hits) == 1, "Heartbleed must be the only memcpy finding"
+    print("\nOK: Heartbleed found; the patched handler "
+          "(tls1_process_heartbeat_fixed) stayed clean.")
+
+
+if __name__ == "__main__":
+    main()

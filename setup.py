@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The evaluation environment has no ``wheel`` package, so PEP 660
+editable installs cannot build; with this shim ``pip install -e .``
+falls back to ``setup.py develop``, which needs none.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Architecture support: ARM32 (little-endian) and MIPS32 (big-endian).
+
+Each architecture package provides four layers over genuine machine
+encodings:
+
+* ``encoding``      — instruction word pack/unpack
+* ``assembler``     — assembly text to bytes (two-pass, with labels)
+* ``disassembler``  — bytes to :class:`Instruction` objects
+* ``lifter``        — instructions to :mod:`repro.ir` super-blocks
+
+:func:`get_arch` returns the :class:`ArchInfo` facade used by the
+loader, CFG recovery and the analyses.
+"""
+
+from repro.arch.archinfo import ARCH_ARM, ARCH_MIPS, ArchInfo, get_arch
+
+__all__ = ["ARCH_ARM", "ARCH_MIPS", "ArchInfo", "get_arch"]

@@ -1,0 +1,1 @@
+"""ARM32 (ARMv7-A subset, little-endian, no Thumb) support."""

@@ -1,0 +1,34 @@
+"""ARM32 disassembler: bytes to :class:`ArmInsn` sequences."""
+
+from repro.arch.arm import encoding as enc
+from repro.errors import DisassemblyError
+
+
+class ArmDisassembler:
+    """Decodes little-endian A32 instruction streams."""
+
+    instruction_size = 4
+
+    def disasm_one(self, data, offset, addr):
+        """Decode the instruction at ``data[offset:offset+4]``."""
+        if offset + 4 > len(data):
+            raise DisassemblyError("truncated instruction at 0x%x" % addr)
+        word = int.from_bytes(data[offset:offset + 4], "little")
+        return enc.decode(word, addr)
+
+    def disasm_range(self, data, base_addr, start=0, end=None):
+        """Yield instructions for ``data[start:end]`` at ``base_addr+start``.
+
+        Undecodable words are yielded as ``None`` placeholders so callers
+        can skip embedded data (e.g. literal pools) without losing
+        addressing.
+        """
+        end = len(data) if end is None else end
+        offset = start
+        while offset + 4 <= end:
+            addr = base_addr + offset
+            try:
+                yield self.disasm_one(data, offset, addr)
+            except DisassemblyError:
+                yield None
+            offset += 4

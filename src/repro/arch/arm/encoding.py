@@ -1,0 +1,430 @@
+"""ARM32 instruction encodings.
+
+Implements the genuine A32 encodings for the subset of the ISA that
+embedded firmware analysis needs: data-processing (register and
+immediate forms with barrel-shifter), multiply, word/byte loads and
+stores (immediate and register offsets), halfword and signed loads,
+load/store multiple (push/pop), branches (``b``/``bl``), register
+branches (``bx``/``blx``), and the ARMv7 ``movw``/``movt`` wide moves.
+
+The decoded form is :class:`ArmInsn`; :func:`encode` and
+:func:`decode` round-trip through 32-bit instruction words.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblyError, DisassemblyError
+from repro.utils.bits import bit, bits, ror32, sign_extend
+
+# Condition codes, in encoding order.
+CONDITIONS = (
+    "eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+    "hi", "ls", "ge", "lt", "gt", "le", "al",
+)
+COND_AL = 14
+COND_BY_NAME = {name: i for i, name in enumerate(CONDITIONS)}
+COND_BY_NAME["hs"] = COND_BY_NAME["cs"]
+COND_BY_NAME["lo"] = COND_BY_NAME["cc"]
+
+# Data-processing opcodes, in encoding order.
+DP_OPCODES = (
+    "and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc",
+    "tst", "teq", "cmp", "cmn", "orr", "mov", "bic", "mvn",
+)
+DP_BY_NAME = {name: i for i, name in enumerate(DP_OPCODES)}
+DP_COMPARE = frozenset(["tst", "teq", "cmp", "cmn"])       # no Rd, always S
+DP_UNARY = frozenset(["mov", "mvn"])                       # no Rn
+
+SHIFT_NAMES = ("lsl", "lsr", "asr", "ror")
+SHIFT_BY_NAME = {name: i for i, name in enumerate(SHIFT_NAMES)}
+
+PC = 15
+LR = 14
+SP = 13
+
+
+@dataclass
+class ArmInsn:
+    """One decoded ARM instruction.
+
+    ``kind`` selects which of the optional fields are meaningful:
+
+    * ``dp``      — data-processing: rd, rn, and either ``imm`` (with
+      ``uses_imm``) or rm/shift_type/shift_amount
+    * ``mul``     — rd = rm * rs
+    * ``mem``     — ldr/str[b]: rd, rn, imm or rm offset, ``u_bit``
+    * ``memh``    — ldrh/strh/ldrsb/ldrsh: rd, rn, imm offset
+    * ``block``   — ldm/stm: rn, reglist, p/u/w bits
+    * ``branch``  — b/bl: signed word ``imm`` offset (pre-pipeline)
+    * ``bx``      — bx/blx via rm
+    * ``movw``/``movt`` — rd, 16-bit ``imm``
+    """
+
+    kind: str
+    mnemonic: str
+    cond: int = COND_AL
+    set_flags: bool = False
+    rd: int = None
+    rn: int = None
+    rm: int = None
+    rs: int = None
+    imm: int = None
+    uses_imm: bool = False
+    shift_type: int = 0
+    shift_amount: int = 0
+    u_bit: bool = True
+    byte: bool = False
+    load: bool = False
+    signed: bool = False
+    halfword: bool = False
+    reglist: tuple = field(default_factory=tuple)
+    p_bit: bool = False
+    w_bit: bool = False
+    addr: int = 0
+    raw: int = 0
+
+    @property
+    def length(self):
+        return 4
+
+    def branch_target(self):
+        """Absolute target of a ``b``/``bl`` at ``self.addr``."""
+        if self.kind != "branch":
+            raise ValueError("not a branch: %s" % self.mnemonic)
+        return (self.addr + 8 + (self.imm << 2)) & 0xFFFFFFFF
+
+    def is_call(self):
+        return self.mnemonic in ("bl", "blx")
+
+    def is_return(self):
+        # ``bx lr`` or ``pop {... pc}``
+        if self.kind == "bx" and self.mnemonic == "bx" and self.rm == LR:
+            return True
+        if self.kind == "block" and self.load and PC in self.reglist:
+            return True
+        if (
+            self.kind == "dp"
+            and self.mnemonic == "mov"
+            and self.rd == PC
+            and not self.uses_imm
+            and self.rm == LR
+        ):
+            return True
+        return False
+
+    def text(self):
+        """Render canonical assembly syntax (round-trips via assembler)."""
+        cond = "" if self.cond == COND_AL else CONDITIONS[self.cond]
+        s = "s" if self.set_flags and self.mnemonic not in DP_COMPARE else ""
+        name = self.mnemonic + cond + s
+
+        def reg(i):
+            return {13: "sp", 14: "lr", 15: "pc"}.get(i, "r%d" % i)
+
+        if self.kind == "dp":
+            if self.uses_imm:
+                op2 = "#0x%x" % self.imm
+            else:
+                op2 = reg(self.rm)
+                if self.shift_amount:
+                    op2 += ", %s #%d" % (
+                        SHIFT_NAMES[self.shift_type],
+                        self.shift_amount,
+                    )
+            if self.mnemonic in DP_COMPARE:
+                return "%s %s, %s" % (name, reg(self.rn), op2)
+            if self.mnemonic in DP_UNARY:
+                return "%s %s, %s" % (name, reg(self.rd), op2)
+            return "%s %s, %s, %s" % (name, reg(self.rd), reg(self.rn), op2)
+        if self.kind == "mul":
+            return "%s %s, %s, %s" % (name, reg(self.rd), reg(self.rm), reg(self.rs))
+        if self.kind in ("mem", "memh"):
+            sign = "" if self.u_bit else "-"
+            if self.uses_imm:
+                if self.imm:
+                    mem = "[%s, #%s0x%x]" % (reg(self.rn), sign, self.imm)
+                else:
+                    mem = "[%s]" % reg(self.rn)
+            else:
+                mem = "[%s, %s%s]" % (reg(self.rn), sign, reg(self.rm))
+                if self.shift_amount:
+                    mem = mem[:-1] + ", %s #%d]" % (
+                        SHIFT_NAMES[self.shift_type],
+                        self.shift_amount,
+                    )
+            return "%s %s, %s" % (name, reg(self.rd), mem)
+        if self.kind == "block":
+            regs = ", ".join(reg(i) for i in self.reglist)
+            if self.rn == SP and self.w_bit:
+                if not self.load and self.p_bit and not self.u_bit:
+                    return "%s {%s}" % ("push" + cond, regs)
+                if self.load and not self.p_bit and self.u_bit:
+                    return "%s {%s}" % ("pop" + cond, regs)
+            mode = {
+                (False, True): "ia", (True, True): "ib",
+                (False, False): "da", (True, False): "db",
+            }[(self.p_bit, self.u_bit)]
+            return "%s%s %s%s, {%s}" % (
+                name, mode, reg(self.rn), "!" if self.w_bit else "", regs
+            )
+        if self.kind == "branch":
+            return "%s 0x%x" % (name, self.branch_target())
+        if self.kind == "bx":
+            return "%s %s" % (name, reg(self.rm))
+        if self.kind in ("movw", "movt"):
+            return "%s %s, #0x%x" % (name, reg(self.rd), self.imm)
+        raise ValueError("unrenderable kind %r" % self.kind)
+
+
+def encode_imm12(value):
+    """Encode ``value`` as an ARM rotated 8-bit immediate.
+
+    Returns the 12-bit encoding or ``None`` when unencodable.
+    """
+    value &= 0xFFFFFFFF
+    for rot in range(16):
+        imm8 = ror32(value, 32 - rot * 2) if rot else value
+        if imm8 <= 0xFF:
+            return (rot << 8) | imm8
+    return None
+
+
+def decode_imm12(field12):
+    rot = bits(field12, 11, 8)
+    imm8 = bits(field12, 7, 0)
+    return ror32(imm8, rot * 2)
+
+
+def encode(insn):
+    """Encode an :class:`ArmInsn` to its 32-bit instruction word."""
+    cond = insn.cond << 28
+    if insn.kind == "dp":
+        opcode = DP_BY_NAME[insn.mnemonic]
+        s = 1 if (insn.set_flags or insn.mnemonic in DP_COMPARE) else 0
+        rn = insn.rn if insn.rn is not None else 0
+        rd = insn.rd if insn.rd is not None else 0
+        word = cond | (opcode << 21) | (s << 20) | (rn << 16) | (rd << 12)
+        if insn.uses_imm:
+            imm12 = encode_imm12(insn.imm)
+            if imm12 is None:
+                raise AssemblyError(
+                    "immediate 0x%x not encodable as rotated imm8" % insn.imm
+                )
+            return word | (1 << 25) | imm12
+        sh = (insn.shift_amount << 7) | (insn.shift_type << 5)
+        return word | sh | insn.rm
+    if insn.kind == "mul":
+        return (
+            cond
+            | ((1 if insn.set_flags else 0) << 20)
+            | (insn.rd << 16)
+            | (insn.rs << 8)
+            | 0x90
+            | insn.rm
+        )
+    if insn.kind == "mem":
+        word = (
+            cond
+            | (1 << 26)
+            | (1 << 24)                       # P=1 (offset addressing)
+            | ((1 if insn.u_bit else 0) << 23)
+            | ((1 if insn.byte else 0) << 22)
+            | ((1 if insn.load else 0) << 20)
+            | (insn.rn << 16)
+            | (insn.rd << 12)
+        )
+        if insn.uses_imm:
+            if not 0 <= insn.imm <= 0xFFF:
+                raise AssemblyError("ldr/str offset 0x%x out of range" % insn.imm)
+            return word | insn.imm
+        sh = (insn.shift_amount << 7) | (insn.shift_type << 5)
+        return word | (1 << 25) | sh | insn.rm
+    if insn.kind == "memh":
+        if not 0 <= insn.imm <= 0xFF:
+            raise AssemblyError("halfword offset 0x%x out of range" % insn.imm)
+        s_bit = 1 if insn.signed else 0
+        h_bit = 1 if insn.halfword else 0
+        return (
+            cond
+            | (1 << 24)                       # P=1
+            | ((1 if insn.u_bit else 0) << 23)
+            | (1 << 22)                       # immediate form
+            | ((1 if insn.load else 0) << 20)
+            | (insn.rn << 16)
+            | (insn.rd << 12)
+            | ((insn.imm >> 4) << 8)
+            | 0x90
+            | (s_bit << 6)
+            | (h_bit << 5)
+            | (insn.imm & 0xF)
+        )
+    if insn.kind == "block":
+        mask = 0
+        for r in insn.reglist:
+            mask |= 1 << r
+        return (
+            cond
+            | (1 << 27)
+            | ((1 if insn.p_bit else 0) << 24)
+            | ((1 if insn.u_bit else 0) << 23)
+            | ((1 if insn.w_bit else 0) << 21)
+            | ((1 if insn.load else 0) << 20)
+            | (insn.rn << 16)
+            | mask
+        )
+    if insn.kind == "branch":
+        link = 1 if insn.mnemonic == "bl" else 0
+        return cond | (5 << 25) | (link << 24) | (insn.imm & 0xFFFFFF)
+    if insn.kind == "bx":
+        base = 0x012FFF10 if insn.mnemonic == "bx" else 0x012FFF30
+        return cond | base | insn.rm
+    if insn.kind == "movw":
+        return (
+            cond | (0x30 << 20) | ((insn.imm >> 12) << 16)
+            | (insn.rd << 12) | (insn.imm & 0xFFF)
+        )
+    if insn.kind == "movt":
+        return (
+            cond | (0x34 << 20) | ((insn.imm >> 12) << 16)
+            | (insn.rd << 12) | (insn.imm & 0xFFF)
+        )
+    raise AssemblyError("cannot encode kind %r" % insn.kind)
+
+
+def decode(word, addr=0):
+    """Decode a 32-bit instruction word into an :class:`ArmInsn`."""
+    cond = bits(word, 31, 28)
+    if cond == 15:
+        raise DisassemblyError("unconditional (NV) space at 0x%x" % addr)
+    group = bits(word, 27, 25)
+
+    if group == 0:
+        # BX / BLX.
+        if word & 0x0FFFFFD0 == 0x012FFF10:
+            mnem = "bx" if not bit(word, 5) else "blx"
+            return ArmInsn(
+                kind="bx", mnemonic=mnem, cond=cond,
+                rm=bits(word, 3, 0), addr=addr, raw=word,
+            )
+        # Multiply.
+        if bits(word, 24, 21) == 0 and bits(word, 7, 4) == 0b1001:
+            return ArmInsn(
+                kind="mul", mnemonic="mul", cond=cond,
+                set_flags=bool(bit(word, 20)),
+                rd=bits(word, 19, 16), rs=bits(word, 11, 8),
+                rm=bits(word, 3, 0), addr=addr, raw=word,
+            )
+        # Halfword / signed transfers.
+        if bit(word, 7) and bit(word, 4) and bits(word, 6, 5) != 0:
+            if not bit(word, 22):
+                raise DisassemblyError(
+                    "register-offset halfword transfer at 0x%x" % addr
+                )
+            s_bit, h_bit = bit(word, 6), bit(word, 5)
+            load = bool(bit(word, 20))
+            if load:
+                mnem = {(0, 1): "ldrh", (1, 0): "ldrsb", (1, 1): "ldrsh"}[
+                    (s_bit, h_bit)
+                ]
+            else:
+                if (s_bit, h_bit) != (0, 1):
+                    raise DisassemblyError("bad store-half encoding at 0x%x" % addr)
+                mnem = "strh"
+            return ArmInsn(
+                kind="memh", mnemonic=mnem, cond=cond,
+                load=load, signed=bool(s_bit), halfword=bool(h_bit),
+                rd=bits(word, 15, 12), rn=bits(word, 19, 16),
+                imm=(bits(word, 11, 8) << 4) | bits(word, 3, 0),
+                uses_imm=True, u_bit=bool(bit(word, 23)),
+                addr=addr, raw=word,
+            )
+        # Data-processing, register operand2.
+        if bit(word, 4) and bit(word, 7):
+            raise DisassemblyError("unhandled media/extra encoding at 0x%x" % addr)
+        opcode = bits(word, 24, 21)
+        s = bool(bit(word, 20))
+        if opcode in (8, 9, 10, 11) and not s:
+            raise DisassemblyError("MRS/MSR space at 0x%x" % addr)
+        if bit(word, 4):
+            raise DisassemblyError(
+                "register-specified shift unsupported at 0x%x" % addr
+            )
+        mnem = DP_OPCODES[opcode]
+        return ArmInsn(
+            kind="dp", mnemonic=mnem, cond=cond, set_flags=s,
+            rd=None if mnem in DP_COMPARE else bits(word, 15, 12),
+            rn=None if mnem in DP_UNARY else bits(word, 19, 16),
+            rm=bits(word, 3, 0), uses_imm=False,
+            shift_type=bits(word, 6, 5), shift_amount=bits(word, 11, 7),
+            addr=addr, raw=word,
+        )
+
+    if group == 1:
+        opcode = bits(word, 24, 21)
+        s = bool(bit(word, 20))
+        if opcode == 8 and not s:  # MOVW
+            imm = (bits(word, 19, 16) << 12) | bits(word, 11, 0)
+            return ArmInsn(
+                kind="movw", mnemonic="movw", cond=cond,
+                rd=bits(word, 15, 12), imm=imm, addr=addr, raw=word,
+            )
+        if opcode == 10 and not s:  # MOVT
+            imm = (bits(word, 19, 16) << 12) | bits(word, 11, 0)
+            return ArmInsn(
+                kind="movt", mnemonic="movt", cond=cond,
+                rd=bits(word, 15, 12), imm=imm, addr=addr, raw=word,
+            )
+        if opcode in (9, 11) and not s:
+            raise DisassemblyError("MSR-immediate space at 0x%x" % addr)
+        mnem = DP_OPCODES[opcode]
+        return ArmInsn(
+            kind="dp", mnemonic=mnem, cond=cond, set_flags=s,
+            rd=None if mnem in DP_COMPARE else bits(word, 15, 12),
+            rn=None if mnem in DP_UNARY else bits(word, 19, 16),
+            imm=decode_imm12(bits(word, 11, 0)), uses_imm=True,
+            addr=addr, raw=word,
+        )
+
+    if group in (2, 3):
+        if group == 3 and bit(word, 4):
+            raise DisassemblyError("media instruction at 0x%x" % addr)
+        if not bit(word, 24) or bit(word, 21):
+            raise DisassemblyError(
+                "post-indexed/writeback load-store at 0x%x" % addr
+            )
+        load = bool(bit(word, 20))
+        byte = bool(bit(word, 22))
+        mnem = ("ldr" if load else "str") + ("b" if byte else "")
+        common = dict(
+            kind="mem", mnemonic=mnem, cond=cond, load=load, byte=byte,
+            rd=bits(word, 15, 12), rn=bits(word, 19, 16),
+            u_bit=bool(bit(word, 23)), addr=addr, raw=word,
+        )
+        if group == 2:
+            return ArmInsn(imm=bits(word, 11, 0), uses_imm=True, **common)
+        return ArmInsn(
+            rm=bits(word, 3, 0), uses_imm=False,
+            shift_type=bits(word, 6, 5), shift_amount=bits(word, 11, 7),
+            **common,
+        )
+
+    if group == 4:
+        load = bool(bit(word, 20))
+        reglist = tuple(i for i in range(16) if bit(word, i))
+        if not reglist:
+            raise DisassemblyError("empty register list at 0x%x" % addr)
+        return ArmInsn(
+            kind="block", mnemonic="ldm" if load else "stm", cond=cond,
+            load=load, rn=bits(word, 19, 16), reglist=reglist,
+            p_bit=bool(bit(word, 24)), u_bit=bool(bit(word, 23)),
+            w_bit=bool(bit(word, 21)), addr=addr, raw=word,
+        )
+
+    if group == 5:
+        link = bool(bit(word, 24))
+        return ArmInsn(
+            kind="branch", mnemonic="bl" if link else "b", cond=cond,
+            imm=sign_extend(bits(word, 23, 0), 24), addr=addr, raw=word,
+        )
+
+    raise DisassemblyError("unsupported instruction group %d at 0x%x" % (group, addr))

@@ -1,0 +1,556 @@
+"""Lift ARM32 instructions to the VEX-flavoured IR.
+
+Flags use the VEX thunk convention: flag-setting instructions store an
+operation tag and its operands into ``cc_op``/``cc_dep1``/``cc_dep2``/
+``cc_ndep`` and conditions are recomputed from the thunk.  Within a
+block the lifter tracks the thunk values it just wrote, so the common
+``cmp; b<cond>`` pairing produces a direct comparison expression (this
+is what makes branch constraints legible to the sanitization checker);
+across blocks it falls back to an ITE dispatch over ``Get(cc_op)``.
+
+Semantics are exact, including shifter carry-out, so lifted blocks can
+be differentially tested against the independent emulator in
+:mod:`repro.emu`.
+"""
+
+from repro.arch.arm import encoding as enc
+from repro.errors import LiftError
+from repro.ir.expr import Binop, Const, Get, ITE, Load, Ops, Unop
+from repro.ir.irsb import IRBuilder, JumpKind
+from repro.ir.stmt import Exit, Put, Store
+
+# cc_op tags.
+CC_SUB = 1
+CC_ADD = 2
+CC_LOGIC = 3
+
+_ZERO = Const(0)
+_ONE = Const(1)
+
+
+def _reg(index):
+    return "r%d" % index
+
+
+def _and(a, b):
+    return Binop(Ops.AND, a, b)
+
+
+def _or(a, b):
+    return Binop(Ops.OR, a, b)
+
+
+def _not_flag(a):
+    return Binop(Ops.CMP_EQ, a, _ZERO)
+
+
+def _sign_bit(expr):
+    return Binop(Ops.SHR, expr, Const(31))
+
+
+class _Thunk:
+    """Flag thunk value as known at the current lift position."""
+
+    def __init__(self, op, dep1, dep2, ndep):
+        self.op = op          # int tag or None when unknown
+        self.dep1 = dep1
+        self.dep2 = dep2
+        self.ndep = ndep
+
+    @classmethod
+    def unknown(cls):
+        return cls(None, Get("cc_dep1"), Get("cc_dep2"), Get("cc_ndep"))
+
+
+def _sub_flags(cond, a, b):
+    """Condition expression after ``cmp a, b`` / flag-setting sub."""
+    name = enc.CONDITIONS[cond]
+    result = Binop(Ops.SUB, a, b)
+    if name == "eq":
+        return Binop(Ops.CMP_EQ, a, b)
+    if name == "ne":
+        return Binop(Ops.CMP_NE, a, b)
+    if name == "cs":
+        return Binop(Ops.CMP_LE_U, b, a)
+    if name == "cc":
+        return Binop(Ops.CMP_LT_U, a, b)
+    if name == "mi":
+        return Binop(Ops.CMP_LT_S, result, _ZERO)
+    if name == "pl":
+        return Binop(Ops.CMP_LE_S, _ZERO, result)
+    if name == "vs":
+        overflow = _and(Binop(Ops.XOR, a, b), Binop(Ops.XOR, a, result))
+        return _sign_bit(overflow)
+    if name == "vc":
+        overflow = _and(Binop(Ops.XOR, a, b), Binop(Ops.XOR, a, result))
+        return _not_flag(_sign_bit(overflow))
+    if name == "hi":
+        return Binop(Ops.CMP_LT_U, b, a)
+    if name == "ls":
+        return Binop(Ops.CMP_LE_U, a, b)
+    if name == "ge":
+        return Binop(Ops.CMP_LE_S, b, a)
+    if name == "lt":
+        return Binop(Ops.CMP_LT_S, a, b)
+    if name == "gt":
+        return Binop(Ops.CMP_LT_S, b, a)
+    if name == "le":
+        return Binop(Ops.CMP_LE_S, a, b)
+    raise LiftError("condition %r after sub" % name)
+
+
+def _add_flags(cond, a, b):
+    name = enc.CONDITIONS[cond]
+    result = Binop(Ops.ADD, a, b)
+    n_flag = Binop(Ops.CMP_LT_S, result, _ZERO)
+    z_flag = Binop(Ops.CMP_EQ, result, _ZERO)
+    c_flag = Binop(Ops.CMP_LT_U, result, a)
+    v_flag = _sign_bit(
+        _and(
+            Binop(Ops.XOR, a, Unop(Ops.NOT, b)),
+            Binop(Ops.XOR, a, result),
+        )
+    )
+    table = {
+        "eq": z_flag,
+        "ne": _not_flag(z_flag),
+        "cs": c_flag,
+        "cc": _not_flag(c_flag),
+        "mi": n_flag,
+        "pl": _not_flag(n_flag),
+        "vs": v_flag,
+        "vc": _not_flag(v_flag),
+        "hi": _and(c_flag, _not_flag(z_flag)),
+        "ls": _or(_not_flag(c_flag), z_flag),
+        "ge": Binop(Ops.CMP_EQ, n_flag, v_flag),
+        "lt": Binop(Ops.CMP_NE, n_flag, v_flag),
+        "gt": _and(_not_flag(z_flag), Binop(Ops.CMP_EQ, n_flag, v_flag)),
+        "le": _or(z_flag, Binop(Ops.CMP_NE, n_flag, v_flag)),
+    }
+    return table[name]
+
+
+def _logic_flags(cond, result, carry, old_v):
+    name = enc.CONDITIONS[cond]
+    n_flag = Binop(Ops.CMP_LT_S, result, _ZERO)
+    z_flag = Binop(Ops.CMP_EQ, result, _ZERO)
+    table = {
+        "eq": z_flag,
+        "ne": _not_flag(z_flag),
+        "cs": carry,
+        "cc": _not_flag(carry),
+        "mi": n_flag,
+        "pl": _not_flag(n_flag),
+        "vs": old_v,
+        "vc": _not_flag(old_v),
+        "hi": _and(carry, _not_flag(z_flag)),
+        "ls": _or(_not_flag(carry), z_flag),
+        "ge": Binop(Ops.CMP_EQ, n_flag, old_v),
+        "lt": Binop(Ops.CMP_NE, n_flag, old_v),
+        "gt": _and(_not_flag(z_flag), Binop(Ops.CMP_EQ, n_flag, old_v)),
+        "le": _or(z_flag, Binop(Ops.CMP_NE, n_flag, old_v)),
+    }
+    return table[name]
+
+
+def condition_expr(cond, thunk):
+    """Build a 0/1 guard expression for condition code ``cond``."""
+    if cond == enc.COND_AL:
+        return _ONE
+    if thunk.op == CC_SUB:
+        return _sub_flags(cond, thunk.dep1, thunk.dep2)
+    if thunk.op == CC_ADD:
+        return _add_flags(cond, thunk.dep1, thunk.dep2)
+    if thunk.op == CC_LOGIC:
+        return _logic_flags(cond, thunk.dep1, thunk.dep2, thunk.ndep)
+    # Unknown thunk: dispatch on the recorded cc_op at evaluation time.
+    op = Get("cc_op")
+    return ITE(
+        Binop(Ops.CMP_EQ, op, Const(CC_SUB)),
+        _sub_flags(cond, thunk.dep1, thunk.dep2),
+        ITE(
+            Binop(Ops.CMP_EQ, op, Const(CC_ADD)),
+            _add_flags(cond, thunk.dep1, thunk.dep2),
+            _logic_flags(cond, thunk.dep1, thunk.dep2, thunk.ndep),
+        ),
+    )
+
+
+def carry_expr(thunk):
+    """Current carry flag as a 0/1 expression."""
+    if thunk.op == CC_SUB:
+        return Binop(Ops.CMP_LE_U, thunk.dep2, thunk.dep1)
+    if thunk.op == CC_ADD:
+        return Binop(Ops.CMP_LT_U, Binop(Ops.ADD, thunk.dep1, thunk.dep2), thunk.dep1)
+    if thunk.op == CC_LOGIC:
+        return thunk.dep2
+    op = Get("cc_op")
+    return ITE(
+        Binop(Ops.CMP_EQ, op, Const(CC_SUB)),
+        Binop(Ops.CMP_LE_U, thunk.dep2, thunk.dep1),
+        ITE(
+            Binop(Ops.CMP_EQ, op, Const(CC_ADD)),
+            Binop(
+                Ops.CMP_LT_U, Binop(Ops.ADD, thunk.dep1, thunk.dep2), thunk.dep1
+            ),
+            thunk.dep2,
+        ),
+    )
+
+
+class ArmLifter:
+    """Lifts decoded :class:`~repro.arch.arm.encoding.ArmInsn` sequences."""
+
+    arch_name = "arm"
+
+    def lift_block(self, insns, mem_reader=None):
+        """Lift ``insns`` (a straight-line run) into one IRSB.
+
+        Lifting stops after the first control-flow instruction.
+        ``mem_reader(addr, size)`` may serve read-only memory so
+        PC-relative literal loads fold to constants.
+        """
+        if not insns:
+            raise LiftError("cannot lift an empty instruction run")
+        builder = IRBuilder(insns[0].addr)
+        self._mem_reader = mem_reader
+        self._thunk = _Thunk.unknown()
+
+        for index, insn in enumerate(insns):
+            builder.imark(insn.addr, 4)
+            finished = self._lift_insn(builder, insn)
+            if finished is not None:
+                return finished
+        # Fell off the end of the run: fall through to the next address.
+        last = insns[-1]
+        return builder.finish(Const(last.addr + 4), JumpKind.BORING)
+
+    # ------------------------------------------------------------------
+
+    def _get(self, builder, index, pc_value):
+        if index == enc.PC:
+            return Const(pc_value)
+        return builder.tmp(Get(_reg(index)))
+
+    def _operand2(self, builder, insn, pc_value):
+        """Evaluate operand2; returns (value_expr, carry_expr)."""
+        # Carry expressions must be materialised into temporaries *now*:
+        # they read the current thunk registers, which a following
+        # _set_thunk overwrites, and a Put evaluates its operand at its
+        # own position in the statement list.
+        if insn.uses_imm:
+            value = Const(insn.imm & 0xFFFFFFFF)
+            # Rotated immediates with rotation expose bit 31 as carry;
+            # we conservatively reuse the old carry for rot == 0 which
+            # matches hardware.
+            if insn.imm > 0xFF:
+                carry = Const((insn.imm >> 31) & 1)
+            else:
+                carry = builder.tmp(carry_expr(self._thunk))
+            return value, carry
+        rm = self._get(builder, insn.rm, pc_value)
+        stype, amount = insn.shift_type, insn.shift_amount
+        if amount == 0 and stype == 0:
+            return rm, builder.tmp(carry_expr(self._thunk))
+        if stype == 0:  # lsl
+            value = Binop(Ops.SHL, rm, Const(amount))
+            carry = _and(Binop(Ops.SHR, rm, Const(32 - amount)), _ONE)
+        elif stype == 1:  # lsr (amount 0 encodes 32)
+            eff = amount or 32
+            if eff == 32:
+                value = _ZERO
+                carry = _sign_bit(rm)
+            else:
+                value = Binop(Ops.SHR, rm, Const(eff))
+                carry = _and(Binop(Ops.SHR, rm, Const(eff - 1)), _ONE)
+        elif stype == 2:  # asr (amount 0 encodes 32)
+            eff = amount or 32
+            if eff == 32:
+                value = Binop(Ops.SAR, rm, Const(31))
+                carry = _sign_bit(rm)
+            else:
+                value = Binop(Ops.SAR, rm, Const(eff))
+                carry = _and(Binop(Ops.SHR, rm, Const(eff - 1)), _ONE)
+        else:  # ror
+            value = Binop(Ops.ROR, rm, Const(amount))
+            carry = _and(Binop(Ops.SHR, rm, Const((amount - 1) % 32)), _ONE)
+        return builder.tmp(value), builder.tmp(carry)
+
+    def _set_thunk(self, builder, op, dep1, dep2, ndep=None):
+        if ndep is None:
+            ndep = _ZERO
+        builder.add(Put("cc_op", Const(op)))
+        builder.add(Put("cc_dep1", dep1))
+        builder.add(Put("cc_dep2", dep2))
+        builder.add(Put("cc_ndep", ndep))
+        self._thunk = _Thunk(op, dep1, dep2, ndep)
+
+    def _guarded_put(self, builder, insn, reg, value):
+        """PUT that honours the instruction's condition code."""
+        if insn.cond == enc.COND_AL:
+            builder.add(Put(reg, value))
+            return
+        guard = builder.tmp(condition_expr(insn.cond, self._thunk))
+        builder.add(Put(reg, ITE(guard, value, Get(reg))))
+
+    # ------------------------------------------------------------------
+
+    def _lift_insn(self, builder, insn):
+        """Lift one instruction; returns a finished IRSB if it ends the block."""
+        handler = getattr(self, "_lift_%s" % insn.kind)
+        return handler(builder, insn)
+
+    def _lift_dp(self, builder, insn):
+        pc_value = insn.addr + 8
+        mnem = insn.mnemonic
+        op2, shifter_carry = self._operand2(builder, insn, pc_value)
+        rn = self._get(builder, insn.rn, pc_value) if insn.rn is not None else None
+
+        if mnem in ("mov", "mvn"):
+            result = op2 if mnem == "mov" else Unop(Ops.NOT, op2)
+        elif mnem in ("and", "tst"):
+            result = _and(rn, op2)
+        elif mnem in ("eor", "teq"):
+            result = Binop(Ops.XOR, rn, op2)
+        elif mnem in ("sub", "cmp"):
+            result = Binop(Ops.SUB, rn, op2)
+        elif mnem == "rsb":
+            result = Binop(Ops.SUB, op2, rn)
+        elif mnem in ("add", "cmn"):
+            result = Binop(Ops.ADD, rn, op2)
+        elif mnem == "adc":
+            carry = builder.tmp(carry_expr(self._thunk))
+            result = Binop(Ops.ADD, Binop(Ops.ADD, rn, op2), carry)
+        elif mnem == "sbc":
+            carry = builder.tmp(carry_expr(self._thunk))
+            borrow = Binop(Ops.SUB, _ONE, carry)
+            result = Binop(Ops.SUB, Binop(Ops.SUB, rn, op2), borrow)
+        elif mnem == "rsc":
+            carry = builder.tmp(carry_expr(self._thunk))
+            borrow = Binop(Ops.SUB, _ONE, carry)
+            result = Binop(Ops.SUB, Binop(Ops.SUB, op2, rn), borrow)
+        elif mnem == "orr":
+            result = _or(rn, op2)
+        elif mnem == "bic":
+            result = _and(rn, Unop(Ops.NOT, op2))
+        else:
+            raise LiftError("unhandled data-processing op %r" % mnem)
+        result = builder.tmp(result)
+
+        if insn.set_flags or mnem in enc.DP_COMPARE:
+            if mnem in ("cmp", "sub", "rsb"):
+                a = rn if mnem != "rsb" else op2
+                b = op2 if mnem != "rsb" else rn
+                self._set_thunk(builder, CC_SUB, a, b)
+            elif mnem in ("cmn", "add"):
+                self._set_thunk(builder, CC_ADD, rn, op2)
+            elif mnem in ("adc", "sbc", "rsc"):
+                raise LiftError("flag-setting %s unsupported" % mnem)
+            else:
+                old_v = builder.tmp(self._v_flag_expr())
+                self._set_thunk(builder, CC_LOGIC, result, shifter_carry, old_v)
+
+        if mnem in enc.DP_COMPARE:
+            return None
+        if insn.rd == enc.PC:
+            if insn.cond != enc.COND_AL:
+                raise LiftError("conditional PC write unsupported")
+            kind = JumpKind.RET if insn.is_return() else JumpKind.BORING
+            return builder.finish(result, kind)
+        self._guarded_put(builder, insn, _reg(insn.rd), result)
+        return None
+
+    def _v_flag_expr(self):
+        """Current V flag as a 0/1 expression (for logic-op thunks)."""
+        thunk = self._thunk
+        if thunk.op == CC_SUB:
+            result = Binop(Ops.SUB, thunk.dep1, thunk.dep2)
+            return _sign_bit(
+                _and(
+                    Binop(Ops.XOR, thunk.dep1, thunk.dep2),
+                    Binop(Ops.XOR, thunk.dep1, result),
+                )
+            )
+        if thunk.op == CC_ADD:
+            result = Binop(Ops.ADD, thunk.dep1, thunk.dep2)
+            return _sign_bit(
+                _and(
+                    Binop(Ops.XOR, thunk.dep1, Unop(Ops.NOT, thunk.dep2)),
+                    Binop(Ops.XOR, thunk.dep1, result),
+                )
+            )
+        if thunk.op == CC_LOGIC:
+            return thunk.ndep
+        op = Get("cc_op")
+        sub_v = _sign_bit(
+            _and(
+                Binop(Ops.XOR, thunk.dep1, thunk.dep2),
+                Binop(Ops.XOR, thunk.dep1, Binop(Ops.SUB, thunk.dep1, thunk.dep2)),
+            )
+        )
+        add_v = _sign_bit(
+            _and(
+                Binop(Ops.XOR, thunk.dep1, Unop(Ops.NOT, thunk.dep2)),
+                Binop(Ops.XOR, thunk.dep1, Binop(Ops.ADD, thunk.dep1, thunk.dep2)),
+            )
+        )
+        return ITE(
+            Binop(Ops.CMP_EQ, op, Const(CC_SUB)),
+            sub_v,
+            ITE(Binop(Ops.CMP_EQ, op, Const(CC_ADD)), add_v, thunk.ndep),
+        )
+
+    def _lift_mul(self, builder, insn):
+        rm = self._get(builder, insn.rm, insn.addr + 8)
+        rs = self._get(builder, insn.rs, insn.addr + 8)
+        result = builder.tmp(Binop(Ops.MUL, rm, rs))
+        if insn.set_flags:
+            old_v = builder.tmp(self._v_flag_expr())
+            old_c = builder.tmp(carry_expr(self._thunk))
+            self._set_thunk(builder, CC_LOGIC, result, old_c, old_v)
+        self._guarded_put(builder, insn, _reg(insn.rd), result)
+        return None
+
+    def _mem_address(self, builder, insn, pc_value):
+        base = self._get(builder, insn.rn, pc_value)
+        if insn.uses_imm:
+            if insn.imm == 0:
+                return base
+            op = Ops.ADD if insn.u_bit else Ops.SUB
+            return builder.tmp(Binop(op, base, Const(insn.imm)))
+        offset = self._get(builder, insn.rm, pc_value)
+        if insn.shift_amount:
+            shift_op = [Ops.SHL, Ops.SHR, Ops.SAR, Ops.ROR][insn.shift_type]
+            offset = builder.tmp(Binop(shift_op, offset, Const(insn.shift_amount)))
+        op = Ops.ADD if insn.u_bit else Ops.SUB
+        return builder.tmp(Binop(op, base, offset))
+
+    def _lift_mem(self, builder, insn):
+        pc_value = insn.addr + 8
+        size = 1 if insn.byte else 4
+        addr = self._mem_address(builder, insn, pc_value)
+        if insn.load:
+            # Fold PC-relative literal loads into constants when the
+            # loader can serve the bytes (read-only sections).
+            value = None
+            if (
+                insn.rn == enc.PC
+                and insn.uses_imm
+                and self._mem_reader is not None
+            ):
+                literal_addr = pc_value + (insn.imm if insn.u_bit else -insn.imm)
+                literal = self._mem_reader(literal_addr, size)
+                if literal is not None:
+                    value = Const(literal, size)
+            if value is None:
+                value = Load(addr, size)
+            if size == 1:
+                value = Unop(Ops.U8_TO_32, value) if not isinstance(
+                    value, Const
+                ) else value
+            value = builder.tmp(value)
+            if insn.rd == enc.PC:
+                if insn.cond != enc.COND_AL:
+                    raise LiftError("conditional load to PC unsupported")
+                return builder.finish(value, JumpKind.BORING)
+            self._guarded_put(builder, insn, _reg(insn.rd), value)
+            return None
+        if insn.cond != enc.COND_AL:
+            raise LiftError("conditional stores unsupported")
+        data = self._get(builder, insn.rd, pc_value)
+        if size == 1:
+            data = builder.tmp(Unop(Ops.TO_8, data))
+        builder.add(Store(addr, data, size))
+        return None
+
+    def _lift_memh(self, builder, insn):
+        pc_value = insn.addr + 8
+        addr = self._mem_address(builder, insn, pc_value)
+        if insn.load:
+            size = 2 if insn.halfword else 1
+            value = builder.tmp(Load(addr, size, signed=insn.signed))
+            if not insn.signed:
+                value = builder.tmp(Unop(Ops.U16_TO_32, value))
+            self._guarded_put(builder, insn, _reg(insn.rd), value)
+            return None
+        if insn.cond != enc.COND_AL:
+            raise LiftError("conditional stores unsupported")
+        data = builder.tmp(Unop(Ops.TO_16, self._get(builder, insn.rd, pc_value)))
+        builder.add(Store(addr, data, 2))
+        return None
+
+    def _lift_block(self, builder, insn):
+        if insn.cond != enc.COND_AL:
+            raise LiftError("conditional ldm/stm unsupported")
+        base = self._get(builder, insn.rn, insn.addr + 8)
+        count = len(insn.reglist)
+        # Lowest register is always transferred to/from the lowest address:
+        #   IA: base .. base+4(n-1)      IB: base+4 .. base+4n
+        #   DA: base-4(n-1) .. base      DB: base-4n .. base-4
+        if insn.u_bit:
+            start_delta = 4 if insn.p_bit else 0
+        else:
+            start_delta = -4 * count if insn.p_bit else -4 * (count - 1)
+
+        loaded_pc = None
+        for i, reg_index in enumerate(insn.reglist):
+            delta = start_delta + 4 * i
+            if delta == 0:
+                slot = base
+            elif delta > 0:
+                slot = builder.tmp(Binop(Ops.ADD, base, Const(delta)))
+            else:
+                slot = builder.tmp(Binop(Ops.SUB, base, Const(-delta)))
+            if insn.load:
+                value = builder.tmp(Load(slot, 4))
+                if reg_index == enc.PC:
+                    loaded_pc = value
+                else:
+                    builder.add(Put(_reg(reg_index), value))
+            else:
+                builder.add(
+                    Store(slot, self._get(builder, reg_index, insn.addr + 8), 4)
+                )
+        if insn.w_bit:
+            op = Ops.ADD if insn.u_bit else Ops.SUB
+            builder.add(Put(_reg(insn.rn), Binop(op, base, Const(4 * count))))
+        if loaded_pc is not None:
+            return builder.finish(loaded_pc, JumpKind.RET)
+        return None
+
+    def _lift_branch(self, builder, insn):
+        target = insn.branch_target()
+        if insn.mnemonic == "bl":
+            if insn.cond != enc.COND_AL:
+                raise LiftError("conditional bl unsupported")
+            builder.add(Put(_reg(enc.LR), Const(insn.addr + 4)))
+            return builder.finish(
+                Const(target), JumpKind.CALL, return_addr=insn.addr + 4
+            )
+        if insn.cond == enc.COND_AL:
+            return builder.finish(Const(target), JumpKind.BORING)
+        guard = builder.tmp(condition_expr(insn.cond, self._thunk))
+        builder.add(Exit(guard, target, JumpKind.BORING))
+        return builder.finish(Const(insn.addr + 4), JumpKind.BORING)
+
+    def _lift_bx(self, builder, insn):
+        if insn.cond != enc.COND_AL:
+            raise LiftError("conditional bx/blx unsupported")
+        target = self._get(builder, insn.rm, insn.addr + 8)
+        if insn.mnemonic == "blx":
+            builder.add(Put(_reg(enc.LR), Const(insn.addr + 4)))
+            return builder.finish(
+                target, JumpKind.CALL, return_addr=insn.addr + 4
+            )
+        kind = JumpKind.RET if insn.rm == enc.LR else JumpKind.BORING
+        return builder.finish(target, kind)
+
+    def _lift_movw(self, builder, insn):
+        self._guarded_put(builder, insn, _reg(insn.rd), Const(insn.imm))
+        return None
+
+    def _lift_movt(self, builder, insn):
+        low = builder.tmp(_and(Get(_reg(insn.rd)), Const(0xFFFF)))
+        value = builder.tmp(_or(low, Const((insn.imm << 16) & 0xFFFFFFFF)))
+        self._guarded_put(builder, insn, _reg(insn.rd), value)
+        return None

@@ -1,0 +1,1 @@
+"""MIPS32 (big-endian, o32 ABI) support with branch delay slots."""

@@ -1,0 +1,28 @@
+"""MIPS32 disassembler: big-endian bytes to :class:`MipsInsn`."""
+
+from repro.arch.mips import encoding as enc
+from repro.errors import DisassemblyError
+
+
+class MipsDisassembler:
+    """Decodes big-endian MIPS32 instruction streams."""
+
+    instruction_size = 4
+
+    def disasm_one(self, data, offset, addr):
+        if offset + 4 > len(data):
+            raise DisassemblyError("truncated instruction at 0x%x" % addr)
+        word = int.from_bytes(data[offset:offset + 4], "big")
+        return enc.decode(word, addr)
+
+    def disasm_range(self, data, base_addr, start=0, end=None):
+        """Yield instructions (or ``None`` on undecodable words)."""
+        end = len(data) if end is None else end
+        offset = start
+        while offset + 4 <= end:
+            addr = base_addr + offset
+            try:
+                yield self.disasm_one(data, offset, addr)
+            except DisassemblyError:
+                yield None
+            offset += 4

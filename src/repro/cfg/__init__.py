@@ -1,0 +1,26 @@
+"""Control-flow recovery: basic blocks, per-function CFGs, the call
+graph, dominators and natural loops.
+
+DTaint "performs a static analysis on the firmware to generate the CFG
+for each function separately" (paper §III-B); function extents come
+from the symbol table and blocks are discovered by recursive traversal
+from each entry, which keeps embedded data (ARM literal pools) out of
+the instruction stream.
+"""
+
+from repro.cfg.builder import CFGBuilder
+from repro.cfg.callgraph import CallGraph, build_call_graph
+from repro.cfg.dominators import compute_dominators
+from repro.cfg.loops import natural_loops
+from repro.cfg.model import BasicBlock, CallSite, Function
+
+__all__ = [
+    "BasicBlock",
+    "CFGBuilder",
+    "CallGraph",
+    "CallSite",
+    "Function",
+    "build_call_graph",
+    "compute_dominators",
+    "natural_loops",
+]

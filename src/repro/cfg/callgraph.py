@@ -1,0 +1,85 @@
+"""Whole-binary call graph.
+
+Direct call edges come from resolved call sites; indirect call sites
+are kept aside for DTaint's data-structure-similarity resolution, which
+adds edges later via :meth:`CallGraph.add_indirect_edge`.
+"""
+
+import networkx as nx
+
+from repro.ir.irsb import JumpKind
+
+
+class CallGraph:
+    """A directed call graph over function names."""
+
+    def __init__(self):
+        self.graph = nx.DiGraph()
+        self.indirect_sites = []  # (caller_name, CallSite)
+
+    def add_function(self, function):
+        self.graph.add_node(function.name, function=function)
+
+    def add_edge(self, caller, callee, callsite=None):
+        self.graph.add_edge(caller, callee)
+        sites = self.graph.edges[caller, callee].setdefault("callsites", [])
+        if callsite is not None:
+            sites.append(callsite)
+
+    def add_indirect_edge(self, caller, callee, callsite, similarity):
+        """Record an indirect-call edge resolved by layout similarity."""
+        self.add_edge(caller, callee, callsite)
+        self.graph.edges[caller, callee]["similarity"] = similarity
+        callsite.target_name = callee
+
+    def callees(self, name):
+        return list(self.graph.successors(name))
+
+    def callers(self, name):
+        return list(self.graph.predecessors(name))
+
+    def function(self, name):
+        return self.graph.nodes[name]["function"]
+
+    @property
+    def edge_count(self):
+        return self.graph.number_of_edges()
+
+    def bottom_up_order(self, names=None):
+        """Functions in callees-before-callers order (paper §III-E).
+
+        Cycles (recursion) are collapsed into SCCs whose members are
+        emitted together in an arbitrary internal order.
+        """
+        graph = self.graph if names is None else self.graph.subgraph(names)
+        condensed = nx.condensation(graph)
+        order = []
+        for scc_id in nx.topological_sort(condensed):
+            members = condensed.nodes[scc_id]["members"]
+            order.extend(sorted(members))
+        # Topological order of the condensation is callers-first; we
+        # want callees first.
+        return list(reversed(order))
+
+
+def build_call_graph(functions):
+    """Build the call graph from recovered functions.
+
+    ``functions`` maps name to :class:`~repro.cfg.model.Function`
+    (imports included).  Returns a :class:`CallGraph`.
+    """
+    by_addr = {f.addr: f for f in functions.values()}
+    call_graph = CallGraph()
+    for function in functions.values():
+        call_graph.add_function(function)
+    for function in functions.values():
+        for callsite in function.call_sites:
+            if callsite.is_indirect:
+                call_graph.indirect_sites.append((function.name, callsite))
+                continue
+            callee = by_addr.get(callsite.target_addr)
+            if callee is None:
+                continue
+            callsite.target_name = callee.name
+            call_graph.add_edge(function.name, callee.name, callsite)
+    return call_graph

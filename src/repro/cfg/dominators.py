@@ -1,0 +1,57 @@
+"""Iterative dominator computation over a function CFG."""
+
+
+def compute_dominators(function):
+    """Return ``{block_addr: set_of_dominator_addrs}``.
+
+    Standard iterative data-flow formulation; unreachable blocks get
+    the full block set (vacuous truth), matching the textbook lattice.
+    """
+    addrs = sorted(function.blocks)
+    entry = function.addr
+    if entry not in function.blocks:
+        return {}
+    predecessors = {addr: set() for addr in addrs}
+    for source, dest in function.edges():
+        predecessors[dest].add(source)
+
+    all_blocks = set(addrs)
+    dom = {addr: set(all_blocks) for addr in addrs}
+    dom[entry] = {entry}
+
+    changed = True
+    while changed:
+        changed = False
+        for addr in addrs:
+            if addr == entry:
+                continue
+            preds = predecessors[addr]
+            if preds:
+                new = set(all_blocks)
+                for pred in preds:
+                    new &= dom[pred]
+            else:
+                new = set(all_blocks)
+            new.add(addr)
+            if new != dom[addr]:
+                dom[addr] = new
+                changed = True
+    return dom
+
+
+def immediate_dominators(function):
+    """Return ``{block_addr: idom_addr}`` (entry maps to itself)."""
+    dom = compute_dominators(function)
+    idom = {}
+    for addr, dominators in dom.items():
+        strict = dominators - {addr}
+        if not strict:
+            idom[addr] = addr
+            continue
+        # The immediate dominator is the strict dominator that every
+        # other strict dominator dominates (the closest one).
+        for candidate in strict:
+            if all(other in dom[candidate] for other in strict):
+                idom[addr] = candidate
+                break
+    return idom

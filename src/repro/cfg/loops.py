@@ -1,0 +1,64 @@
+"""Natural-loop detection.
+
+DTaint's path exploration analyses "blocks in the same loop only once"
+(paper §III-B) and its sink detection recognises loop buffer copies
+(Table I's ``loop`` sink), both of which need the loop membership this
+module computes.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cfg.dominators import compute_dominators
+
+
+@dataclass
+class Loop:
+    header: int
+    back_edge: tuple
+    body: set = field(default_factory=set)  # block addrs, incl. header
+
+    def __contains__(self, addr):
+        return addr in self.body
+
+
+def natural_loops(function):
+    """Find the natural loops of ``function``.
+
+    A back edge ``n -> h`` exists where ``h`` dominates ``n``; the loop
+    body is every block that can reach ``n`` without passing through
+    ``h``.  Loops sharing a header are merged.
+    """
+    dom = compute_dominators(function)
+    predecessors = {addr: set() for addr in function.blocks}
+    for source, dest in function.edges():
+        predecessors[dest].add(source)
+
+    loops = {}
+    for source, dest in function.edges():
+        if dest not in dom.get(source, set()):
+            continue
+        # source -> dest is a back edge with header dest.
+        body = {dest, source}
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            if node == dest:
+                continue
+            for pred in predecessors.get(node, ()):
+                if pred not in body:
+                    body.add(pred)
+                    stack.append(pred)
+        if dest in loops:
+            loops[dest].body |= body
+        else:
+            loops[dest] = Loop(header=dest, back_edge=(source, dest), body=body)
+    return list(loops.values())
+
+
+def loop_membership(function):
+    """Map block addr -> set of loop headers whose body contains it."""
+    membership = {addr: set() for addr in function.blocks}
+    for loop in natural_loops(function):
+        for addr in loop.body:
+            membership[addr].add(loop.header)
+    return membership

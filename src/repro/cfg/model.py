@@ -1,0 +1,90 @@
+"""CFG data model."""
+
+from dataclasses import dataclass, field
+
+from repro.ir.irsb import JumpKind
+
+
+@dataclass
+class CallSite:
+    """A call instruction inside a block.
+
+    ``target_addr`` is the callee entry for direct calls, or ``None``
+    for indirect calls (``blx rX`` / ``jalr``), which DTaint resolves
+    later via data-structure layout similarity.
+    """
+
+    addr: int
+    block_addr: int
+    target_addr: int = None
+    target_name: str = None
+    return_addr: int = None
+
+    @property
+    def is_indirect(self):
+        return self.target_addr is None
+
+    def __hash__(self):
+        return hash((self.addr, self.block_addr))
+
+
+@dataclass
+class BasicBlock:
+    """A basic block: decoded instructions plus the lifted IRSB."""
+
+    addr: int
+    insns: list
+    irsb: object = None
+    successors: list = field(default_factory=list)  # block addresses
+    call: CallSite = None
+
+    @property
+    def size(self):
+        return 4 * len(self.insns)
+
+    @property
+    def end(self):
+        return self.addr + self.size
+
+    @property
+    def is_return_block(self):
+        return self.irsb is not None and self.irsb.jumpkind == JumpKind.RET
+
+    def __repr__(self):
+        return "<BasicBlock 0x%x (%d insns)>" % (self.addr, len(self.insns))
+
+
+@dataclass
+class Function:
+    """A recovered function: entry, blocks, intra-procedural edges."""
+
+    name: str
+    addr: int
+    size: int
+    blocks: dict = field(default_factory=dict)   # addr -> BasicBlock
+    is_import: bool = False
+
+    @property
+    def entry_block(self):
+        return self.blocks.get(self.addr)
+
+    @property
+    def block_count(self):
+        return len(self.blocks)
+
+    @property
+    def call_sites(self):
+        return [b.call for b in self.blocks.values() if b.call is not None]
+
+    def edges(self):
+        for block in self.blocks.values():
+            for successor in block.successors:
+                yield block.addr, successor
+
+    def contains(self, addr):
+        return self.addr <= addr < self.addr + self.size
+
+    def __repr__(self):
+        return "<Function %s @ 0x%x, %d blocks>" % (
+            self.name, self.addr, len(self.blocks)
+        )

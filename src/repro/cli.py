@@ -1,0 +1,110 @@
+"""Command-line interface.
+
+``dtaint scan FILE``          — analyse an ELF binary for taint-style bugs
+``dtaint firmware FILE``      — extract a firmware image and analyse its
+                                 main network binary
+``dtaint corpus KEY``         — build a synthetic vendor image
+                                 (dir645, dir890l, dgn1000, dgn2200,
+                                 uniview, hikvision) and analyse it
+``dtaint fleet``              — run the Figure 1 emulation study
+"""
+
+import argparse
+import sys
+
+from repro.core import DTaint, DTaintConfig
+
+
+def _cmd_scan(args):
+    from repro.loader.binary import load_elf
+
+    with open(args.file, "rb") as handle:
+        data = handle.read()
+    binary = load_elf(data)
+    config = DTaintConfig(modules=tuple(args.modules or ()))
+    report = DTaint(binary, config=config, name=args.file).run()
+    print(report.render())
+    return 1 if report.vulnerable_paths and args.fail_on_findings else 0
+
+
+def _cmd_firmware(args):
+    from repro.firmware.binwalk import extract_filesystem, pick_target_binary
+    from repro.loader.binary import load_elf
+
+    with open(args.file, "rb") as handle:
+        blob = handle.read()
+    fs, container = extract_filesystem(blob)
+    print("container: %s, %d filesystem entries" % (container.container, len(fs)))
+    path, data = pick_target_binary(fs)
+    print("analysing %s (%d bytes)" % (path, len(data)))
+    binary = load_elf(data)
+    report = DTaint(binary, name=path).run()
+    print(report.render())
+    return 0
+
+
+def _cmd_corpus(args):
+    from repro.corpus.profiles import (
+        PROFILES,
+        analyzed_module_prefixes,
+        build_firmware,
+    )
+
+    if args.key not in PROFILES:
+        print("unknown profile %r; choices: %s"
+              % (args.key, ", ".join(sorted(PROFILES))), file=sys.stderr)
+        return 2
+    built = build_firmware(args.key, scale=args.scale)
+    print("built %s: %.0f KB, %d functions"
+          % (built.name, built.size_kb, len(built.binary.local_functions)))
+    config = DTaintConfig(modules=analyzed_module_prefixes(args.key))
+    report = DTaint(built.binary, config=config, name=built.name).run()
+    print(report.render())
+    expected = len(built.expected_vulnerabilities())
+    print("ground truth: %d planted vulnerable patterns" % expected)
+    return 0
+
+
+def _cmd_fleet(args):
+    from repro.eval.figures import figure1_emulation, render_figure1
+
+    data = figure1_emulation(size=args.size)
+    print(render_figure1(data))
+    print("failure breakdown: %s" % data["failures"])
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="dtaint",
+        description="DTaint: taint-style vulnerability detection in "
+                    "embedded firmware binaries (DSN'18 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="analyse an ELF binary")
+    scan.add_argument("file")
+    scan.add_argument("--modules", nargs="*",
+                      help="function-name prefixes to analyse")
+    scan.add_argument("--fail-on-findings", action="store_true")
+    scan.set_defaults(func=_cmd_scan)
+
+    firmware = sub.add_parser("firmware", help="extract + analyse firmware")
+    firmware.add_argument("file")
+    firmware.set_defaults(func=_cmd_firmware)
+
+    corpus = sub.add_parser("corpus", help="build + analyse a vendor profile")
+    corpus.add_argument("key")
+    corpus.add_argument("--scale", type=float, default=0.25)
+    corpus.set_defaults(func=_cmd_corpus)
+
+    fleet = sub.add_parser("fleet", help="Figure 1 emulation study")
+    fleet.add_argument("--size", type=int, default=6529)
+    fleet.set_defaults(func=_cmd_fleet)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""The end-to-end DTaint pipeline (paper Fig. 4 + §IV).
+
+``DTaint(binary).run()`` executes: function analysis → pointer
+aliasing → data-structure similarity (indirect-call resolution) →
+bottom-up interprocedural data flow → sink/source path generation →
+sanitization constraint checking, and returns a
+:class:`~repro.core.report.Report`.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cfg import CFGBuilder, build_call_graph
+from repro.core import sinks as sinks_mod
+from repro.core.aliasing import alias_replace
+from repro.core.interproc import InterproceduralAnalysis, _actual_mapping
+from repro.core.paths import PathFinder
+from repro.core.report import Finding, Report, StageTimer
+from repro.core.sanitize import is_sanitized
+from repro.core.structure import resolve_indirect_calls
+from repro.core.types import infer_types, root_pointer
+from repro.symexec import Constraint, SymbolicEngine
+from repro.symexec.value import SymVar, substitute
+
+_FORMALS = frozenset("arg%d" % i for i in range(10))
+
+
+def _forwardable(expr):
+    """An unresolved use is pushed to callers when it roots at a formal."""
+    root = root_pointer(expr)
+    if isinstance(root, SymVar) and root.name in _FORMALS:
+        return True
+    from repro.symexec.value import walk
+
+    return any(
+        isinstance(node, SymVar) and node.name in _FORMALS
+        for node in walk(expr)
+    )
+
+
+@dataclass
+class DTaintConfig:
+    """Knobs for the pipeline, with ablation switches.
+
+    ``enable_aliasing``, ``enable_structure_similarity`` and
+    ``bottom_up`` exist for the design-choice ablation benches; the
+    defaults are the paper's configuration.
+    """
+
+    max_paths: int = 64
+    max_blocks_per_path: int = 256
+    max_trace_depth: int = 24
+    enable_aliasing: bool = True
+    enable_structure_similarity: bool = True
+    function_filter: object = None     # callable(name) -> bool, or None
+    modules: tuple = ()                # name prefixes to analyse (else all)
+
+
+class DTaint:
+    """Detects taint-style vulnerabilities in one loaded binary."""
+
+    def __init__(self, binary, config=None, name=""):
+        self.binary = binary
+        self.config = config or DTaintConfig()
+        self.name = name or "binary"
+        self.functions = None
+        self.summaries = None
+        self.enriched = None
+        self.call_graph = None
+        self.timer = StageTimer()
+
+    # ------------------------------------------------------------------
+
+    def _selected_symbols(self):
+        symbols = self.binary.local_functions
+        config = self.config
+        if config.modules:
+            symbols = [
+                s for s in symbols
+                if any(s.name.startswith(prefix) for prefix in config.modules)
+            ]
+        if config.function_filter is not None:
+            symbols = [s for s in symbols if config.function_filter(s.name)]
+        return symbols
+
+    def build_cfg(self):
+        """Stage 0: CFG recovery over the selected functions."""
+        self.timer.start("cfg")
+        symbols = self._selected_symbols()
+        self.functions = CFGBuilder(self.binary).build_all(symbols)
+        self.call_graph = build_call_graph(self.functions)
+        self.timer.stop()
+        return self.functions
+
+    def analyze_functions(self):
+        """Stage 1: static symbolic analysis, one summary per function."""
+        if self.functions is None:
+            self.build_cfg()
+        self.timer.start("ssa")
+        engine = SymbolicEngine(
+            self.binary,
+            max_paths=self.config.max_paths,
+            max_blocks_per_path=self.config.max_blocks_per_path,
+        )
+        self.summaries = {}
+        for name, function in self.functions.items():
+            if function.is_import:
+                continue
+            self.summaries[name] = engine.analyze_function(function)
+        self.timer.stop()
+        return self.summaries
+
+    def run_dataflow(self):
+        """Stages 2-4: aliasing, similarity, interprocedural data flow."""
+        if self.summaries is None:
+            self.analyze_functions()
+        self.timer.start("aliasing")
+        self._types = {}
+        for name, summary in self.summaries.items():
+            types = infer_types(summary)
+            self._types[name] = types
+            if self.config.enable_aliasing:
+                alias_replace(summary, types)
+        self.timer.stop()
+
+        self.timer.start("structure")
+        self.resolutions = []
+        if self.config.enable_structure_similarity:
+            from repro.core.structure import address_taken_functions
+
+            candidates = address_taken_functions(self.binary, self.summaries)
+            self.resolutions = resolve_indirect_calls(
+                self.summaries, self.call_graph,
+                candidates=sorted(candidates) or None,
+            )
+        self.timer.stop()
+
+        self.timer.start("ddg")
+        analysis = InterproceduralAnalysis(self.summaries, self.call_graph)
+        self.enriched = analysis.run()
+        if self.config.enable_aliasing:
+            # A second alias pass connects imported callee definitions
+            # with the caller's local pointer names.
+            for name, enriched in self.enriched.items():
+                alias_replace(enriched, self._types[name])
+        self.timer.stop()
+        return self.enriched
+
+    def detect(self):
+        """Stage 5: sinks, backward paths, sanitization checks.
+
+        Sinks whose dangerous expression cannot be resolved locally and
+        roots at a formal argument are forwarded to callers with
+        formals replaced by actuals (Algorithm 2's
+        ForwardUndefinedUse), so a sink in one callee connects to a
+        source in a sibling callee through their common caller.
+        """
+        if self.enriched is None:
+            self.run_dataflow()
+        self.timer.start("detect")
+        report = Report(
+            binary_name=self.name,
+            arch=self.binary.arch.name,
+            analyzed_functions=len(self.summaries),
+            total_functions=len(self.binary.local_functions),
+            block_count=sum(
+                f.block_count for f in self.functions.values()
+            ),
+            call_graph_edges=self.call_graph.edge_count,
+            indirect_resolved=len(getattr(self, "resolutions", [])),
+        )
+
+        seen = set()
+        pending = {}  # function name -> unresolved (sink, expr, idx, chain)
+        order = self.call_graph.bottom_up_order(list(self.enriched))
+        for name in order:
+            enriched = self.enriched.get(name)
+            if enriched is None:
+                continue
+            finder = PathFinder(
+                enriched, max_depth=self.config.max_trace_depth
+            )
+            local_sinks = sinks_mod.find_sinks(name, enriched, self.binary)
+            # The engine summarises callsites once per explored path;
+            # the sink population counts distinct sink sites.
+            report.sink_count += len({s.addr for s in local_sinks})
+
+            candidate_keys = set()
+            candidates = []
+            for sink in local_sinks:
+                for index, expr in sink.dangerous:
+                    # The engine summarises a callsite once per path;
+                    # identical (sink, expr) pairs need tracing once.
+                    key = (sink.addr, index, expr)
+                    if key in candidate_keys:
+                        continue
+                    candidate_keys.add(key)
+                    candidates.append((sink, expr, index, (name,), ()))
+            variant_counts = {}
+            for callsite in enriched.callsites:
+                target = callsite.target
+                if not isinstance(target, str) or target not in pending:
+                    continue
+                # Callsites are summarised once per explored path;
+                # forward through a few distinct argument variants.
+                variant = (callsite.addr, tuple(callsite.args))
+                if variant in variant_counts:
+                    continue
+                count = variant_counts.get(callsite.addr, 0)
+                if count >= 4:
+                    continue
+                variant_counts[variant] = True
+                variant_counts[callsite.addr] = count + 1
+                mapping = _actual_mapping(callsite)
+                for sink, expr, index, chain, carried in pending[target]:
+                    rewritten = substitute(expr, mapping)
+                    key = (sink.addr, index, rewritten)
+                    if key in candidate_keys:
+                        continue
+                    candidate_keys.add(key)
+                    # Constraints from the sink's own function travel
+                    # with the forwarded use, rebased onto the actuals,
+                    # so a callee-side length check still sanitizes a
+                    # path whose taint resolves in the caller.
+                    new_carried = tuple(
+                        Constraint(
+                            expr=substitute(c.expr, mapping),
+                            taken=c.taken, site=c.site,
+                        )
+                        for c in (
+                            tuple(self.enriched[target].constraints[:32])
+                            + carried
+                        )[:64]
+                    )
+                    candidates.append((sink, rewritten, index,
+                                       chain + (name,), new_carried))
+
+            unresolved = []
+            for sink, expr, index, chain, carried in candidates:
+                paths = finder.trace(sink, expr, index)
+                if paths:
+                    chain_summaries = [
+                        self.enriched[c] for c in chain if c in self.enriched
+                    ]
+                    for path in paths:
+                        sanitized = is_sanitized(
+                            path, chain_summaries, finder.taint_objects,
+                            extra_constraints=carried,
+                        )
+                        finding = Finding.from_path(path, sanitized)
+                        dedup = (finding.key, finding.source_name,
+                                 finding.source_addr, finding.sanitized)
+                        if dedup in seen:
+                            continue
+                        seen.add(dedup)
+                        if sanitized:
+                            report.sanitized_paths.append(finding)
+                        else:
+                            report.findings.append(finding)
+                elif _forwardable(expr) and len(chain) <= 8:
+                    unresolved.append((sink, expr, index, chain, carried))
+            if unresolved:
+                pending[name] = unresolved[:32]
+        self.timer.stop()
+        report.stage_seconds = dict(self.timer.stages)
+        report.elapsed_seconds = self.timer.total
+        return report
+
+    def run(self):
+        """Run the full pipeline and return the report."""
+        return self.detect()

@@ -1,0 +1,288 @@
+"""Interprocedural data flow (paper §III-E, Algorithm 2).
+
+The call graph is traversed bottom-up (callees before callers) and
+every function is analysed exactly once.  At each callsite the
+callee's exportable definition pairs — those whose defined variable
+roots at a formal argument, at the return value, or at a heap object —
+are imported into the caller with formals replaced by the callsite's
+actual arguments, and ``ret_{callsite}`` symbols are replaced by the
+callee's actual return expression.  Library calls apply their
+behavioural models instead: sources introduce :class:`SymTaint`
+definitions, copies introduce propagation pairs, allocators return
+heap objects identified by the hash of the callsite chain.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core import libc
+from repro.core.types import root_pointer
+from repro.symexec.state import Constraint, DefPair
+from repro.symexec.value import (
+    SymConst,
+    SymDeref,
+    SymHeap,
+    SymRet,
+    SymTaint,
+    SymVar,
+    mk_deref,
+    substitute,
+)
+
+_ARG_NAMES = tuple("arg%d" % i for i in range(10))
+_MAX_IMPORTED_DEFS = 2000
+
+
+@dataclass
+class EnrichedSummary:
+    """A function summary after callee effects were folded in."""
+
+    base: object                       # the FunctionSummary
+    def_pairs: list = field(default_factory=list)
+    constraints: list = field(default_factory=list)
+    callsites: list = field(default_factory=list)
+    ret_value: object = None           # representative return expression
+    taint_objects: set = field(default_factory=set)
+
+    @property
+    def name(self):
+        return self.base.name
+
+
+def _actual_mapping(callsite):
+    """formal ``argN`` -> actual expression at this callsite."""
+    mapping = {}
+    for index, value in enumerate(callsite.args):
+        if value is not None:
+            mapping[SymVar(_ARG_NAMES[index])] = value
+    for index, value in enumerate(callsite.stack_args):
+        if value is not None and 4 + index < len(_ARG_NAMES):
+            mapping[SymVar(_ARG_NAMES[4 + index])] = value
+    return mapping
+
+
+def _exportable(dest):
+    """Algorithm 2's check: d.rootPtr is an argument/return/heap pointer."""
+    root = root_pointer(dest)
+    if root is None:
+        return False
+    if isinstance(root, (SymRet, SymHeap, SymTaint)):
+        return True
+    if isinstance(root, SymVar) and root.name in _ARG_NAMES:
+        return True
+    return False
+
+
+def _chain_hash(function_name, callsite_addr):
+    """Heap identity: hash of the callsite chain (paper Listing 1)."""
+    return hash((function_name, callsite_addr)) & 0xFFFFFFFF
+
+
+class InterproceduralAnalysis:
+    """Bottom-up definition updating over the whole call graph."""
+
+    def __init__(self, summaries, call_graph, max_imported=_MAX_IMPORTED_DEFS):
+        self.summaries = summaries
+        self.call_graph = call_graph
+        self.enriched = {}
+        self.max_imported = max_imported
+
+    def run(self, names=None):
+        """Process functions callees-first; every function exactly once."""
+        order = self.call_graph.bottom_up_order(names)
+        for name in order:
+            summary = self.summaries.get(name)
+            if summary is None:
+                continue  # import stub or unanalysed function
+            self.enriched[name] = self._enrich(summary)
+        return self.enriched
+
+    # ------------------------------------------------------------------
+
+    def _enrich(self, summary):
+        enriched = EnrichedSummary(base=summary)
+        enriched.def_pairs = list(summary.def_pairs)
+        enriched.constraints = list(summary.constraints)
+        enriched.callsites = list(summary.callsites)
+
+        ret_substitutions = {}
+        import_budget = [self.max_imported]
+        # The engine records one callsite summary per explored path;
+        # imports are applied per *distinct* (address, arguments) pair,
+        # a few variants per call site, or the work compounds with the
+        # path count.
+        seen_variants = {}
+        for callsite in summary.callsites:
+            target = callsite.target
+            if not isinstance(target, str):
+                continue  # unresolved indirect call
+            variant_key = (callsite.addr, tuple(callsite.args))
+            count = seen_variants.get(callsite.addr, 0)
+            if variant_key in seen_variants:
+                continue
+            if count >= 4:
+                continue
+            seen_variants[variant_key] = True
+            seen_variants[callsite.addr] = count + 1
+            first_variant = count == 0
+            model = libc.model_for(target)
+            if model is not None:
+                self._apply_libc(enriched, summary, callsite, model,
+                                 ret_substitutions)
+                continue
+            callee = self.enriched.get(target)
+            if callee is None:
+                continue  # recursion inside an SCC, or unanalysed callee
+            self._import_callee(enriched, callsite, callee,
+                                ret_substitutions, import_budget,
+                                import_constraints=first_variant)
+
+        if ret_substitutions:
+            enriched.def_pairs = [
+                DefPair(
+                    dest=substitute(p.dest, ret_substitutions),
+                    value=substitute(p.value, ret_substitutions),
+                    site=p.site,
+                )
+                for p in enriched.def_pairs
+            ]
+            enriched.constraints = [
+                Constraint(
+                    expr=substitute(c.expr, ret_substitutions),
+                    taken=c.taken, site=c.site,
+                )
+                for c in enriched.constraints
+            ]
+            for callsite in enriched.callsites:
+                callsite.args = [
+                    substitute(a, ret_substitutions) if a is not None else None
+                    for a in callsite.args
+                ]
+
+        enriched.ret_value = self._representative_ret(summary,
+                                                      ret_substitutions)
+        return enriched
+
+    def _representative_ret(self, summary, ret_substitutions):
+        values = []
+        for value in summary.ret_values:
+            values.append(substitute(value, ret_substitutions))
+        distinct = [v for v in dict.fromkeys(values) if v != SymConst(0)]
+        if len(distinct) == 1:
+            return distinct[0]
+        # Prefer a tainted/heap return among several paths.
+        for value in distinct:
+            if isinstance(value, (SymTaint, SymHeap)):
+                return value
+        return distinct[0] if distinct else SymConst(0)
+
+    # ------------------------------------------------------------------
+
+    def _apply_libc(self, enriched, summary, callsite, model,
+                    ret_substitutions):
+        """Fold a library call's behavioural model into the caller."""
+        def arg(index):
+            if index < len(callsite.args):
+                return callsite.args[index]
+            stack_index = index - len(callsite.args)
+            if stack_index < len(callsite.stack_args):
+                return callsite.stack_args[stack_index]
+            return None
+
+        # Sources: the pointee of an argument becomes tainted.
+        for index in model.taints_args:
+            pointer = arg(index)
+            if pointer is None:
+                continue
+            taint = SymTaint(source=model.name, callsite=callsite.addr)
+            enriched.def_pairs.append(
+                DefPair(dest=mk_deref(pointer), value=taint,
+                        site=callsite.addr)
+            )
+            enriched.taint_objects.add(pointer)
+        # Sources returning a pointer to attacker data.
+        if model.taints_ret:
+            taint = SymTaint(source=model.name, callsite=callsite.addr)
+            ret_sym = SymRet(callsite.addr)
+            enriched.def_pairs.append(
+                DefPair(dest=mk_deref(ret_sym), value=taint,
+                        site=callsite.addr)
+            )
+            enriched.taint_objects.add(ret_sym)
+        # Attacker-influenced byte counts (recv's return).
+        if model.ret_attacker_len:
+            ret_substitutions[SymRet(callsite.addr)] = SymTaint(
+                source="%s:ret" % model.name, callsite=callsite.addr
+            )
+        # Copies: deref(dst) = deref(src).
+        for dst_index, src_index in model.copies:
+            dst = SymRet(callsite.addr) if dst_index == -1 else arg(dst_index)
+            src = arg(src_index)
+            if dst is None or src is None:
+                continue
+            enriched.def_pairs.append(
+                DefPair(dest=mk_deref(dst), value=mk_deref(src),
+                        site=callsite.addr)
+            )
+        # Allocation: unique heap object per callsite chain.
+        if model.allocates:
+            ret_substitutions[SymRet(callsite.addr)] = SymHeap(
+                chain_hash=_chain_hash(summary.name, callsite.addr)
+            )
+
+    def _import_callee(self, enriched, callsite, callee, ret_substitutions,
+                       budget, import_constraints=True):
+        """Algorithm 2: push the callee's exportable defs into the caller.
+
+        ``budget`` is a one-element list holding the caller's remaining
+        import allowance — a shared cap across all its callsites, which
+        keeps the definition sets from compounding up deep call chains.
+        """
+        mapping = _actual_mapping(callsite)
+
+        # The callee's return expression replaces ret_{callsite}
+        # (ReplaceRetVariable) — rebased onto the actual arguments.
+        ret_value = callee.ret_value
+        if ret_value is not None and not isinstance(ret_value, SymConst):
+            rebased = substitute(ret_value, mapping)
+            ret_substitutions[SymRet(callsite.addr)] = rebased
+
+        seen = set(
+            (p.dest, p.value) for p in enriched.def_pairs[-256:]
+        )
+        for pair in callee.def_pairs:
+            if budget[0] <= 0:
+                break
+            if not _exportable(pair.dest):
+                continue
+            new_dest = substitute(pair.dest, mapping)
+            new_value = substitute(pair.value, mapping)
+            if (new_dest, new_value) in seen:
+                continue
+            seen.add((new_dest, new_value))
+            enriched.def_pairs.append(
+                DefPair(dest=new_dest, value=new_value, site=pair.site)
+            )
+            budget[0] -= 1
+
+        # Taint objects seen by the callee become visible to the caller
+        # under the actual-argument names.
+        for pointer in callee.taint_objects:
+            enriched.taint_objects.add(substitute(pointer, mapping))
+
+        # Constraints the callee applies to its *arguments* travel up
+        # (a sanitizing helper counts as sanitization at the caller).
+        # Only the callee's own constraints are considered — cascading
+        # the transitive closure explodes exponentially on deep call
+        # DAGs, and a check more than one level below the sink seldom
+        # guards it.
+        count = 0
+        for constraint in callee.base.constraints:
+            if not import_constraints or count >= 32:
+                break
+            rewritten = substitute(constraint.expr, mapping)
+            if rewritten != constraint.expr:
+                enriched.constraints.append(
+                    Constraint(expr=rewritten, taken=constraint.taken,
+                               site=constraint.site)
+                )
+                count += 1

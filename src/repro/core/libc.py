@@ -1,0 +1,175 @@
+"""Library function models: Table I sources and sinks plus signatures.
+
+Each model describes how a libc call moves data: which argument
+objects it fills with attacker-controlled bytes (sources), which
+arguments are dangerous when tainted (sinks), how data propagates
+between arguments (copies), and argument types used by the type
+inferencer.
+"""
+
+from dataclasses import dataclass, field
+
+PTR = "ptr"
+CHAR_PTR = "char*"
+INT = "int"
+
+BO = "buffer-overflow"
+CMDI = "command-injection"
+
+
+@dataclass(frozen=True)
+class LibcModel:
+    """Behavioural summary of one library function."""
+
+    name: str
+    arg_types: tuple = ()
+    ret_type: str = INT
+    # Indices of pointer args whose pointees become tainted (source).
+    taints_args: tuple = ()
+    # The returned pointer's pointee is tainted (source), e.g. getenv.
+    taints_ret: bool = False
+    # The integer return value is attacker-influenced (e.g. recv's
+    # byte count).
+    ret_attacker_len: bool = False
+    # (dst_index, src_index) propagation pairs (copies).
+    copies: tuple = ()
+    # Sink classification: (vuln_kind, dangerous_arg_indices).
+    sink: tuple = None
+    # Allocation returning a fresh heap object.
+    allocates: bool = False
+    # Format-string argument index (sprintf/sscanf), if any.
+    fmt_index: int = None
+    variadic: bool = False
+
+
+def _m(**kwargs):
+    return LibcModel(**kwargs)
+
+
+# Table I — input sources.
+SOURCES = {
+    "read": _m(
+        name="read", arg_types=(INT, PTR, INT), taints_args=(1,),
+        ret_attacker_len=True,
+    ),
+    "recv": _m(
+        name="recv", arg_types=(INT, PTR, INT, INT), taints_args=(1,),
+        ret_attacker_len=True,
+    ),
+    "recvfrom": _m(
+        name="recvfrom", arg_types=(INT, PTR, INT, INT, PTR, PTR),
+        taints_args=(1,), ret_attacker_len=True,
+    ),
+    "recvmsg": _m(
+        name="recvmsg", arg_types=(INT, PTR, INT), taints_args=(1,),
+        ret_attacker_len=True,
+    ),
+    "getenv": _m(
+        name="getenv", arg_types=(CHAR_PTR,), ret_type=CHAR_PTR,
+        taints_ret=True,
+    ),
+    "fgets": _m(
+        name="fgets", arg_types=(CHAR_PTR, INT, PTR), ret_type=CHAR_PTR,
+        taints_args=(0,),
+    ),
+    "websGetVar": _m(
+        name="websGetVar", arg_types=(PTR, CHAR_PTR, CHAR_PTR),
+        ret_type=CHAR_PTR, taints_ret=True,
+    ),
+    "find_var": _m(
+        name="find_var", arg_types=(PTR, CHAR_PTR), ret_type=CHAR_PTR,
+        taints_ret=True,
+    ),
+    # EDB-ID:43055 names this helper find_val; keep both spellings.
+    "find_val": _m(
+        name="find_val", arg_types=(PTR, CHAR_PTR), ret_type=CHAR_PTR,
+        taints_ret=True,
+    ),
+}
+
+# Table I — sensitive sinks (the "loop" sink is detected structurally).
+SINKS = {
+    "strcpy": _m(
+        name="strcpy", arg_types=(CHAR_PTR, CHAR_PTR), ret_type=CHAR_PTR,
+        copies=((0, 1),), sink=(BO, (1,)),
+    ),
+    # For the bounded copies the dangerous variable is the *length*
+    # ("insufficient validation of length fields passed to copy
+    # operations"); a tainted source with a checked length is safe.
+    "strncpy": _m(
+        name="strncpy", arg_types=(CHAR_PTR, CHAR_PTR, INT),
+        ret_type=CHAR_PTR, copies=((0, 1),), sink=(BO, (2,)),
+    ),
+    "sprintf": _m(
+        name="sprintf", arg_types=(CHAR_PTR, CHAR_PTR), ret_type=INT,
+        copies=((0, 2), (0, 3), (0, 4)), sink=(BO, (2, 3, 4)),
+        fmt_index=1, variadic=True,
+    ),
+    "memcpy": _m(
+        name="memcpy", arg_types=(PTR, PTR, INT), ret_type=PTR,
+        copies=((0, 1),), sink=(BO, (2,)),
+    ),
+    "strcat": _m(
+        name="strcat", arg_types=(CHAR_PTR, CHAR_PTR), ret_type=CHAR_PTR,
+        copies=((0, 1),), sink=(BO, (1,)),
+    ),
+    "sscanf": _m(
+        name="sscanf", arg_types=(CHAR_PTR, CHAR_PTR), ret_type=INT,
+        copies=((2, 0), (3, 0), (4, 0)), sink=(BO, (0,)),
+        fmt_index=1, variadic=True,
+    ),
+    "system": _m(
+        name="system", arg_types=(CHAR_PTR,), sink=(CMDI, (0,)),
+    ),
+    "popen": _m(
+        name="popen", arg_types=(CHAR_PTR, CHAR_PTR), ret_type=PTR,
+        sink=(CMDI, (0,)),
+    ),
+}
+
+# Other modelled helpers (propagation / allocation / checking).
+HELPERS = {
+    "malloc": _m(name="malloc", arg_types=(INT,), ret_type=PTR, allocates=True),
+    "calloc": _m(name="calloc", arg_types=(INT, INT), ret_type=PTR,
+                 allocates=True),
+    "strdup": _m(name="strdup", arg_types=(CHAR_PTR,), ret_type=CHAR_PTR,
+                 copies=((-1, 0),), allocates=True),
+    "strlen": _m(name="strlen", arg_types=(CHAR_PTR,), ret_type=INT),
+    "strchr": _m(name="strchr", arg_types=(CHAR_PTR, INT), ret_type=CHAR_PTR),
+    "strstr": _m(name="strstr", arg_types=(CHAR_PTR, CHAR_PTR),
+                 ret_type=CHAR_PTR),
+    "strcmp": _m(name="strcmp", arg_types=(CHAR_PTR, CHAR_PTR), ret_type=INT),
+    "strncmp": _m(name="strncmp", arg_types=(CHAR_PTR, CHAR_PTR, INT),
+                  ret_type=INT),
+    "atoi": _m(name="atoi", arg_types=(CHAR_PTR,), ret_type=INT),
+    "free": _m(name="free", arg_types=(PTR,)),
+    "memset": _m(name="memset", arg_types=(PTR, INT, INT), ret_type=PTR),
+    "snprintf": _m(name="snprintf", arg_types=(CHAR_PTR, INT, CHAR_PTR),
+                   ret_type=INT, copies=((0, 3), (0, 4)), fmt_index=2,
+                   variadic=True),
+    "printf": _m(name="printf", arg_types=(CHAR_PTR,), variadic=True),
+    "socket": _m(name="socket", arg_types=(INT, INT, INT)),
+    "close": _m(name="close", arg_types=(INT,)),
+    "exit": _m(name="exit", arg_types=(INT,)),
+}
+
+ALL_MODELS = {}
+ALL_MODELS.update(SOURCES)
+ALL_MODELS.update(SINKS)
+ALL_MODELS.update(HELPERS)
+
+SOURCE_NAMES = frozenset(SOURCES)
+SINK_NAMES = frozenset(SINKS)
+
+
+def model_for(name):
+    """The :class:`LibcModel` for ``name``, or None if unmodelled."""
+    return ALL_MODELS.get(name)
+
+
+def is_source(name):
+    return name in SOURCES
+
+
+def is_sink(name):
+    return name in SINKS

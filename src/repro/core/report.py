@@ -1,0 +1,159 @@
+"""Findings and the analysis report."""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.symexec.value import pretty
+
+
+@dataclass
+class Finding:
+    """One (source, path, sink) tuple that lacked sanitization."""
+
+    kind: str                 # 'buffer-overflow' | 'command-injection'
+    function: str
+    sink_name: str
+    sink_addr: int
+    source_name: str
+    source_addr: int
+    expr: str = ""
+    hops: int = 0
+    sanitized: bool = False
+    note: str = ""
+
+    @classmethod
+    def from_path(cls, path, sanitized):
+        return cls(
+            kind=path.sink.kind,
+            function=path.function,
+            sink_name=path.sink.name,
+            sink_addr=path.sink.addr,
+            source_name=path.source_name,
+            source_addr=path.source_site,
+            expr=pretty(path.expr),
+            hops=len(path.steps),
+            sanitized=sanitized,
+        )
+
+    @property
+    def key(self):
+        """Dedup key: distinct vulnerabilities share a sink location."""
+        return (self.kind, self.sink_name, self.sink_addr)
+
+    def describe(self):
+        state = "sanitized" if self.sanitized else "VULNERABLE"
+        return "[%s] %s: %s@0x%x <- %s@0x%x in %s (%s)" % (
+            state, self.kind, self.sink_name, self.sink_addr,
+            self.source_name, self.source_addr, self.function, self.expr,
+        )
+
+
+@dataclass
+class Report:
+    """Full output of one DTaint run over one binary."""
+
+    binary_name: str = ""
+    arch: str = ""
+    analyzed_functions: int = 0
+    total_functions: int = 0
+    block_count: int = 0
+    call_graph_edges: int = 0
+    sink_count: int = 0
+    indirect_resolved: int = 0
+    findings: list = field(default_factory=list)
+    sanitized_paths: list = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    stage_seconds: dict = field(default_factory=dict)
+
+    @property
+    def vulnerable_paths(self):
+        return [f for f in self.findings if not f.sanitized]
+
+    @property
+    def vulnerabilities(self):
+        """Distinct vulnerable sinks (the paper's "Vulnerability" column)."""
+        seen = {}
+        for finding in self.vulnerable_paths:
+            seen.setdefault(finding.key, finding)
+        return list(seen.values())
+
+    def summary_row(self):
+        """One Table III row."""
+        return {
+            "firmware": self.binary_name,
+            "analysis_functions": self.analyzed_functions,
+            "sinks_count": self.sink_count,
+            "execution_time_minutes": round(self.elapsed_seconds / 60.0, 2),
+            "vulnerable_paths": len(self.vulnerable_paths),
+            "vulnerabilities": len(self.vulnerabilities),
+        }
+
+    def to_dict(self):
+        """JSON-serialisable form (findings, counters, stage timings)."""
+        from dataclasses import asdict
+
+        return {
+            "binary": self.binary_name,
+            "arch": self.arch,
+            "analyzed_functions": self.analyzed_functions,
+            "total_functions": self.total_functions,
+            "blocks": self.block_count,
+            "call_graph_edges": self.call_graph_edges,
+            "sinks": self.sink_count,
+            "indirect_resolved": self.indirect_resolved,
+            "elapsed_seconds": self.elapsed_seconds,
+            "stage_seconds": dict(self.stage_seconds),
+            "vulnerable_paths": [asdict(f) for f in self.vulnerable_paths],
+            "vulnerabilities": [asdict(f) for f in self.vulnerabilities],
+            "sanitized_paths": [asdict(f) for f in self.sanitized_paths],
+        }
+
+    def save_json(self, path):
+        """Write the report to ``path`` as JSON; returns the path."""
+        import json
+
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+        return path
+
+    def render(self):
+        lines = [
+            "DTaint report for %s (%s)" % (self.binary_name, self.arch),
+            "  functions analysed : %d / %d" % (
+                self.analyzed_functions, self.total_functions
+            ),
+            "  basic blocks       : %d" % self.block_count,
+            "  call graph edges   : %d" % self.call_graph_edges,
+            "  sinks              : %d" % self.sink_count,
+            "  indirect resolved  : %d" % self.indirect_resolved,
+            "  vulnerable paths   : %d" % len(self.vulnerable_paths),
+            "  vulnerabilities    : %d" % len(self.vulnerabilities),
+            "  time               : %.2fs" % self.elapsed_seconds,
+        ]
+        for finding in self.findings:
+            lines.append("  " + finding.describe())
+        return "\n".join(lines)
+
+
+class StageTimer:
+    """Accumulates wall-clock per pipeline stage."""
+
+    def __init__(self):
+        self.stages = {}
+        self._start = None
+        self._name = None
+
+    def start(self, name):
+        self.stop()
+        self._name = name
+        self._start = time.perf_counter()
+
+    def stop(self):
+        if self._name is not None:
+            elapsed = time.perf_counter() - self._start
+            self.stages[self._name] = self.stages.get(self._name, 0.0) + elapsed
+            self._name = None
+
+    @property
+    def total(self):
+        return sum(self.stages.values())

@@ -1,0 +1,228 @@
+"""Sanitization checking (paper §IV).
+
+For every (source, path, sink) tuple two kinds of constraint
+expressions decide whether the tainted data was sanitized:
+
+* buffer overflow — an upper-bound comparison (``n < 64`` or
+  ``n < y`` for a symbolic ``y``) on the tainted variable anywhere on
+  the path means the copy length was validated;
+* command injection — a comparison of a byte of the tainted command
+  string against ``';'`` (0x3B), or an equivalent ``strchr(cmd, ';')``
+  call, means metacharacters were filtered.
+
+A path with no such constraint is reported as a vulnerability.
+"""
+
+from repro.core import libc
+from repro.core.types import root_pointer
+from repro.ir.expr import Ops
+from repro.symexec.value import (
+    SymConst,
+    SymDeref,
+    SymOp,
+    SymRet,
+    SymTaint,
+    contains,
+    derefs_in,
+    taints_in,
+    walk,
+)
+
+_UPPER_BOUND_OPS = frozenset(
+    [Ops.CMP_LT_S, Ops.CMP_LE_S, Ops.CMP_LT_U, Ops.CMP_LE_U]
+)
+SEMICOLON = 0x3B
+
+
+def _normalize(expr, taken):
+    """Unwrap boolean-test shells around a comparison.
+
+    MIPS lowers ``a < b`` to ``sltu t, a, b; beq t, $zero`` so guards
+    arrive as ``CmpEQ(CmpLT_U(a, b), 0)``; peel such wrappers down to
+    the underlying comparison, flipping ``taken`` as needed.
+    """
+    for _ in range(4):
+        if not (isinstance(expr, SymOp) and expr.op in (Ops.CMP_EQ, Ops.CMP_NE)
+                and len(expr.args) == 2):
+            break
+        lhs, rhs = expr.args
+        inner, const = (lhs, rhs) if isinstance(rhs, SymConst) else (rhs, lhs)
+        if not (
+            isinstance(const, SymConst)
+            and const.value in (0, 1)
+            and isinstance(inner, SymOp)
+            and inner.op in Ops.COMPARISONS
+        ):
+            break
+        truthy = const.value == 1
+        if expr.op == Ops.CMP_EQ:
+            taken = taken if truthy else not taken
+        else:
+            taken = (not taken) if truthy else taken
+        expr = inner
+    return expr, taken
+
+
+def _measure_rets(callsites, taint, taint_objects):
+    """Returns of ``strlen``-like calls applied to the tainted data.
+
+    ``if (strlen(cookie) < N)`` sanitizes the copy of ``cookie``: the
+    length-measuring call's return symbol counts as mentioning the
+    taint.
+    """
+    rets = set()
+    for callsite in callsites:
+        if callsite.target not in ("strlen", "strnlen"):
+            continue
+        if callsite.args and _mentions_taint(
+            callsite.args[0], taint, taint_objects
+        ):
+            rets.add(SymRet(callsite.addr))
+    return rets
+
+
+def _mentions_taint(expr, taint, taint_objects, extra=()):
+    """Does ``expr`` involve the tainted value or its object?"""
+    if contains(expr, taint):
+        return True
+    for ret in extra:
+        if contains(expr, ret):
+            return True
+    for node in walk(expr):
+        if isinstance(node, SymTaint) and node.source == taint.source and (
+            node.callsite == taint.callsite
+        ):
+            return True
+        # The tainted pointer itself (getenv's return, a filled
+        # buffer's address) counts: measuring or comparing it measures
+        # the attacker data.
+        for pointer in taint_objects:
+            if node == pointer:
+                return True
+    for deref in derefs_in(expr):
+        root = root_pointer(deref)
+        for pointer in taint_objects:
+            if deref.addr == pointer or root == pointer:
+                return True
+            pointer_root = root_pointer(pointer)
+            if pointer_root is not None and root == pointer_root:
+                return True
+    return False
+
+
+def _is_upper_bound(expr, taken, taint, taint_objects, extra=()):
+    """``taint < bound`` taken, or ``bound <= taint`` not taken."""
+    if not isinstance(expr, SymOp) or expr.op not in _UPPER_BOUND_OPS:
+        return False
+    lhs, rhs = expr.args
+    lhs_tainted = _mentions_taint(lhs, taint, taint_objects, extra)
+    rhs_tainted = _mentions_taint(rhs, taint, taint_objects, extra)
+    if lhs_tainted and not isinstance(rhs, SymTaint):
+        # taint < bound: sanitizes when the branch was taken.
+        return taken
+    if rhs_tainted and not isinstance(lhs, SymTaint):
+        # bound < taint: the *not taken* side is the safe one.
+        return not taken
+    return False
+
+
+def check_buffer_overflow(path, constraints, taint_objects, callsites=()):
+    """True when the path carries a length check on the tainted value.
+
+    ``constraints`` is the combined constraint list of the sink's
+    calling context and the functions along the path.
+    """
+    taint = path.source
+    measure = _measure_rets(callsites, taint, taint_objects)
+    for constraint in constraints:
+        expr, taken = _normalize(constraint.expr, constraint.taken)
+        if _is_upper_bound(expr, taken, taint, taint_objects, measure):
+            return True
+    return False
+
+
+def check_loop_copy(path, constraints, taint_objects):
+    """Bound check for structural loop-copy sinks.
+
+    A hand-rolled copy loop is sanitized when its exit is bounded by an
+    index comparison against a constant (``i < 63``) — the induction
+    counter is not itself tainted, so the bound is recognised on any
+    non-constant, non-byte value.
+    """
+    for constraint in constraints:
+        expr, taken = _normalize(constraint.expr, constraint.taken)
+        if not isinstance(expr, SymOp) or expr.op not in _UPPER_BOUND_OPS:
+            continue
+        lhs, rhs = expr.args
+        if isinstance(lhs, SymConst) and isinstance(rhs, SymConst):
+            continue
+        # ``x < bound`` taken, or ``bound <= x`` not taken — the bound
+        # may be a constant (index limit) or symbolic (a dst-pointer
+        # limit like ``while (dst < end)``).
+        if not isinstance(lhs, SymConst) and taken:
+            return True
+        if not isinstance(rhs, SymConst) and not taken:
+            return True
+    return False
+
+
+def _compares_semicolon(expr, taint, taint_objects):
+    if not isinstance(expr, SymOp) or expr.op not in (
+        Ops.CMP_EQ, Ops.CMP_NE
+    ):
+        return False
+    lhs, rhs = expr.args
+    for value, other in ((lhs, rhs), (rhs, lhs)):
+        if isinstance(other, SymConst) and other.value == SEMICOLON:
+            if _mentions_taint(value, taint, taint_objects):
+                return True
+    return False
+
+
+def check_command_injection(path, constraints, taint_objects,
+                            callsites=()):
+    """True when the command string was checked for ';'."""
+    taint = path.source
+    for constraint in constraints:
+        if _compares_semicolon(constraint.expr, taint, taint_objects):
+            return True
+    # strchr(cmd, ';') followed by a branch on its result.
+    strchr_rets = set()
+    for callsite in callsites:
+        if callsite.target != "strchr" or len(callsite.args) < 2:
+            continue
+        needle = callsite.args[1]
+        if not (isinstance(needle, SymConst) and needle.value == SEMICOLON):
+            continue
+        if _mentions_taint(callsite.args[0], taint, taint_objects):
+            strchr_rets.add(SymRet(callsite.addr))
+    if strchr_rets:
+        for constraint in constraints:
+            for ret in strchr_rets:
+                if contains(constraint.expr, ret):
+                    return True
+    return False
+
+
+def is_sanitized(path, enriched_chain, taint_objects, extra_constraints=()):
+    """Decide sanitization for one taint path.
+
+    ``enriched_chain`` lists the enriched summaries whose constraints
+    guard the path (at minimum the sink's function);
+    ``extra_constraints`` carries rebased callee-side checks attached
+    to forwarded sinks.
+    """
+    constraints = list(extra_constraints)
+    callsites = []
+    for enriched in enriched_chain:
+        constraints.extend(enriched.constraints)
+        callsites.extend(enriched.callsites)
+    if path.sink.callsite is not None:
+        constraints = list(path.sink.callsite.constraints) + constraints
+    if path.sink.kind == libc.CMDI:
+        return check_command_injection(
+            path, constraints, taint_objects, callsites
+        )
+    if path.sink.name == "loop":
+        return check_loop_copy(path, constraints, taint_objects)
+    return check_buffer_overflow(path, constraints, taint_objects, callsites)

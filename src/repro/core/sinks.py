@@ -1,0 +1,138 @@
+"""Sensitive-sink identification (paper Table I).
+
+Library sinks are callsites to the Table I functions; the structural
+``loop`` sink is a copy statement inside a natural loop — a store
+whose value was loaded in the same loop body (loop buffer copies).
+"""
+
+import re
+from dataclasses import dataclass
+
+from repro.core import libc
+from repro.symexec.value import SymConst, SymDeref, derefs_in
+
+_SPEC_RE = re.compile(r"%[-+ #0]*(\d*)(?:\.\d+)?([diouxXcsp%])")
+
+
+def parse_format(fmt):
+    """Return the conversion letters of a printf/scanf format string."""
+    return [m.group(2) for m in _SPEC_RE.finditer(fmt) if m.group(2) != "%"]
+
+
+@dataclass
+class Sink:
+    """One sensitive sink occurrence.
+
+    ``kind`` is ``buffer-overflow`` or ``command-injection``;
+    ``dangerous`` lists the (index, expression) pairs whose taint makes
+    the sink exploitable.  ``callsite`` is None for loop-copy sinks.
+    """
+
+    function: str
+    addr: int
+    name: str                     # library function name or 'loop'
+    kind: str
+    dangerous: list
+    callsite: object = None
+    dest: object = None           # destination expression (copy target)
+
+
+def find_sinks(name, enriched, binary=None):
+    """All sinks inside one enriched function summary.
+
+    For format-string sinks the format is read from the binary's
+    read-only data when its address is constant, and only the
+    arguments bound to ``%s`` conversions are treated as dangerous —
+    anything else would chase leftover stack slots that are not
+    arguments at all.
+    """
+    sinks = []
+    for callsite in enriched.callsites:
+        if not isinstance(callsite.target, str):
+            continue
+        model = libc.model_for(callsite.target)
+        if model is None or model.sink is None:
+            continue
+        kind, dangerous_indices = model.sink
+        dangerous_indices = _refine_variadic(
+            model, callsite, dangerous_indices, binary
+        )
+        dangerous = []
+        for index in dangerous_indices:
+            value = None
+            if index < len(callsite.args):
+                value = callsite.args[index]
+            elif index - len(callsite.args) < len(callsite.stack_args):
+                value = callsite.stack_args[index - len(callsite.args)]
+            if value is not None:
+                dangerous.append((index, value))
+        dest = callsite.args[0] if callsite.args else None
+        sinks.append(
+            Sink(
+                function=name, addr=callsite.addr, name=callsite.target,
+                kind=kind, dangerous=dangerous, callsite=callsite, dest=dest,
+            )
+        )
+    sinks.extend(find_loop_copy_sinks(name, enriched))
+    return sinks
+
+
+def _refine_variadic(model, callsite, dangerous_indices, binary):
+    """Narrow a variadic sink's dangerous set using its format string."""
+    if model.fmt_index is None:
+        return dangerous_indices
+    fmt = None
+    if model.fmt_index < len(callsite.args):
+        fmt_arg = callsite.args[model.fmt_index]
+        if isinstance(fmt_arg, SymConst) and binary is not None:
+            raw = binary.read_cstring(fmt_arg.value)
+            if raw is not None:
+                fmt = raw.decode("latin-1", "replace")
+    if fmt is None:
+        # Unknown format: consider only arguments that exist in
+        # registers (never speculative stack slots).
+        return tuple(
+            i for i in dangerous_indices if i < len(callsite.args)
+        )
+    specs = parse_format(fmt)
+    refined = []
+    for index in dangerous_indices:
+        if model.name == "sscanf" and index == 0:
+            refined.append(index)
+            continue
+        spec_position = index - (model.fmt_index + 1)
+        if 0 <= spec_position < len(specs) and specs[spec_position] == "s":
+            refined.append(index)
+    return tuple(refined)
+
+
+def find_loop_copy_sinks(name, enriched):
+    """Detect Table I's ``loop`` sink: copy statements in a loop.
+
+    A byte-sized loop store whose stored value is a byte-sized memory
+    load is a copy-loop candidate (the strcpy-by-hand shape); wider
+    stores are register spills or counters, not buffer copies.
+    """
+    sinks = []
+    seen_sites = set()
+    for site, dest, value in enriched.base.loop_stores:
+        if site in seen_sites:
+            continue
+        if not (isinstance(dest, SymDeref) and dest.size == 1):
+            continue
+        loads = [
+            d for d in derefs_in(value)
+            if isinstance(d, SymDeref) and d.size == 1
+        ]
+        if not loads:
+            continue
+        seen_sites.add(site)
+        sinks.append(
+            Sink(
+                function=name, addr=site, name="loop",
+                kind=libc.BO,
+                dangerous=[(1, load) for load in loads[:1]],
+                dest=dest,
+            )
+        )
+    return sinks

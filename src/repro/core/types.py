@@ -1,0 +1,148 @@
+"""Data-type inference (paper §III-B, "Data Type").
+
+Types are inferred two ways, exactly as the paper describes: from
+standard library call signatures (``strcpy``'s arguments are
+``char*``), and from how machine instructions use values (a ``deref``
+base must be a pointer; a value compared against a small constant is
+an integer).
+"""
+
+from repro.core import libc
+from repro.ir.expr import Ops
+from repro.symexec.value import (
+    SymConst,
+    SymDeref,
+    SymHeap,
+    SymOp,
+    SymRet,
+    SymVar,
+    walk,
+)
+
+PTR = libc.PTR
+CHAR_PTR = libc.CHAR_PTR
+INT = libc.INT
+UNKNOWN = "unknown"
+
+_POINTERISH = (PTR, CHAR_PTR)
+
+
+class TypeMap:
+    """Expression -> inferred type, with pointer evidence dominant."""
+
+    def __init__(self):
+        self._types = {}
+
+    def observe(self, expr, type_):
+        """Record evidence; pointer evidence overrides integer."""
+        if type_ == UNKNOWN:
+            return
+        current = self._types.get(expr)
+        if current in _POINTERISH and type_ == INT:
+            return  # pointer evidence wins
+        if current == CHAR_PTR and type_ == PTR:
+            return  # keep the more precise type
+        self._types[expr] = type_
+
+    def type_of(self, expr):
+        if isinstance(expr, SymConst):
+            return INT
+        if isinstance(expr, SymHeap):
+            return PTR
+        return self._types.get(expr, UNKNOWN)
+
+    def is_pointer(self, expr):
+        if isinstance(expr, SymHeap):
+            return True
+        return self._types.get(expr) in _POINTERISH
+
+    def items(self):
+        return self._types.items()
+
+    def __len__(self):
+        return len(self._types)
+
+
+def infer_types(summary):
+    """Infer a :class:`TypeMap` for one function summary."""
+    types = TypeMap()
+
+    def observe_deref_bases(expr):
+        for node in walk(expr):
+            if isinstance(node, SymDeref):
+                base = _base_atom(node.addr)
+                if base is not None:
+                    types.observe(base, PTR)
+
+    # Rule 1: deref bases are pointers (LDR/STR indirect operands).
+    for pair in summary.def_pairs:
+        observe_deref_bases(pair.dest)
+        observe_deref_bases(pair.value)
+    for use in summary.uses:
+        observe_deref_bases(use.var)
+    for constraint in summary.constraints:
+        observe_deref_bases(constraint.expr)
+
+    # Rule 2: comparisons against constants type the operand as int —
+    # unless pointer evidence exists (CMP of pointers happens too).
+    for constraint in summary.constraints:
+        expr = constraint.expr
+        if isinstance(expr, SymOp) and expr.op in Ops.COMPARISONS:
+            lhs, rhs = expr.args
+            if isinstance(rhs, SymConst) and not isinstance(lhs, SymConst):
+                types.observe(lhs, INT)
+            if isinstance(lhs, SymConst) and not isinstance(rhs, SymConst):
+                types.observe(rhs, INT)
+
+    # Rule 3: library call signatures.
+    for call in summary.callsites:
+        if not isinstance(call.target, str):
+            continue
+        model = libc.model_for(call.target)
+        if model is None:
+            continue
+        for index, arg_type in enumerate(model.arg_types):
+            if index < len(call.args):
+                types.observe(call.args[index], arg_type)
+                if arg_type in _POINTERISH:
+                    observe_deref_bases(call.args[index])
+        if model.ret_type in _POINTERISH:
+            types.observe(SymRet(call.addr), model.ret_type)
+
+    return types
+
+
+def _base_atom(addr_expr):
+    """The root atom of an address expression, if it has one."""
+    from repro.symexec.value import base_offset
+
+    view = base_offset(addr_expr)
+    if view is None:
+        return None
+    base, _offset = view
+    if isinstance(base, (SymVar, SymRet, SymDeref, SymHeap)):
+        return base
+    return None
+
+
+def root_pointer(expr):
+    """Follow deref chains to the root object of an address expression.
+
+    ``deref(deref(arg0 + 0x58) + 0xec)`` roots at ``arg0``; used by
+    Algorithm 2's exportability check ("d.rootPtr is argument or return
+    pointer").
+    """
+    current = expr
+    for _ in range(64):
+        if isinstance(current, SymDeref):
+            current = current.addr
+            continue
+        base = _base_atom(current)
+        if base is None:
+            return current if isinstance(
+                current, (SymVar, SymRet, SymHeap)
+            ) else None
+        if base is current:
+            return base
+        current = base
+    return None

@@ -1,0 +1,15 @@
+"""Synthetic firmware corpus.
+
+Real vendor firmware is proprietary and unavailable offline, so the
+evaluation targets are generated: genuine ARM/MIPS machine code in
+genuine ELF containers, with handler functions reproducing the exact
+source→sink shapes of the paper's CVEs (Tables IV/V), a mini-OpenSSL
+with the Heartbleed data flow (Figs. 2-3), procedurally generated
+filler functions scaled to Table II, and a 6,529-image fleet model for
+Figure 1.  Ground truth is known exactly, which lets the benchmarks
+measure recall the paper could only sample by hand.
+"""
+
+from repro.corpus.builder import BuiltBinary, build_binary
+
+__all__ = ["BuiltBinary", "build_binary"]

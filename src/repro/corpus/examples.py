@@ -1,0 +1,49 @@
+"""The paper's running example: ``foo``/``woo`` (Figs. 5-7).
+
+``woo`` stores ``deref(arg1+0x24)`` into ``deref(arg0+0x4c)`` and
+fills the buffer from ``recv``; ``foo`` then copies ``ret_woo`` bytes
+from that buffer with ``memcpy`` — the interprocedural recv→memcpy
+flow Figure 7 draws.
+"""
+
+from repro.corpus.builder import GroundTruth, build_binary
+
+FOO_WOO_SRC = r"""
+.globl foo
+foo:
+    push {r4, r5, lr}
+    sub sp, sp, #0x118
+    mov r5, r0
+    mov r4, r1
+    bl woo
+    mov r2, r0                @ n = ret_woo
+    ldr r1, [r5, #0x4c]       @ src = deref(arg0 + 0x4c)
+    add r0, sp, #0x18         @ dest = sp - 0x100 (paper's layout)
+    bl memcpy                 @ sink
+    add sp, sp, #0x118
+    pop {r4, r5, pc}
+
+.globl woo
+woo:
+    push {r5, lr}
+    ldr r5, [r1, #0x24]       @ buf = deref(arg1 + 0x24)
+    str r5, [r0, #0x4c]       @ deref(arg0 + 0x4c) = buf
+    mov r2, #0x200
+    mov r1, r5
+    bl recv                   @ source
+    pop {r5, pc}
+"""
+
+GROUND_TRUTH = [
+    GroundTruth(function="foo", kind="buffer-overflow", sink="memcpy",
+                source="recv"),
+]
+
+
+def build_foo_woo():
+    """Build the Fig. 5 binary with its ground truth."""
+    return build_binary(
+        name="foo-woo", arch="arm", source=FOO_WOO_SRC,
+        imports=["memcpy", "recv"], entry="foo",
+        ground_truth=GROUND_TRUTH,
+    )

@@ -1,0 +1,135 @@
+"""Mini-OpenSSL: the Heartbleed data flow at binary level (Figs. 2-3).
+
+The binary preserves every property that makes Heartbleed hard for
+binary taint analysis (paper §II-B):
+
+* the ``n2s`` macro is inlined as ``LDRB``/``LDRB``/``ORR ..., LSL #8``
+  — there is no ``n2s`` symbol to anchor on;
+* the record buffer travels through nested structure fields:
+  ``s->s3`` at offset 0x58, ``rbuf.buf`` at ``s3+0xEC``, and
+  ``rrec.data`` at ``s3+0x118`` — a pointer *stored to memory*
+  (Algorithm 1's second alias kind);
+* the source (``BIO_read`` in OpenSSL, modelled by Table I's ``read``)
+  and the sink (``memcpy`` in ``tls1_process_heartbeat``) live in
+  *sibling* callees of ``ssl3_read_bytes``, so only interprocedural
+  definition updating connects them.
+
+Substitution note: the real OpenSSL pulls bytes via ``BIO_read``; we
+call ``read`` (same signature shape, and a Table I source) so the
+pipeline exercises the identical code path.
+"""
+
+from repro.corpus.builder import GroundTruth, build_binary
+
+# Structure offsets copied from the paper's Fig. 3 disassembly.
+OFF_S3 = 0x58          # SSL* -> SSL3_STATE*
+OFF_RBUF_BUF = 0xEC    # SSL3_STATE* -> rbuf.buf
+OFF_RREC_DATA = 0x118  # SSL3_STATE* -> rrec.data
+OFF_RREC_LEN = 0x4C    # SSL3_STATE* -> rrec.length
+
+OPENSSL_SRC = r"""
+.globl ssl3_read_n
+ssl3_read_n:                      @ (SSL *s, int n)
+    push {r4, r8, r9, lr}
+    mov r11, r0
+    ldr r8, [r11, #0x58]          @ s3 = s->s3
+    ldr r9, [r8, #0xec]           @ rbuf.buf
+    str r9, [r8, #0x118]          @ rrec.data = rbuf.buf   (stored pointer)
+    mov r0, r11
+    ldr r0, [r11, #0x44]          @ fd = s->rbio_fd
+    mov r1, r9                    @ buf
+    mov r2, #0x200                @ len
+    bl read                       @ BIO_read in real OpenSSL (source)
+    str r0, [r8, #0x4c]           @ rrec.length = read_n
+    pop {r4, r8, r9, pc}
+
+.globl tls1_process_heartbeat
+tls1_process_heartbeat:           @ (SSL *s)
+    push {r4, r5, r6, r7, lr}
+    sub sp, sp, #0x20
+    ldr r3, [r0, #0x58]           @ s3
+    ldr r5, [r3, #0x118]          @ p = rrec.data
+    ldrb r6, [r5, #1]             @ n2s, inlined: hi byte
+    ldrb r2, [r5, #2]             @ n2s, inlined: lo byte
+    orr r6, r2, r6, lsl #8        @ payload = (hi << 8) | lo
+    mov r0, #0x4000
+    bl malloc                     @ bp = buffer for the response
+    mov r7, r0
+    add r0, r7, #3                @ bp + header
+    add r1, r5, #3                @ pl = p + 3
+    mov r2, r6                    @ n = payload  -- NO bounds check
+    bl memcpy                     @ Heartbleed
+    mov r0, r7
+    bl ssl3_write_bytes
+    mov r0, #0
+    add sp, sp, #0x20
+    pop {r4, r5, r6, r7, pc}
+
+.globl tls1_process_heartbeat_fixed
+tls1_process_heartbeat_fixed:     @ the patched version, for contrast
+    push {r4, r5, r6, r7, lr}
+    sub sp, sp, #0x20
+    ldr r3, [r0, #0x58]
+    ldr r4, [r3, #0x4c]           @ rrec.length
+    ldr r5, [r3, #0x118]
+    ldrb r6, [r5, #1]
+    ldrb r2, [r5, #2]
+    orr r6, r2, r6, lsl #8
+    add r2, r6, #0x13             @ 1 + 2 + payload + 16
+    cmp r2, r4                    @ if (1 + 2 + payload + 16 > s->s3->rrec.length)
+    bgt hb_silently_discard
+    mov r0, #0x4000
+    bl malloc
+    mov r7, r0
+    add r0, r7, #3
+    add r1, r5, #3
+    mov r2, r6
+    bl memcpy                     @ bounded by the check above
+    mov r0, r7
+    bl ssl3_write_bytes
+hb_silently_discard:
+    mov r0, #0
+    add sp, sp, #0x20
+    pop {r4, r5, r6, r7, pc}
+
+.globl ssl3_read_bytes
+ssl3_read_bytes:                  @ (SSL *s)
+    push {r4, r11, lr}
+    mov r11, r0
+    mov r0, r11
+    bl ssl3_read_n
+    mov r0, r11
+    bl tls1_process_heartbeat
+    mov r0, r11
+    bl tls1_process_heartbeat_fixed
+    mov r0, #0
+    pop {r4, r11, pc}
+
+.globl ssl3_write_bytes
+ssl3_write_bytes:
+    push {lr}
+    bl write
+    pop {pc}
+"""
+
+IMPORTS = ["read", "write", "memcpy", "malloc"]
+
+GROUND_TRUTH = [
+    GroundTruth(
+        function="tls1_process_heartbeat", kind="buffer-overflow",
+        sink="memcpy", source="read", cve="CVE-2014-0160",
+    ),
+    GroundTruth(
+        function="tls1_process_heartbeat_fixed", kind="buffer-overflow",
+        sink="memcpy", source="read", vulnerable=False,
+    ),
+]
+
+
+def build_openssl():
+    """Build the mini-OpenSSL target with its ground truth."""
+    return build_binary(
+        name="openssl", arch="arm", source=OPENSSL_SRC,
+        imports=IMPORTS, entry="ssl3_read_bytes",
+        ground_truth=GROUND_TRUTH,
+    )

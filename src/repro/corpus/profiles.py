@@ -1,0 +1,544 @@
+"""The six evaluation firmware images (paper Tables II-V).
+
+Each profile names the vendor image, its architecture, the Table II
+shape targets (functions / blocks / call-graph edges / size), the
+module layout (Uniview and Hikvision are analysed per-module, paper
+§V-A), and the planted vulnerabilities from Tables IV and V.  Filler
+functions are generated procedurally (seeded, reproducible) around the
+handler functions so the binaries reach the paper's scale; sink-count
+targets are met by giving fillers safe calls to Table I sink functions.
+
+``scale`` shrinks every count proportionally for quick runs; the
+planted vulnerabilities are never scaled away.
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus import vulnpatterns as vp
+from repro.corpus.builder import GroundTruth, build_binary
+from repro.corpus.minicc import (
+    Addr,
+    Arg,
+    BinOp,
+    Call,
+    CallPtr,
+    DeclBuf,
+    DeclVar,
+    Glob,
+    If,
+    Imm,
+    Load,
+    MiniFunc,
+    Ret,
+    Set,
+    Store,
+    Str,
+    Var,
+    While,
+    compiler_for,
+)
+
+BO = "buffer-overflow"
+CMDI = "command-injection"
+
+
+@dataclass
+class FirmwareProfile:
+    """Shape and contents of one synthetic vendor image."""
+
+    index: int
+    vendor: str
+    version: str
+    arch: str
+    binary_name: str
+    # Table II targets.
+    size_kb: int
+    functions: int
+    blocks: int
+    call_edges: int
+    # Module prefixes; analysed modules power the Table III subset.
+    modules: tuple
+    analyzed_modules: tuple
+    analyzed_functions: int
+    # Table III targets.
+    sinks_count: int
+    vulnerable_paths: int
+    vulnerabilities: int
+    # Pattern factories: (factory, kwargs, module_prefix)
+    handlers: list = field(default_factory=list)
+    # Filler shape.
+    calls_per_filler: tuple = (2, 6)
+    branches_per_filler: tuple = (2, 5)
+    sink_call_rate: float = 0.8
+    seed: int = 0
+
+
+def multi_source_cmdi(name, sources, sink="system", vulnerable=True, cve=""):
+    """One sink reachable from several sources on different branches.
+
+    Produces ``len(sources)`` vulnerable paths but a single distinct
+    vulnerability — the mechanism behind Table III's path surplus.
+    """
+    body = [DeclVar("cmd", Imm(0)), DeclVar("mode", Arg(1))]
+    ladder = []
+    for index, source in enumerate(sources):
+        get = (
+            Call("cmd", "getenv", [Str("VAR_%s_%d" % (name, index))])
+            if source == "getenv"
+            else Call("cmd", source, [Arg(0), Str("f_%s_%d" % (name, index))])
+        )
+        ladder.append(
+            If(Var("mode"), "eq", Imm(index), [get])
+        )
+    body += ladder
+    run = [Call(None, sink, [Var("cmd")] +
+                ([Str("r")] if sink == "popen" else []))]
+    if vulnerable:
+        body += run
+    else:
+        body += vp._semicolon_guard("cmd", run)
+    body += [Ret(Imm(0))]
+    truth = [
+        GroundTruth(function=name, kind=CMDI, sink=sink, source=source,
+                    cve=cve, vulnerable=vulnerable)
+        for source in sources
+    ]
+    return [MiniFunc(name, 2, body)], truth
+
+
+def multi_source_bo(name, source_count, sink="sscanf", vulnerable=True):
+    """A parse sink fed by several read callsites (path surplus, BO).
+
+    Each mode branch reads into its *own* buffer and points the parse
+    cursor at it, so every explored path carries a distinct taint
+    object and source callsite — one sink, ``source_count`` paths.
+    """
+    body = [
+        DeclBuf("out", 180),
+        DeclVar("mode", Arg(1)),
+        DeclVar("p", Imm(0)),
+    ]
+    # An else-if ladder: branches are mutually exclusive, so the
+    # explored path count stays linear in source_count.
+    ladder = None
+    for index in reversed(range(source_count)):
+        buf = "wire%d" % index
+        body.append(DeclBuf(buf, 256))
+        branch = If(Var("mode"), "eq", Imm(index), [
+            Call(None, "read", [Arg(0), Addr(buf), Imm(256)]),
+            Set("p", Addr(buf)),
+        ], [ladder] if ladder is not None else [])
+        ladder = branch
+    body.append(ladder)
+    if sink == "sscanf":
+        parse = [Call(None, "sscanf", [Var("p"), Str("Session: %254s"),
+                                       Addr("out")])]
+    else:
+        body.append(DeclVar("n"))
+        body.append(Set("n", vp.Load(Var("p"), 0)))
+        parse = [Call(None, sink, [Addr("out"), Var("p"), Var("n")])]
+    if vulnerable:
+        body += parse
+    else:
+        body += [DeclVar("k"), Call("k", "strlen", [Var("p")]),
+                 If(Var("k"), "lt", Imm(64), parse)]
+    body += [Ret(Imm(0))]
+    truth = [
+        GroundTruth(function=name, kind=BO, sink=sink, source="read",
+                    vulnerable=vulnerable)
+        for _ in range(source_count)
+    ]
+    return [MiniFunc(name, 2, body)], truth
+
+
+def indirect_dispatch_bo(name, source_count, vulnerable=True):
+    """The Hikvision URL-parse shape: alias + structure similarity.
+
+    A parser fills a request struct (tainted buffer pointer at +0,
+    embedded length at +4) and hands it to a dispatcher, which calls a
+    handler through a function pointer kept in *writable* data — only
+    data-structure layout similarity (Formula 2) identifies the callee,
+    and only the stored-pointer alias connects the struct fields.
+    Returns (functions, ground_truth, extra_data_lines).
+    """
+    slot = "%s_slot" % name
+    handler_name = "%s_handler" % name
+    decoy_name = "%s_decoy" % name
+    # A per-family field offset so different dispatch families have
+    # distinguishable request layouts (real structs differ too).
+    tag_offset = 0x10 + 4 * (sum(map(ord, name)) % 8)
+
+    copy = [Call(None, "memcpy", [Addr("frame"), Var("q"), Var("n")])]
+    handler_body = [
+        DeclBuf("frame", 48),
+        DeclVar("q", Load(Arg(0), 0)),       # req->data (char*)
+        DeclVar("n", Load(Arg(0), 4)),       # req->len  (embedded length)
+        DeclVar("tag", Load(Arg(0), tag_offset)),
+    ]
+    if vulnerable:
+        handler_body += copy
+    else:
+        handler_body += [If(Var("n"), "ltu", Imm(48), copy)]
+    handler_body += [Ret(Imm(0))]
+    handler = MiniFunc(handler_name, 1, handler_body)
+
+    decoy = MiniFunc(decoy_name, 1, [
+        DeclVar("flags", Load(Arg(0), 8)),   # touches a different field
+        Ret(Var("flags")),
+    ])
+
+    dispatch_name = "%s_dispatch" % name
+    dispatch = MiniFunc(dispatch_name, 1, [
+        DeclVar("q", Load(Arg(0), 0)),       # touch req->data: layout evidence
+        DeclVar("n", Load(Arg(0), 4)),
+        DeclVar("tag", Load(Arg(0), tag_offset)),
+        DeclVar("fp", Load(Glob(slot))),     # writable slot: no const folding
+        CallPtr(None, Var("fp"), [Arg(0)]),
+        Ret(Imm(0)),
+    ])
+
+    parser_body = [
+        DeclBuf("req", 64),
+        DeclVar("mode", Arg(1)),
+        DeclVar("p", Imm(0)),
+    ]
+    ladder = None
+    for index in reversed(range(source_count)):
+        buf = "wire%d" % index
+        parser_body.append(DeclBuf(buf, 256))
+        ladder = If(Var("mode"), "eq", Imm(index), [
+            Call(None, "read", [Arg(0), Addr(buf), Imm(256)]),
+            Set("p", Addr(buf)),
+        ], [ladder] if ladder is not None else [])
+    parser_body.append(ladder)
+    parser_body += [
+        DeclVar("n", Load(Var("p"), 0)),
+        Store(Addr("req"), 0, Var("p")),     # req->data = p (stored pointer)
+        Store(Addr("req"), 4, Var("n")),
+        Store(Addr("req"), tag_offset, Imm(1)),
+        Call(None, dispatch_name, [Addr("req")]),
+        Ret(Imm(0)),
+    ]
+    parser = MiniFunc(name, 2, parser_body)
+
+    truth = [
+        GroundTruth(function=handler_name, kind=BO, sink="memcpy",
+                    source="read", vulnerable=vulnerable)
+        for _ in range(source_count)
+    ]
+    extra_data = ["%s: .word %s" % (slot, handler_name)]
+    return [parser, dispatch, handler, decoy], truth, extra_data
+
+
+# ---------------------------------------------------------------------------
+# Filler generation.
+
+_SAFE_SINK_CALLS = (
+    ("strcpy", lambda rng: [Addr("fbuf"), Str("const-value")]),
+    ("memcpy", lambda rng: [Addr("fbuf"), Str("const-value"),
+                            Imm(rng.randrange(4, 16))]),
+    ("sprintf", lambda rng: [Addr("fbuf"), Str("v=%d"),
+                             Imm(rng.randrange(100))]),
+    ("strncpy", lambda rng: [Addr("fbuf"), Str("const"), Imm(8)]),
+    ("strcat", lambda rng: [Addr("fbuf"), Str("suffix")]),
+    ("system", lambda rng: [Str("/bin/true")]),
+)
+_HELPER_CALLS = ("strlen", "strcmp", "atoi", "memset", "close")
+
+
+def make_filler(name, rng, callees, profile):
+    """One procedurally generated function.
+
+    Shape: locals + a buffer, arithmetic, conditionals, a loop in a
+    third of the functions, calls to other fillers (call-graph edges)
+    and — at ``sink_call_rate`` — one safe call to a Table I sink
+    (the untainted sink population behind Table III's sink counts).
+    """
+    body = [
+        DeclBuf("fbuf", 4 * rng.randrange(4, 17)),
+        DeclVar("x", Arg(0)),
+        DeclVar("y", Imm(rng.randrange(1, 255))),
+    ]
+    branch_lo, branch_hi = profile.branches_per_filler
+    for b in range(rng.randrange(branch_lo, branch_hi + 1)):
+        op = rng.choice(["+", "-", "&", "|", "^"])
+        then_body = [Set("y", BinOp(op, Var("y"), Var("x")))]
+        else_body = [Set("y", BinOp("+", Var("y"), Imm(rng.randrange(1, 64))))]
+        body.append(
+            If(Var("x"), rng.choice(["lt", "gt", "eq", "ne"]),
+               Imm(rng.randrange(256)), then_body, else_body)
+        )
+    if rng.random() < 0.34:
+        body += [
+            DeclVar("i%d" % rng.randrange(1000), Imm(0)) if False else
+            DeclVar("cnt", Imm(0)),
+            While(Var("cnt"), "lt", Var("x"), [
+                Set("cnt", BinOp("+", Var("cnt"), Imm(1))),
+                Set("y", BinOp("^", Var("y"), Var("cnt"))),
+            ]),
+        ]
+    call_lo, call_hi = profile.calls_per_filler
+    n_calls = rng.randrange(call_lo, call_hi + 1)
+    chosen = rng.sample(callees, min(n_calls, len(callees))) if callees else []
+    for callee in chosen:
+        body.append(Call(None, callee, [Var("y")]))
+    # sink_call_rate is the expected number of (safe) sink calls per
+    # filler; rates above 1.0 emit several.
+    sink_calls = int(profile.sink_call_rate)
+    if rng.random() < profile.sink_call_rate - sink_calls:
+        sink_calls += 1
+    for _ in range(sink_calls):
+        sink_name, arg_factory = rng.choice(_SAFE_SINK_CALLS)
+        body.append(Call(None, sink_name, arg_factory(rng)))
+    if rng.random() < 0.3:
+        body.append(Call(None, rng.choice(_HELPER_CALLS), [Addr("fbuf")]))
+    body.append(Ret(Var("y")))
+    return MiniFunc(name, 1, body)
+
+
+# ---------------------------------------------------------------------------
+# The six profiles.
+
+
+def _dlink_645_handlers():
+    return [
+        (vp.cve_2013_7389_strncpy, {"name": "cgi_set_password"}, "cgi_"),
+        (vp.cve_2013_7389_sprintf, {"name": "cgi_render_cookie"}, "cgi_"),
+        (vp.cve_2016_5681, {"name": "cgi_session_check",
+                            "vulnerable": False}, "cgi_"),
+        (vp.cve_2015_2051, {"name": "cgi_soap_action"}, "cgi_"),
+        (multi_source_cmdi, {"name": "cgi_do_cmd",
+                             "sources": ["getenv", "websGetVar",
+                                         "websGetVar", "find_var"]}, "cgi_"),
+        (vp.cve_2015_2051, {"name": "cgi_soap_safe",
+                            "vulnerable": False}, "cgi_"),
+    ]
+
+
+def _dlink_890_handlers():
+    return [
+        (vp.cve_2016_5681, {"name": "cgi_session_cookie"}, "cgi_"),
+        (multi_source_cmdi, {"name": "cgi_soap_action",
+                             "cve": "CVE-2015-2051",
+                             "sources": ["getenv", "getenv", "getenv",
+                                         "getenv"]}, "cgi_"),
+        (vp.cve_2013_7389_strncpy, {"name": "cgi_password_safe",
+                                    "vulnerable": False}, "cgi_"),
+    ]
+
+
+def _netgear_1000_handlers():
+    return [
+        (multi_source_cmdi, {"name": "setup_hostname",
+                             "cve": "CVE-2017-6334",
+                             "sources": ["websGetVar"] * 4}, "setup_"),
+        (multi_source_cmdi, {"name": "setup_ping",
+                             "cve": "CVE-2017-6077",
+                             "sources": ["websGetVar"] * 4}, "setup_"),
+        (multi_source_cmdi, {"name": "setup_dns",
+                             "sources": ["websGetVar"] * 4}, "setup_"),
+        (multi_source_cmdi, {"name": "setup_route",
+                             "sources": ["getenv"] * 3}, "setup_"),
+        (multi_source_cmdi, {"name": "setup_ntp",
+                             "sources": ["websGetVar"] * 3}, "setup_"),
+        (vp.zero_day_fgets_strcpy, {"name": "setup_read_config"}, "setup_"),
+        (multi_source_cmdi, {"name": "setup_safe_cmd",
+                             "sources": ["websGetVar"] * 2,
+                             "vulnerable": False}, "setup_"),
+        (vp.zero_day_loop_copy, {"name": "setup_copy_bounded",
+                                 "vulnerable": False}, "setup_"),
+    ]
+
+
+def _netgear_2200_handlers():
+    return [
+        (multi_source_cmdi, {"name": "httpd_exec_cmd", "sink": "popen",
+                             "cve": "EDB-ID:43055",
+                             "sources": ["find_val"] * 7}, "httpd_"),
+        (multi_source_cmdi, {"name": "httpd_tracert",
+                             "sources": ["websGetVar"] * 7}, "httpd_"),
+        (multi_source_cmdi, {"name": "httpd_safe_filter",
+                             "sources": ["websGetVar"] * 3,
+                             "vulnerable": False}, "httpd_"),
+        (vp.zero_day_read_memcpy, {"name": "httpd_frame_safe",
+                                   "vulnerable": False}, "httpd_"),
+    ]
+
+
+def _uniview_handlers():
+    return [
+        (multi_source_bo, {"name": "rtsp_parse_session",
+                           "source_count": 10}, "rtsp_"),
+        (vp.zero_day_sscanf, {"name": "rtsp_parse_safe",
+                              "vulnerable": False}, "rtsp_"),
+        (multi_source_cmdi, {"name": "http_safe_cmd",
+                             "sources": ["getenv"] * 2,
+                             "vulnerable": False}, "http_"),
+    ]
+
+
+def _hikvision_handlers():
+    return [
+        (multi_source_bo, {"name": "isapi_parse_frame", "sink": "memcpy",
+                           "source_count": 6}, "isapi_"),
+        (multi_source_bo, {"name": "http_parse_uri", "sink": "sscanf",
+                           "source_count": 6}, "http_"),
+        (multi_source_bo, {"name": "onvif_parse_soap", "sink": "sscanf",
+                           "source_count": 6}, "onvif_"),
+        (vp.zero_day_loop_copy, {"name": "rtsp_copy_describe"}, "rtsp_"),
+        (vp.zero_day_loop_copy, {"name": "rtsp_copy_setup"}, "rtsp_"),
+        (indirect_dispatch_bo, {"name": "http_parse_args",
+                                "source_count": 10}, "http_"),
+        (vp.zero_day_read_memcpy, {"name": "isapi_frame_safe",
+                                   "vulnerable": False}, "isapi_"),
+        (vp.zero_day_loop_copy, {"name": "rtsp_copy_safe",
+                                 "vulnerable": False}, "rtsp_"),
+    ]
+
+
+PROFILES = {
+    "dir645": FirmwareProfile(
+        index=1, vendor="D-Link", version="DIR-645_1.03", arch="mips",
+        binary_name="cgibin", size_kb=156, functions=237, blocks=3414,
+        call_edges=1087, modules=("cgi_",), analyzed_modules=(),
+        analyzed_functions=237, sinks_count=176, vulnerable_paths=7,
+        vulnerabilities=4, handlers=_dlink_645_handlers(),
+        calls_per_filler=(3, 6), branches_per_filler=(3, 6),
+        sink_call_rate=0.72, seed=645,
+    ),
+    "dir890l": FirmwareProfile(
+        index=2, vendor="D-Link", version="DIR-890L_1.03", arch="arm",
+        binary_name="cgibin", size_kb=151, functions=358, blocks=3913,
+        call_edges=1418, modules=("cgi_",), analyzed_modules=(),
+        analyzed_functions=358, sinks_count=276, vulnerable_paths=5,
+        vulnerabilities=2, handlers=_dlink_890_handlers(),
+        calls_per_filler=(3, 5), branches_per_filler=(2, 4),
+        sink_call_rate=0.76, seed=890,
+    ),
+    "dgn1000": FirmwareProfile(
+        index=3, vendor="Netgear", version="DGN1000-V1.1.00.46", arch="mips",
+        binary_name="setup.cgi", size_kb=331, functions=732, blocks=4943,
+        call_edges=2457, modules=("setup_",), analyzed_modules=(),
+        analyzed_functions=732, sinks_count=958, vulnerable_paths=19,
+        vulnerabilities=6, handlers=_netgear_1000_handlers(),
+        calls_per_filler=(2, 5), branches_per_filler=(1, 3),
+        sink_call_rate=1.31, seed=1000,
+    ),
+    "dgn2200": FirmwareProfile(
+        index=4, vendor="Netgear", version="DGN2200-V1.0.0.50", arch="mips",
+        binary_name="httpd", size_kb=994, functions=796, blocks=11183,
+        call_edges=4497, modules=("httpd_",), analyzed_modules=(),
+        analyzed_functions=796, sinks_count=1264, vulnerable_paths=14,
+        vulnerabilities=2, handlers=_netgear_2200_handlers(),
+        calls_per_filler=(4, 7), branches_per_filler=(4, 7),
+        sink_call_rate=1.59, seed=2200,
+    ),
+    "uniview": FirmwareProfile(
+        index=5, vendor="Uniview", version="IPC_6201", arch="arm",
+        binary_name="mwareserver", size_kb=4813, functions=6714,
+        blocks=99958, call_edges=32495,
+        modules=("rtsp_", "http_", "media_", "ptz_", "store_", "sys_"),
+        analyzed_modules=("rtsp_", "http_"), analyzed_functions=430,
+        sinks_count=447, vulnerable_paths=10, vulnerabilities=1,
+        handlers=_uniview_handlers(),
+        calls_per_filler=(3, 7), branches_per_filler=(3, 6),
+        sink_call_rate=1.06, seed=6201,
+    ),
+    "hikvision": FirmwareProfile(
+        index=6, vendor="Hikvision", version="DS-2CD6233F", arch="arm",
+        binary_name="centaurus", size_kb=13199, functions=14035,
+        blocks=219945, call_edges=68974,
+        modules=("rtsp_", "http_", "onvif_", "isapi_", "init_", "fsupd_",
+                 "proto_", "media_"),
+        analyzed_modules=("rtsp_", "http_", "onvif_", "isapi_"),
+        analyzed_functions=3233, sinks_count=2052, vulnerable_paths=30,
+        vulnerabilities=6, handlers=_hikvision_handlers(),
+        calls_per_filler=(3, 7), branches_per_filler=(3, 6),
+        sink_call_rate=0.65, seed=6233,
+    ),
+}
+
+PROFILE_ORDER = ("dir645", "dir890l", "dgn1000", "dgn2200", "uniview",
+                 "hikvision")
+
+
+def build_firmware(key, scale=1.0):
+    """Build one profile's binary at ``scale``; returns a BuiltBinary.
+
+    Handler (vulnerable + decoy) functions are always included; filler
+    counts, and therefore blocks/edges/sinks, scale linearly.
+    """
+    profile = PROFILES[key]
+    rng = random.Random(profile.seed)
+
+    handler_funcs = []
+    ground_truth = []
+    handler_modules = []
+    extra_data = []
+    for factory, kwargs, module in profile.handlers:
+        produced = factory(**kwargs)
+        if len(produced) == 3:
+            funcs, truth, data_lines = produced
+            extra_data.extend(data_lines)
+        else:
+            funcs, truth = produced
+        handler_funcs.extend(funcs)
+        ground_truth.extend(truth)
+        handler_modules.extend([module] * len(funcs))
+
+    total_functions = max(
+        int(profile.functions * scale), len(handler_funcs) + 4
+    )
+    filler_total = total_functions - len(handler_funcs)
+
+    # Distribute fillers over modules; analysed modules receive the
+    # Table III fraction.
+    analyzed_target = max(
+        int(profile.analyzed_functions * scale), len(handler_funcs) + 2
+    )
+    fillers_analyzed = max(analyzed_target - len(handler_funcs), 2)
+    analyzed_mods = profile.analyzed_modules or profile.modules
+    other_mods = [m for m in profile.modules if m not in analyzed_mods]
+
+    filler_specs = []
+    for index in range(filler_total):
+        if index < fillers_analyzed or not other_mods:
+            module = analyzed_mods[index % len(analyzed_mods)]
+        else:
+            module = other_mods[index % len(other_mods)]
+        filler_specs.append("%sfn_%04d" % (module, index))
+
+    functions = []
+    for index, name in enumerate(filler_specs):
+        # Callees: earlier fillers only (keeps the call graph acyclic),
+        # preferring nearby ones the way compilation units cluster.
+        window = filler_specs[max(0, index - 40):index]
+        functions.append(make_filler(name, rng, window, profile))
+    functions.extend(handler_funcs)
+
+    compiler = compiler_for(profile.arch, key)
+    source, imports = compiler.compile_module(functions,
+                                              extra_data=extra_data)
+    built = build_binary(
+        name="%s/%s" % (profile.version, profile.binary_name),
+        arch=profile.arch,
+        source=source,
+        imports=imports,
+        entry=functions[0].name,
+        ground_truth=ground_truth,
+    )
+    built.profile = profile
+    built.scale = scale
+    return built
+
+
+def analyzed_module_prefixes(key):
+    """Module prefixes DTaint should analyse for this image."""
+    profile = PROFILES[key]
+    prefixes = list(profile.analyzed_modules or profile.modules)
+    # Handlers keep their own prefixes.
+    for _factory, kwargs, module in profile.handlers:
+        if module not in prefixes:
+            prefixes.append(module)
+    return tuple(prefixes)

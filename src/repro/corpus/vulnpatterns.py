@@ -1,0 +1,367 @@
+"""The paper's vulnerabilities as generator patterns (Tables IV & V).
+
+Each factory returns ``(functions, ground_truth)``: minicc functions
+reproducing the CVE's source→sink shape, plus the expected-finding
+labels.  Patterns take a ``vulnerable`` switch — the safe variant adds
+exactly the sanitization whose absence makes the CVE (a ';' scan for
+command injections, a length check for overflows), which gives the
+detector's constraint checker real negatives to prove itself on.
+"""
+
+from repro.corpus.builder import GroundTruth
+from repro.corpus.minicc import (
+    Addr,
+    Arg,
+    Call,
+    DeclBuf,
+    DeclVar,
+    If,
+    Imm,
+    Load,
+    MiniFunc,
+    Ret,
+    Set,
+    Store,
+    Str,
+    Var,
+    While,
+)
+
+BO = "buffer-overflow"
+CMDI = "command-injection"
+
+
+def _semicolon_guard(cmd_var, body):
+    """index-scan ``cmd`` for ';' and only run ``body`` if absent.
+
+    Compiles to the byte-compare-with-0x3b constraint the paper's
+    command-injection check looks for.
+    """
+    return [
+        DeclVar("ch", Imm(1)),
+        DeclVar("bad", Imm(0)),
+        DeclVar("p", Var(cmd_var)),
+        While(Var("ch"), "ne", Imm(0), [
+            Set("ch", Load(Var("p"), 0, size=1)),
+            If(Var("ch"), "eq", Imm(0x3B), [
+                Set("bad", Imm(1)),
+                Set("ch", Imm(0)),
+            ]),
+            Set("p", _plus(Var("p"), 1)),
+        ]),
+        If(Var("bad"), "eq", Imm(0), body),
+    ]
+
+
+def _plus(expr, k):
+    from repro.corpus.minicc import BinOp
+
+    return BinOp("+", expr, Imm(k))
+
+
+# ---------------------------------------------------------------------------
+# Table IV — previously known vulnerabilities.
+
+
+def cve_2013_7389_strncpy(name="cgi_set_password", vulnerable=True):
+    """Stack overflow: POST 'password' via read, strncpy of tainted n."""
+    body = [
+        # password sits above postbuf: the unchecked copy runs into
+        # the saved registers (the exploitable layout the CVE had).
+        DeclBuf("postbuf", 1024),
+        DeclBuf("password", 64),
+        DeclVar("n"),
+        Call("n", "read", [Imm(0), Addr("postbuf"), Imm(1024)]),
+    ]
+    copy = [Call(None, "strncpy", [Addr("password"), Addr("postbuf"),
+                                   Var("n")])]
+    if vulnerable:
+        body += copy
+    else:
+        body += [If(Var("n"), "lt", Imm(64), copy)]
+    body += [Ret(Imm(0))]
+    return (
+        [MiniFunc(name, 0, body)],
+        [GroundTruth(function=name, kind=BO, sink="strncpy", source="read",
+                     cve="CVE-2013-7389" if vulnerable else "",
+                     vulnerable=vulnerable)],
+    )
+
+
+def cve_2013_7389_sprintf(name="cgi_render_cookie", vulnerable=True):
+    """Stack overflow: overlong cookie via getenv into sprintf %s."""
+    body = [
+        DeclBuf("line", 128),
+        DeclVar("cookie"),
+        Call("cookie", "getenv", [Str("HTTP_COOKIE")]),
+    ]
+    emit = [Call(None, "sprintf",
+                 [Addr("line"), Str("Set-Cookie: %s"), Var("cookie")])]
+    if vulnerable:
+        body += emit
+    else:
+        body += [
+            DeclVar("len"),
+            Call("len", "strlen", [Var("cookie")]),
+            If(Var("len"), "lt", Imm(100), emit),
+        ]
+    body += [Ret(Imm(0))]
+    return (
+        [MiniFunc(name, 0, body)],
+        [GroundTruth(function=name, kind=BO, sink="sprintf", source="getenv",
+                     cve="CVE-2013-7389" if vulnerable else "",
+                     vulnerable=vulnerable)],
+    )
+
+
+def cve_2015_2051(name="cgi_soap_action", vulnerable=True):
+    """Command injection: SOAPAction header straight into system()."""
+    body = [
+        DeclVar("action"),
+        Call("action", "getenv", [Str("HTTP_SOAPACTION")]),
+    ]
+    run = [Call(None, "system", [Var("action")])]
+    if vulnerable:
+        body += run
+    else:
+        body += _semicolon_guard("action", run)
+    body += [Ret(Imm(0))]
+    return (
+        [MiniFunc(name, 0, body)],
+        [GroundTruth(function=name, kind=CMDI, sink="system", source="getenv",
+                     cve="CVE-2015-2051" if vulnerable else "",
+                     vulnerable=vulnerable)],
+    )
+
+
+def cve_2016_5681(name="cgi_session_cookie", vulnerable=True):
+    """Stack overflow: long session cookie into a 152-byte strcpy."""
+    body = [
+        DeclBuf("session", 152),
+        DeclVar("cookie"),
+        Call("cookie", "getenv", [Str("HTTP_COOKIE")]),
+    ]
+    copy = [Call(None, "strcpy", [Addr("session"), Var("cookie")])]
+    if vulnerable:
+        body += copy
+    else:
+        body += [
+            DeclVar("len"),
+            Call("len", "strlen", [Var("cookie")]),
+            If(Var("len"), "lt", Imm(152), copy),
+        ]
+    body += [Ret(Imm(0))]
+    return (
+        [MiniFunc(name, 0, body)],
+        [GroundTruth(function=name, kind=BO, sink="strcpy", source="getenv",
+                     cve="CVE-2016-5681" if vulnerable else "",
+                     vulnerable=vulnerable)],
+    )
+
+
+def cve_2017_6334(name="setup_hostname", vulnerable=True):
+    """Command injection: websGetVar('host_name') into system()."""
+    body = [
+        DeclVar("host"),
+        Call("host", "websGetVar", [Arg(0), Str("host_name")]),
+    ]
+    run = [Call(None, "system", [Var("host")])]
+    if vulnerable:
+        body += run
+    else:
+        body += _semicolon_guard("host", run)
+    body += [Ret(Imm(0))]
+    return (
+        [MiniFunc(name, 1, body)],
+        [GroundTruth(function=name, kind=CMDI, sink="system",
+                     source="websGetVar",
+                     cve="CVE-2017-6334" if vulnerable else "",
+                     vulnerable=vulnerable)],
+    )
+
+
+def cve_2017_6077(name="setup_ping", vulnerable=True):
+    """Command injection: websGetVar('ping_IPAddr') into system()."""
+    body = [
+        DeclVar("ip"),
+        Call("ip", "websGetVar", [Arg(0), Str("ping_IPAddr")]),
+    ]
+    run = [Call(None, "system", [Var("ip")])]
+    if vulnerable:
+        body += run
+    else:
+        body += _semicolon_guard("ip", run)
+    body += [Ret(Imm(0))]
+    return (
+        [MiniFunc(name, 1, body)],
+        [GroundTruth(function=name, kind=CMDI, sink="system",
+                     source="websGetVar",
+                     cve="CVE-2017-6077" if vulnerable else "",
+                     vulnerable=vulnerable)],
+    )
+
+
+def edb_43055(name="setup_exec_cmd", vulnerable=True):
+    """Command injection: find_val('cmd') into popen()."""
+    body = [
+        DeclVar("cmd"),
+        Call("cmd", "find_val", [Arg(0), Str("cmd")]),
+    ]
+    run = [DeclVar("fp"), Call("fp", "popen", [Var("cmd"), Str("r")])]
+    if vulnerable:
+        body += run
+    else:
+        body += _semicolon_guard("cmd", run)
+    body += [Ret(Imm(0))]
+    return (
+        [MiniFunc(name, 1, body)],
+        [GroundTruth(function=name, kind=CMDI, sink="popen",
+                     source="find_val",
+                     cve="EDB-ID:43055" if vulnerable else "",
+                     vulnerable=vulnerable)],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table V — zero-day shapes.
+
+
+def zero_day_cmdi(name, source="websGetVar", sink="system", varname="value",
+                  vulnerable=True):
+    """Generic unknown command injection (Netgear/D-Link zero-days)."""
+    get = (
+        Call(varname, "getenv", [Str(varname.upper())])
+        if source == "getenv"
+        else Call(varname, source, [Arg(0), Str(varname)])
+    )
+    body = [DeclVar(varname), get]
+    run = [Call(None, sink, [Var(varname)] +
+                ([Str("r")] if sink == "popen" else []))]
+    if vulnerable:
+        body += run
+    else:
+        body += _semicolon_guard(varname, run)
+    body += [Ret(Imm(0))]
+    return (
+        [MiniFunc(name, 1 if source != "getenv" else 0, body)],
+        [GroundTruth(function=name, kind=CMDI, sink=sink, source=source,
+                     vulnerable=vulnerable)],
+    )
+
+
+def zero_day_read_memcpy(name="hik_parse_frame", bufsize=48, vulnerable=True):
+    """Hikvision #1: read into a buffer, memcpy with embedded length."""
+    body = [
+        DeclBuf("frame", 48),
+        DeclBuf("wire", 2048),
+        DeclVar("n"),
+        Call(None, "read", [Arg(0), Addr("wire"), Imm(2048)]),
+        Set("n", Load(Addr("wire"), 0)),      # length field inside payload
+    ]
+    copy = [Call(None, "memcpy", [Addr("frame"), _plus(Addr("wire"), 4),
+                                  Var("n")])]
+    if vulnerable:
+        body += copy
+    else:
+        body += [If(Var("n"), "ltu", Imm(bufsize), copy)]
+    body += [Ret(Imm(0))]
+    return (
+        [MiniFunc(name, 1, body)],
+        [GroundTruth(function=name, kind=BO, sink="memcpy", source="read",
+                     vulnerable=vulnerable)],
+    )
+
+
+def zero_day_loop_copy(name="hik_copy_uri", vulnerable=True):
+    """Hikvision #2/#3: loop byte-copy of a read() buffer, no bound."""
+    body = [
+        # Scalars first, then wire, then uri on top: an unterminated
+        # copy runs off the top of uri straight into the saved
+        # registers without trampling its own loop variables — the
+        # classic stack-smash layout.
+        DeclVar("i", Imm(0)),
+        DeclVar("ch", Imm(1)),
+        DeclVar("src", Imm(0)),
+        DeclVar("dst", Imm(0)),
+        DeclVar("end", Imm(0)),
+        DeclBuf("wire", 2048),
+        DeclBuf("uri", 64),
+        Call(None, "read", [Arg(0), Addr("wire"), Imm(2048)]),
+    ]
+    loop_body = [
+        Set("ch", Load(Var("src"), 0, size=1)),
+        Store(Var("dst"), 0, Var("ch"), size=1),
+        Set("src", _plus(Var("src"), 1)),
+        Set("dst", _plus(Var("dst"), 1)),
+    ]
+    if vulnerable:
+        guard = While(Var("ch"), "ne", Imm(0), loop_body)
+    else:
+        # Bounded the way real code bounds it: while (dst < end).
+        guard = While(Var("dst"), "ltu", Var("end"), loop_body + [
+            If(Var("ch"), "eq", Imm(0), [Set("dst", Var("end"))]),
+        ])
+    body += [
+        Set("src", Addr("wire")),
+        Set("dst", Addr("uri")),
+        Set("end", _plus(Addr("uri"), 63)),
+        guard,
+        Ret(Imm(0)),
+    ]
+    return (
+        [MiniFunc(name, 1, body)],
+        [GroundTruth(function=name, kind=BO, sink="loop", source="read",
+                     vulnerable=vulnerable)],
+    )
+
+
+def zero_day_sscanf(name="uv_rtsp_session", vulnerable=True):
+    """Uniview: RTSP Session header through sscanf into a small stack buf."""
+    body = [
+        DeclBuf("wire", 1024),
+        DeclBuf("session", 180),
+        Call(None, "read", [Arg(0), Addr("wire"), Imm(1024)]),
+    ]
+    fmt = "%254s" if vulnerable else "%64s"
+    parse = [Call(None, "sscanf", [Addr("wire"), Str("Session: " + fmt),
+                                   Addr("session")])]
+    if vulnerable:
+        body += parse
+    else:
+        # The safe variant also length-checks before parsing.
+        body += [
+            DeclVar("n"),
+            Call("n", "strlen", [Addr("wire")]),
+            If(Var("n"), "lt", Imm(64), parse),
+        ]
+    body += [Ret(Imm(0))]
+    return (
+        [MiniFunc(name, 1, body)],
+        [GroundTruth(function=name, kind=BO, sink="sscanf", source="read",
+                     vulnerable=vulnerable,
+                     poc_input=b"Session: " + b"A" * 254 + b"\x00")],
+    )
+
+
+def zero_day_fgets_strcpy(name="net_read_config", vulnerable=True):
+    """Netgear zero-day BO: fgets line into an unbounded strcpy."""
+    body = [
+        DeclBuf("line", 512),
+        DeclBuf("value", 32),
+        Call(None, "fgets", [Addr("line"), Imm(512), Arg(0)]),
+    ]
+    copy = [Call(None, "strcpy", [Addr("value"), Addr("line")])]
+    if vulnerable:
+        body += copy
+    else:
+        body += [
+            DeclVar("n"),
+            Call("n", "strlen", [Addr("line")]),
+            If(Var("n"), "lt", Imm(32), copy),
+        ]
+    body += [Ret(Imm(0))]
+    return (
+        [MiniFunc(name, 1, body)],
+        [GroundTruth(function=name, kind=BO, sink="strcpy", source="fgets",
+                     vulnerable=vulnerable)],
+    )

@@ -1,0 +1,12 @@
+"""Concrete CPU emulation.
+
+An instruction-level interpreter for the ARM and MIPS subsets, written
+independently of the IR lifters so the two can be differentially
+tested against each other.  Also drives the FIRMADYNE-style boot model
+in :mod:`repro.firmware.emulation`.
+"""
+
+from repro.emu.cpu import ArmCPU, MipsCPU, make_cpu
+from repro.emu.mem import Memory
+
+__all__ = ["ArmCPU", "Memory", "MipsCPU", "make_cpu"]

@@ -1,0 +1,507 @@
+"""Instruction-level ARM and MIPS interpreters.
+
+These implement the architectural semantics directly from the decoded
+instruction forms — deliberately *not* via the IR — so that lifter bugs
+cannot hide: the differential tests run the same program through both
+this module and :mod:`repro.ir.interp` and require identical results.
+"""
+
+from repro.arch.archinfo import MIPS_REG_NAMES
+from repro.arch.arm import encoding as arm_enc
+from repro.arch.mips import encoding as mips_enc
+from repro.errors import EmulationError
+from repro.utils.bits import ror32, sign_extend, to_signed32, to_unsigned32
+
+_MASK32 = 0xFFFFFFFF
+
+
+class CPUStopped(Exception):
+    """Raised internally when execution reaches the stop address."""
+
+
+class ArmCPU:
+    """A concrete ARM32 interpreter over a :class:`~repro.emu.mem.Memory`.
+
+    ``hooks`` maps addresses to callables invoked when the PC lands on
+    them; a hook models an external function and returns control to
+    ``lr`` (unless it changes the PC itself).
+    """
+
+    STOP_ADDR = 0xFFFF0000
+
+    def __init__(self, memory):
+        self.memory = memory
+        self.regs = [0] * 16
+        self.flag_n = False
+        self.flag_z = False
+        self.flag_c = False
+        self.flag_v = False
+        self.hooks = {}
+        self.steps = 0
+        self._insn_addr = 0
+
+    # -- register helpers ------------------------------------------------
+
+    @property
+    def pc(self):
+        return self.regs[15]
+
+    @pc.setter
+    def pc(self, value):
+        self.regs[15] = value & _MASK32
+
+    @property
+    def sp(self):
+        return self.regs[13]
+
+    @sp.setter
+    def sp(self, value):
+        self.regs[13] = value & _MASK32
+
+    @property
+    def lr(self):
+        return self.regs[14]
+
+    @lr.setter
+    def lr(self, value):
+        self.regs[14] = value & _MASK32
+
+    def read_reg(self, index, pc_offset=8):
+        # Reads of R15 observe the architectural pipeline value,
+        # relative to the *executing* instruction's address.
+        if index == 15:
+            return (self._insn_addr + pc_offset) & _MASK32
+        return self.regs[index]
+
+    # -- calling-convention accessors (used by libc hook handlers) -------
+
+    def get_arg(self, index):
+        if index < 4:
+            return self.regs[index]
+        return self.memory.read(self.sp + 4 * (index - 4), 4)
+
+    def set_ret(self, value):
+        self.regs[0] = value & _MASK32
+
+    # -- condition evaluation ---------------------------------------------
+
+    def condition_passed(self, cond):
+        n, z, c, v = self.flag_n, self.flag_z, self.flag_c, self.flag_v
+        table = (
+            z, not z, c, not c, n, not n, v, not v,
+            c and not z, (not c) or z, n == v, n != v,
+            (not z) and n == v, z or n != v, True,
+        )
+        return table[cond]
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self):
+        """Fetch, decode and execute one instruction."""
+        addr = self.pc
+        if addr in self.hooks:
+            self.hooks[addr](self)
+            if self.pc == addr:
+                self.pc = self.lr
+            self.steps += 1
+            return
+        if addr == self.STOP_ADDR:
+            raise CPUStopped()
+        word = self.memory.read(addr, 4)
+        insn = arm_enc.decode(word, addr)
+        self._insn_addr = addr
+        self.pc = addr + 4
+        self.execute(insn)
+        self.steps += 1
+
+    def run(self, start, sp, max_steps=1_000_000, args=()):
+        """Call ``start`` with ``args`` and run until it returns."""
+        self.pc = start
+        self.sp = sp
+        self.lr = self.STOP_ADDR
+        for i, value in enumerate(args[:4]):
+            self.regs[i] = value & _MASK32
+        try:
+            for _ in range(max_steps):
+                self.step()
+        except CPUStopped:
+            return self.regs[0]
+        raise EmulationError("step budget exhausted at pc=0x%x" % self.pc)
+
+    # -- per-kind handlers ---------------------------------------------------
+
+    def execute(self, insn):
+        if insn.cond != arm_enc.COND_AL and not self.condition_passed(insn.cond):
+            return
+        getattr(self, "_exec_%s" % insn.kind)(insn)
+
+    def _operand2(self, insn):
+        """Returns (value, shifter_carry)."""
+        if insn.uses_imm:
+            value = insn.imm & _MASK32
+            carry = bool(value >> 31) if value > 0xFF else self.flag_c
+            return value, carry
+        rm = self.read_reg(insn.rm)
+        stype, amount = insn.shift_type, insn.shift_amount
+        if amount == 0 and stype == 0:
+            return rm, self.flag_c
+        if stype == 0:
+            return (rm << amount) & _MASK32, bool((rm >> (32 - amount)) & 1)
+        if stype == 1:
+            eff = amount or 32
+            if eff == 32:
+                return 0, bool(rm >> 31)
+            return rm >> eff, bool((rm >> (eff - 1)) & 1)
+        if stype == 2:
+            eff = amount or 32
+            if eff == 32:
+                return (to_unsigned32(to_signed32(rm) >> 31)), bool(rm >> 31)
+            return to_unsigned32(to_signed32(rm) >> eff), bool((rm >> (eff - 1)) & 1)
+        return ror32(rm, amount), bool((rm >> ((amount - 1) % 32)) & 1)
+
+    def _set_nz(self, result):
+        self.flag_n = bool(result >> 31)
+        self.flag_z = result == 0
+
+    def _add_with_flags(self, a, b, carry_in, set_flags):
+        total = a + b + carry_in
+        result = total & _MASK32
+        if set_flags:
+            self._set_nz(result)
+            self.flag_c = total > _MASK32
+            self.flag_v = bool((~(a ^ b) & (a ^ result)) >> 31)
+        return result
+
+    def _exec_dp(self, insn):
+        mnem = insn.mnemonic
+        op2, shifter_carry = self._operand2(insn)
+        rn = self.read_reg(insn.rn) if insn.rn is not None else 0
+        set_flags = insn.set_flags or mnem in arm_enc.DP_COMPARE
+
+        if mnem in ("add", "cmn"):
+            result = self._add_with_flags(rn, op2, 0, set_flags)
+        elif mnem in ("sub", "cmp"):
+            result = self._add_with_flags(rn, (~op2) & _MASK32, 1, set_flags)
+        elif mnem == "rsb":
+            result = self._add_with_flags(op2, (~rn) & _MASK32, 1, set_flags)
+        elif mnem == "adc":
+            result = self._add_with_flags(rn, op2, int(self.flag_c), set_flags)
+        elif mnem == "sbc":
+            result = self._add_with_flags(
+                rn, (~op2) & _MASK32, int(self.flag_c), set_flags
+            )
+        elif mnem == "rsc":
+            result = self._add_with_flags(
+                op2, (~rn) & _MASK32, int(self.flag_c), set_flags
+            )
+        else:
+            if mnem in ("and", "tst"):
+                result = rn & op2
+            elif mnem in ("eor", "teq"):
+                result = rn ^ op2
+            elif mnem == "orr":
+                result = rn | op2
+            elif mnem == "bic":
+                result = rn & ~op2 & _MASK32
+            elif mnem == "mov":
+                result = op2
+            elif mnem == "mvn":
+                result = (~op2) & _MASK32
+            else:
+                raise EmulationError("unhandled dp op %r" % mnem)
+            if set_flags:
+                self._set_nz(result)
+                self.flag_c = shifter_carry
+        if mnem not in arm_enc.DP_COMPARE:
+            if insn.rd == 15:
+                self.pc = result
+            else:
+                self.regs[insn.rd] = result
+
+    def _exec_mul(self, insn):
+        result = (self.read_reg(insn.rm) * self.read_reg(insn.rs)) & _MASK32
+        if insn.set_flags:
+            self._set_nz(result)
+        self.regs[insn.rd] = result
+
+    def _mem_addr(self, insn):
+        base = self.read_reg(insn.rn)
+        if insn.uses_imm:
+            offset = insn.imm
+        else:
+            offset, _ = self._operand2(
+                arm_enc.ArmInsn(
+                    kind="dp", mnemonic="mov", rm=insn.rm, uses_imm=False,
+                    shift_type=insn.shift_type, shift_amount=insn.shift_amount,
+                )
+            )
+        return (base + offset if insn.u_bit else base - offset) & _MASK32
+
+    def _exec_mem(self, insn):
+        addr = self._mem_addr(insn)
+        size = 1 if insn.byte else 4
+        if insn.load:
+            value = self.memory.read(addr, size)
+            if insn.rd == 15:
+                self.pc = value
+            else:
+                self.regs[insn.rd] = value
+        else:
+            self.memory.write(addr, self.read_reg(insn.rd, pc_offset=12), size)
+
+    def _exec_memh(self, insn):
+        addr = self._mem_addr(insn)
+        if insn.load:
+            size = 2 if insn.halfword else 1
+            value = self.memory.read(addr, size)
+            if insn.signed:
+                value = to_unsigned32(sign_extend(value, size * 8))
+            self.regs[insn.rd] = value
+        else:
+            self.memory.write(addr, self.read_reg(insn.rd) & 0xFFFF, 2)
+
+    def _exec_block(self, insn):
+        base = self.read_reg(insn.rn)
+        count = len(insn.reglist)
+        if insn.u_bit:
+            start = base + (4 if insn.p_bit else 0)
+        else:
+            start = base - (4 * count if insn.p_bit else 4 * (count - 1))
+        for i, reg_index in enumerate(insn.reglist):
+            slot = (start + 4 * i) & _MASK32
+            if insn.load:
+                value = self.memory.read(slot, 4)
+                if reg_index == 15:
+                    self.pc = value
+                else:
+                    self.regs[reg_index] = value
+            else:
+                self.memory.write(slot, self.read_reg(reg_index, pc_offset=12), 4)
+        if insn.w_bit:
+            delta = 4 * count
+            self.regs[insn.rn] = (
+                (base + delta) if insn.u_bit else (base - delta)
+            ) & _MASK32
+
+    def _exec_branch(self, insn):
+        if insn.mnemonic == "bl":
+            self.lr = insn.addr + 4
+        self.pc = insn.branch_target()
+
+    def _exec_bx(self, insn):
+        target = self.read_reg(insn.rm)
+        if insn.mnemonic == "blx":
+            self.lr = insn.addr + 4
+        self.pc = target & ~1  # ignore the Thumb bit
+
+    def _exec_movw(self, insn):
+        self.regs[insn.rd] = insn.imm & 0xFFFF
+
+    def _exec_movt(self, insn):
+        self.regs[insn.rd] = (self.regs[insn.rd] & 0xFFFF) | (
+            (insn.imm & 0xFFFF) << 16
+        )
+
+
+class MipsCPU:
+    """A concrete MIPS32 interpreter with architectural delay slots."""
+
+    STOP_ADDR = 0xFFFF0000
+
+    def __init__(self, memory):
+        self.memory = memory
+        self.regs = [0] * 32
+        self.pc = 0
+        self.hooks = {}
+        self.steps = 0
+        self._reg_index = {name: i for i, name in enumerate(MIPS_REG_NAMES)}
+
+    def reg(self, name):
+        return self.regs[self._reg_index[name]]
+
+    def set_reg(self, name, value):
+        index = self._reg_index[name]
+        if index != 0:
+            self.regs[index] = value & _MASK32
+
+    def _read(self, index):
+        return self.regs[index] if index else 0
+
+    def _write(self, index, value):
+        if index:
+            self.regs[index] = value & _MASK32
+
+    # -- calling-convention accessors (o32) -------------------------------
+
+    def get_arg(self, index):
+        if index < 4:
+            return self.reg("a%d" % index)
+        return self.memory.read(self.reg("sp") + 16 + 4 * (index - 4), 4)
+
+    def set_ret(self, value):
+        self.set_reg("v0", value)
+
+    def step(self):
+        addr = self.pc
+        if addr in self.hooks:
+            self.hooks[addr](self)
+            if self.pc == addr:
+                self.pc = self.reg("ra")
+            self.steps += 1
+            return
+        if addr == self.STOP_ADDR:
+            raise CPUStopped()
+        word = self.memory.read(addr, 4)
+        insn = mips_enc.decode(word, addr)
+        self.steps += 1
+        if insn.has_delay_slot():
+            target = self._transfer_target(insn)
+            # Execute the delay slot (it must not itself branch).
+            slot_word = self.memory.read(addr + 4, 4)
+            slot = mips_enc.decode(slot_word, addr + 4)
+            if slot.has_delay_slot():
+                raise EmulationError("branch in delay slot at 0x%x" % slot.addr)
+            self._exec_simple(slot)
+            self.pc = target if target is not None else addr + 8
+            return
+        self.pc = addr + 4
+        self._exec_simple(insn)
+
+    def run(self, start, sp, max_steps=1_000_000, args=()):
+        self.pc = start
+        self.set_reg("sp", sp)
+        self.set_reg("ra", self.STOP_ADDR)
+        for i, value in enumerate(args[:4]):
+            self.set_reg("a%d" % i, value)
+        try:
+            for _ in range(max_steps):
+                self.step()
+        except CPUStopped:
+            return self.reg("v0")
+        raise EmulationError("step budget exhausted at pc=0x%x" % self.pc)
+
+    def _transfer_target(self, insn):
+        """Return the target address, or None for a not-taken branch."""
+        m = insn.mnemonic
+        if m == "j":
+            return insn.target
+        if m == "jal":
+            self._write(31, insn.addr + 8)
+            return insn.target
+        if m == "jr":
+            return self._read(insn.rs)
+        if m == "jalr":
+            target = self._read(insn.rs)
+            self._write(insn.rd, insn.addr + 8)
+            return target
+        rs = self._read(insn.rs)
+        if m == "beq":
+            taken = rs == self._read(insn.rt)
+        elif m == "bne":
+            taken = rs != self._read(insn.rt)
+        elif m == "blez":
+            taken = to_signed32(rs) <= 0
+        elif m == "bgtz":
+            taken = to_signed32(rs) > 0
+        elif m == "bltz":
+            taken = to_signed32(rs) < 0
+        elif m == "bgez":
+            taken = to_signed32(rs) >= 0
+        else:
+            raise EmulationError("unhandled transfer %r" % m)
+        return insn.branch_target() if taken else None
+
+    def _exec_simple(self, insn):
+        m = insn.mnemonic
+        if insn.kind == "r":
+            if m == "sll":
+                self._write(insn.rd, self._read(insn.rt) << insn.shamt)
+            elif m == "srl":
+                self._write(insn.rd, self._read(insn.rt) >> insn.shamt)
+            elif m == "sra":
+                self._write(
+                    insn.rd, to_unsigned32(to_signed32(self._read(insn.rt)) >> insn.shamt)
+                )
+            elif m == "sllv":
+                self._write(
+                    insn.rd, self._read(insn.rt) << (self._read(insn.rs) & 0x1F)
+                )
+            elif m == "srlv":
+                self._write(
+                    insn.rd, self._read(insn.rt) >> (self._read(insn.rs) & 0x1F)
+                )
+            elif m == "srav":
+                self._write(
+                    insn.rd,
+                    to_unsigned32(
+                        to_signed32(self._read(insn.rt))
+                        >> (self._read(insn.rs) & 0x1F)
+                    ),
+                )
+            elif m == "addu":
+                self._write(insn.rd, self._read(insn.rs) + self._read(insn.rt))
+            elif m == "subu":
+                self._write(insn.rd, self._read(insn.rs) - self._read(insn.rt))
+            elif m == "and":
+                self._write(insn.rd, self._read(insn.rs) & self._read(insn.rt))
+            elif m == "or":
+                self._write(insn.rd, self._read(insn.rs) | self._read(insn.rt))
+            elif m == "xor":
+                self._write(insn.rd, self._read(insn.rs) ^ self._read(insn.rt))
+            elif m == "nor":
+                self._write(
+                    insn.rd, ~(self._read(insn.rs) | self._read(insn.rt))
+                )
+            elif m == "slt":
+                self._write(
+                    insn.rd,
+                    int(
+                        to_signed32(self._read(insn.rs))
+                        < to_signed32(self._read(insn.rt))
+                    ),
+                )
+            elif m == "sltu":
+                self._write(
+                    insn.rd, int(self._read(insn.rs) < self._read(insn.rt))
+                )
+            else:
+                raise EmulationError("unhandled R-type %r in slot" % m)
+            return
+        if m == "lui":
+            self._write(insn.rt, (insn.imm & 0xFFFF) << 16)
+        elif m == "addiu":
+            self._write(insn.rt, self._read(insn.rs) + insn.imm)
+        elif m == "slti":
+            self._write(
+                insn.rt, int(to_signed32(self._read(insn.rs)) < insn.imm)
+            )
+        elif m == "sltiu":
+            self._write(
+                insn.rt, int(self._read(insn.rs) < (insn.imm & _MASK32))
+            )
+        elif m == "andi":
+            self._write(insn.rt, self._read(insn.rs) & (insn.imm & 0xFFFF))
+        elif m == "ori":
+            self._write(insn.rt, self._read(insn.rs) | (insn.imm & 0xFFFF))
+        elif m == "xori":
+            self._write(insn.rt, self._read(insn.rs) ^ (insn.imm & 0xFFFF))
+        elif m in mips_enc.LOADS:
+            addr = (self._read(insn.rs) + insn.imm) & _MASK32
+            size = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}[m]
+            value = self.memory.read(addr, size)
+            if m in ("lb", "lh"):
+                value = to_unsigned32(sign_extend(value, size * 8))
+            self._write(insn.rt, value)
+        elif m in mips_enc.STORES:
+            addr = (self._read(insn.rs) + insn.imm) & _MASK32
+            size = {"sb": 1, "sh": 2, "sw": 4}[m]
+            self.memory.write(addr, self._read(insn.rt), size)
+        else:
+            raise EmulationError("unhandled instruction %r" % m)
+
+
+def make_cpu(arch, memory):
+    """Instantiate the right CPU class for an :class:`ArchInfo`."""
+    if arch.name == "arm":
+        return ArmCPU(memory)
+    return MipsCPU(memory)

@@ -1,0 +1,357 @@
+"""Concrete libc emulation for PoC validation.
+
+Installs Python implementations of the modelled library functions over
+a binary's import stubs so handler functions can be *executed* with
+attacker-controlled input.  Sources (``getenv``, ``read``, ``recv``,
+``websGetVar``, ``find_val``…) serve bytes from an attacker-supplied
+environment; command sinks record every command string they receive;
+copies actually move bytes, so a planted overflow really smashes the
+emulated stack.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.utils.bits import to_signed32
+
+_HEAP_BASE = 0x60000000
+_SCRATCH_BASE = 0x68000000
+
+
+@dataclass
+class LibcEnvironment:
+    """Attacker-facing state + call records for one emulation run."""
+
+    env: dict = field(default_factory=dict)         # getenv / websGetVar map
+    input_bytes: bytes = b""                        # read/recv/fgets stream
+    commands: list = field(default_factory=list)    # system/popen arguments
+    heap_cursor: int = _HEAP_BASE
+    input_cursor: int = 0
+    scratch_cursor: int = _SCRATCH_BASE
+    _interned: dict = field(default_factory=dict)
+
+    def take_input(self, size):
+        chunk = self.input_bytes[self.input_cursor:self.input_cursor + size]
+        self.input_cursor += len(chunk)
+        return chunk
+
+
+class LibcEmulator:
+    """Hooks a CPU's import stubs with concrete libc behaviour."""
+
+    def __init__(self, cpu, binary, environment=None):
+        self.cpu = cpu
+        self.binary = binary
+        self.env = environment or LibcEnvironment()
+
+    # ------------------------------------------------------------------
+
+    def install(self):
+        """Hook every import the emulator models; returns hooked names."""
+        hooked = []
+        for addr, name in self.binary.imports.items():
+            handler = getattr(self, "_do_%s" % name, None)
+            if handler is None:
+                handler = self._do_default
+            self.cpu.hooks[addr] = self._wrap(handler)
+            hooked.append(name)
+        return hooked
+
+    def _wrap(self, handler):
+        def hook(cpu):
+            handler()
+        return hook
+
+    # -- byte helpers ------------------------------------------------------
+
+    def _read_cstring(self, addr, limit=8192):
+        return self.cpu.memory.read_cstring(addr, limit)
+
+    def _write_bytes(self, addr, data):
+        self.cpu.memory.write_bytes(addr, data)
+
+    def _intern_string(self, data):
+        """Place ``data`` (NUL-terminated) in scratch memory."""
+        if data in self.env._interned:
+            return self.env._interned[data]
+        addr = self.env.scratch_cursor
+        self._write_bytes(addr, data + b"\x00")
+        self.env.scratch_cursor += len(data) + 1
+        self.env._interned[data] = addr
+        return addr
+
+    def _arg(self, index):
+        return self.cpu.get_arg(index)
+
+    def _ret(self, value):
+        self.cpu.set_ret(value)
+
+    # -- sources --------------------------------------------------------------
+
+    def _env_lookup(self, name):
+        value = self.env.env.get(name)
+        if value is None:
+            return 0
+        if isinstance(value, str):
+            value = value.encode("latin-1")
+        return self._intern_string(value)
+
+    def _do_getenv(self):
+        name = self._read_cstring(self._arg(0)).decode("latin-1", "replace")
+        self._ret(self._env_lookup(name))
+
+    def _do_websGetVar(self):
+        name = self._read_cstring(self._arg(1)).decode("latin-1", "replace")
+        self._ret(self._env_lookup(name))
+
+    def _do_find_var(self):
+        self._do_websGetVar()
+
+    def _do_find_val(self):
+        self._do_websGetVar()
+
+    def _do_read(self):
+        buf, size = self._arg(1), self._arg(2)
+        chunk = self.env.take_input(size)
+        self._write_bytes(buf, chunk)
+        self._ret(len(chunk))
+
+    def _do_recv(self):
+        self._do_read()
+
+    def _do_recvfrom(self):
+        self._do_read()
+
+    def _do_recvmsg(self):
+        self._ret(0)
+
+    def _do_fgets(self):
+        buf, size = self._arg(0), self._arg(1)
+        chunk = self.env.take_input(max(size - 1, 0))
+        newline = chunk.find(b"\n")
+        if newline >= 0:
+            keep = chunk[:newline + 1]
+            self.env.input_cursor -= len(chunk) - len(keep)
+            chunk = keep
+        self._write_bytes(buf, chunk + b"\x00")
+        self._ret(buf if chunk else 0)
+
+    # -- copies / string ops ------------------------------------------------
+
+    def _do_strcpy(self):
+        dst, src = self._arg(0), self._arg(1)
+        data = self._read_cstring(src)
+        self._write_bytes(dst, data + b"\x00")
+        self._ret(dst)
+
+    def _do_strncpy(self):
+        dst, src, count = self._arg(0), self._arg(1), self._arg(2)
+        data = self._read_cstring(src)[:count]
+        self._write_bytes(dst, data.ljust(count, b"\x00")[:count])
+        self._ret(dst)
+
+    def _do_strcat(self):
+        dst, src = self._arg(0), self._arg(1)
+        existing = self._read_cstring(dst)
+        data = self._read_cstring(src)
+        self._write_bytes(dst + len(existing), data + b"\x00")
+        self._ret(dst)
+
+    def _do_memcpy(self):
+        dst, src, count = self._arg(0), self._arg(1), self._arg(2)
+        count = min(count, 1 << 20)  # keep hostile sizes finite
+        # Copy in chunks so a hostile length faults *after* the copy
+        # has trampled everything mapped — the way a real overflow
+        # corrupts the frame before the process dies.
+        copied = 0
+        while copied < count:
+            chunk = min(4096, count - copied)
+            try:
+                data = self.cpu.memory.read_bytes(src + copied, chunk)
+                self._write_bytes(dst + copied, data)
+            except Exception:
+                break
+            copied += chunk
+        self._ret(dst)
+
+    def _do_memset(self):
+        dst, value, count = self._arg(0), self._arg(1), self._arg(2)
+        self._write_bytes(dst, bytes([value & 0xFF]) * min(count, 1 << 20))
+        self._ret(dst)
+
+    def _do_strlen(self):
+        self._ret(len(self._read_cstring(self._arg(0))))
+
+    def _do_strchr(self):
+        data = self._read_cstring(self._arg(0))
+        needle = self._arg(1) & 0xFF
+        index = data.find(bytes([needle]))
+        self._ret(self._arg(0) + index if index >= 0 else 0)
+
+    def _do_strcmp(self):
+        a = self._read_cstring(self._arg(0))
+        b = self._read_cstring(self._arg(1))
+        self._ret(0 if a == b else (1 if a > b else 0xFFFFFFFF))
+
+    def _do_strncmp(self):
+        count = self._arg(2)
+        a = self._read_cstring(self._arg(0))[:count]
+        b = self._read_cstring(self._arg(1))[:count]
+        self._ret(0 if a == b else (1 if a > b else 0xFFFFFFFF))
+
+    def _do_atoi(self):
+        data = self._read_cstring(self._arg(0)).lstrip(b" \t")
+        index = 0
+        if index < len(data) and data[index:index + 1] in (b"+", b"-"):
+            index += 1
+        while index < len(data) and data[index:index + 1].isdigit():
+            index += 1
+        try:
+            self._ret(int(data[:index]) & 0xFFFFFFFF)
+        except ValueError:
+            self._ret(0)
+
+    def _do_sprintf(self):
+        dst, fmt_addr = self._arg(0), self._arg(1)
+        rendered = self._format(fmt_addr, first_vararg=2)
+        self._write_bytes(dst, rendered + b"\x00")
+        self._ret(len(rendered))
+
+    def _do_snprintf(self):
+        dst, _size, fmt_addr = self._arg(0), self._arg(1), self._arg(2)
+        rendered = self._format(fmt_addr, first_vararg=3)[:self._arg(1) - 1]
+        self._write_bytes(dst, rendered + b"\x00")
+        self._ret(len(rendered))
+
+    def _format(self, fmt_addr, first_vararg):
+        """Minimal printf: %s, %d, %x, %c and %% are enough for firmware."""
+        fmt = self._read_cstring(fmt_addr)
+        out = bytearray()
+        arg_index = first_vararg
+        i = 0
+        while i < len(fmt):
+            ch = fmt[i]
+            if ch != ord("%"):
+                out.append(ch)
+                i += 1
+                continue
+            # Skip width/flags.
+            j = i + 1
+            while j < len(fmt) and chr(fmt[j]) in "-+ #0123456789.":
+                j += 1
+            if j >= len(fmt):
+                break
+            spec = chr(fmt[j])
+            if spec == "%":
+                out.append(ord("%"))
+            else:
+                value = self._arg(arg_index)
+                arg_index += 1
+                if spec == "s":
+                    out += self._read_cstring(value)
+                elif spec in "di":
+                    out += str(to_signed32(value)).encode()
+                elif spec in "xX":
+                    out += ("%x" % value).encode()
+                elif spec == "c":
+                    out.append(value & 0xFF)
+                else:
+                    out += b"?"
+            i = j + 1
+        return bytes(out)
+
+    def _do_sscanf(self):
+        """Minimal scanf: '%s' and '%Ns' against a literal prefix."""
+        src = self._read_cstring(self._arg(0))
+        fmt = self._read_cstring(self._arg(1))
+        out_index = 2
+        matched = 0
+        src_pos = 0
+        i = 0
+        while i < len(fmt):
+            ch = fmt[i]
+            if ch == ord("%"):
+                j = i + 1
+                width = 0
+                while j < len(fmt) and chr(fmt[j]).isdigit():
+                    width = width * 10 + int(chr(fmt[j]))
+                    j += 1
+                spec = chr(fmt[j]) if j < len(fmt) else "?"
+                if spec == "s":
+                    end = src_pos
+                    while end < len(src) and src[end] not in b" \t\n":
+                        end += 1
+                    token = src[src_pos:end]
+                    if width:
+                        token = token[:width]
+                    self._write_bytes(self._arg(out_index), token + b"\x00")
+                    out_index += 1
+                    matched += 1
+                    src_pos = end
+                i = j + 1
+                continue
+            if ch in b" \t":
+                while src_pos < len(src) and src[src_pos] in b" \t":
+                    src_pos += 1
+                i += 1
+                continue
+            if src_pos < len(src) and src[src_pos] == ch:
+                src_pos += 1
+                i += 1
+                continue
+            break
+        self._ret(matched)
+
+    # -- sinks / allocation / misc -----------------------------------------
+
+    def _do_system(self):
+        command = self._read_cstring(self._arg(0))
+        self.env.commands.append(("system", command))
+        self._ret(0)
+
+    def _do_popen(self):
+        command = self._read_cstring(self._arg(0))
+        self.env.commands.append(("popen", command))
+        self._ret(0)
+
+    def _do_malloc(self):
+        size = max(self._arg(0), 4)
+        addr = self.env.heap_cursor
+        self.cpu.memory.write_bytes(addr, b"\x00" * size)
+        self.env.heap_cursor += (size + 15) & ~15
+        self._ret(addr)
+
+    def _do_calloc(self):
+        size = max(self._arg(0) * self._arg(1), 4)
+        addr = self.env.heap_cursor
+        self.cpu.memory.write_bytes(addr, b"\x00" * size)
+        self.env.heap_cursor += (size + 15) & ~15
+        self._ret(addr)
+
+    def _do_strdup(self):
+        data = self._read_cstring(self._arg(0))
+        addr = self.env.heap_cursor
+        self._write_bytes(addr, data + b"\x00")
+        self.env.heap_cursor += (len(data) + 16) & ~15
+        self._ret(addr)
+
+    def _do_free(self):
+        self._ret(0)
+
+    def _do_close(self):
+        self._ret(0)
+
+    def _do_socket(self):
+        self._ret(3)
+
+    def _do_write(self):
+        self._ret(self._arg(2))
+
+    def _do_printf(self):
+        self._ret(0)
+
+    def _do_exit(self):
+        # Jump straight to the stop address.
+        self.cpu.pc = self.cpu.STOP_ADDR
+
+    def _do_default(self):
+        self._ret(0)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch package failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AssemblyError(ReproError):
+    """Raised when assembly source cannot be parsed or encoded."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+
+
+class DisassemblyError(ReproError):
+    """Raised when a machine word cannot be decoded."""
+
+
+class LiftError(ReproError):
+    """Raised when an instruction cannot be translated to IR."""
+
+
+class ELFError(ReproError):
+    """Raised on malformed or unsupported ELF input."""
+
+
+class FirmwareError(ReproError):
+    """Raised on malformed firmware containers or filesystems."""
+
+
+class CFGError(ReproError):
+    """Raised when control-flow recovery fails."""
+
+
+class SymExecError(ReproError):
+    """Raised by the static symbolic execution engine."""
+
+
+class EmulationError(ReproError):
+    """Raised by the concrete CPU emulator."""
+
+
+class CorpusError(ReproError):
+    """Raised when a synthetic firmware target cannot be built."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the DTaint analysis pipeline."""

@@ -1,0 +1,13 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+Each ``table*``/``figure*`` function returns structured rows and can
+render them as text; the benchmarks under ``benchmarks/`` drive these
+and print paper-vs-measured comparisons.  ``REPRO_SCALE`` (float
+environment variable, default 0.25) shrinks the generated firmware for
+quick runs; 1.0 reproduces Table II's function counts 1:1.
+"""
+
+from repro.eval.runner import EvalContext, get_scale
+from repro.eval.tables import format_table
+
+__all__ = ["EvalContext", "format_table", "get_scale"]

@@ -1,0 +1,51 @@
+"""CPU and memory measurement for Table VI."""
+
+import os
+import resource
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass
+class ResourceUsage:
+    wall_seconds: float
+    cpu_seconds: float
+    cpu_percent: float
+    peak_traced_mb: float
+    max_rss_mb: float
+
+
+@contextmanager
+def measure():
+    """Measure wall/CPU time and memory over a ``with`` block.
+
+    ``peak_traced_mb`` is tracemalloc's Python-heap peak over the
+    block (deterministic); ``max_rss_mb`` the process high-water mark
+    (monotonic across blocks).
+    """
+    usage = ResourceUsage(0.0, 0.0, 0.0, 0.0, 0.0)
+    tracing_already = tracemalloc.is_tracing()
+    if not tracing_already:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    cpu_start = time.process_time()
+    wall_start = time.perf_counter()
+    try:
+        yield usage
+    finally:
+        usage.wall_seconds = time.perf_counter() - wall_start
+        usage.cpu_seconds = time.process_time() - cpu_start
+        cores = os.cpu_count() or 1
+        if usage.wall_seconds > 0:
+            usage.cpu_percent = (
+                100.0 * usage.cpu_seconds / (usage.wall_seconds * cores)
+            )
+        _current, peak = tracemalloc.get_traced_memory()
+        usage.peak_traced_mb = peak / (1024.0 * 1024.0)
+        if not tracing_already:
+            tracemalloc.stop()
+        usage.max_rss_mb = (
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        )

@@ -1,0 +1,253 @@
+"""Table generators: one function per table in the paper."""
+
+from repro.cfg import CFGBuilder, build_call_graph
+from repro.core import libc
+from repro.corpus.profiles import PROFILES, PROFILE_ORDER
+
+
+def format_table(headers, rows, title=""):
+    """Render rows as a fixed-width text table."""
+    columns = [str(h) for h in headers]
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in str_rows))
+        if str_rows else len(columns[i])
+        for i in range(len(columns))
+    ]
+
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(columns))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+
+
+def table1_sources_sinks():
+    """Table I: the configured sensitive sinks and input sources."""
+    sinks = sorted(libc.SINKS) + ["loop"]
+    sources = sorted(
+        name for name in libc.SOURCES if name != "find_val"
+    )
+    return {"sensitive_sinks": sinks, "input_sources": sources}
+
+
+def table2_firmware_stats(context):
+    """Table II: size / functions / blocks / call edges per image.
+
+    Blocks and edges come from a whole-binary CFG pass (no module
+    filter), the way the paper characterises each image.
+    """
+    rows = []
+    for key in PROFILE_ORDER:
+        profile = PROFILES[key]
+        built = context.built(key)
+        functions = CFGBuilder(built.binary).build_all()
+        call_graph = build_call_graph(functions)
+        blocks = sum(f.block_count for f in functions.values())
+        rows.append({
+            "index": profile.index,
+            "manufacturer": profile.vendor,
+            "firmware_version": profile.version,
+            "architecture": profile.arch.upper(),
+            "binary": profile.binary_name,
+            "size_kb": round(built.size_kb, 1),
+            "functions": len(built.binary.local_functions),
+            "blocks": blocks,
+            "call_graph_edges": call_graph.edge_count,
+            # Paper values for side-by-side comparison.
+            "paper_size_kb": profile.size_kb,
+            "paper_functions": profile.functions,
+            "paper_blocks": profile.blocks,
+            "paper_call_graph_edges": profile.call_edges,
+        })
+    return rows
+
+
+def table3_detection(context):
+    """Table III: per-image detection summary."""
+    rows = []
+    for key in PROFILE_ORDER:
+        profile = PROFILES[key]
+        report = context.report(key)
+        row = report.summary_row()
+        row.update({
+            "firmware": profile.version,
+            "paper_analysis_functions": profile.analyzed_functions,
+            "paper_sinks_count": profile.sinks_count,
+            "paper_vulnerable_paths": profile.vulnerable_paths,
+            "paper_vulnerabilities": profile.vulnerabilities,
+        })
+        rows.append(row)
+    return rows
+
+
+def _match_findings(context, want_known):
+    """Match report findings against the planted ground truth.
+
+    Multi-path patterns plant one truth per source; the tables count
+    one row per (firmware, label, function).
+    """
+    rows = []
+    seen = set()
+    for key in PROFILE_ORDER:
+        built = context.built(key)
+        report = context.report(key)
+        for item in built.ground_truth:
+            if not item.vulnerable:
+                continue
+            is_known = bool(item.cve)
+            if is_known != want_known:
+                continue
+            # A CVE shared by two firmware versions of the same binary
+            # (CVE-2015-2051 in DIR-645 and DIR-890L) is one Table IV
+            # row, matching the paper.
+            dedup = (item.cve, item.function)
+            if dedup in seen:
+                continue
+            seen.add(dedup)
+            symbol = built.binary.functions.get(item.function)
+            hits = []
+            if symbol is not None:
+                low, high = symbol.addr, symbol.addr + symbol.size
+                hits = [
+                    f for f in report.findings
+                    if low <= f.sink_addr < high
+                ]
+            rows.append({
+                "firmware": PROFILES[key].version,
+                "vulnerability": item.cve or "zero-day",
+                "function": item.function,
+                "kind": item.kind,
+                "sink": item.sink,
+                "source": item.source,
+                "security_check": "N",
+                "detected": bool(hits),
+            })
+    return rows
+
+
+def table4_known_vulnerabilities(context):
+    """Table IV: previously reported vulnerabilities (with CVE labels)."""
+    return _match_findings(context, want_known=True)
+
+
+def table5_zero_days(context):
+    """Table V: zero-day findings grouped by firmware and bug type."""
+    detailed = _match_findings(context, want_known=False)
+    grouped = {}
+    for row in detailed:
+        key = (row["firmware"], row["kind"])
+        entry = grouped.setdefault(
+            key, {"firmware": row["firmware"],
+                  "types": "Buffer Overflow" if row["kind"] == "buffer-overflow"
+                  else "Command Injection",
+                  "bugs": 0, "detected": 0}
+        )
+        entry["bugs"] += 1
+        entry["detected"] += bool(row["detected"])
+    # Count distinct vulnerable functions, not paths.
+    seen_functions = set()
+    for row in detailed:
+        seen_functions.add((row["firmware"], row["kind"], row["function"]))
+    for key in grouped:
+        grouped[key]["bugs"] = sum(
+            1 for fw, kind, _fn in seen_functions if (fw, kind) == key
+        )
+    return sorted(grouped.values(), key=lambda r: r["firmware"]), detailed
+
+
+def table6_resources(context, key="dir645"):
+    """Table VI: CPU and memory usage of the two heavy stages."""
+    from repro.core import DTaint, DTaintConfig
+    from repro.corpus.profiles import analyzed_module_prefixes
+    from repro.eval.resources import measure
+
+    built = context.built(key)
+    config = DTaintConfig(modules=analyzed_module_prefixes(key))
+    detector = DTaint(built.binary, config=config, name=key)
+    detector.build_cfg()
+    with measure() as ssa_usage:
+        detector.analyze_functions()
+    with measure() as ddg_usage:
+        detector.run_dataflow()
+        detector.detect()
+    return [
+        {"stage": "Static symbolic analysis",
+         "cpu_percent": round(ssa_usage.cpu_percent, 1),
+         "memory_mb": round(ssa_usage.peak_traced_mb, 1),
+         "wall_seconds": round(ssa_usage.wall_seconds, 2)},
+        {"stage": "Data flow generation",
+         "cpu_percent": round(ddg_usage.cpu_percent, 1),
+         "memory_mb": round(ddg_usage.peak_traced_mb, 1),
+         "wall_seconds": round(ddg_usage.wall_seconds, 2)},
+    ]
+
+
+def table7_time_cost(context, programs=("dir645", "dgn1000", "dgn2200",
+                                        "openssl")):
+    """Table VII: SSA and DDG time, DTaint vs the top-down baseline.
+
+    Programs map to the paper's cgibin / setup.cgi / httpd / openssl.
+    """
+    import time
+
+    from repro.baseline import TopDownDDG
+    from repro.core import DTaint, DTaintConfig
+    from repro.corpus.openssl import build_openssl
+    from repro.corpus.profiles import analyzed_module_prefixes
+
+    paper = {
+        "dir645": ("cgibin", 62.34, 10.48, 134.49, 16463.32),
+        "dgn1000": ("setup.cgi", 33.85, 1.205, 39.17, 539.68),
+        "dgn2200": ("httpd", 60.92, 8.87, 106.92, 22195.45),
+        "openssl": ("openssl", 47.33, 3.09, 102.94, 7345.56),
+    }
+    rows = []
+    for key in programs:
+        if key == "openssl":
+            built = build_openssl()
+            config = DTaintConfig()
+        else:
+            built = context.built(key)
+            config = DTaintConfig(modules=analyzed_module_prefixes(key))
+
+        detector = DTaint(built.binary, config=config, name=key)
+        detector.build_cfg()
+        start = time.perf_counter()
+        detector.analyze_functions()
+        dtaint_ssa = time.perf_counter() - start
+        start = time.perf_counter()
+        detector.run_dataflow()
+        dtaint_ddg = time.perf_counter() - start
+
+        baseline = TopDownDDG(
+            binary=built.binary,
+            functions=detector.functions,
+            call_graph=detector.call_graph,
+        )
+        baseline.build()
+
+        name, p_dssa, p_dddg, p_assa, p_addg = paper[key]
+        rows.append({
+            "program": name,
+            "dtaint_ssa_s": round(dtaint_ssa, 2),
+            "dtaint_ddg_s": round(dtaint_ddg, 2),
+            "baseline_ssa_s": round(baseline.stats.ssa_seconds, 2),
+            "baseline_ddg_s": round(baseline.stats.ddg_seconds, 2),
+            "baseline_contexts": baseline.stats.contexts_analyzed,
+            "baseline_reanalyses": baseline.stats.reanalyses,
+            "paper_dtaint_ssa_s": p_dssa,
+            "paper_dtaint_ddg_s": p_dddg,
+            "paper_angr_ssa_s": p_assa,
+            "paper_angr_ddg_s": p_addg,
+        })
+    return rows

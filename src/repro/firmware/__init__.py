@@ -1,0 +1,23 @@
+"""Firmware containers, filesystem, extraction, and the boot model.
+
+The pipeline stages mirror the paper's §IV implementation: a firmware
+image arrives as an opaque blob; a Binwalk-style signature scanner
+(:mod:`repro.firmware.binwalk`) carves the container
+(:mod:`repro.firmware.image`), unpacks the root filesystem
+(:mod:`repro.firmware.simplefs`), and the binary of interest is loaded
+for analysis.  :mod:`repro.firmware.emulation` is the FIRMADYNE-style
+full-system boot model behind Figure 1.
+"""
+
+from repro.firmware.binwalk import extract_filesystem, scan
+from repro.firmware.image import FirmwareImage, pack_trx, pack_uimage
+from repro.firmware.simplefs import SimpleFS
+
+__all__ = [
+    "FirmwareImage",
+    "SimpleFS",
+    "extract_filesystem",
+    "pack_trx",
+    "pack_uimage",
+    "scan",
+]

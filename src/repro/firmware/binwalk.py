@@ -1,0 +1,124 @@
+"""Binwalk-style signature scanning and extraction (paper §IV).
+
+DTaint's front end "uses a custom-written extraction utility built
+around the Binwalk API to extract the root file system".  This module
+is that utility: a magic-signature scanner over the raw blob, a
+Shannon-entropy profile (how real Binwalk spots encrypted or
+compressed regions), and a carver that parses the matched container
+and unpacks the SimpleFS rootfs.
+"""
+
+import math
+import struct
+from dataclasses import dataclass
+
+from repro.errors import FirmwareError
+from repro.firmware import image as img
+from repro.firmware.simplefs import MAGIC as SFS_MAGIC, SimpleFS
+
+_SIGNATURES = (
+    ("trx", img.TRX_MAGIC),
+    ("uimage", struct.pack(">I", img.UIMAGE_MAGIC)),
+    ("simplefs", SFS_MAGIC),
+    ("vendor-blob", img.VENDOR_MAGIC),
+    ("elf", b"\x7fELF"),
+    ("gzip", b"\x1f\x8b\x08"),
+)
+
+
+@dataclass
+class Signature:
+    offset: int
+    kind: str
+    description: str
+
+
+def scan(data):
+    """Find all known magic signatures in ``data`` (sorted by offset)."""
+    hits = []
+    for kind, magic in _SIGNATURES:
+        start = 0
+        while True:
+            index = data.find(magic, start)
+            if index < 0:
+                break
+            hits.append(
+                Signature(offset=index, kind=kind,
+                          description="%s signature" % kind)
+            )
+            start = index + 1
+    hits.sort(key=lambda s: s.offset)
+    return hits
+
+
+def entropy_profile(data, block_size=1024):
+    """Per-block Shannon entropy in bits/byte (0..8).
+
+    High sustained entropy (> ~7.5) marks compressed or encrypted
+    regions that defeat signature carving.
+    """
+    profile = []
+    for start in range(0, len(data), block_size):
+        block = data[start:start + block_size]
+        if not block:
+            break
+        counts = [0] * 256
+        for byte in block:
+            counts[byte] += 1
+        entropy = 0.0
+        size = len(block)
+        for count in counts:
+            if count:
+                p = count / size
+                entropy -= p * math.log2(p)
+        profile.append(entropy)
+    return profile
+
+
+def carve(data):
+    """Parse the outermost container in ``data``."""
+    hits = scan(data)
+    for hit in hits:
+        if hit.kind == "trx":
+            return img.parse_trx(data, hit.offset)
+        if hit.kind == "uimage":
+            return img.parse_uimage(data, hit.offset)
+        if hit.kind == "vendor-blob":
+            raise FirmwareError(
+                "proprietary vendor wrapper at 0x%x (cannot unpack)"
+                % hit.offset
+            )
+    raise FirmwareError("no known container signature found")
+
+
+def extract_filesystem(data):
+    """Full pipeline: blob -> container -> SimpleFS root filesystem."""
+    container = carve(data)
+    rootfs_data = container.rootfs
+    if rootfs_data[:4] != SFS_MAGIC:
+        # The rootfs may sit at an aligned offset; rescan within it.
+        index = rootfs_data.find(SFS_MAGIC)
+        if index < 0:
+            raise FirmwareError("no filesystem inside the container")
+        rootfs_data = rootfs_data[index:]
+    return SimpleFS.unpack(rootfs_data), container
+
+
+def pick_target_binary(fs, preferred=("cgibin", "setup.cgi", "httpd",
+                                      "mwareserver", "centaurus")):
+    """Choose the network-facing ELF the analysis should load.
+
+    Preference order mirrors the paper's six targets; falls back to
+    the largest ELF in the filesystem.
+    """
+    candidates = []
+    for path, data in fs.files():
+        if data[:4] == b"\x7fELF":
+            candidates.append((path, data))
+    if not candidates:
+        raise FirmwareError("no ELF executables in the filesystem")
+    for name in preferred:
+        for path, data in candidates:
+            if path.endswith("/" + name) or path.endswith(name):
+                return path, data
+    return max(candidates, key=lambda item: len(item[1]))

@@ -1,0 +1,149 @@
+"""Firmware container formats.
+
+Two structurally faithful containers cover the fleet:
+
+* **TRX** — the Broadcom-style header used by many router vendors:
+  ``HDR0`` magic, total length, CRC32, flags/version, and three
+  partition offsets (loader, kernel, rootfs);
+* **uImage** — the U-Boot legacy image header: magic ``0x27051956``,
+  header CRC, timestamp, sizes, load/entry addresses, data CRC, and a
+  32-byte name, followed by the payload (here: kernel stub + SimpleFS
+  rootfs at a marked offset).
+
+A ``vendor-blob`` (proprietary, optionally XOR-obfuscated) wrapper
+models the images Binwalk fails on (paper §VI: >65% of images fail to
+unpack cleanly).
+"""
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import FirmwareError
+
+TRX_MAGIC = b"HDR0"
+TRX_HEADER = "<4sIIII III"   # magic, len, crc, flags_version, 3 offsets (+pad)
+TRX_HEADER_SIZE = 32
+
+UIMAGE_MAGIC = 0x27051956
+UIMAGE_HEADER = ">IIIIIIIBBBB32s"
+UIMAGE_HEADER_SIZE = 64
+
+
+@dataclass
+class FirmwareImage:
+    """A parsed firmware container."""
+
+    container: str
+    kernel: bytes
+    rootfs: bytes
+    name: str = ""
+    load_addr: int = 0
+    entry_addr: int = 0
+
+
+def pack_trx(kernel, rootfs, loader=b""):
+    """Build a TRX-style image."""
+    offsets_base = TRX_HEADER_SIZE
+    loader_off = offsets_base if loader else 0
+    kernel_off = offsets_base + len(loader)
+    rootfs_off = kernel_off + len(kernel)
+    payload = loader + kernel + rootfs
+    total = TRX_HEADER_SIZE + len(payload)
+    header_wo_crc = struct.pack(
+        "<4sII", TRX_MAGIC, total, 0
+    ) + struct.pack("<IIII", 1, loader_off, kernel_off, rootfs_off) + b"\x00" * 4
+    crc = zlib.crc32(header_wo_crc[12:] + payload) & 0xFFFFFFFF
+    header = struct.pack(
+        "<4sII", TRX_MAGIC, total, crc
+    ) + header_wo_crc[12:]
+    return header + payload
+
+
+def parse_trx(data, offset=0):
+    if data[offset:offset + 4] != TRX_MAGIC:
+        raise FirmwareError("not a TRX image at offset 0x%x" % offset)
+    total, crc = struct.unpack_from("<II", data, offset + 4)
+    if offset + total > len(data):
+        raise FirmwareError("TRX length runs past the blob")
+    body = data[offset + 12:offset + total]
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise FirmwareError("TRX CRC mismatch")
+    _version, loader_off, kernel_off, rootfs_off = struct.unpack_from(
+        "<IIII", data, offset + 12
+    )
+    kernel = data[offset + kernel_off:offset + rootfs_off]
+    rootfs = data[offset + rootfs_off:offset + total]
+    return FirmwareImage(container="trx", kernel=kernel, rootfs=rootfs)
+
+
+def pack_uimage(kernel, rootfs, name="firmware", load_addr=0x80000000,
+                entry_addr=0x80000100):
+    """Build a U-Boot legacy image wrapping kernel + rootfs.
+
+    The rootfs is appended after the kernel; its offset is stored in
+    the first 4 payload bytes (a common vendor convention for combined
+    images).
+    """
+    payload = struct.pack(">I", 4 + len(kernel)) + kernel + rootfs
+    data_crc = zlib.crc32(payload) & 0xFFFFFFFF
+    name_bytes = name.encode("utf-8")[:31].ljust(32, b"\x00")
+    header = struct.pack(
+        UIMAGE_HEADER,
+        UIMAGE_MAGIC,
+        0,                      # header CRC (patched below)
+        0x5B2EDF00,             # timestamp
+        len(payload),
+        load_addr,
+        entry_addr,
+        data_crc,
+        5,                      # OS: Linux
+        2,                      # arch field (ARM=2; cosmetic here)
+        2,                      # type: kernel
+        0,                      # compression: none
+        name_bytes,
+    )
+    header_crc = zlib.crc32(header) & 0xFFFFFFFF
+    header = header[:4] + struct.pack(">I", header_crc) + header[8:]
+    return header + payload
+
+
+def parse_uimage(data, offset=0):
+    if len(data) < offset + UIMAGE_HEADER_SIZE:
+        raise FirmwareError("truncated uImage header")
+    fields = struct.unpack_from(UIMAGE_HEADER, data, offset)
+    magic, header_crc, _ts, size, load, entry, data_crc = fields[:7]
+    name = fields[11].rstrip(b"\x00").decode("utf-8", "replace")
+    if magic != UIMAGE_MAGIC:
+        raise FirmwareError("not a uImage at offset 0x%x" % offset)
+    header = bytearray(data[offset:offset + UIMAGE_HEADER_SIZE])
+    header[4:8] = b"\x00" * 4
+    if zlib.crc32(bytes(header)) & 0xFFFFFFFF != header_crc:
+        raise FirmwareError("uImage header CRC mismatch")
+    payload = data[offset + UIMAGE_HEADER_SIZE:offset + UIMAGE_HEADER_SIZE + size]
+    if len(payload) != size:
+        raise FirmwareError("uImage payload truncated")
+    if zlib.crc32(payload) & 0xFFFFFFFF != data_crc:
+        raise FirmwareError("uImage data CRC mismatch")
+    rootfs_off = struct.unpack_from(">I", payload, 0)[0]
+    kernel = payload[4:rootfs_off]
+    rootfs = payload[rootfs_off:]
+    return FirmwareImage(
+        container="uimage", kernel=kernel, rootfs=rootfs, name=name,
+        load_addr=load, entry_addr=entry,
+    )
+
+
+VENDOR_MAGIC = b"VNDR"
+
+
+def pack_vendor_blob(kernel, rootfs, xor_key=0x5A):
+    """A proprietary wrapper: magic + XOR-obfuscated TRX body.
+
+    Models the encrypted/unknown images Binwalk cannot unpack.
+    """
+    inner = pack_trx(kernel, rootfs)
+    obfuscated = bytes(b ^ xor_key for b in inner)
+    return VENDOR_MAGIC + struct.pack("<BxxxI", xor_key, len(obfuscated)) + (
+        obfuscated
+    )

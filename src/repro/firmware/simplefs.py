@@ -1,0 +1,160 @@
+"""SimpleFS: the root-filesystem archive inside firmware containers.
+
+A structurally faithful stand-in for SquashFS: magic, superblock with
+entry count and a checksum, then an inode table of (path, mode, offset,
+length) records followed by packed file contents, optionally
+zlib-compressed per file (SquashFS compresses per block; per file keeps
+the format small while preserving the "compressed filesystem" property
+the extractor must handle).
+"""
+
+import struct
+import zlib
+
+from repro.errors import FirmwareError
+
+MAGIC = b"SFS1"
+_SUPER = "<4sIII"           # magic, entry_count, table_size, crc32
+_ENTRY = "<HHIII"           # path_len, mode, offset, stored_len, raw_len
+
+MODE_FILE = 0o100755
+MODE_DIR = 0o040755
+
+COMPRESS_THRESHOLD = 64
+
+
+class SimpleFS:
+    """An in-memory root filesystem that packs to/from bytes."""
+
+    def __init__(self):
+        self._files = {}    # path -> (mode, bytes)
+
+    def add_file(self, path, data, mode=MODE_FILE):
+        if not path.startswith("/"):
+            raise FirmwareError("paths must be absolute: %r" % path)
+        self._files[path] = (mode, bytes(data))
+
+    def add_dir(self, path):
+        self._files[path] = (MODE_DIR, b"")
+
+    def read_file(self, path):
+        try:
+            mode, data = self._files[path]
+        except KeyError:
+            raise FirmwareError("no such file %r" % path)
+        if mode == MODE_DIR:
+            raise FirmwareError("%r is a directory" % path)
+        return data
+
+    def paths(self):
+        return sorted(self._files)
+
+    def files(self):
+        return [
+            (path, data) for path, (mode, data) in sorted(self._files.items())
+            if mode != MODE_DIR
+        ]
+
+    def __contains__(self, path):
+        return path in self._files
+
+    def __len__(self):
+        return len(self._files)
+
+    # ------------------------------------------------------------------
+
+    def pack(self):
+        """Serialise to bytes."""
+        entries = []
+        blobs = []
+        offset = 0
+        for path, (mode, data) in sorted(self._files.items()):
+            stored = data
+            if len(data) >= COMPRESS_THRESHOLD:
+                compressed = zlib.compress(data, 6)
+                if len(compressed) < len(data):
+                    stored = compressed
+            path_bytes = path.encode("utf-8")
+            entries.append(
+                struct.pack(
+                    _ENTRY, len(path_bytes), mode & 0xFFFF, offset,
+                    len(stored), len(data),
+                ) + path_bytes
+            )
+            blobs.append(stored)
+            offset += len(stored)
+        table = b"".join(entries)
+        payload = b"".join(blobs)
+        crc = zlib.crc32(table + payload) & 0xFFFFFFFF
+        super_block = struct.pack(
+            _SUPER, MAGIC, len(self._files), len(table), crc
+        )
+        return super_block + table + payload
+
+    @classmethod
+    def unpack(cls, data):
+        """Parse bytes back into a :class:`SimpleFS`."""
+        header_size = struct.calcsize(_SUPER)
+        if len(data) < header_size:
+            raise FirmwareError("truncated SimpleFS superblock")
+        magic, count, table_size, crc = struct.unpack_from(_SUPER, data, 0)
+        if magic != MAGIC:
+            raise FirmwareError("bad SimpleFS magic %r" % magic)
+        body = data[header_size:]
+        if table_size > len(body):
+            raise FirmwareError("SimpleFS inode table runs past the image")
+        table = body[:table_size]
+        payload_base = table_size
+        total = payload_base + _payload_size(body, count, table_size)
+        if total > len(body):
+            raise FirmwareError("SimpleFS payload runs past the image")
+        if zlib.crc32(body[:total]) & 0xFFFFFFFF != crc:
+            raise FirmwareError("SimpleFS checksum mismatch")
+
+        fs = cls()
+        cursor = 0
+        entry_size = struct.calcsize(_ENTRY)
+        for _ in range(count):
+            if cursor + entry_size > len(table):
+                raise FirmwareError("truncated SimpleFS inode table")
+            path_len, mode, offset, stored_len, raw_len = struct.unpack_from(
+                _ENTRY, table, cursor
+            )
+            cursor += entry_size
+            path = table[cursor:cursor + path_len].decode("utf-8")
+            cursor += path_len
+            start = payload_base + offset
+            stored = body[start:start + stored_len]
+            if len(stored) != stored_len:
+                raise FirmwareError("truncated file payload for %r" % path)
+            if stored_len == raw_len:
+                content = stored
+            else:
+                try:
+                    content = zlib.decompress(stored)
+                except zlib.error as exc:
+                    raise FirmwareError(
+                        "corrupt compressed file %r: %s" % (path, exc)
+                    )
+                if len(content) != raw_len:
+                    raise FirmwareError("bad decompressed size for %r" % path)
+            if mode == MODE_DIR & 0xFFFF:
+                fs.add_dir(path)
+            else:
+                fs._files[path] = (mode, content)
+        return fs
+
+
+def _payload_size(body, count, table_size):
+    """Total payload length = max(offset+stored_len) over the table."""
+    entry_size = struct.calcsize(_ENTRY)
+    cursor = 0
+    end = 0
+    table = body[:table_size]
+    for _ in range(count):
+        path_len, _mode, offset, stored_len, _raw = struct.unpack_from(
+            _ENTRY, table, cursor
+        )
+        cursor += entry_size + path_len
+        end = max(end, offset + stored_len)
+    return end

@@ -1,0 +1,36 @@
+"""A VEX-flavoured intermediate representation.
+
+The paper lifts firmware binaries to Valgrind's VEX IR via angr.  This
+package provides the same shape of IR: temporaries written once per
+block, ``Get``/``Put`` register accesses, explicit ``Load``/``Store``
+memory operations, and guarded ``Exit`` statements, grouped into IR
+super-blocks (:class:`~repro.ir.irsb.IRSB`).
+
+Condition flags follow the VEX "thunk" convention: comparison
+instructions store their operands into the pseudo-registers ``cc_op``,
+``cc_dep1`` and ``cc_dep2``; conditional branches materialise the
+condition from the thunk.  This keeps branch constraints recoverable by
+the symbolic engine without bit-level flag arithmetic.
+"""
+
+from repro.ir.expr import Binop, Const, Get, ITE, Load, Ops, RdTmp, Unop
+from repro.ir.irsb import IRSB, JumpKind
+from repro.ir.stmt import Exit, IMark, Put, Store, WrTmp
+
+__all__ = [
+    "Binop",
+    "Const",
+    "Exit",
+    "Get",
+    "IMark",
+    "IRSB",
+    "ITE",
+    "JumpKind",
+    "Load",
+    "Ops",
+    "Put",
+    "RdTmp",
+    "Store",
+    "Unop",
+    "WrTmp",
+]

@@ -1,0 +1,164 @@
+"""IR expression nodes.
+
+Expressions are immutable and hashable so they can key dictionaries in
+the dataflow analyses.  Sizes are byte counts (1, 2 or 4); every
+expression evaluates to a 32-bit value unless noted otherwise.
+"""
+
+from dataclasses import dataclass
+
+
+class Ops:
+    """Operation names shared by :class:`Binop` and :class:`Unop`.
+
+    The ``32`` suffix mirrors VEX naming; all arithmetic is modulo
+    2**32.  Comparison ops yield 0 or 1.
+    """
+
+    ADD = "Add32"
+    SUB = "Sub32"
+    MUL = "Mul32"
+    AND = "And32"
+    OR = "Or32"
+    XOR = "Xor32"
+    SHL = "Shl32"
+    SHR = "Shr32"            # logical shift right
+    SAR = "Sar32"            # arithmetic shift right
+    ROR = "Ror32"
+    CMP_EQ = "CmpEQ32"
+    CMP_NE = "CmpNE32"
+    CMP_LT_S = "CmpLT32S"
+    CMP_LE_S = "CmpLE32S"
+    CMP_LT_U = "CmpLT32U"
+    CMP_LE_U = "CmpLE32U"
+    # Unary.
+    NOT = "Not32"
+    NEG = "Neg32"
+    U8_TO_32 = "8Uto32"
+    S8_TO_32 = "8Sto32"
+    U16_TO_32 = "16Uto32"
+    S16_TO_32 = "16Sto32"
+    TO_8 = "32to8"
+    TO_16 = "32to16"
+
+    BINOPS = frozenset(
+        [ADD, SUB, MUL, AND, OR, XOR, SHL, SHR, SAR, ROR,
+         CMP_EQ, CMP_NE, CMP_LT_S, CMP_LE_S, CMP_LT_U, CMP_LE_U]
+    )
+    UNOPS = frozenset(
+        [NOT, NEG, U8_TO_32, S8_TO_32, U16_TO_32, S16_TO_32, TO_8, TO_16]
+    )
+    COMPARISONS = frozenset(
+        [CMP_EQ, CMP_NE, CMP_LT_S, CMP_LE_S, CMP_LT_U, CMP_LE_U]
+    )
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for IR expressions."""
+
+    def walk(self):
+        """Yield this node and all sub-expressions, pre-order."""
+        yield self
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant (unsigned, already reduced mod 2**32)."""
+
+    value: int
+    size: int = 4
+
+    def __str__(self):
+        return "0x%x" % self.value
+
+
+@dataclass(frozen=True)
+class RdTmp(Expr):
+    """Read of a block-local temporary."""
+
+    tmp: int
+
+    def __str__(self):
+        return "t%d" % self.tmp
+
+
+@dataclass(frozen=True)
+class Get(Expr):
+    """Read of a guest register (canonical lowercase name)."""
+
+    reg: str
+
+    def __str__(self):
+        return "GET(%s)" % self.reg
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """Little/big-endianness is resolved by the lifter; ``size`` bytes."""
+
+    addr: Expr
+    size: int = 4
+    signed: bool = False
+
+    def walk(self):
+        yield self
+        yield from self.addr.walk()
+
+    def __str__(self):
+        sign = "S" if self.signed else ""
+        return "LD%s%d(%s)" % (sign, self.size * 8, self.addr)
+
+
+@dataclass(frozen=True)
+class Binop(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in Ops.BINOPS:
+            raise ValueError("unknown binop %r" % self.op)
+
+    def walk(self):
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+    def __str__(self):
+        return "%s(%s,%s)" % (self.op, self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Unop(Expr):
+    op: str
+    arg: Expr
+
+    def __post_init__(self):
+        if self.op not in Ops.UNOPS:
+            raise ValueError("unknown unop %r" % self.op)
+
+    def walk(self):
+        yield self
+        yield from self.arg.walk()
+
+    def __str__(self):
+        return "%s(%s)" % (self.op, self.arg)
+
+
+@dataclass(frozen=True)
+class ITE(Expr):
+    """If-then-else expression (used for conditional ARM instructions)."""
+
+    cond: Expr
+    iftrue: Expr
+    iffalse: Expr
+
+    def walk(self):
+        yield self
+        yield from self.cond.walk()
+        yield from self.iftrue.walk()
+        yield from self.iffalse.walk()
+
+    def __str__(self):
+        return "ITE(%s,%s,%s)" % (self.cond, self.iftrue, self.iffalse)

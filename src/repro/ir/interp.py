@@ -1,0 +1,137 @@
+"""Concrete IRSB interpreter.
+
+Executes one lifted block against a concrete register file and byte
+memory.  Used by the differential tests to check that the lifters'
+semantics agree with the independent instruction-level emulator in
+:mod:`repro.emu`.
+"""
+
+from repro.errors import SymExecError
+from repro.ir.expr import Binop, Const, Get, ITE, Load, Ops, RdTmp, Unop
+from repro.ir.stmt import Exit, IMark, Put, Store, WrTmp
+from repro.utils.bits import ror32, sign_extend, to_signed32, to_unsigned32
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _eval_binop(op, a, b):
+    if op == Ops.ADD:
+        return (a + b) & _MASK32
+    if op == Ops.SUB:
+        return (a - b) & _MASK32
+    if op == Ops.MUL:
+        return (a * b) & _MASK32
+    if op == Ops.AND:
+        return a & b
+    if op == Ops.OR:
+        return a | b
+    if op == Ops.XOR:
+        return a ^ b
+    if op == Ops.SHL:
+        shift = b & 0xFF
+        return (a << shift) & _MASK32 if shift < 32 else 0
+    if op == Ops.SHR:
+        shift = b & 0xFF
+        return (a >> shift) if shift < 32 else 0
+    if op == Ops.SAR:
+        shift = b & 0xFF
+        if shift >= 32:
+            shift = 31
+        return to_unsigned32(to_signed32(a) >> shift)
+    if op == Ops.ROR:
+        return ror32(a, b & 0x1F)
+    if op == Ops.CMP_EQ:
+        return int(a == b)
+    if op == Ops.CMP_NE:
+        return int(a != b)
+    if op == Ops.CMP_LT_S:
+        return int(to_signed32(a) < to_signed32(b))
+    if op == Ops.CMP_LE_S:
+        return int(to_signed32(a) <= to_signed32(b))
+    if op == Ops.CMP_LT_U:
+        return int(a < b)
+    if op == Ops.CMP_LE_U:
+        return int(a <= b)
+    raise SymExecError("unhandled binop %s" % op)
+
+
+def _eval_unop(op, a):
+    if op == Ops.NOT:
+        return a ^ _MASK32
+    if op == Ops.NEG:
+        return (-a) & _MASK32
+    if op == Ops.U8_TO_32:
+        return a & 0xFF
+    if op == Ops.S8_TO_32:
+        return to_unsigned32(sign_extend(a & 0xFF, 8))
+    if op == Ops.U16_TO_32:
+        return a & 0xFFFF
+    if op == Ops.S16_TO_32:
+        return to_unsigned32(sign_extend(a & 0xFFFF, 16))
+    if op == Ops.TO_8:
+        return a & 0xFF
+    if op == Ops.TO_16:
+        return a & 0xFFFF
+    raise SymExecError("unhandled unop %s" % op)
+
+
+class IRInterpreter:
+    """Interprets IRSBs over a register dict and a memory object.
+
+    ``memory`` must provide ``read(addr, size) -> int`` and
+    ``write(addr, value, size)`` with the target's endianness already
+    applied (the emulator's RAM object is reused directly).
+    """
+
+    def __init__(self, registers, memory):
+        self.registers = registers
+        self.memory = memory
+        self._tmps = {}
+
+    def eval_expr(self, expr):
+        if isinstance(expr, Const):
+            return to_unsigned32(expr.value)
+        if isinstance(expr, RdTmp):
+            try:
+                return self._tmps[expr.tmp]
+            except KeyError:
+                raise SymExecError("read of unwritten temporary t%d" % expr.tmp)
+        if isinstance(expr, Get):
+            return to_unsigned32(self.registers.get(expr.reg, 0))
+        if isinstance(expr, Load):
+            addr = self.eval_expr(expr.addr)
+            value = self.memory.read(addr, expr.size)
+            if expr.signed:
+                value = to_unsigned32(sign_extend(value, expr.size * 8))
+            return value
+        if isinstance(expr, Binop):
+            return _eval_binop(
+                expr.op, self.eval_expr(expr.left), self.eval_expr(expr.right)
+            )
+        if isinstance(expr, Unop):
+            return _eval_unop(expr.op, self.eval_expr(expr.arg))
+        if isinstance(expr, ITE):
+            if self.eval_expr(expr.cond):
+                return self.eval_expr(expr.iftrue)
+            return self.eval_expr(expr.iffalse)
+        raise SymExecError("cannot evaluate %r" % (expr,))
+
+    def run(self, irsb):
+        """Execute ``irsb``; return ``(next_pc, jumpkind)``."""
+        self._tmps = {}
+        for stmt in irsb.stmts:
+            if isinstance(stmt, IMark):
+                continue
+            if isinstance(stmt, WrTmp):
+                self._tmps[stmt.tmp] = self.eval_expr(stmt.expr)
+            elif isinstance(stmt, Put):
+                self.registers[stmt.reg] = self.eval_expr(stmt.expr)
+            elif isinstance(stmt, Store):
+                addr = self.eval_expr(stmt.addr)
+                self.memory.write(addr, self.eval_expr(stmt.data), stmt.size)
+            elif isinstance(stmt, Exit):
+                if self.eval_expr(stmt.guard):
+                    return stmt.target, stmt.jumpkind
+            else:
+                raise SymExecError("unhandled statement %r" % (stmt,))
+        return self.eval_expr(irsb.next_expr), irsb.jumpkind

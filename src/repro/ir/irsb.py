@@ -1,0 +1,88 @@
+"""IR super-blocks: one straight-line guest basic block, lifted."""
+
+from dataclasses import dataclass, field
+
+from repro.ir.expr import Expr
+from repro.ir.stmt import Exit, IMark, Stmt, WrTmp
+
+
+class JumpKind:
+    """Block-ending control transfer kinds (VEX naming)."""
+
+    BORING = "Ijk_Boring"
+    CALL = "Ijk_Call"
+    RET = "Ijk_Ret"
+    NO_DECODE = "Ijk_NoDecode"
+
+
+@dataclass
+class IRSB:
+    """An IR super-block.
+
+    ``next_expr`` is the fall-through/jump target evaluated when no
+    guarded :class:`~repro.ir.stmt.Exit` fires; ``jumpkind`` describes
+    the final transfer.  For ``Ijk_Call`` blocks ``return_addr`` holds
+    the address execution resumes at after the callee returns.
+    """
+
+    addr: int
+    stmts: list = field(default_factory=list)
+    next_expr: Expr = None
+    jumpkind: str = JumpKind.BORING
+    return_addr: int = None
+
+    @property
+    def instruction_addrs(self):
+        return [s.addr for s in self.stmts if isinstance(s, IMark)]
+
+    @property
+    def exits(self):
+        return [s for s in self.stmts if isinstance(s, Exit)]
+
+    def tmp_count(self):
+        return 1 + max(
+            (s.tmp for s in self.stmts if isinstance(s, WrTmp)), default=-1
+        )
+
+    def pretty(self):
+        """Render the block the way ``pyvex``'s pretty printer does."""
+        lines = ["IRSB @ 0x%x {" % self.addr]
+        for stmt in self.stmts:
+            lines.append("    %s" % stmt)
+        lines.append("    NEXT: %s [%s]" % (self.next_expr, self.jumpkind))
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.pretty()
+
+
+class IRBuilder:
+    """Helper used by the lifters to build an :class:`IRSB` incrementally."""
+
+    def __init__(self, addr):
+        self.irsb = IRSB(addr=addr)
+        self._next_tmp = 0
+
+    def add(self, stmt):
+        if not isinstance(stmt, Stmt):
+            raise TypeError("expected Stmt, got %r" % (stmt,))
+        self.irsb.stmts.append(stmt)
+
+    def tmp(self, expr):
+        """Bind ``expr`` to a fresh temporary and return the RdTmp expr."""
+        from repro.ir.expr import RdTmp
+
+        index = self._next_tmp
+        self._next_tmp += 1
+        self.irsb.stmts.append(WrTmp(index, expr))
+        return RdTmp(index)
+
+    def imark(self, addr, length):
+        self.irsb.stmts.append(IMark(addr, length))
+
+    def finish(self, next_expr, jumpkind, return_addr=None):
+        self.irsb.next_expr = next_expr
+        self.irsb.jumpkind = jumpkind
+        self.irsb.return_addr = return_addr
+        return self.irsb

@@ -1,0 +1,67 @@
+"""IR statement nodes."""
+
+from dataclasses import dataclass
+
+from repro.ir.expr import Expr
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class for IR statements."""
+
+
+@dataclass(frozen=True)
+class IMark(Stmt):
+    """Marks the start of the translation of one guest instruction."""
+
+    addr: int
+    length: int
+
+    def __str__(self):
+        return "------ IMark(0x%x, %d) ------" % (self.addr, self.length)
+
+
+@dataclass(frozen=True)
+class WrTmp(Stmt):
+    """Assign an expression to a block-local temporary (written once)."""
+
+    tmp: int
+    expr: Expr
+
+    def __str__(self):
+        return "t%d = %s" % (self.tmp, self.expr)
+
+
+@dataclass(frozen=True)
+class Put(Stmt):
+    """Write a guest register."""
+
+    reg: str
+    expr: Expr
+
+    def __str__(self):
+        return "PUT(%s) = %s" % (self.reg, self.expr)
+
+
+@dataclass(frozen=True)
+class Store(Stmt):
+    """Write ``size`` bytes of ``data`` to memory at ``addr``."""
+
+    addr: Expr
+    data: Expr
+    size: int = 4
+
+    def __str__(self):
+        return "ST%d(%s) = %s" % (self.size * 8, self.addr, self.data)
+
+
+@dataclass(frozen=True)
+class Exit(Stmt):
+    """Guarded side-exit: if ``guard`` is non-zero, jump to ``target``."""
+
+    guard: Expr
+    target: int
+    jumpkind: str
+
+    def __str__(self):
+        return "if (%s) goto 0x%x [%s]" % (self.guard, self.target, self.jumpkind)

@@ -1,0 +1,13 @@
+"""ELF reading/writing and the loaded-binary abstraction.
+
+Firmware root filesystems carry ELF executables; this package writes
+genuine ELF32 images (used by the synthetic corpus) and loads them back
+for analysis, exposing segments, the symbol table, and import stubs the
+way angr's CLE loader does.
+"""
+
+from repro.loader.binary import LoadedBinary, load_elf
+from repro.loader.elf import ElfFile
+from repro.loader.elfwriter import SymbolSpec, write_elf
+
+__all__ = ["ElfFile", "LoadedBinary", "SymbolSpec", "load_elf", "write_elf"]

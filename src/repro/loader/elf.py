@@ -1,0 +1,177 @@
+"""ELF32 reader.
+
+Parses the headers, program headers, section headers and symbol table
+of ELF executables — both images produced by
+:mod:`repro.loader.elfwriter` and any well-formed little/big-endian
+ELF32 binary using the same structures.
+"""
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import ELFError
+from repro.loader import elfconst as C
+
+
+@dataclass
+class ElfSection:
+    name: str
+    sh_type: int
+    flags: int
+    addr: int
+    offset: int
+    size: int
+    link: int
+    entsize: int
+
+
+@dataclass
+class ElfSegment:
+    p_type: int
+    offset: int
+    vaddr: int
+    filesz: int
+    memsz: int
+    flags: int
+
+    @property
+    def executable(self):
+        return bool(self.flags & C.PF_X)
+
+    @property
+    def writable(self):
+        return bool(self.flags & C.PF_W)
+
+
+@dataclass
+class ElfSymbol:
+    name: str
+    value: int
+    size: int
+    bind: int
+    type_: int
+    shndx: int
+
+    @property
+    def is_function(self):
+        return self.type_ == C.STT_FUNC
+
+
+@dataclass
+class ElfFile:
+    """A parsed ELF32 file."""
+
+    data: bytes
+    endian: str = "<"
+    machine: int = 0
+    entry: int = 0
+    segments: list = field(default_factory=list)
+    sections: dict = field(default_factory=dict)
+    symbols: list = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, data):
+        if len(data) < C.EHDR_SIZE:
+            raise ELFError("file too small for an ELF header")
+        if data[:4] != C.ELF_MAGIC:
+            raise ELFError("bad ELF magic %r" % data[:4])
+        if data[4] != C.ELFCLASS32:
+            raise ELFError("only ELF32 is supported (EI_CLASS=%d)" % data[4])
+        if data[5] == C.ELFDATA2LSB:
+            endian = "<"
+        elif data[5] == C.ELFDATA2MSB:
+            endian = ">"
+        else:
+            raise ELFError("bad EI_DATA %d" % data[5])
+
+        (
+            e_type, e_machine, _version, e_entry, e_phoff, e_shoff, _flags,
+            _ehsize, e_phentsize, e_phnum, e_shentsize, e_shnum, e_shstrndx,
+        ) = struct.unpack_from(endian + "HHIIIIIHHHHHH", data, 16)
+
+        elf = cls(data=data, endian=endian, machine=e_machine, entry=e_entry)
+
+        for i in range(e_phnum):
+            base = e_phoff + i * e_phentsize
+            if base + C.PHDR_SIZE > len(data):
+                raise ELFError("truncated program header %d" % i)
+            p_type, offset, vaddr, _paddr, filesz, memsz, flags, _align = (
+                struct.unpack_from(endian + "IIIIIIII", data, base)
+            )
+            if p_type == C.PT_LOAD:
+                if offset + filesz > len(data):
+                    raise ELFError("PT_LOAD %d extends past end of file" % i)
+                elf.segments.append(
+                    ElfSegment(p_type, offset, vaddr, filesz, memsz, flags)
+                )
+
+        if e_shnum:
+            raw_sections = []
+            for i in range(e_shnum):
+                base = e_shoff + i * e_shentsize
+                if base + C.SHDR_SIZE > len(data):
+                    raise ELFError("truncated section header %d" % i)
+                raw_sections.append(
+                    struct.unpack_from(endian + "IIIIIIIIII", data, base)
+                )
+            if e_shstrndx >= len(raw_sections):
+                raise ELFError("bad e_shstrndx %d" % e_shstrndx)
+            shstr = raw_sections[e_shstrndx]
+            shstr_data = data[shstr[4]:shstr[4] + shstr[5]]
+
+            def sh_name(offset):
+                end = shstr_data.find(b"\x00", offset)
+                return shstr_data[offset:end].decode("utf-8", "replace")
+
+            parsed = []
+            for raw in raw_sections:
+                (name_off, sh_type, flags, addr, offset, size, link,
+                 _info, _align, entsize) = raw
+                parsed.append(
+                    ElfSection(
+                        sh_name(name_off), sh_type, flags, addr, offset,
+                        size, link, entsize,
+                    )
+                )
+            elf.sections = {s.name: s for s in parsed if s.name}
+            elf._parse_symbols(parsed)
+        return elf
+
+    def _parse_symbols(self, parsed_sections):
+        for section in parsed_sections:
+            if section.sh_type != C.SHT_SYMTAB:
+                continue
+            if section.link >= len(parsed_sections):
+                raise ELFError(".symtab has a bad strtab link")
+            strtab = parsed_sections[section.link]
+            str_data = self.data[strtab.offset:strtab.offset + strtab.size]
+            count = section.size // C.SYM_SIZE
+            for i in range(count):
+                base = section.offset + i * C.SYM_SIZE
+                name_off, value, size, info, _other, shndx = struct.unpack_from(
+                    self.endian + "IIIBBH", self.data, base
+                )
+                end = str_data.find(b"\x00", name_off)
+                name = str_data[name_off:end].decode("utf-8", "replace")
+                if not name:
+                    continue
+                self.symbols.append(
+                    ElfSymbol(
+                        name=name, value=value, size=size,
+                        bind=info >> 4, type_=info & 0xF, shndx=shndx,
+                    )
+                )
+
+    def section_bytes(self, name):
+        section = self.sections.get(name)
+        if section is None or section.sh_type == C.SHT_NOBITS:
+            return b""
+        return self.data[section.offset:section.offset + section.size]
+
+    @property
+    def arch_name(self):
+        if self.machine == C.EM_ARM:
+            return "arm"
+        if self.machine == C.EM_MIPS:
+            return "mips"
+        raise ELFError("unsupported machine %d" % self.machine)

@@ -1,0 +1,46 @@
+"""ELF32 constants (the subset both reader and writer need)."""
+
+ELF_MAGIC = b"\x7fELF"
+
+ELFCLASS32 = 1
+ELFDATA2LSB = 1
+ELFDATA2MSB = 2
+EV_CURRENT = 1
+
+ET_EXEC = 2
+EM_MIPS = 8
+EM_ARM = 40
+
+PT_LOAD = 1
+PF_X = 1
+PF_W = 2
+PF_R = 4
+
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_NOBITS = 8
+
+SHF_WRITE = 1
+SHF_ALLOC = 2
+SHF_EXECINSTR = 4
+
+STB_LOCAL = 0
+STB_GLOBAL = 1
+
+STT_NOTYPE = 0
+STT_OBJECT = 1
+STT_FUNC = 2
+
+SHN_UNDEF = 0
+SHN_ABS = 0xFFF1
+
+EHDR_SIZE = 52
+PHDR_SIZE = 32
+SHDR_SIZE = 40
+SYM_SIZE = 16
+
+
+def st_info(bind, type_):
+    return (bind << 4) | (type_ & 0xF)

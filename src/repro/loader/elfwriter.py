@@ -1,0 +1,236 @@
+"""ELF32 executable writer.
+
+Produces genuine ELF images from an
+:class:`~repro.arch.asmlang.AssembledProgram`: ELF header, one
+``PT_LOAD`` program header per mapped section, section headers for
+``.plt``/``.text``/``.rodata``/``.data``/``.bss``, and a symbol table
+(``.symtab`` + ``.strtab``).  Function symbols inside ``.plt`` act as
+import stubs, mirroring how dynamically linked firmware binaries expose
+their libc imports.
+"""
+
+import struct
+from dataclasses import dataclass
+
+from repro.loader import elfconst as C
+
+_SECTION_FLAGS = {
+    ".plt": C.SHF_ALLOC | C.SHF_EXECINSTR,
+    ".text": C.SHF_ALLOC | C.SHF_EXECINSTR,
+    ".rodata": C.SHF_ALLOC,
+    ".data": C.SHF_ALLOC | C.SHF_WRITE,
+    ".bss": C.SHF_ALLOC | C.SHF_WRITE,
+}
+_SEGMENT_FLAGS = {
+    ".plt": C.PF_R | C.PF_X,
+    ".text": C.PF_R | C.PF_X,
+    ".rodata": C.PF_R,
+    ".data": C.PF_R | C.PF_W,
+    ".bss": C.PF_R | C.PF_W,
+}
+
+
+@dataclass
+class SymbolSpec:
+    """One symbol table entry to emit."""
+
+    name: str
+    value: int
+    size: int = 0
+    type_: int = C.STT_FUNC
+    bind: int = C.STB_GLOBAL
+    section: str = ".text"
+
+
+class _StrTab:
+    def __init__(self):
+        self._data = bytearray(b"\x00")
+        self._offsets = {"": 0}
+
+    def add(self, name):
+        if name not in self._offsets:
+            self._offsets[name] = len(self._data)
+            self._data += name.encode("utf-8") + b"\x00"
+        return self._offsets[name]
+
+    def bytes(self):
+        return bytes(self._data)
+
+
+def write_elf(arch, program, symbols, entry=0):
+    """Serialise ``program`` into ELF32 bytes.
+
+    ``arch`` is an :class:`~repro.arch.archinfo.ArchInfo`; ``symbols``
+    a list of :class:`SymbolSpec`.  Sections with no content are
+    omitted.  Returns the image bytes.
+    """
+    endian = ">" if arch.is_big_endian else "<"
+    ei_data = C.ELFDATA2MSB if arch.is_big_endian else C.ELFDATA2LSB
+
+    mapped = [
+        (name, base, data)
+        for name, (base, data) in program.sections.items()
+        if data and name != ".bss"
+    ]
+    mapped.sort(key=lambda item: item[1])
+    bss_base, bss_data = program.sections.get(".bss", (0, b""))
+    bss_size = len(bss_data)
+
+    strtab = _StrTab()
+    shstrtab = _StrTab()
+
+    # --- symbol table bytes -------------------------------------------------
+    section_order = [name for name, _, _ in mapped]
+    if bss_size:
+        section_order.append(".bss")
+    # shndx: 0 = SHN_UNDEF, then 1..N mapped sections.
+    shndx_by_name = {name: i + 1 for i, name in enumerate(section_order)}
+
+    sym_entries = [struct.pack(endian + "IIIBBH", 0, 0, 0, 0, 0, 0)]
+    for spec in symbols:
+        shndx = shndx_by_name.get(spec.section, C.SHN_ABS)
+        sym_entries.append(
+            struct.pack(
+                endian + "IIIBBH",
+                strtab.add(spec.name),
+                spec.value,
+                spec.size,
+                C.st_info(spec.bind, spec.type_),
+                0,
+                shndx,
+            )
+        )
+    symtab_bytes = b"".join(sym_entries)
+    strtab_bytes = strtab.bytes()
+
+    # --- layout --------------------------------------------------------------
+    phnum = len(mapped) + (1 if bss_size else 0)
+    header_size = C.EHDR_SIZE + phnum * C.PHDR_SIZE
+    file_offset = header_size
+    placed = []  # (name, base, data, offset)
+    for name, base, data in mapped:
+        # Keep file offset congruent with vaddr modulo page size the way
+        # real linkers do.
+        pad = (-(file_offset - base)) % 0x1000
+        file_offset += pad
+        placed.append((name, base, data, file_offset))
+        file_offset += len(data)
+
+    symtab_offset = file_offset
+    file_offset += len(symtab_bytes)
+    strtab_offset = file_offset
+    file_offset += len(strtab_bytes)
+
+    # Section header table at the very end, after .shstrtab.
+    shnum = 1 + len(section_order) + (0 if not bss_size else 0) + 3
+    # NULL + mapped (+.bss already inside section_order) + symtab + strtab
+    # + shstrtab.
+
+    shstr_entries = [".symtab", ".strtab", ".shstrtab"] + section_order
+    for name in shstr_entries:
+        shstrtab.add(name)
+    shstrtab_bytes = shstrtab.bytes()
+    shstrtab_offset = file_offset
+    file_offset += len(shstrtab_bytes)
+    shoff = (file_offset + 3) & ~3
+
+    # --- ELF header ------------------------------------------------------------
+    e_ident = C.ELF_MAGIC + bytes(
+        [C.ELFCLASS32, ei_data, C.EV_CURRENT, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+    )
+    ehdr = struct.pack(
+        endian + "16sHHIIIIIHHHHHH",
+        e_ident,
+        C.ET_EXEC,
+        arch.elf_machine,
+        C.EV_CURRENT,
+        entry,
+        C.EHDR_SIZE,      # phoff
+        shoff,
+        0,                # flags
+        C.EHDR_SIZE,
+        C.PHDR_SIZE,
+        phnum,
+        C.SHDR_SIZE,
+        shnum,
+        shnum - 1,        # shstrndx (last section)
+    )
+
+    # --- program headers ---------------------------------------------------------
+    phdrs = []
+    for name, base, data, offset in placed:
+        phdrs.append(
+            struct.pack(
+                endian + "IIIIIIII",
+                C.PT_LOAD, offset, base, base, len(data), len(data),
+                _SEGMENT_FLAGS[name], 0x1000,
+            )
+        )
+    if bss_size:
+        phdrs.append(
+            struct.pack(
+                endian + "IIIIIIII",
+                C.PT_LOAD, 0, bss_base, bss_base, 0, bss_size,
+                _SEGMENT_FLAGS[".bss"], 0x1000,
+            )
+        )
+
+    # --- section headers ------------------------------------------------------------
+    shdrs = [struct.pack(endian + "IIIIIIIIII", *([0] * 10))]
+    offsets_by_name = {name: offset for name, _, _, offset in placed}
+    bases_by_name = {name: base for name, base, _, _ in placed}
+    sizes_by_name = {name: len(data) for name, _, data, _ in placed}
+    for name in section_order:
+        if name == ".bss":
+            shdrs.append(
+                struct.pack(
+                    endian + "IIIIIIIIII",
+                    shstrtab.add(name), C.SHT_NOBITS, _SECTION_FLAGS[name],
+                    bss_base, 0, bss_size, 0, 0, 4, 0,
+                )
+            )
+            continue
+        shdrs.append(
+            struct.pack(
+                endian + "IIIIIIIIII",
+                shstrtab.add(name), C.SHT_PROGBITS, _SECTION_FLAGS[name],
+                bases_by_name[name], offsets_by_name[name],
+                sizes_by_name[name], 0, 0, 4, 0,
+            )
+        )
+    strtab_index = 1 + len(section_order) + 1
+    shdrs.append(
+        struct.pack(
+            endian + "IIIIIIIIII",
+            shstrtab.add(".symtab"), C.SHT_SYMTAB, 0, 0, symtab_offset,
+            len(symtab_bytes), strtab_index, 1, 4, C.SYM_SIZE,
+        )
+    )
+    shdrs.append(
+        struct.pack(
+            endian + "IIIIIIIIII",
+            shstrtab.add(".strtab"), C.SHT_STRTAB, 0, 0, strtab_offset,
+            len(strtab_bytes), 0, 0, 1, 0,
+        )
+    )
+    shdrs.append(
+        struct.pack(
+            endian + "IIIIIIIIII",
+            shstrtab.add(".shstrtab"), C.SHT_STRTAB, 0, 0, shstrtab_offset,
+            len(shstrtab_bytes), 0, 0, 1, 0,
+        )
+    )
+
+    # --- assemble the file --------------------------------------------------------------
+    image = bytearray()
+    image += ehdr
+    image += b"".join(phdrs)
+    for name, base, data, offset in placed:
+        image += b"\x00" * (offset - len(image))
+        image += data
+    image += symtab_bytes
+    image += strtab_bytes
+    image += shstrtab_bytes
+    image += b"\x00" * (shoff - len(image))
+    image += b"".join(shdrs)
+    return bytes(image)

@@ -1,0 +1,99 @@
+"""Assemble-and-link helper: assembly source to a loadable ELF.
+
+Import stubs are synthesised into a ``.plt`` section (one minimal
+return stub per libc import, the way dynamic firmware binaries expose
+their imports), ``.globl`` labels in ``.text`` become sized ``STT_FUNC``
+symbols, and everything is serialised through
+:mod:`repro.loader.elfwriter`.
+"""
+
+from repro.arch import get_arch
+from repro.errors import AssemblyError
+from repro.loader import elfconst as C
+from repro.loader.elfwriter import SymbolSpec, write_elf
+
+_ARM_STUB = "    bx lr\n"
+_MIPS_STUB = "    jr $ra\n    nop\n"
+
+
+def make_plt_source(arch_name, import_names):
+    """Generate the ``.plt`` section source for ``import_names``."""
+    stub = _ARM_STUB if arch_name == "arm" else _MIPS_STUB
+    lines = [".plt"]
+    for name in import_names:
+        lines.append("%s:" % name)
+        lines.append(stub.rstrip("\n"))
+    return "\n".join(lines) + "\n"
+
+
+def build_executable(arch_name, source, imports=(), entry="main",
+                     section_bases=None):
+    """Assemble ``source`` (with libc ``imports``) and link to ELF bytes.
+
+    Returns ``(elf_bytes, assembled_program)``.  Every ``.globl`` label
+    in ``.text`` becomes a function symbol whose size runs to the next
+    function (the literal pool between functions is included, as real
+    toolchains do).  Imports get stub bodies in ``.plt``.
+    """
+    arch = get_arch(arch_name)
+    full_source = make_plt_source(arch_name, imports) + "\n.text\n" + source
+    program = arch.assembler().assemble(full_source, section_bases=section_bases)
+
+    text_base, text_data = program.sections[".text"]
+    text_end = text_base + len(text_data)
+    plt_base, plt_data = program.sections[".plt"]
+    plt_end = plt_base + len(plt_data)
+
+    function_addrs = sorted(
+        program.symbols[name]
+        for name in program.exported
+        if name in program.symbols
+        and text_base <= program.symbols[name] < text_end
+    )
+
+    def function_size(addr):
+        for candidate in function_addrs:
+            if candidate > addr:
+                return candidate - addr
+        return text_end - addr
+
+    symbols = []
+    seen = set()
+    for name in sorted(program.exported):
+        addr = program.symbols.get(name)
+        if addr is None:
+            raise AssemblyError(".globl %r has no definition" % name)
+        if text_base <= addr < text_end:
+            symbols.append(
+                SymbolSpec(name=name, value=addr, size=function_size(addr),
+                           type_=C.STT_FUNC, section=".text")
+            )
+        else:
+            section = _section_of(program, addr)
+            symbols.append(
+                SymbolSpec(name=name, value=addr, type_=C.STT_OBJECT,
+                           section=section)
+            )
+        seen.add(name)
+
+    stub_size = 4 if arch_name == "arm" else 8
+    for name in imports:
+        addr = program.symbols[name]
+        if not plt_base <= addr < plt_end:
+            raise AssemblyError("import stub %r not in .plt" % name)
+        symbols.append(
+            SymbolSpec(name=name, value=addr, size=stub_size,
+                       type_=C.STT_FUNC, section=".plt")
+        )
+        seen.add(name)
+
+    entry_addr = program.symbols.get(entry, 0)
+    elf_bytes = write_elf(arch, program, symbols, entry=entry_addr)
+    return elf_bytes, program
+
+
+def _section_of(program, addr):
+    for name, (base, data) in program.sections.items():
+        if data and base <= addr < base + len(data):
+            return name
+    return ".data"

@@ -1,0 +1,62 @@
+"""Static symbolic analysis (the paper's SIMUVEX replacement).
+
+Per-function symbolic execution over the IR with the calling
+convention initialised to the symbols ``arg0..arg9``, a stack base
+``sp0``, and per-callsite return symbols ``ret_{callsite}``; produces
+the definition pairs, constraints and callsite summaries that DTaint's
+data-flow layers consume.
+"""
+
+from repro.symexec.engine import FunctionSummary, SymbolicEngine
+from repro.symexec.state import Constraint, DefPair, SymState, VarUse
+from repro.symexec.value import (
+    SymConst,
+    SymDeref,
+    SymExpr,
+    SymHeap,
+    SymLin,
+    SymOp,
+    SymRet,
+    SymTaint,
+    SymVar,
+    base_offset,
+    mk_add,
+    mk_binop,
+    mk_deref,
+    mk_ite,
+    mk_neg,
+    mk_sub,
+    mk_unop,
+    pretty,
+    substitute,
+    walk,
+)
+
+__all__ = [
+    "Constraint",
+    "DefPair",
+    "FunctionSummary",
+    "SymConst",
+    "SymDeref",
+    "SymExpr",
+    "SymHeap",
+    "SymLin",
+    "SymOp",
+    "SymRet",
+    "SymState",
+    "SymTaint",
+    "SymVar",
+    "SymbolicEngine",
+    "VarUse",
+    "base_offset",
+    "mk_add",
+    "mk_binop",
+    "mk_deref",
+    "mk_ite",
+    "mk_neg",
+    "mk_sub",
+    "mk_unop",
+    "pretty",
+    "substitute",
+    "walk",
+]

@@ -1,0 +1,393 @@
+"""Canonical symbolic values.
+
+The paper describes variables "through the memory" with address
+expressions of the form ``base + offset`` and ``deref`` for memory
+access (§III-B, Fig. 6).  This module is that representation:
+
+* :class:`SymVar` — free symbols: ``arg0``..``arg9``, the stack base
+  ``sp0``, and initial register contents.
+* :class:`SymRet` — the unique ``ret_{callsite}`` return symbols.
+* :class:`SymDeref` — ``deref(addr)``, a memory read at a canonical
+  address expression.
+* :class:`SymLin` — a canonical linear combination ``Σ coef·atom +
+  const``; all additive arithmetic normalises into it, which makes the
+  ``base + offset`` view (:func:`base_offset`) syntactic.
+* :class:`SymOp` — residual non-linear operations (comparisons keep
+  their op names so the sanitization checker can read them back).
+* :class:`SymTaint` — a taint source marker introduced when a source
+  function (Table I) writes attacker-controlled data.
+* :class:`SymHeap` — a heap object identified by the hash of its
+  callsite chain (paper §III-E, Listing 1).
+
+Everything is immutable and hashable; equality is structural, which is
+exactly the aliasing notion the paper's Algorithm 1 extends.
+"""
+
+from dataclasses import dataclass
+
+from repro.ir.expr import Ops
+
+_MASK32 = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class SymExpr:
+    """Base class for canonical symbolic values."""
+
+
+@dataclass(frozen=True)
+class SymConst(SymExpr):
+    value: int
+
+
+@dataclass(frozen=True)
+class SymVar(SymExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class SymRet(SymExpr):
+    """The symbolic return value ``ret_{callsite}``."""
+
+    callsite: int  # callsite address
+
+
+@dataclass(frozen=True)
+class SymDeref(SymExpr):
+    addr: SymExpr
+    size: int = 4
+
+
+@dataclass(frozen=True)
+class SymLin(SymExpr):
+    """Canonical linear form: ``sum(coef * atom) + const``.
+
+    ``terms`` is a sorted tuple of ``(atom, coef)`` with non-zero
+    integer coefficients; invariant: at least one term, and not the
+    degenerate single-term/coef-1/const-0 case (that is just the atom).
+    """
+
+    terms: tuple
+    const: int
+
+
+@dataclass(frozen=True)
+class SymOp(SymExpr):
+    """Residual operation over canonical operands."""
+
+    op: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class SymTaint(SymExpr):
+    """Attacker-controlled data introduced by ``source`` at a callsite."""
+
+    source: str
+    callsite: int
+
+
+@dataclass(frozen=True)
+class SymHeap(SymExpr):
+    """A heap pointer, unique per callsite chain (hashed)."""
+
+    chain_hash: int
+    label: str = "heap"
+
+
+UNKNOWN = SymVar("<unknown>")
+
+
+# ---------------------------------------------------------------------------
+# Linear canonicalisation.
+
+def _sort_key(atom):
+    return (type(atom).__name__, pretty(atom))
+
+
+def _to_linear(expr):
+    """Decompose ``expr`` into ``(dict atom->coef, const)``.
+
+    Constants enter linear arithmetic as signed values so that
+    ``sp0 + 0xffffff00`` canonicalises to ``sp0 - 0x100``; pure
+    constants renormalise to unsigned on the way out.
+    """
+    if isinstance(expr, SymConst):
+        return {}, _signed(expr.value)
+    if isinstance(expr, SymLin):
+        return dict(expr.terms), expr.const
+    return {expr: 1}, 0
+
+
+def _from_linear(terms, const):
+    terms = {atom: coef for atom, coef in terms.items() if coef != 0}
+    if not terms:
+        # Pure constants are canonically unsigned 32-bit; symbolic
+        # offsets stay signed inside SymLin.const.
+        return SymConst(const & _MASK32)
+    if len(terms) == 1 and const == 0:
+        (atom, coef), = terms.items()
+        if coef == 1:
+            return atom
+    ordered = tuple(sorted(terms.items(), key=lambda kv: _sort_key(kv[0])))
+    return SymLin(terms=ordered, const=const)
+
+
+def mk_add(a, b):
+    ta, ca = _to_linear(a)
+    tb, cb = _to_linear(b)
+    for atom, coef in tb.items():
+        ta[atom] = ta.get(atom, 0) + coef
+    return _from_linear(ta, ca + cb)
+
+
+def mk_neg(a):
+    terms, const = _to_linear(a)
+    return _from_linear({atom: -coef for atom, coef in terms.items()}, -const)
+
+
+def mk_sub(a, b):
+    return mk_add(a, mk_neg(b))
+
+
+def mk_mul(a, b):
+    if isinstance(a, SymConst) and isinstance(b, SymConst):
+        return SymConst((a.value * b.value) & _MASK32)
+    for const, other in ((a, b), (b, a)):
+        if isinstance(const, SymConst):
+            terms, c = _to_linear(other)
+            return _from_linear(
+                {atom: coef * const.value for atom, coef in terms.items()},
+                c * const.value,
+            )
+    return SymOp(Ops.MUL, (a, b))
+
+
+def mk_deref(addr, size=4):
+    return SymDeref(addr=addr, size=size)
+
+
+_CONST_FOLD = {
+    Ops.AND: lambda a, b: a & b,
+    Ops.OR: lambda a, b: a | b,
+    Ops.XOR: lambda a, b: a ^ b,
+    Ops.SHL: lambda a, b: (a << (b & 0xFF)) & _MASK32 if (b & 0xFF) < 32 else 0,
+    Ops.SHR: lambda a, b: (a & _MASK32) >> (b & 0xFF) if (b & 0xFF) < 32 else 0,
+    Ops.CMP_EQ: lambda a, b: int(a == b),
+    Ops.CMP_NE: lambda a, b: int(a != b),
+    Ops.CMP_LT_U: lambda a, b: int((a & _MASK32) < (b & _MASK32)),
+    Ops.CMP_LE_U: lambda a, b: int((a & _MASK32) <= (b & _MASK32)),
+}
+
+
+def _signed(value):
+    value &= _MASK32
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def mk_binop(op, a, b):
+    """Build ``op(a, b)`` with canonicalisation and constant folding."""
+    if op == Ops.ADD:
+        return mk_add(a, b)
+    if op == Ops.SUB:
+        return mk_sub(a, b)
+    if op == Ops.MUL:
+        return mk_mul(a, b)
+    if isinstance(a, SymConst) and isinstance(b, SymConst):
+        if op in _CONST_FOLD:
+            return SymConst(_CONST_FOLD[op](a.value, b.value) & _MASK32)
+        if op == Ops.CMP_LT_S:
+            return SymConst(int(_signed(a.value) < _signed(b.value)))
+        if op == Ops.CMP_LE_S:
+            return SymConst(int(_signed(a.value) <= _signed(b.value)))
+        if op == Ops.SAR:
+            return SymConst(_signed(a.value) >> (b.value & 0x1F) & _MASK32)
+        if op == Ops.ROR:
+            amount = b.value & 0x1F
+            value = a.value & _MASK32
+            return SymConst(((value >> amount) | (value << (32 - amount))) & _MASK32)
+    # Shift-left by a constant is linear.
+    if op == Ops.SHL and isinstance(b, SymConst) and b.value < 32:
+        return mk_mul(a, SymConst(1 << b.value))
+    # x & 0xffffffff and x | 0 are identities.
+    if op == Ops.AND and isinstance(b, SymConst) and b.value == _MASK32:
+        return a
+    if op == Ops.OR and isinstance(b, SymConst) and b.value == 0:
+        return a
+    if op == Ops.XOR and a == b:
+        return SymConst(0)
+    return SymOp(op, (a, b))
+
+
+def mk_unop(op, a):
+    if isinstance(a, SymConst):
+        value = a.value & _MASK32
+        if op == Ops.NOT:
+            return SymConst(value ^ _MASK32)
+        if op == Ops.NEG:
+            return SymConst((-value) & _MASK32)
+        if op == Ops.U8_TO_32 or op == Ops.TO_8:
+            return SymConst(value & 0xFF)
+        if op == Ops.U16_TO_32 or op == Ops.TO_16:
+            return SymConst(value & 0xFFFF)
+        if op == Ops.S8_TO_32:
+            value &= 0xFF
+            return SymConst((value - 0x100 if value >= 0x80 else value) & _MASK32)
+        if op == Ops.S16_TO_32:
+            value &= 0xFFFF
+            return SymConst(
+                (value - 0x10000 if value >= 0x8000 else value) & _MASK32
+            )
+    if op == Ops.NEG:
+        return mk_neg(a)
+    # Width adjustments of loads and taint are no-ops for the tracker:
+    # zero-extending a narrow load, or truncating to a width the value
+    # already has, keeps the canonical shape.
+    if op in (Ops.U8_TO_32, Ops.U16_TO_32) and isinstance(
+        a, (SymTaint, SymDeref)
+    ):
+        return a
+    if op == Ops.TO_8 and isinstance(a, SymDeref) and a.size == 1:
+        return a
+    if op == Ops.TO_16 and isinstance(a, SymDeref) and a.size <= 2:
+        return a
+    if op in (Ops.TO_8, Ops.TO_16) and isinstance(a, SymTaint):
+        return a
+    return SymOp(op, (a,))
+
+
+def mk_ite(cond, iftrue, iffalse):
+    if isinstance(cond, SymConst):
+        return iftrue if cond.value else iffalse
+    if iftrue == iffalse:
+        return iftrue
+    return SymOp("ite", (cond, iftrue, iffalse))
+
+
+# ---------------------------------------------------------------------------
+# Structure helpers.
+
+def base_offset(expr):
+    """View ``expr`` as ``base + offset``.
+
+    Returns ``(base_atom, offset)``; for an absolute address the base is
+    ``None``; returns ``None`` when the expression is not of that shape
+    (multiple symbolic terms or scaled bases).
+    """
+    if isinstance(expr, SymConst):
+        return None, expr.value
+    if isinstance(expr, SymLin):
+        if len(expr.terms) == 1 and expr.terms[0][1] == 1:
+            return expr.terms[0][0], expr.const
+        return None
+    if isinstance(expr, (SymVar, SymRet, SymDeref, SymHeap, SymOp, SymTaint)):
+        return expr, 0
+    return None
+
+
+def walk(expr):
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    yield expr
+    if isinstance(expr, SymDeref):
+        yield from walk(expr.addr)
+    elif isinstance(expr, SymLin):
+        for atom, _coef in expr.terms:
+            yield from walk(atom)
+    elif isinstance(expr, SymOp):
+        for arg in expr.args:
+            yield from walk(arg)
+
+
+def substitute(expr, mapping):
+    """Rewrite ``expr`` bottom-up, replacing exact matches via ``mapping``.
+
+    Replacement applies to whole sub-expressions after their children
+    were rewritten, so ``deref(arg0+4)`` maps correctly even when both
+    ``arg0`` and the full deref appear as keys.
+    """
+    if not mapping:
+        return expr
+
+    def rewrite(node):
+        if isinstance(node, SymDeref):
+            new = SymDeref(rewrite(node.addr), node.size)
+        elif isinstance(node, SymLin):
+            acc = SymConst(node.const)
+            for atom, coef in node.terms:
+                acc = mk_add(acc, mk_mul(SymConst(coef), rewrite(atom)))
+            new = acc
+        elif isinstance(node, SymOp):
+            new = SymOp(node.op, tuple(rewrite(a) for a in node.args))
+        else:
+            new = node
+        return mapping.get(new, new)
+
+    return rewrite(expr)
+
+
+def contains(expr, needle):
+    """True when ``needle`` occurs anywhere inside ``expr``."""
+    return any(node == needle for node in walk(expr))
+
+
+def derefs_in(expr):
+    """All :class:`SymDeref` nodes inside ``expr`` (including itself)."""
+    return [node for node in walk(expr) if isinstance(node, SymDeref)]
+
+
+def taints_in(expr):
+    return [node for node in walk(expr) if isinstance(node, SymTaint)]
+
+
+# ---------------------------------------------------------------------------
+# Rendering (paper-style notation).
+
+_OP_SYMBOLS = {
+    Ops.AND: "&", Ops.OR: "|", Ops.XOR: "^",
+    Ops.SHL: "<<", Ops.SHR: ">>u", Ops.SAR: ">>s", Ops.MUL: "*",
+    Ops.CMP_EQ: "==", Ops.CMP_NE: "!=",
+    Ops.CMP_LT_S: "<s", Ops.CMP_LE_S: "<=s",
+    Ops.CMP_LT_U: "<u", Ops.CMP_LE_U: "<=u",
+}
+
+
+def pretty(expr):
+    """Render in the paper's notation, e.g. ``deref(arg0 + 0x4c)``."""
+    if isinstance(expr, SymConst):
+        return "0x%x" % (expr.value & _MASK32) if expr.value >= 0 else (
+            "-0x%x" % (-expr.value)
+        )
+    if isinstance(expr, SymVar):
+        return expr.name
+    if isinstance(expr, SymRet):
+        return "ret_{0x%x}" % expr.callsite
+    if isinstance(expr, SymDeref):
+        return "deref(%s)" % pretty(expr.addr)
+    if isinstance(expr, SymTaint):
+        return "taint<%s@0x%x>" % (expr.source, expr.callsite)
+    if isinstance(expr, SymHeap):
+        return "%s_%08x" % (expr.label, expr.chain_hash & 0xFFFFFFFF)
+    if isinstance(expr, SymLin):
+        parts = []
+        for atom, coef in expr.terms:
+            if coef == 1:
+                parts.append(pretty(atom))
+            elif coef == -1:
+                parts.append("-%s" % pretty(atom))
+            else:
+                parts.append("%d*%s" % (coef, pretty(atom)))
+        rendered = " + ".join(parts).replace("+ -", "- ")
+        if expr.const > 0:
+            rendered += " + 0x%x" % expr.const
+        elif expr.const < 0:
+            rendered += " - 0x%x" % (-expr.const)
+        return rendered
+    if isinstance(expr, SymOp):
+        if expr.op == "ite":
+            return "ite(%s, %s, %s)" % tuple(pretty(a) for a in expr.args)
+        if len(expr.args) == 2 and expr.op in _OP_SYMBOLS:
+            return "(%s %s %s)" % (
+                pretty(expr.args[0]), _OP_SYMBOLS[expr.op], pretty(expr.args[1])
+            )
+        return "%s(%s)" % (expr.op, ", ".join(pretty(a) for a in expr.args))
+    return repr(expr)

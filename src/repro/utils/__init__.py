@@ -1,0 +1,21 @@
+"""Shared low-level helpers: bit manipulation and byte packing."""
+
+from repro.utils.bits import (
+    align_up,
+    bit,
+    bits,
+    ror32,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+
+__all__ = [
+    "align_up",
+    "bit",
+    "bits",
+    "ror32",
+    "sign_extend",
+    "to_signed32",
+    "to_unsigned32",
+]

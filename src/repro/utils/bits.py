@@ -1,0 +1,51 @@
+"""Bit-level helpers used by the encoders, decoders and the emulator.
+
+All 32-bit helpers treat values modulo 2**32; callers never need to
+pre-mask their inputs.
+"""
+
+_MASK32 = 0xFFFFFFFF
+
+
+def bit(word, index):
+    """Return bit ``index`` (0 = LSB) of ``word`` as 0 or 1."""
+    return (word >> index) & 1
+
+
+def bits(word, hi, lo):
+    """Return the inclusive bit-field ``word[hi:lo]`` as an unsigned int."""
+    if hi < lo:
+        raise ValueError("bit range hi=%d < lo=%d" % (hi, lo))
+    return (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def sign_extend(value, width):
+    """Sign-extend ``value`` occupying ``width`` bits to a Python int."""
+    sign_bit = 1 << (width - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
+def to_signed32(value):
+    """Interpret the low 32 bits of ``value`` as a signed integer."""
+    return sign_extend(value & _MASK32, 32)
+
+
+def to_unsigned32(value):
+    """Reduce ``value`` to an unsigned 32-bit integer."""
+    return value & _MASK32
+
+
+def ror32(value, amount):
+    """Rotate the 32-bit ``value`` right by ``amount`` bits."""
+    amount %= 32
+    value &= _MASK32
+    if amount == 0:
+        return value
+    return ((value >> amount) | (value << (32 - amount))) & _MASK32
+
+
+def align_up(value, alignment):
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return (value + alignment - 1) // alignment * alignment

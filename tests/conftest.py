@@ -1,0 +1,44 @@
+"""Shared test helpers."""
+
+import pytest
+
+from repro.arch import get_arch
+from repro.emu import Memory, make_cpu
+
+
+@pytest.fixture
+def arm():
+    return get_arch("arm")
+
+
+@pytest.fixture
+def mips():
+    return get_arch("mips")
+
+
+def assemble(arch_name, source, section_bases=None, extern_symbols=None):
+    arch = get_arch(arch_name)
+    return arch.assembler().assemble(
+        source, section_bases=section_bases, extern_symbols=extern_symbols
+    )
+
+
+def load_program(arch_name, program, stack_top=0x7FFF0000):
+    """Load an :class:`AssembledProgram` into memory + a CPU."""
+    arch = get_arch(arch_name)
+    memory = Memory(endness=arch.endness)
+    for base, data in program.sections.values():
+        if data:
+            memory.write_bytes(base, data)
+    # Map a stack.
+    memory.write_bytes(stack_top - 0x10000, b"\x00" * 0x10000)
+    cpu = make_cpu(arch, memory)
+    return cpu, memory
+
+
+def run_function(arch_name, source, func="main", args=(), max_steps=200_000):
+    """Assemble, load and call ``func``; return (retval, cpu, memory)."""
+    program = assemble(arch_name, source)
+    cpu, memory = load_program(arch_name, program)
+    ret = cpu.run(program.symbols[func], 0x7FFEFF00, max_steps, args=args)
+    return ret, cpu, memory

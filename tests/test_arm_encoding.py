@@ -1,0 +1,232 @@
+"""ARM32 encode/decode and assembler roundtrip tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch import get_arch
+from repro.arch.arm import encoding as enc
+from repro.errors import AssemblyError, DisassemblyError
+
+regs = st.integers(min_value=0, max_value=14)  # avoid pc for generic ops
+small_shift = st.integers(min_value=0, max_value=31)
+
+
+def roundtrip(insn):
+    word = enc.encode(insn)
+    return enc.decode(word, insn.addr)
+
+
+def test_encode_imm12_basic_values():
+    assert enc.encode_imm12(0) == 0
+    assert enc.encode_imm12(0xFF) == 0xFF
+    assert enc.encode_imm12(0x100) is not None
+    assert enc.encode_imm12(0x102) is None
+    assert enc.encode_imm12(0xFF000000) is not None
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_imm12_roundtrip(value):
+    field = enc.encode_imm12(value)
+    if field is not None:
+        assert enc.decode_imm12(field) == value
+
+
+@given(
+    st.sampled_from(sorted(enc.DP_OPCODES)),
+    regs, regs, regs, st.sampled_from([0, 1, 2, 3]), small_shift,
+    st.booleans(),
+)
+def test_dp_register_roundtrip(mnem, rd, rn, rm, stype, samount, flags):
+    insn = enc.ArmInsn(
+        kind="dp", mnemonic=mnem,
+        rd=None if mnem in enc.DP_COMPARE else rd,
+        rn=None if mnem in enc.DP_UNARY else rn,
+        rm=rm, uses_imm=False, shift_type=stype, shift_amount=samount,
+        set_flags=flags,
+    )
+    back = roundtrip(insn)
+    assert back.mnemonic == mnem
+    assert back.rm == rm
+    assert back.shift_type == stype
+    assert back.shift_amount == samount
+    if mnem not in enc.DP_COMPARE:
+        assert back.rd == rd
+    if mnem not in enc.DP_UNARY:
+        assert back.rn == rn
+
+
+@given(st.sampled_from(sorted(enc.DP_OPCODES)), regs, regs,
+       st.integers(min_value=0, max_value=255))
+def test_dp_immediate_roundtrip(mnem, rd, rn, imm):
+    insn = enc.ArmInsn(
+        kind="dp", mnemonic=mnem,
+        rd=None if mnem in enc.DP_COMPARE else rd,
+        rn=None if mnem in enc.DP_UNARY else rn,
+        imm=imm, uses_imm=True,
+    )
+    back = roundtrip(insn)
+    assert back.mnemonic == mnem
+    assert back.imm == imm
+    assert back.uses_imm
+
+
+@given(regs, regs, st.integers(min_value=0, max_value=0xFFF),
+       st.booleans(), st.booleans(), st.booleans())
+def test_mem_imm_roundtrip(rd, rn, imm, load, byte, u_bit):
+    insn = enc.ArmInsn(
+        kind="mem", mnemonic=("ldr" if load else "str") + ("b" if byte else ""),
+        load=load, byte=byte, rd=rd, rn=rn, imm=imm, uses_imm=True, u_bit=u_bit,
+    )
+    back = roundtrip(insn)
+    assert (back.rd, back.rn, back.imm, back.load, back.byte, back.u_bit) == (
+        rd, rn, imm, load, byte, u_bit
+    )
+
+
+@given(regs, regs, st.integers(min_value=0, max_value=0xFF),
+       st.sampled_from(["ldrh", "strh", "ldrsb", "ldrsh"]))
+def test_memh_roundtrip(rd, rn, imm, mnem):
+    insn = enc.ArmInsn(
+        kind="memh", mnemonic=mnem, load=mnem != "strh",
+        signed="s" in mnem[3:], halfword=mnem.endswith("h"),
+        rd=rd, rn=rn, imm=imm, uses_imm=True,
+    )
+    back = roundtrip(insn)
+    assert back.mnemonic == mnem
+    assert (back.rd, back.rn, back.imm) == (rd, rn, imm)
+
+
+@given(st.integers(min_value=-(1 << 23), max_value=(1 << 23) - 1),
+       st.booleans())
+def test_branch_roundtrip(offset, link):
+    insn = enc.ArmInsn(
+        kind="branch", mnemonic="bl" if link else "b", imm=offset, addr=0x10000
+    )
+    back = roundtrip(insn)
+    assert back.imm == offset
+    assert back.mnemonic == insn.mnemonic
+
+
+@given(st.lists(regs, min_size=1, max_size=8, unique=True), st.booleans())
+def test_block_roundtrip(reglist, load):
+    insn = enc.ArmInsn(
+        kind="block", mnemonic="ldm" if load else "stm", load=load,
+        rn=13, reglist=tuple(sorted(reglist)),
+        p_bit=not load, u_bit=load, w_bit=True,
+    )
+    back = roundtrip(insn)
+    assert back.reglist == tuple(sorted(reglist))
+    assert back.load == load
+
+
+@given(st.integers(min_value=0, max_value=0xFFFF), regs,
+       st.sampled_from(["movw", "movt"]))
+def test_movw_movt_roundtrip(imm, rd, mnem):
+    insn = enc.ArmInsn(kind=mnem, mnemonic=mnem, rd=rd, imm=imm)
+    back = roundtrip(insn)
+    assert back.mnemonic == mnem
+    assert (back.rd, back.imm) == (rd, imm)
+
+
+def test_decode_rejects_nv_condition():
+    with pytest.raises(DisassemblyError):
+        enc.decode(0xF0000000)
+
+
+def test_branch_target_computation():
+    insn = enc.ArmInsn(kind="branch", mnemonic="b", imm=-2, addr=0x1000)
+    assert insn.branch_target() == 0x1000  # addr + 8 - 8
+
+
+def test_is_return_variants():
+    bx_lr = enc.ArmInsn(kind="bx", mnemonic="bx", rm=14)
+    assert bx_lr.is_return()
+    pop_pc = enc.ArmInsn(
+        kind="block", mnemonic="ldm", load=True, rn=13, reglist=(4, 15),
+        w_bit=True, u_bit=True,
+    )
+    assert pop_pc.is_return()
+    mov_pc_lr = enc.ArmInsn(
+        kind="dp", mnemonic="mov", rd=15, rm=14, uses_imm=False
+    )
+    assert mov_pc_lr.is_return()
+
+
+class TestAssemblerRoundtrip:
+    """assemble -> disassemble -> text -> assemble is a fixpoint."""
+
+    SNIPPETS = [
+        "add r0, r1, r2",
+        "subs r3, r4, #0x10",
+        "mov r0, r1, lsl #3",
+        "cmp r2, #0x40",
+        "ldr r5, [r6, #0x4c]",
+        "strb r1, [r2, r3, lsl #2]",
+        "ldrh r1, [r2, #0x10]",
+        "push {r4, r5, lr}",
+        "pop {r4, r5, pc}",
+        "mul r1, r2, r3",
+        "bx lr",
+        "movw r1, #0xabcd",
+        "movt r1, #0x1234",
+        "mvn r0, r1",
+        "orr r2, r3, #0xff",
+    ]
+
+    @pytest.mark.parametrize("snippet", SNIPPETS)
+    def test_fixpoint(self, snippet):
+        arch = get_arch("arm")
+        asm = arch.assembler()
+        dis = arch.disassembler()
+
+        prog1 = asm.assemble(".text\n%s\n" % snippet)
+        base, data1 = prog1.sections[".text"]
+        insn = dis.disasm_one(data1, 0, base)
+        rendered = insn.text()
+        prog2 = asm.assemble(".text\n%s\n" % rendered)
+        assert prog2.sections[".text"][1] == data1, rendered
+
+
+def test_assembler_conditional_mnemonics():
+    arch = get_arch("arm")
+    asm = arch.assembler()
+    dis = arch.disassembler()
+    # 'bls' must parse as b+ls (no S suffix on branches), 'blt' as b+lt,
+    # 'bleq' as bl+eq.
+    src = ".text\nstart:\n bls start\n blt start\n bleq start\n bl start\n"
+    base, data = asm.assemble(src).sections[".text"]
+    insns = list(dis.disasm_range(data, base))
+    assert [i.mnemonic for i in insns] == ["b", "b", "bl", "bl"]
+    assert [enc.CONDITIONS[i.cond] for i in insns] == ["ls", "lt", "eq", "al"]
+
+
+def test_assembler_rejects_unencodable_immediate():
+    asm = get_arch("arm").assembler()
+    with pytest.raises(AssemblyError):
+        asm.assemble(".text\nmov r0, #0x101\n")
+
+
+def test_literal_pool_loads():
+    arch = get_arch("arm")
+    asm = arch.assembler()
+    src = ".text\nf:\n ldr r0, =0x12345678\n ldr r1, =f\n bx lr\n.ltorg\n"
+    prog = asm.assemble(src)
+    base, data = prog.sections[".text"]
+    # Pool starts after the 3 instructions.
+    pool0 = int.from_bytes(data[12:16], "little")
+    pool1 = int.from_bytes(data[16:20], "little")
+    assert pool0 == 0x12345678
+    assert pool1 == prog.symbols["f"]
+
+
+def test_negative_immediate_canonicalisation():
+    arch = get_arch("arm")
+    asm = arch.assembler()
+    dis = arch.disassembler()
+    base, data = asm.assemble(".text\nadd r0, r0, #-4\ncmp r1, #-1\n").sections[
+        ".text"
+    ]
+    insns = list(dis.disasm_range(data, base))
+    assert insns[0].mnemonic == "sub" and insns[0].imm == 4
+    assert insns[1].mnemonic == "cmn" and insns[1].imm == 1

@@ -1,0 +1,221 @@
+"""CFG recovery, call graph, dominators and loop tests."""
+
+import pytest
+
+from repro.cfg import CFGBuilder, build_call_graph, natural_loops
+from repro.cfg.dominators import compute_dominators, immediate_dominators
+from repro.cfg.loops import loop_membership
+from repro.ir.irsb import JumpKind
+from repro.loader.binary import load_elf
+from repro.loader.link import build_executable
+
+ARM_SRC = r"""
+.globl main
+main:
+    push {r4, lr}
+    mov r4, r0
+    cmp r4, #0
+    beq zero_case
+    bl helper
+    b done
+zero_case:
+    mov r0, #0
+done:
+    pop {r4, pc}
+.globl helper
+helper:
+    mov r1, #0
+loop:
+    add r1, r1, #1
+    cmp r1, r0
+    blt loop
+    mov r0, r1
+    bx lr
+.globl uses_import
+uses_import:
+    push {lr}
+    bl strcpy
+    pop {pc}
+.globl has_pool
+has_pool:
+    ldr r0, =0x11223344
+    bx lr
+.ltorg
+"""
+
+MIPS_SRC = r"""
+.globl main
+main:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    beq $a0, $zero, zero_case
+    nop
+    jal helper
+    nop
+    b done
+    nop
+zero_case:
+    move $v0, $zero
+done:
+    lw $ra, 20($sp)
+    jr $ra
+    addiu $sp, $sp, 24
+.globl helper
+helper:
+    move $v0, $zero
+loop:
+    addiu $v0, $v0, 1
+    slt $t0, $v0, $a0
+    bne $t0, $zero, loop
+    nop
+    jr $ra
+    nop
+"""
+
+
+@pytest.fixture
+def arm_funcs():
+    elf_bytes, _ = build_executable("arm", ARM_SRC, imports=["strcpy"])
+    binary = load_elf(elf_bytes)
+    return CFGBuilder(binary).build_all(), binary
+
+
+@pytest.fixture
+def mips_funcs():
+    elf_bytes, _ = build_executable("mips", MIPS_SRC)
+    binary = load_elf(elf_bytes)
+    return CFGBuilder(binary).build_all(), binary
+
+
+def test_arm_main_block_structure(arm_funcs):
+    functions, _ = arm_funcs
+    main = functions["main"]
+    # entry, call-block after beq, b-done block..., zero_case, done.
+    assert main.block_count >= 4
+    entry = main.entry_block
+    assert len(entry.successors) == 2  # beq taken / fall-through
+
+
+def test_arm_call_sites_resolved(arm_funcs):
+    functions, _ = arm_funcs
+    main = functions["main"]
+    calls = main.call_sites
+    assert len(calls) == 1
+    assert calls[0].target_name == "helper"
+    assert not calls[0].is_indirect
+
+
+def test_arm_return_blocks_marked(arm_funcs):
+    functions, _ = arm_funcs
+    main = functions["main"]
+    rets = [b for b in main.blocks.values() if b.is_return_block]
+    assert len(rets) == 1  # pop {r4, pc}
+
+
+def test_arm_loop_detected(arm_funcs):
+    functions, _ = arm_funcs
+    helper = functions["helper"]
+    loops = natural_loops(helper)
+    assert len(loops) == 1
+    membership = loop_membership(helper)
+    header = loops[0].header
+    assert header in loops[0].body
+    assert any(header in s for s in membership.values())
+
+
+def test_arm_import_call(arm_funcs):
+    functions, binary = arm_funcs
+    uses = functions["uses_import"]
+    calls = uses.call_sites
+    assert calls[0].target_name == "strcpy"
+    assert binary.functions["strcpy"].is_import
+
+
+def test_arm_literal_pool_not_decoded(arm_funcs):
+    functions, _ = arm_funcs
+    pool_fn = functions["has_pool"]
+    # Only one block: ldr + bx lr; the pool word is not a block.
+    assert pool_fn.block_count == 1
+    block = pool_fn.entry_block
+    assert len(block.insns) == 2
+
+
+def test_arm_pool_load_folds_to_constant(arm_funcs):
+    from repro.ir.expr import Const
+    from repro.ir.stmt import WrTmp
+
+    functions, _ = arm_funcs
+    block = functions["has_pool"].entry_block
+    consts = [
+        s.expr.value
+        for s in block.irsb.stmts
+        if isinstance(s, WrTmp) and isinstance(s.expr, Const)
+    ]
+    assert 0x11223344 in consts
+
+
+def test_call_graph_edges(arm_funcs):
+    functions, _ = arm_funcs
+    call_graph = build_call_graph(functions)
+    assert "helper" in call_graph.callees("main")
+    assert "strcpy" in call_graph.callees("uses_import")
+    assert "main" in call_graph.callers("helper")
+
+
+def test_bottom_up_order(arm_funcs):
+    functions, _ = arm_funcs
+    call_graph = build_call_graph(functions)
+    order = call_graph.bottom_up_order()
+    assert order.index("helper") < order.index("main")
+    assert order.index("strcpy") < order.index("uses_import")
+
+
+def test_dominators_entry_dominates_all(arm_funcs):
+    functions, _ = arm_funcs
+    main = functions["main"]
+    dom = compute_dominators(main)
+    for addr, dominators in dom.items():
+        assert main.addr in dominators
+
+
+def test_immediate_dominators_form_tree(arm_funcs):
+    functions, _ = arm_funcs
+    main = functions["main"]
+    idom = immediate_dominators(main)
+    assert idom[main.addr] == main.addr
+    # Every other block's idom is a different block.
+    for addr, dominator in idom.items():
+        if addr != main.addr:
+            assert dominator != addr
+
+
+def test_mips_blocks_keep_delay_slots(mips_funcs):
+    functions, _ = mips_funcs
+    main = functions["main"]
+    for block in main.blocks.values():
+        last = block.insns[-1]
+        if len(block.insns) >= 2 and block.insns[-2].has_delay_slot():
+            assert not last.has_delay_slot()
+
+
+def test_mips_call_and_loop(mips_funcs):
+    functions, _ = mips_funcs
+    main = functions["main"]
+    assert any(c.target_name == "helper" for c in main.call_sites)
+    helper = functions["helper"]
+    assert len(natural_loops(helper)) == 1
+
+
+def test_mips_conditional_branch_successors(mips_funcs):
+    functions, _ = mips_funcs
+    main = functions["main"]
+    entry = main.entry_block
+    assert len(entry.successors) == 2
+
+
+def test_block_lift_jumpkinds(arm_funcs):
+    functions, _ = arm_funcs
+    main = functions["main"]
+    kinds = {b.irsb.jumpkind for b in main.blocks.values()}
+    assert JumpKind.CALL in kinds
+    assert JumpKind.RET in kinds

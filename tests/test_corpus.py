@@ -1,0 +1,192 @@
+"""minicc codegen and CVE-pattern detection tests (Tables IV/V)."""
+
+import pytest
+
+from repro.core import DTaint
+from repro.corpus import vulnpatterns as vp
+from repro.corpus.builder import build_binary
+from repro.corpus.minicc import (
+    Addr,
+    Arg,
+    BinOp,
+    Call,
+    DeclBuf,
+    DeclVar,
+    If,
+    Imm,
+    Load,
+    MiniFunc,
+    Ret,
+    Set,
+    Store,
+    Var,
+    While,
+    compiler_for,
+)
+from tests.conftest import load_program
+
+ARCHES = ("arm", "mips")
+
+
+def _compile_and_run(arch, funcs, entry, args=(), hooks=None):
+    compiler = compiler_for(arch, "t")
+    source, imports = compiler.compile_module(funcs)
+    built = build_binary("t", arch, source, imports, entry=entry)
+    cpu, memory = load_program(arch, built.program)
+    if hooks:
+        for name, hook in hooks.items():
+            cpu.hooks[built.program.symbols[name]] = hook
+    ret = cpu.run(built.program.symbols[entry], 0x7FFEFF00, args=args)
+    return ret, cpu, memory
+
+
+class TestMiniccExecution:
+    """Generated code must actually run correctly on the emulator."""
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_arithmetic_and_return(self, arch):
+        func = MiniFunc("calc", 1, [
+            DeclVar("a", Arg(0)),
+            DeclVar("b", Imm(10)),
+            Set("b", BinOp("+", Var("b"), Var("a"))),
+            Set("b", BinOp("<<", Var("b"), Imm(2))),
+            Ret(Var("b")),
+        ])
+        ret, _, _ = _compile_and_run(arch, [func], "calc", args=(5,))
+        assert ret == (10 + 5) << 2
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_if_else(self, arch):
+        func = MiniFunc("pick", 1, [
+            DeclVar("r", Imm(0)),
+            If(Arg(0), "lt", Imm(10), [Set("r", Imm(1))], [Set("r", Imm(2))]),
+            Ret(Var("r")),
+        ])
+        assert _compile_and_run(arch, [func], "pick", args=(3,))[0] == 1
+        assert _compile_and_run(arch, [func], "pick", args=(30,))[0] == 2
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_while_loop_sum(self, arch):
+        func = MiniFunc("sum_to", 1, [
+            DeclVar("i", Imm(0)),
+            DeclVar("acc", Imm(0)),
+            While(Var("i"), "lt", Arg(0), [
+                Set("i", BinOp("+", Var("i"), Imm(1))),
+                Set("acc", BinOp("+", Var("acc"), Var("i"))),
+            ]),
+            Ret(Var("acc")),
+        ])
+        ret, _, _ = _compile_and_run(arch, [func], "sum_to", args=(10,))
+        assert ret == 55
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_store_load_through_pointer(self, arch):
+        func = MiniFunc("poke", 1, [
+            Store(Arg(0), 8, Imm(0x42)),
+            DeclVar("back", Load(Arg(0), 8)),
+            Ret(Var("back")),
+        ])
+        ret, _, memory = _compile_and_run(
+            arch, [func], "poke", args=(0x30000,)
+        )
+        assert ret == 0x42
+        assert memory.read(0x30008, 4) == 0x42
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_call_between_functions(self, arch):
+        callee = MiniFunc("double_it", 1, [
+            Ret(BinOp("+", Arg(0), Arg(0))),
+        ])
+        caller = MiniFunc("main", 1, [
+            DeclVar("r"),
+            Call("r", "double_it", [Arg(0)]),
+            Call("r", "double_it", [Var("r")]),
+            Ret(Var("r")),
+        ])
+        ret, _, _ = _compile_and_run(arch, [caller, callee], "main", args=(7,))
+        assert ret == 28
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_string_literals_pooled(self, arch):
+        func = MiniFunc("greet", 0, [
+            DeclVar("p", vp.Str("hello")),
+            DeclVar("c", Load(Var("p"), 0, size=1)),
+            Ret(Var("c")),
+        ])
+        ret, _, _ = _compile_and_run(arch, [func], "greet")
+        assert ret == ord("h")
+
+
+def _detect(arch, cases):
+    funcs, truth = [], []
+    for factory, kwargs in cases:
+        f, g = factory(**kwargs)
+        funcs += f
+        truth += g
+    compiler = compiler_for(arch, "t")
+    source, imports = compiler.compile_module(funcs)
+    built = build_binary("t", arch, source, imports, entry=funcs[0].name,
+                         ground_truth=truth)
+    report = DTaint(built.binary, name="t").run()
+    return built, truth, report
+
+
+def _hits(built, report, function):
+    symbol = built.binary.functions[function]
+    low, high = symbol.addr, symbol.addr + symbol.size
+    return [f for f in report.findings if low <= f.sink_addr < high]
+
+
+ALL_PATTERNS = [
+    (vp.cve_2013_7389_strncpy, {}),
+    (vp.cve_2013_7389_sprintf, {}),
+    (vp.cve_2015_2051, {}),
+    (vp.cve_2016_5681, {}),
+    (vp.cve_2017_6334, {}),
+    (vp.cve_2017_6077, {}),
+    (vp.edb_43055, {}),
+    (vp.zero_day_read_memcpy, {}),
+    (vp.zero_day_loop_copy, {}),
+    (vp.zero_day_sscanf, {}),
+    (vp.zero_day_fgets_strcpy, {}),
+]
+SAFE_PATTERNS = [
+    (vp.cve_2013_7389_strncpy, {"name": "s1", "vulnerable": False}),
+    (vp.cve_2013_7389_sprintf, {"name": "s2", "vulnerable": False}),
+    (vp.cve_2015_2051, {"name": "s3", "vulnerable": False}),
+    (vp.cve_2016_5681, {"name": "s4", "vulnerable": False}),
+    (vp.cve_2017_6334, {"name": "s5", "vulnerable": False}),
+    (vp.edb_43055, {"name": "s6", "vulnerable": False}),
+    (vp.zero_day_read_memcpy, {"name": "s7", "vulnerable": False}),
+    (vp.zero_day_loop_copy, {"name": "s8", "vulnerable": False}),
+    (vp.zero_day_sscanf, {"name": "s9", "vulnerable": False}),
+    (vp.zero_day_fgets_strcpy, {"name": "s10", "vulnerable": False}),
+]
+
+
+class TestPatternDetection:
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_all_planted_vulnerabilities_found(self, arch):
+        built, truth, report = _detect(arch, ALL_PATTERNS)
+        for item in truth:
+            assert _hits(built, report, item.function), (
+                "missed %s (%s -> %s)" % (item.function, item.source,
+                                          item.sink)
+            )
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_no_safe_decoy_flagged(self, arch):
+        built, truth, report = _detect(arch, SAFE_PATTERNS)
+        for item in truth:
+            assert not _hits(built, report, item.function), (
+                "false positive in %s" % item.function
+            )
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_kinds_and_sources_correct(self, arch):
+        built, truth, report = _detect(arch, ALL_PATTERNS)
+        for item in truth:
+            hits = _hits(built, report, item.function)
+            assert any(h.kind == item.kind for h in hits), item.function
+            if item.sink != "loop":
+                assert any(h.sink_name == item.sink for h in hits)

@@ -1,0 +1,170 @@
+"""End-to-end DTaint pipeline tests on hand-written vulnerable binaries."""
+
+import pytest
+
+from repro.core import DTaint, DTaintConfig
+from repro.loader.binary import load_elf
+from repro.loader.link import build_executable
+
+# A handler binary with one command injection (getenv -> system, no
+# check), one sanitized command path (';' scan before system), one
+# stack buffer overflow (getenv -> strcpy), and one bounded copy
+# (length check before memcpy).
+HANDLERS = r"""
+.globl vuln_cmdi
+vuln_cmdi:                        @ system(getenv("CMD"))  -- no check
+    push {r4, lr}
+    ldr r0, =env_cmd
+    bl getenv
+    bl system
+    pop {r4, pc}
+.ltorg
+
+.globl safe_cmdi
+safe_cmdi:                        @ scans for ';' before system()
+    push {r4, r5, lr}
+    ldr r0, =env_cmd
+    bl getenv
+    mov r4, r0
+    mov r5, #0
+scan:
+    ldrb r3, [r4, r5]
+    cmp r3, #0
+    beq run_it
+    cmp r3, #0x3b                 @ ';'
+    beq refuse
+    add r5, r5, #1
+    b scan
+run_it:
+    mov r0, r4
+    bl system
+    pop {r4, r5, pc}
+refuse:
+    mov r0, #0
+    pop {r4, r5, pc}
+.ltorg
+
+.globl vuln_bof
+vuln_bof:                         @ strcpy(stack, getenv("COOKIE"))
+    push {r4, lr}
+    sub sp, sp, #0x98
+    ldr r0, =env_cookie
+    bl getenv
+    mov r1, r0
+    mov r0, sp
+    bl strcpy
+    add sp, sp, #0x98
+    pop {r4, pc}
+.ltorg
+
+.globl safe_bof
+safe_bof:                         @ recv then bounded memcpy
+    push {r4, r5, lr}
+    sub sp, sp, #0x48
+    mov r4, r0
+    add r1, sp, #4
+    mov r2, #0x100
+    mov r0, r4
+    bl recv
+    mov r5, r0                    @ n = recv(...)
+    cmp r5, #0x40
+    bge out                       @ reject long input
+    mov r2, r5
+    add r1, sp, #4
+    mov r0, sp
+    bl memcpy
+out:
+    add sp, sp, #0x48
+    pop {r4, r5, pc}
+.ltorg
+
+.globl vuln_recv_memcpy
+vuln_recv_memcpy:                 @ recv then unbounded memcpy
+    push {r4, r5, lr}
+    sub sp, sp, #0x48
+    mov r4, r0
+    add r1, sp, #4
+    mov r2, #0x100
+    mov r0, r4
+    bl recv
+    mov r5, r0
+    mov r2, r5
+    add r1, sp, #4
+    mov r0, sp
+    bl memcpy
+    add sp, sp, #0x48
+    pop {r4, r5, pc}
+.ltorg
+
+.rodata
+env_cmd:    .asciz "CMD"
+env_cookie: .asciz "HTTP_COOKIE"
+"""
+
+IMPORTS = ["getenv", "system", "strcpy", "recv", "memcpy"]
+
+
+@pytest.fixture(scope="module")
+def report():
+    elf_bytes, _ = build_executable(
+        "arm", HANDLERS, imports=IMPORTS, entry="vuln_cmdi"
+    )
+    binary = load_elf(elf_bytes)
+    detector = DTaint(binary, name="handlers")
+    return detector.run()
+
+
+def _findings_for(report, function):
+    return [f for f in report.findings if f.function == function]
+
+
+def test_command_injection_found(report):
+    findings = _findings_for(report, "vuln_cmdi")
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.kind == "command-injection"
+    assert finding.sink_name == "system"
+    assert finding.source_name == "getenv"
+
+
+def test_sanitized_command_not_reported(report):
+    assert _findings_for(report, "safe_cmdi") == []
+    sanitized = [f for f in report.sanitized_paths
+                 if f.function == "safe_cmdi"]
+    assert sanitized, "the checked path should be traced but sanitized"
+
+
+def test_buffer_overflow_found(report):
+    findings = _findings_for(report, "vuln_bof")
+    assert any(
+        f.kind == "buffer-overflow" and f.sink_name == "strcpy"
+        and f.source_name == "getenv"
+        for f in findings
+    )
+
+
+def test_bounded_memcpy_not_reported(report):
+    assert _findings_for(report, "safe_bof") == []
+
+
+def test_unbounded_recv_memcpy_found(report):
+    findings = _findings_for(report, "vuln_recv_memcpy")
+    assert any(
+        f.kind == "buffer-overflow" and f.sink_name == "memcpy"
+        for f in findings
+    )
+
+
+def test_report_counters(report):
+    assert report.sink_count >= 5
+    assert report.analyzed_functions == 5
+    assert len(report.vulnerabilities) <= len(report.vulnerable_paths)
+    assert report.elapsed_seconds > 0
+    row = report.summary_row()
+    assert row["vulnerabilities"] == len(report.vulnerabilities)
+
+
+def test_report_render_mentions_findings(report):
+    text = report.render()
+    assert "system" in text
+    assert "VULNERABLE" in text

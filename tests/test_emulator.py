@@ -1,0 +1,200 @@
+"""End-to-end programs on the concrete emulators."""
+
+import pytest
+
+from tests.conftest import assemble, load_program, run_function
+
+ARM_FACTORIAL = r"""
+.text
+.globl fact
+fact:                   @ iterative factorial of r0
+    mov r1, #1
+loop:
+    cmp r0, #1
+    ble done
+    mul r1, r0, r1
+    sub r0, r0, #1
+    b loop
+done:
+    mov r0, r1
+    bx lr
+"""
+
+MIPS_FACTORIAL = r"""
+.text
+.globl fact
+fact:
+    li $v0, 1
+loop:
+    slti $t0, $a0, 2
+    bne $t0, $zero, done
+    nop
+    # v0 *= a0 via shift-add (no mult in the subset)
+    move $t1, $a0
+    move $t2, $v0
+    move $v0, $zero
+mul_loop:
+    beq $t1, $zero, mul_done
+    nop
+    andi $t3, $t1, 1
+    beq $t3, $zero, skip_add
+    nop
+    addu $v0, $v0, $t2
+skip_add:
+    srl $t1, $t1, 1
+    sll $t2, $t2, 1
+    b mul_loop
+    nop
+mul_done:
+    addiu $a0, $a0, -1
+    b loop
+    nop
+done:
+    jr $ra
+    nop
+"""
+
+ARM_STRCPY = r"""
+.text
+.globl do_copy
+do_copy:                @ strcpy(r0=dst, r1=src); returns length
+    mov r2, #0
+copy_loop:
+    ldrb r3, [r1, r2]
+    strb r3, [r0, r2]
+    add r2, r2, #1
+    cmp r3, #0
+    bne copy_loop
+    sub r0, r2, #1
+    bx lr
+"""
+
+
+@pytest.mark.parametrize("n,expected", [(0, 1), (1, 1), (5, 120), (10, 3628800)])
+def test_arm_factorial(n, expected):
+    ret, _, _ = run_function("arm", ARM_FACTORIAL, "fact", args=(n,))
+    assert ret == expected
+
+
+@pytest.mark.parametrize("n,expected", [(0, 1), (1, 1), (5, 120), (7, 5040)])
+def test_mips_factorial(n, expected):
+    ret, _, _ = run_function("mips", MIPS_FACTORIAL, "fact", args=(n,))
+    assert ret == expected
+
+
+def test_arm_strcpy_moves_bytes():
+    program = assemble("arm", ARM_STRCPY)
+    cpu, memory = load_program("arm", program)
+    src, dst = 0x20000, 0x21000
+    memory.write_bytes(src, b"firmware\x00")
+    memory.write_bytes(dst, b"\x00" * 16)
+    ret = cpu.run(program.symbols["do_copy"], 0x7FFEFF00, args=(dst, src))
+    assert ret == len(b"firmware")
+    assert memory.read_cstring(dst) == b"firmware"
+
+
+def test_arm_stack_roundtrip():
+    src = r"""
+.text
+f:
+    push {r4, r5, lr}
+    mov r4, r0
+    mov r5, r1
+    add r0, r4, r5
+    pop {r4, r5, pc}
+"""
+    ret, cpu, _ = run_function("arm", src, "f", args=(3, 4))
+    assert ret == 7
+
+
+def test_arm_calls_and_returns():
+    src = r"""
+.text
+main:
+    push {lr}
+    mov r0, #5
+    bl double
+    bl double
+    pop {pc}
+double:
+    add r0, r0, r0
+    bx lr
+"""
+    ret, _, _ = run_function("arm", src, "main")
+    assert ret == 20
+
+
+def test_mips_calls_with_delay_slots():
+    src = r"""
+.text
+main:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    li $a0, 5
+    jal double
+    nop
+    move $a0, $v0
+    jal double
+    nop
+    lw $ra, 20($sp)
+    jr $ra
+    addiu $sp, $sp, 24
+double:
+    jr $ra
+    addu $v0, $a0, $a0
+"""
+    ret, _, _ = run_function("mips", src, "main")
+    assert ret == 20
+
+
+def test_mips_delay_slot_executes_on_not_taken_branch():
+    src = r"""
+.text
+f:
+    li $v0, 0
+    beq $a0, $zero, skip
+    addiu $v0, $v0, 1     # delay slot: always executes
+    addiu $v0, $v0, 10
+skip:
+    jr $ra
+    nop
+"""
+    ret_taken, _, _ = run_function("mips", src, "f", args=(0,))
+    assert ret_taken == 1       # slot ran, branch taken
+    ret_not, _, _ = run_function("mips", src, "f", args=(9,))
+    assert ret_not == 11        # slot ran, fall-through ran too
+
+
+def test_arm_conditional_execution():
+    src = r"""
+.text
+f:
+    cmp r0, #10
+    movlt r0, #1
+    movge r0, #2
+    bx lr
+"""
+    assert run_function("arm", src, "f", args=(5,))[0] == 1
+    assert run_function("arm", src, "f", args=(10,))[0] == 2
+
+
+def test_arm_hook_models_external_call():
+    src = r"""
+.text
+main:
+    push {lr}
+    bl external
+    add r0, r0, #1
+    pop {pc}
+external:
+    bx lr
+"""
+    program = assemble("arm", src)
+    cpu, _ = load_program("arm", program)
+
+    def fake_external(c):
+        c.regs[0] = 41
+
+    cpu.hooks[program.symbols["external"]] = fake_external
+    ret = cpu.run(program.symbols["main"], 0x7FFEFF00)
+    assert ret == 42

@@ -1,0 +1,139 @@
+"""ELF writer/reader roundtrip and loader tests."""
+
+import pytest
+
+from repro.errors import ELFError
+from repro.loader.binary import load_elf
+from repro.loader.elf import ElfFile
+from repro.loader.link import build_executable
+
+ARM_SRC = r"""
+.globl main
+main:
+    push {r4, lr}
+    bl helper
+    bl strcpy
+    pop {r4, pc}
+.globl helper
+helper:
+    ldr r0, =greeting
+    bx lr
+.ltorg
+.rodata
+.globl greeting
+greeting: .asciz "hi there"
+.data
+counter: .word 7
+"""
+
+MIPS_SRC = r"""
+.globl main
+main:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    jal helper
+    nop
+    jal memcpy
+    nop
+    lw $ra, 20($sp)
+    jr $ra
+    addiu $sp, $sp, 24
+.globl helper
+helper:
+    jr $ra
+    nop
+"""
+
+
+@pytest.fixture
+def arm_binary():
+    elf_bytes, program = build_executable("arm", ARM_SRC, imports=["strcpy"])
+    return load_elf(elf_bytes), program
+
+
+@pytest.fixture
+def mips_binary():
+    elf_bytes, program = build_executable("mips", MIPS_SRC, imports=["memcpy"])
+    return load_elf(elf_bytes), program
+
+
+def test_arm_elf_parses(arm_binary):
+    binary, program = arm_binary
+    assert binary.arch.name == "arm"
+    assert binary.entry == program.symbols["main"]
+
+
+def test_function_symbols_and_sizes(arm_binary):
+    binary, program = arm_binary
+    assert set(binary.functions) >= {"main", "helper", "strcpy"}
+    main = binary.functions["main"]
+    helper = binary.functions["helper"]
+    assert main.addr == program.symbols["main"]
+    assert main.size == helper.addr - main.addr
+    assert not main.is_import
+
+
+def test_imports_live_in_plt(arm_binary):
+    binary, program = arm_binary
+    strcpy = binary.functions["strcpy"]
+    assert strcpy.is_import
+    assert binary.import_name(strcpy.addr) == "strcpy"
+    assert binary.imports[program.symbols["strcpy"]] == "strcpy"
+
+
+def test_local_functions_excludes_imports(arm_binary):
+    binary, _ = arm_binary
+    names = {f.name for f in binary.local_functions}
+    assert "strcpy" not in names
+    assert {"main", "helper"} <= names
+
+
+def test_segments_mapped_and_readable(arm_binary):
+    binary, program = arm_binary
+    greeting = program.symbols["greeting"]
+    assert binary.read_cstring(greeting) == b"hi there"
+    word = binary.read(program.symbols["main"], 4)
+    assert word is not None
+    assert binary.is_executable(program.symbols["main"])
+    assert not binary.is_executable(greeting)
+
+
+def test_read_unmapped_returns_none(arm_binary):
+    binary, _ = arm_binary
+    assert binary.read(0xDEAD0000, 4) is None
+    assert binary.read_bytes(0xDEAD0000, 4) is None
+
+
+def test_mips_elf_is_big_endian(mips_binary):
+    binary, program = mips_binary
+    assert binary.arch.name == "mips"
+    assert binary.arch.is_big_endian
+    # The first instruction of main is addiu $sp, $sp, -24 = 0x27BDFFE8.
+    assert binary.read(program.symbols["main"], 4) == 0x27BDFFE8
+    assert binary.functions["memcpy"].is_import
+
+
+def test_elffile_rejects_garbage():
+    with pytest.raises(ELFError):
+        ElfFile.parse(b"not an elf")
+    with pytest.raises(ELFError):
+        ElfFile.parse(b"\x7fELF" + b"\x00" * 10)
+
+
+def test_elffile_rejects_wrong_class(arm_binary):
+    binary, _ = arm_binary
+    corrupted = bytearray(binary.elf.data)
+    corrupted[4] = 2  # ELFCLASS64
+    with pytest.raises(ELFError):
+        ElfFile.parse(bytes(corrupted))
+
+
+def test_elf_sections_present(arm_binary):
+    binary, _ = arm_binary
+    names = set(binary.elf.sections)
+    assert {".plt", ".text", ".rodata", ".data", ".symtab", ".strtab"} <= names
+
+
+def test_data_symbols(arm_binary):
+    binary, program = arm_binary
+    assert binary.data_symbols.get("greeting") == program.symbols["greeting"]

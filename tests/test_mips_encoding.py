@@ -1,0 +1,165 @@
+"""MIPS32 encode/decode and assembler roundtrip tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch import get_arch
+from repro.arch.mips import encoding as enc
+from repro.arch.mips.assembler import hi16, lo16
+from repro.errors import AssemblyError, DisassemblyError
+
+regs = st.integers(min_value=0, max_value=31)
+imm16s = st.integers(min_value=-0x8000, max_value=0x7FFF)
+imm16u = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def roundtrip(insn):
+    return enc.decode(enc.encode(insn), insn.addr)
+
+
+@given(st.sampled_from(sorted(enc.R_FUNCTS)), regs, regs, regs,
+       st.integers(min_value=0, max_value=31))
+def test_rtype_roundtrip(mnem, rs, rt, rd, shamt):
+    insn = enc.MipsInsn(kind="r", mnemonic=mnem, rs=rs, rt=rt, rd=rd, shamt=shamt)
+    back = roundtrip(insn)
+    assert (back.mnemonic, back.rs, back.rt, back.rd, back.shamt) == (
+        mnem, rs, rt, rd, shamt
+    )
+
+
+@given(st.sampled_from(sorted(enc.SIGNED_IMM)), regs, regs, imm16s)
+def test_itype_signed_roundtrip(mnem, rs, rt, imm):
+    insn = enc.MipsInsn(kind="i", mnemonic=mnem, rs=rs, rt=rt, imm=imm)
+    back = roundtrip(insn)
+    assert (back.mnemonic, back.rs, back.rt, back.imm) == (mnem, rs, rt, imm)
+
+
+@given(st.sampled_from(["andi", "ori", "xori"]), regs, regs, imm16u)
+def test_itype_unsigned_roundtrip(mnem, rs, rt, imm):
+    insn = enc.MipsInsn(kind="i", mnemonic=mnem, rs=rs, rt=rt, imm=imm)
+    back = roundtrip(insn)
+    assert back.imm == imm
+
+
+@given(st.sampled_from(["j", "jal"]),
+       st.integers(min_value=0, max_value=(1 << 26) - 1))
+def test_jtype_roundtrip(mnem, word_index):
+    target = word_index << 2
+    insn = enc.MipsInsn(kind="j", mnemonic=mnem, target=target, addr=0)
+    back = roundtrip(insn)
+    assert back.target == target
+
+
+@given(st.sampled_from(["bltz", "bgez"]), regs, imm16s)
+def test_regimm_roundtrip(mnem, rs, imm):
+    insn = enc.MipsInsn(kind="i", mnemonic=mnem, rs=rs, imm=imm)
+    back = roundtrip(insn)
+    assert (back.mnemonic, back.rs, back.imm) == (mnem, rs, imm)
+
+
+def test_decode_rejects_unknown_opcode():
+    with pytest.raises(DisassemblyError):
+        enc.decode(0xFC000000)
+
+
+def test_branch_target():
+    insn = enc.MipsInsn(kind="i", mnemonic="beq", imm=-1, addr=0x1000)
+    assert insn.branch_target() == 0x1000  # addr+4-4
+
+
+def test_is_return():
+    jr_ra = enc.MipsInsn(kind="r", mnemonic="jr", rs=31)
+    assert jr_ra.is_return()
+    jr_t9 = enc.MipsInsn(kind="r", mnemonic="jr", rs=25)
+    assert not jr_t9.is_return()
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_hi_lo_reconstruct(value):
+    low = lo16(value)
+    if low >= 0x8000:
+        low -= 0x10000
+    assert ((hi16(value) << 16) + low) & 0xFFFFFFFF == value
+
+
+class TestMipsAssembler:
+    SNIPPETS = [
+        ("addu $v0, $a0, $a1", ["addu"]),
+        ("move $t0, $a0", ["addu"]),
+        ("li $t0, 42", ["addiu"]),
+        ("li $t0, 0x12345678", ["lui", "addiu"]),
+        ("lw $t1, 0x4c($a0)", ["lw"]),
+        ("sw $ra, 28($sp)", ["sw"]),
+        ("nop", ["sll"]),
+        ("jr $ra", ["jr"]),
+        ("sll $t0, $t1, 2", ["sll"]),
+        ("sltu $v0, $a0, $a1", ["sltu"]),
+    ]
+
+    @pytest.mark.parametrize("snippet,mnems", SNIPPETS)
+    def test_expansion(self, snippet, mnems):
+        arch = get_arch("mips")
+        prog = arch.assembler().assemble(".text\n%s\n" % snippet)
+        base, data = prog.sections[".text"]
+        insns = list(arch.disassembler().disasm_range(data, base))
+        assert [i.mnemonic for i in insns] == mnems
+
+    def test_la_reconstructs_address(self):
+        arch = get_arch("mips")
+        src = ".text\nf:\n la $t0, message\n jr $ra\n nop\n" \
+              ".rodata\nmessage: .asciz \"hi\"\n"
+        prog = arch.assembler().assemble(src)
+        base, data = prog.sections[".text"]
+        insns = list(arch.disassembler().disasm_range(data, base))
+        lui, addiu = insns[0], insns[1]
+        value = ((lui.imm & 0xFFFF) << 16) + addiu.imm
+        assert value & 0xFFFFFFFF == prog.symbols["message"]
+
+    def test_branch_offsets(self):
+        arch = get_arch("mips")
+        src = ".text\nloop:\n bne $t0, $t1, loop\n nop\n beq $zero, $zero, after\n nop\nafter:\n jr $ra\n nop\n"
+        prog = arch.assembler().assemble(src)
+        base, data = prog.sections[".text"]
+        insns = list(arch.disassembler().disasm_range(data, base))
+        assert insns[0].branch_target() == prog.symbols["loop"]
+        assert insns[2].branch_target() == prog.symbols["after"]
+
+    def test_jal_and_word_tables(self):
+        arch = get_arch("mips")
+        src = (
+            ".text\nmain:\n jal helper\n nop\n jr $ra\n nop\n"
+            "helper:\n jr $ra\n nop\n"
+            ".data\ntable: .word main, helper\n"
+        )
+        prog = arch.assembler().assemble(src)
+        tbase, tdata = prog.sections[".text"]
+        insns = list(arch.disassembler().disasm_range(tdata, tbase))
+        assert insns[0].target == prog.symbols["helper"]
+        dbase, ddata = prog.sections[".data"]
+        assert int.from_bytes(ddata[0:4], "big") == prog.symbols["main"]
+        assert int.from_bytes(ddata[4:8], "big") == prog.symbols["helper"]
+
+    def test_rejects_out_of_range_immediate(self):
+        arch = get_arch("mips")
+        with pytest.raises(AssemblyError):
+            arch.assembler().assemble(".text\naddiu $t0, $t1, 0x9000\n")
+
+    def test_text_rendering_roundtrip(self):
+        arch = get_arch("mips")
+        asm = arch.assembler()
+        dis = arch.disassembler()
+        snippets = [
+            "addu $v0, $a0, $a1",
+            "lw $t1, 76($a0)",
+            "sw $ra, 28($sp)",
+            "sll $t0, $t1, 2",
+            "ori $t0, $zero, 513",
+            "jr $ra",
+            "sltu $v0, $a0, $a1",
+        ]
+        for snippet in snippets:
+            base, data = asm.assemble(".text\n%s\n" % snippet).sections[".text"]
+            rendered = dis.disasm_one(data, 0, base).text()
+            base2, data2 = asm.assemble(".text\n%s\n" % rendered).sections[".text"]
+            assert data2 == data, rendered

@@ -1,0 +1,178 @@
+"""Unit tests for the sanitization constraint checks (paper §IV)."""
+
+from repro.core import libc
+from repro.core.paths import TaintPath
+from repro.core.sanitize import (
+    SEMICOLON,
+    _normalize,
+    check_buffer_overflow,
+    check_command_injection,
+    check_loop_copy,
+)
+from repro.core.sinks import Sink
+from repro.ir.expr import Ops
+from repro.symexec.state import CallSiteSummary, Constraint
+from repro.symexec.value import (
+    SymConst,
+    SymOp,
+    SymRet,
+    SymTaint,
+    SymVar,
+    mk_add,
+    mk_deref,
+)
+
+TAINT = SymTaint(source="recv", callsite=0x100)
+SP = SymVar("sp0")
+
+
+def _bo_path(sink_name="memcpy"):
+    sink = Sink(function="f", addr=0x200, name=sink_name, kind=libc.BO,
+                dangerous=[(2, TAINT)])
+    return TaintPath(function="f", sink=sink, source=TAINT, expr=TAINT)
+
+
+def _cmdi_path():
+    pointer = SymRet(0x100)
+    sink = Sink(function="f", addr=0x200, name="system", kind=libc.CMDI,
+                dangerous=[(0, pointer)])
+    return TaintPath(function="f", sink=sink,
+                     source=SymTaint("getenv", 0x100), expr=pointer)
+
+
+class TestBufferOverflow:
+    def test_upper_bound_taken_sanitizes(self):
+        constraint = Constraint(
+            expr=SymOp(Ops.CMP_LT_S, (TAINT, SymConst(64))), taken=True
+        )
+        assert check_buffer_overflow(_bo_path(), [constraint], set())
+
+    def test_upper_bound_not_taken_does_not(self):
+        constraint = Constraint(
+            expr=SymOp(Ops.CMP_LT_S, (TAINT, SymConst(64))), taken=False
+        )
+        assert not check_buffer_overflow(_bo_path(), [constraint], set())
+
+    def test_reversed_comparison(self):
+        # 64 <= taint, NOT taken => taint < 64 holds.
+        constraint = Constraint(
+            expr=SymOp(Ops.CMP_LE_S, (SymConst(64), TAINT)), taken=False
+        )
+        assert check_buffer_overflow(_bo_path(), [constraint], set())
+
+    def test_symbolic_bound_counts(self):
+        # n < y for symbolic y is accepted by the paper's rule.
+        constraint = Constraint(
+            expr=SymOp(Ops.CMP_LT_U, (TAINT, SymVar("y"))), taken=True
+        )
+        assert check_buffer_overflow(_bo_path(), [constraint], set())
+
+    def test_unrelated_constraint_ignored(self):
+        constraint = Constraint(
+            expr=SymOp(Ops.CMP_LT_S, (SymVar("other"), SymConst(64))),
+            taken=True,
+        )
+        assert not check_buffer_overflow(_bo_path(), [constraint], set())
+
+    def test_strlen_guard_counts(self):
+        pointer = SymRet(0x100)
+        taint = SymTaint("getenv", 0x100)
+        sink = Sink(function="f", addr=0x200, name="strcpy", kind=libc.BO,
+                    dangerous=[(1, pointer)])
+        path = TaintPath(function="f", sink=sink, source=taint, expr=pointer)
+        strlen_call = CallSiteSummary(addr=0x150, target="strlen",
+                                      args=[pointer])
+        constraint = Constraint(
+            expr=SymOp(Ops.CMP_LT_S, (SymRet(0x150), SymConst(152))),
+            taken=True,
+        )
+        assert check_buffer_overflow(
+            path, [constraint], {pointer}, callsites=[strlen_call]
+        )
+
+
+class TestCommandInjection:
+    def test_semicolon_compare_sanitizes(self):
+        pointer = SymRet(0x100)
+        constraint = Constraint(
+            expr=SymOp(Ops.CMP_EQ, (mk_deref(pointer, 1),
+                                    SymConst(SEMICOLON))),
+            taken=False,
+        )
+        assert check_command_injection(
+            _cmdi_path(), [constraint], {pointer}
+        )
+
+    def test_other_byte_compare_does_not(self):
+        pointer = SymRet(0x100)
+        constraint = Constraint(
+            expr=SymOp(Ops.CMP_EQ, (mk_deref(pointer, 1), SymConst(0x41))),
+            taken=False,
+        )
+        assert not check_command_injection(
+            _cmdi_path(), [constraint], {pointer}
+        )
+
+    def test_strchr_guard_sanitizes(self):
+        pointer = SymRet(0x100)
+        strchr_call = CallSiteSummary(
+            addr=0x150, target="strchr",
+            args=[pointer, SymConst(SEMICOLON)],
+        )
+        constraint = Constraint(
+            expr=SymOp(Ops.CMP_EQ, (SymRet(0x150), SymConst(0))), taken=True
+        )
+        assert check_command_injection(
+            _cmdi_path(), [constraint], {pointer}, callsites=[strchr_call]
+        )
+
+    def test_no_constraints_is_vulnerable(self):
+        assert not check_command_injection(_cmdi_path(), [], {SymRet(0x100)})
+
+
+class TestNormalize:
+    def test_unwraps_mips_slt_beq_shape(self):
+        inner = SymOp(Ops.CMP_LT_U, (TAINT, SymConst(48)))
+        wrapped = SymOp(Ops.CMP_EQ, (inner, SymConst(0)))
+        expr, taken = _normalize(wrapped, True)
+        assert expr == inner
+        assert taken is False  # eq-zero taken means the comparison failed
+
+    def test_unwraps_ne_one(self):
+        inner = SymOp(Ops.CMP_LT_S, (TAINT, SymConst(10)))
+        wrapped = SymOp(Ops.CMP_NE, (inner, SymConst(1)))
+        expr, taken = _normalize(wrapped, False)
+        assert expr == inner
+        assert taken is True
+
+    def test_leaves_plain_comparisons(self):
+        inner = SymOp(Ops.CMP_LT_S, (TAINT, SymConst(10)))
+        assert _normalize(inner, True) == (inner, True)
+
+
+class TestLoopCopy:
+    def _loop_path(self):
+        sink = Sink(function="f", addr=0x300, name="loop", kind=libc.BO,
+                    dangerous=[(1, mk_deref(SP, 1))])
+        return TaintPath(function="f", sink=sink, source=TAINT,
+                         expr=mk_deref(SP, 1))
+
+    def test_constant_index_bound(self):
+        constraint = Constraint(
+            expr=SymOp(Ops.CMP_LT_S, (SymVar("i"), SymConst(63))), taken=True
+        )
+        assert check_loop_copy(self._loop_path(), [constraint], set())
+
+    def test_pointer_limit_bound(self):
+        limit = mk_add(SP, SymConst(64))
+        constraint = Constraint(
+            expr=SymOp(Ops.CMP_LT_U, (SP, limit)), taken=True
+        )
+        assert check_loop_copy(self._loop_path(), [constraint], set())
+
+    def test_nul_check_is_not_a_bound(self):
+        constraint = Constraint(
+            expr=SymOp(Ops.CMP_NE, (mk_deref(SP, 1), SymConst(0))),
+            taken=True,
+        )
+        assert not check_loop_copy(self._loop_path(), [constraint], set())

@@ -1,0 +1,223 @@
+"""Symbolic engine tests, including the paper's Fig. 5/6 running example."""
+
+import pytest
+
+from repro.cfg import CFGBuilder
+from repro.loader.binary import load_elf
+from repro.loader.link import build_executable
+from repro.symexec import (
+    SymConst,
+    SymDeref,
+    SymRet,
+    SymVar,
+    SymbolicEngine,
+    mk_add,
+    mk_deref,
+    mk_sub,
+    pretty,
+)
+from repro.symexec.engine import SP0
+
+ARG0 = SymVar("arg0")
+ARG1 = SymVar("arg1")
+
+# The paper's Fig. 5 assembly, transcribed for our assembler.
+FOO_WOO = r"""
+.globl foo
+foo:
+    push {r4, r5, lr}
+    sub sp, sp, #0x118
+    mov r5, r0
+    mov r4, r1
+    bl woo
+    mov r2, r0
+    ldr r1, [r5, #0x4c]
+    add r0, sp, #0x18
+    bl memcpy
+    add sp, sp, #0x118
+    pop {r4, r5, pc}
+.globl woo
+woo:
+    ldr r5, [r1, #0x24]
+    str r5, [r0, #0x4c]
+    mov r2, #0x200
+    mov r1, r5
+    push {lr}
+    bl recv
+    pop {pc}
+"""
+
+
+@pytest.fixture
+def foo_woo():
+    elf_bytes, _ = build_executable(
+        "arm", FOO_WOO, imports=["memcpy", "recv"], entry="foo"
+    )
+    binary = load_elf(elf_bytes)
+    functions = CFGBuilder(binary).build_all()
+    engine = SymbolicEngine(binary)
+    return {
+        name: engine.analyze_function(function)
+        for name, function in functions.items()
+    }, functions
+
+
+def test_woo_definition_pair_matches_paper(foo_woo):
+    """woo stores deref(arg1+0x24) into deref(arg0+0x4c) (Fig. 6)."""
+    summaries, _ = foo_woo
+    woo = summaries["woo"]
+    dest = mk_deref(mk_add(ARG0, SymConst(0x4C)))
+    value = mk_deref(mk_add(ARG1, SymConst(0x24)))
+    assert any(
+        p.dest == dest and p.value == value for p in woo.def_pairs
+    ), [(pretty(p.dest), pretty(p.value)) for p in woo.def_pairs]
+
+
+def test_woo_recv_arguments(foo_woo):
+    summaries, _ = foo_woo
+    woo = summaries["woo"]
+    recv_calls = [c for c in woo.callsites if c.target == "recv"]
+    assert len(recv_calls) == 1
+    call = recv_calls[0]
+    assert call.args[0] == ARG0                       # fd
+    assert call.args[1] == mk_deref(mk_add(ARG1, SymConst(0x24)))  # buf
+    assert call.args[2] == SymConst(0x200)            # len
+
+
+def test_foo_memcpy_arguments(foo_woo):
+    """memcpy(sp-0x100, deref(deref(arg0+0x4c)), ret_woo) (Fig. 6)."""
+    summaries, functions = foo_woo
+    foo = summaries["foo"]
+    memcpy_calls = [c for c in foo.callsites if c.target == "memcpy"]
+    assert len(memcpy_calls) == 1
+    call = memcpy_calls[0]
+    # dest: sp0 - 12 (push) - 0x118 + 0x18 = sp0 - 0x10c
+    assert call.args[0] == mk_sub(SP0, SymConst(0x10C))
+    # src: deref(arg0 + 0x4c) loaded through r5 = arg0.
+    assert call.args[1] == mk_deref(mk_add(ARG0, SymConst(0x4C)))
+    # n: the return symbol of the woo callsite.
+    woo_call = [c for c in foo.callsites if c.target == "woo"][0]
+    assert call.args[2] == SymRet(woo_call.addr)
+
+
+def test_callsite_order_and_return_addrs(foo_woo):
+    summaries, _ = foo_woo
+    foo = summaries["foo"]
+    targets = [c.target for c in foo.callsites]
+    assert targets == ["woo", "memcpy"]
+    for call in foo.callsites:
+        assert call.return_addr == call.addr + 4
+
+
+def test_ret_value_recorded(foo_woo):
+    summaries, _ = foo_woo
+    # woo returns recv's return symbol (r0 after the call).
+    woo = summaries["woo"]
+    recv_call = [c for c in woo.callsites if c.target == "recv"][0]
+    assert SymRet(recv_call.addr) in woo.ret_values
+
+
+BRANCHY = r"""
+.globl check
+check:
+    cmp r1, #0x40
+    bge reject
+    str r1, [r0, #0x10]
+    mov r0, #0
+    bx lr
+reject:
+    mov r0, #1
+    bx lr
+"""
+
+
+def test_constraints_recorded_both_ways():
+    elf_bytes, _ = build_executable("arm", BRANCHY, entry="check")
+    binary = load_elf(elf_bytes)
+    functions = CFGBuilder(binary).build_all()
+    engine = SymbolicEngine(binary)
+    summary = engine.analyze_function(functions["check"])
+    assert summary.paths_explored == 2
+    assert len(summary.constraints) == 2
+    taken = {c.taken for c in summary.constraints}
+    assert taken == {True, False}
+    # The guard is a signed comparison against 0x40 mentioning arg1.
+    rendered = pretty(summary.constraints[0].expr)
+    assert "arg1" in rendered and "0x40" in rendered
+
+
+def test_store_only_on_unsanitized_path():
+    elf_bytes, _ = build_executable("arm", BRANCHY, entry="check")
+    binary = load_elf(elf_bytes)
+    functions = CFGBuilder(binary).build_all()
+    summary = SymbolicEngine(binary).analyze_function(functions["check"])
+    dest = mk_deref(mk_add(ARG0, SymConst(0x10)))
+    defs = summary.defs_of(dest)
+    assert len(defs) == 1
+    assert defs[0].value == ARG1
+
+
+LOOPY = r"""
+.globl copy_loop
+copy_loop:
+    mov r2, #0
+again:
+    ldrb r3, [r1, r2]
+    strb r3, [r0, r2]
+    add r2, r2, #1
+    cmp r3, #0
+    bne again
+    bx lr
+"""
+
+
+def test_loop_blocks_analyzed_once_and_loop_stores_found():
+    elf_bytes, _ = build_executable("arm", LOOPY, entry="copy_loop")
+    binary = load_elf(elf_bytes)
+    functions = CFGBuilder(binary).build_all()
+    summary = SymbolicEngine(binary).analyze_function(functions["copy_loop"])
+    # Terminates despite the loop (each block once per path).
+    assert summary.paths_explored >= 1
+    # The store inside the loop is recorded as a loop store: a byte
+    # copied from deref(arg1+i) to deref(arg0+i).
+    assert summary.loop_stores
+    site, dest, value = summary.loop_stores[0]
+    assert isinstance(dest, SymDeref)
+    assert isinstance(value, SymDeref)
+
+
+def test_stack_args_visible():
+    src = r"""
+.globl callee
+callee:
+    ldr r3, [sp]
+    str r3, [r0]
+    bx lr
+"""
+    elf_bytes, _ = build_executable("arm", src, entry="callee")
+    binary = load_elf(elf_bytes)
+    functions = CFGBuilder(binary).build_all()
+    summary = SymbolicEngine(binary).analyze_function(functions["callee"])
+    dest = mk_deref(ARG0)
+    defs = summary.defs_of(dest)
+    assert defs and defs[0].value == SymVar("arg4")
+
+
+MIPS_STORE = r"""
+.globl woo
+woo:
+    lw $t0, 0x24($a1)
+    sw $t0, 0x4c($a0)
+    jr $ra
+    nop
+"""
+
+
+def test_mips_definition_pairs():
+    elf_bytes, _ = build_executable("mips", MIPS_STORE, entry="woo")
+    binary = load_elf(elf_bytes)
+    functions = CFGBuilder(binary).build_all()
+    summary = SymbolicEngine(binary).analyze_function(functions["woo"])
+    dest = mk_deref(mk_add(ARG0, SymConst(0x4C)))
+    value = mk_deref(mk_add(ARG1, SymConst(0x24)))
+    assert any(p.dest == dest and p.value == value for p in summary.def_pairs)

@@ -1,0 +1,158 @@
+"""Unit tests for the symbolic state, memory, and IR layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.expr import Binop, Const, Get, ITE, Load, Ops, RdTmp, Unop
+from repro.ir.irsb import IRBuilder, IRSB, JumpKind
+from repro.ir.stmt import Exit, IMark, Put, Store, WrTmp
+from repro.symexec.state import DefPair, SymMemory, SymState
+from repro.symexec.value import SymConst, SymDeref, SymVar, mk_add, mk_deref
+
+A = SymVar("arg0")
+SP = SymVar("sp0")
+
+
+class TestSymMemory:
+    def test_write_then_read_hits(self):
+        memory = SymMemory()
+        addr = mk_add(SP, SymConst(-8))
+        memory.write(addr, A, 4)
+        value, hit = memory.read(addr, 4)
+        assert hit and value == A
+
+    def test_miss_returns_fresh_deref(self):
+        memory = SymMemory()
+        addr = mk_add(A, SymConst(0x4C))
+        value, hit = memory.read(addr, 4)
+        assert not hit
+        assert value == mk_deref(addr, 4)
+
+    def test_size_mismatch_misses(self):
+        memory = SymMemory()
+        addr = mk_add(SP, SymConst(-8))
+        memory.write(addr, A, 4)
+        value, hit = memory.read(addr, 1)
+        assert not hit
+
+    def test_copy_on_fork_is_isolated(self):
+        parent = SymMemory()
+        parent.write(SP, SymConst(1), 4)
+        child = SymMemory(parent)
+        child.write(SP, SymConst(2), 4)
+        assert parent.read(SP, 4)[0] == SymConst(1)
+        assert child.read(SP, 4)[0] == SymConst(2)
+
+
+class TestSymState:
+    def test_fork_isolates_registers_and_constraints(self):
+        state = SymState()
+        state.set_reg("r0", A)
+        fork = state.fork()
+        fork.set_reg("r0", SP)
+        fork.constraints.append("c")
+        assert state.get_reg("r0") == A
+        assert state.constraints == []
+
+    def test_visited_is_per_path(self):
+        state = SymState()
+        state.visited.add(0x1000)
+        fork = state.fork()
+        fork.visited.add(0x2000)
+        assert 0x2000 not in state.visited
+        assert 0x1000 in fork.visited
+
+
+class TestIRBuilder:
+    def test_tmp_numbering_and_count(self):
+        builder = IRBuilder(0x1000)
+        t0 = builder.tmp(Const(1))
+        t1 = builder.tmp(Binop(Ops.ADD, t0, Const(2)))
+        irsb = builder.finish(Const(0x1004), JumpKind.BORING)
+        assert (t0.tmp, t1.tmp) == (0, 1)
+        assert irsb.tmp_count() == 2
+
+    def test_rejects_non_statements(self):
+        builder = IRBuilder(0)
+        with pytest.raises(TypeError):
+            builder.add(Const(1))
+
+    def test_instruction_addrs_from_imarks(self):
+        builder = IRBuilder(0x1000)
+        builder.imark(0x1000, 4)
+        builder.imark(0x1004, 4)
+        irsb = builder.finish(Const(0x1008), JumpKind.BORING)
+        assert irsb.instruction_addrs == [0x1000, 0x1004]
+
+    def test_pretty_prints_all_statements(self):
+        builder = IRBuilder(0x1000)
+        builder.imark(0x1000, 4)
+        t = builder.tmp(Get("r0"))
+        builder.add(Put("r1", t))
+        builder.add(Store(t, Const(5), 4))
+        builder.add(Exit(Const(1), 0x2000, JumpKind.BORING))
+        irsb = builder.finish(Const(0x1004), JumpKind.CALL)
+        text = irsb.pretty()
+        assert "IMark" in text
+        assert "PUT(r1)" in text
+        assert "ST32" in text
+        assert "goto 0x2000" in text
+        assert "Ijk_Call" in text
+
+
+class TestExprValidation:
+    def test_binop_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            Binop("Frobnicate", Const(1), Const(2))
+
+    def test_unop_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            Unop("Nope", Const(1))
+
+    def test_walk_visits_subtrees(self):
+        expr = Binop(Ops.ADD, Load(Get("r0"), 4), Const(1))
+        nodes = list(expr.walk())
+        assert any(isinstance(n, Get) for n in nodes)
+        assert any(isinstance(n, Load) for n in nodes)
+
+    def test_ite_walk(self):
+        expr = ITE(Const(1), Get("r0"), Get("r1"))
+        regs = {n.reg for n in expr.walk() if isinstance(n, Get)}
+        assert regs == {"r0", "r1"}
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+       st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_ir_interp_binops_agree_with_python(a, b):
+    from repro.emu import Memory
+    from repro.ir.interp import IRInterpreter
+
+    interp = IRInterpreter({}, Memory())
+    assert interp.eval_expr(
+        Binop(Ops.ADD, Const(a), Const(b))
+    ) == (a + b) & 0xFFFFFFFF
+    assert interp.eval_expr(
+        Binop(Ops.XOR, Const(a), Const(b))
+    ) == a ^ b
+    assert interp.eval_expr(
+        Binop(Ops.CMP_LT_U, Const(a), Const(b))
+    ) == int(a < b)
+
+
+def test_ir_interp_rejects_unwritten_tmp():
+    from repro.emu import Memory
+    from repro.errors import SymExecError
+    from repro.ir.interp import IRInterpreter
+
+    interp = IRInterpreter({}, Memory())
+    with pytest.raises(SymExecError):
+        interp.eval_expr(RdTmp(3))
+
+
+def test_defpair_hashable_and_comparable():
+    pair_a = DefPair(dest=mk_deref(A), value=SymConst(1), site=4)
+    pair_b = DefPair(dest=mk_deref(A), value=SymConst(1), site=4)
+    assert pair_a == pair_b
+    assert len({pair_a, pair_b}) == 1

@@ -1,0 +1,145 @@
+"""Unit and property tests for the canonical symbolic values."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.expr import Ops
+from repro.symexec.value import (
+    SymConst,
+    SymDeref,
+    SymLin,
+    SymOp,
+    SymVar,
+    base_offset,
+    contains,
+    derefs_in,
+    mk_add,
+    mk_binop,
+    mk_deref,
+    mk_mul,
+    mk_neg,
+    mk_sub,
+    pretty,
+    substitute,
+    walk,
+)
+
+A = SymVar("arg0")
+B = SymVar("arg1")
+SP = SymVar("sp0")
+
+
+def test_add_commutes_and_canonicalises():
+    assert mk_add(A, B) == mk_add(B, A)
+    assert mk_add(A, SymConst(0)) == A
+    assert mk_add(SymConst(3), SymConst(4)) == SymConst(7)
+
+
+def test_sub_cancels():
+    assert mk_sub(A, A) == SymConst(0)
+    assert mk_sub(mk_add(A, B), B) == A
+
+
+def test_base_offset_views():
+    assert base_offset(A) == (A, 0)
+    expr = mk_add(A, SymConst(0x4C))
+    assert base_offset(expr) == (A, 0x4C)
+    assert base_offset(SymConst(0x1000)) == (None, 0x1000)
+    # Two symbolic terms has no base+offset shape.
+    assert base_offset(mk_add(A, B)) is None
+
+
+def test_deref_of_sum_matches_paper_notation():
+    expr = mk_deref(mk_add(A, SymConst(0x4C)))
+    assert pretty(expr) == "deref(arg0 + 0x4c)"
+    nested = mk_deref(mk_add(mk_deref(mk_add(A, SymConst(0x58))), SymConst(0xEC)))
+    assert pretty(nested) == "deref(deref(arg0 + 0x58) + 0xec)"
+
+
+def test_negative_offsets_render():
+    expr = mk_sub(SP, SymConst(0x100))
+    assert pretty(expr) == "sp0 - 0x100"
+    assert base_offset(expr) == (SP, -0x100)
+
+
+def test_shl_becomes_linear():
+    expr = mk_binop(Ops.SHL, A, SymConst(2))
+    assert isinstance(expr, SymLin)
+    assert expr.terms == ((A, 4),)
+
+
+def test_comparison_folding():
+    assert mk_binop(Ops.CMP_LT_U, SymConst(2), SymConst(5)) == SymConst(1)
+    assert mk_binop(Ops.CMP_LT_S, SymConst(0xFFFFFFFF), SymConst(0)) == SymConst(1)
+    symbolic = mk_binop(Ops.CMP_LT_U, A, SymConst(0x40))
+    assert isinstance(symbolic, SymOp)
+    assert symbolic.op == Ops.CMP_LT_U
+
+
+def test_substitute_formal_to_actual():
+    # deref(arg0 + 0x4c) with arg0 := deref(sp0 + 8)
+    actual = mk_deref(mk_add(SP, SymConst(8)))
+    expr = mk_deref(mk_add(A, SymConst(0x4C)))
+    replaced = substitute(expr, {A: actual})
+    assert replaced == mk_deref(mk_add(actual, SymConst(0x4C)))
+    assert pretty(replaced) == "deref(deref(sp0 + 0x8) + 0x4c)"
+
+
+def test_substitute_whole_subexpression():
+    inner = mk_deref(mk_add(A, SymConst(4)))
+    expr = mk_add(inner, SymConst(0x10))
+    replaced = substitute(expr, {inner: B})
+    assert replaced == mk_add(B, SymConst(0x10))
+
+
+def test_contains_and_derefs():
+    expr = mk_deref(mk_add(mk_deref(A), SymConst(8)))
+    assert contains(expr, A)
+    assert not contains(expr, B)
+    assert len(derefs_in(expr)) == 2
+
+
+atoms = st.sampled_from([A, B, SP, SymVar("arg2"), SymVar("arg3")])
+# Constants are canonically unsigned 32-bit.
+consts = st.integers(min_value=-0x1000, max_value=0x1000).map(
+    lambda v: SymConst(v & 0xFFFFFFFF)
+)
+simple = st.one_of(atoms, consts)
+
+
+@given(simple, simple, simple)
+def test_add_associative(x, y, z):
+    assert mk_add(mk_add(x, y), z) == mk_add(x, mk_add(y, z))
+
+
+@given(simple, simple)
+def test_sub_then_add_roundtrip(x, y):
+    assert mk_add(mk_sub(x, y), y) == x
+
+
+@given(simple)
+def test_double_negation(x):
+    assert mk_neg(mk_neg(x)) == x
+
+
+@given(simple, st.integers(min_value=-16, max_value=16))
+def test_mul_by_const_distributes(x, k):
+    lhs = mk_mul(SymConst(k), mk_add(x, SymConst(5)))
+    rhs = mk_add(mk_mul(SymConst(k), x), SymConst(5 * k))
+    assert lhs == rhs
+
+
+@given(simple, simple)
+def test_walk_contains_operands(x, y):
+    expr = mk_deref(mk_add(x, y))
+    nodes = list(walk(expr))
+    assert expr in nodes
+    if not isinstance(x, SymConst) or not isinstance(y, SymConst):
+        assert any(n == x for n in nodes) or any(n == y for n in nodes)
+
+
+@given(simple, simple)
+def test_substitute_identity(x, y):
+    expr = mk_deref(mk_add(x, SymConst(12)))
+    assert substitute(expr, {}) == expr
+    assert substitute(expr, {y: y}) == expr

@@ -1,0 +1,61 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    align_up,
+    bit,
+    bits,
+    ror32,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def test_bit_extracts_single_bits():
+    assert bit(0b1010, 1) == 1
+    assert bit(0b1010, 0) == 0
+    assert bit(1 << 31, 31) == 1
+
+
+def test_bits_extracts_fields():
+    assert bits(0xDEADBEEF, 31, 28) == 0xD
+    assert bits(0xDEADBEEF, 7, 0) == 0xEF
+    assert bits(0xFF, 3, 0) == 0xF
+
+
+def test_bits_rejects_inverted_range():
+    with pytest.raises(ValueError):
+        bits(0, 0, 4)
+
+
+def test_sign_extend_known_values():
+    assert sign_extend(0xFF, 8) == -1
+    assert sign_extend(0x7F, 8) == 127
+    assert sign_extend(0x8000, 16) == -32768
+
+
+@given(u32)
+def test_signed_unsigned_roundtrip(value):
+    assert to_unsigned32(to_signed32(value)) == value
+
+
+@given(u32, st.integers(min_value=0, max_value=64))
+def test_ror32_preserves_bits(value, amount):
+    rotated = ror32(value, amount)
+    assert bin(rotated).count("1") == bin(value).count("1")
+    assert ror32(rotated, 32 - (amount % 32)) == value
+
+
+def test_align_up():
+    assert align_up(0, 4) == 0
+    assert align_up(1, 4) == 4
+    assert align_up(4, 4) == 4
+    assert align_up(0x1001, 0x1000) == 0x2000
+    with pytest.raises(ValueError):
+        align_up(3, 0)
