@@ -1,0 +1,138 @@
+"""Fleet scan: cold vs warm vs parallel runs over the six profiles.
+
+Beyond the paper: the orchestration layer (`repro.pipeline`) that
+makes the 6,529-image corpus workload tractable.  The bench runs the
+six Table II images through the fleet scheduler four ways:
+
+    cold       serial, empty cache       — the baseline cost
+    warm       serial, summary cache     — >90% summary hits, less wall
+    hot        serial, report cache      — analysis skipped entirely
+    parallel   4 workers, no cache       — byte-identical findings
+
+plus a chaos row: a job injected to crash every attempt must be
+retried, quarantined, and must not disturb the rest of the fleet.
+"""
+
+import pytest
+
+from repro.corpus.profiles import PROFILE_ORDER
+from repro.eval.runner import get_scale
+from repro.eval.tables import format_table
+from repro.pipeline import (
+    FleetJob,
+    FleetScheduler,
+    Telemetry,
+    findings_fingerprint,
+    read_events,
+)
+
+
+def _jobs(scale, **kwargs):
+    return [
+        FleetJob(job_id=key, kind="profile", key=key, scale=scale, **kwargs)
+        for key in PROFILE_ORDER
+    ]
+
+
+def _run(scale, workers, cache_dir=None, use_report_cache=True,
+         telemetry=None):
+    scheduler = FleetScheduler(
+        jobs=workers, cache_dir=cache_dir,
+        use_report_cache=use_report_cache,
+        telemetry=telemetry,
+    )
+    import time
+
+    start = time.perf_counter()
+    results = scheduler.run(_jobs(scale))
+    return results, time.perf_counter() - start
+
+
+def _cache_totals(results):
+    hits = sum(r.cache.get("summary_hits", 0) for r in results)
+    misses = sum(r.cache.get("summary_misses", 0) for r in results)
+    return hits, misses
+
+
+def test_fleet_cold_warm_parallel(benchmark, tmp_path):
+    scale = get_scale()
+    cache_dir = str(tmp_path / "cache")
+    telemetry_path = str(tmp_path / "telemetry.jsonl")
+
+    with Telemetry(telemetry_path) as telemetry:
+        cold, cold_wall = benchmark.pedantic(
+            _run, args=(scale, 1),
+            kwargs={"cache_dir": cache_dir, "telemetry": telemetry},
+            rounds=1, iterations=1,
+        )
+    warm, warm_wall = _run(scale, 1, cache_dir=cache_dir,
+                           use_report_cache=False)
+    hot, hot_wall = _run(scale, 1, cache_dir=cache_dir)
+    parallel, parallel_wall = _run(scale, 4)
+
+    rows = []
+    for label, results, wall in (
+        ("cold serial", cold, cold_wall),
+        ("warm summaries", warm, warm_wall),
+        ("warm reports", hot, hot_wall),
+        ("parallel x4", parallel, parallel_wall),
+    ):
+        hits, misses = _cache_totals(results)
+        lookups = hits + misses
+        rows.append([
+            label,
+            "%.2f" % wall,
+            "%.2fx" % (cold_wall / wall if wall else 0.0),
+            "%d/%d" % (hits, lookups),
+            sum(len(r.report.get("vulnerable_paths", []))
+                for r in results),
+            sum(len(r.report.get("vulnerabilities", []))
+                for r in results),
+        ])
+    print("\n" + format_table(
+        ["run", "wall_s", "speedup", "cache", "paths", "vulns"], rows,
+        title="Fleet scan cold/warm/parallel (scale=%.2f, 6 images)"
+              % scale,
+    ))
+
+    assert all(r.ok for r in cold + warm + hot + parallel)
+
+    # (a) Parallelism must not change a single finding byte.
+    for serial_result, parallel_result in zip(cold, parallel):
+        assert findings_fingerprint(serial_result.report) == \
+            findings_fingerprint(parallel_result.report), \
+            serial_result.job.job_id
+
+    # (b) Warm summary cache: >90% hits and measurably lower wall time.
+    hits, misses = _cache_totals(warm)
+    assert hits / (hits + misses) > 0.9, (hits, misses)
+    assert warm_wall < cold_wall, (warm_wall, cold_wall)
+    # Warm report cache skips the analysis outright.
+    assert all(r.cache.get("report_cache_hit") for r in hot)
+    assert hot_wall < warm_wall, (hot_wall, warm_wall)
+
+    # The cold run's lifecycle is visible in the telemetry stream.
+    kinds = [e["event"] for e in read_events(telemetry_path)]
+    assert kinds.count("job_finish") == len(PROFILE_ORDER)
+    assert "cache_report" in kinds and "run_finish" in kinds
+
+
+def test_fleet_crash_isolation(benchmark):
+    """(c) A crashing job is retried, quarantined, and isolated."""
+    scale = get_scale()
+    jobs = _jobs(scale)[:2]
+    jobs[1].fault = "crash"
+    jobs[1].fault_attempts = 10 ** 6
+    scheduler = FleetScheduler(jobs=2, retries=1)
+    results = benchmark.pedantic(
+        scheduler.run, args=(jobs,), rounds=1, iterations=1
+    )
+    healthy, doomed = results
+    assert healthy.ok and healthy.report is not None
+    assert doomed.status == "quarantined"
+    assert doomed.attempts == 2
+    assert doomed.error_type == "WorkerCrash"
+    print("\ncrash isolation: %s ok in %.2fs; %s quarantined after "
+          "%d attempts (%s)"
+          % (healthy.job.job_id, healthy.elapsed, doomed.job.job_id,
+             doomed.attempts, doomed.error_type))

@@ -7,6 +7,9 @@
                                  (dir645, dir890l, dgn1000, dgn2200,
                                  uniview, hikvision) and analyse it
 ``dtaint fleet``              — run the Figure 1 emulation study
+``dtaint fleet-scan``         — analyse many images in parallel with
+                                 summary/report caching, retries and
+                                 JSONL telemetry
 """
 
 import argparse
@@ -16,6 +19,8 @@ from repro.core import DTaint, DTaintConfig
 
 
 def _cmd_scan(args):
+    import json
+
     from repro.loader.binary import load_elf
 
     with open(args.file, "rb") as handle:
@@ -23,7 +28,10 @@ def _cmd_scan(args):
     binary = load_elf(data)
     config = DTaintConfig(modules=tuple(args.modules or ()))
     report = DTaint(binary, config=config, name=args.file).run()
-    print(report.render())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
     return 1 if report.vulnerable_paths and args.fail_on_findings else 0
 
 
@@ -74,6 +82,70 @@ def _cmd_fleet(args):
     return 0
 
 
+def _cmd_fleet_scan(args):
+    import os
+    import time
+
+    from repro.corpus.profiles import PROFILE_ORDER, PROFILES
+    from repro.pipeline import (
+        FleetJob,
+        FleetScheduler,
+        ResultsStore,
+        Telemetry,
+        render_fleet_summary,
+    )
+
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+    keys = args.profiles or list(PROFILE_ORDER)
+    unknown = [k for k in keys if k not in PROFILES]
+    if unknown:
+        print("unknown profile(s) %s; choices: %s"
+              % (", ".join(unknown), ", ".join(sorted(PROFILES))),
+              file=sys.stderr)
+        return 2
+    jobs = []
+    for key in keys:
+        fault = "crash" if key == args.inject_crash else ""
+        jobs.append(FleetJob(
+            job_id=key, kind="profile", key=key, scale=args.scale,
+            fault=fault, fault_attempts=10 ** 6 if fault else 0,
+        ))
+
+    telemetry_path = args.telemetry
+    if telemetry_path is None and args.out:
+        telemetry_path = os.path.join(args.out, "telemetry.jsonl")
+    if telemetry_path:
+        os.makedirs(os.path.dirname(telemetry_path) or ".", exist_ok=True)
+    telemetry = Telemetry(path=telemetry_path)
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    scheduler = FleetScheduler(
+        jobs=args.jobs,
+        timeout=args.timeout or None,
+        retries=args.retries,
+        cache_dir=cache_dir,
+        use_report_cache=not args.no_report_cache,
+        telemetry=telemetry,
+    )
+    start = time.perf_counter()
+    results = scheduler.run(jobs)
+    wall = time.perf_counter() - start
+    telemetry.close()
+
+    if args.out:
+        store = ResultsStore(args.out)
+        for result in results:
+            store.write_image(result)
+        rollup = store.write_rollup(results, wall)
+        print("results: %s" % rollup)
+    if telemetry_path:
+        print("telemetry: %s" % telemetry_path)
+    print(render_fleet_summary(results, wall))
+    return 0 if all(r.ok for r in results) else 1
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="dtaint",
@@ -87,6 +159,9 @@ def main(argv=None):
     scan.add_argument("--modules", nargs="*",
                       help="function-name prefixes to analyse")
     scan.add_argument("--fail-on-findings", action="store_true")
+    scan.add_argument("--json", action="store_true",
+                      help="emit the report as JSON (same shape the "
+                           "fleet pipeline stores)")
     scan.set_defaults(func=_cmd_scan)
 
     firmware = sub.add_parser("firmware", help="extract + analyse firmware")
@@ -101,6 +176,37 @@ def main(argv=None):
     fleet = sub.add_parser("fleet", help="Figure 1 emulation study")
     fleet.add_argument("--size", type=int, default=6529)
     fleet.set_defaults(func=_cmd_fleet)
+
+    fleet_scan = sub.add_parser(
+        "fleet-scan",
+        help="analyse many vendor images in parallel, with caching",
+    )
+    fleet_scan.add_argument("profiles", nargs="*",
+                            help="profile keys (default: all six)")
+    fleet_scan.add_argument("--jobs", type=int, default=4,
+                            help="concurrent worker processes")
+    fleet_scan.add_argument("--scale", type=float, default=0.25)
+    fleet_scan.add_argument("--cache-dir", default=".dtaint-cache",
+                            help="content-addressed summary/report store")
+    fleet_scan.add_argument("--no-cache", action="store_true",
+                            help="disable all caching for this run")
+    fleet_scan.add_argument("--no-report-cache", action="store_true",
+                            help="keep summary reuse but always re-detect")
+    fleet_scan.add_argument("--timeout", type=float, default=0.0,
+                            help="per-job wall-clock budget in seconds "
+                                 "(0 = unlimited)")
+    fleet_scan.add_argument("--retries", type=int, default=1,
+                            help="extra attempts after a crash/timeout")
+    fleet_scan.add_argument("--out",
+                            help="directory for per-image findings + "
+                                 "fleet.json rollup")
+    fleet_scan.add_argument("--telemetry",
+                            help="JSONL event log path (default: "
+                                 "<out>/telemetry.jsonl when --out is set)")
+    fleet_scan.add_argument("--inject-crash", metavar="KEY",
+                            help="chaos switch: make this job crash every "
+                                 "attempt (demonstrates quarantine)")
+    fleet_scan.set_defaults(func=_cmd_fleet_scan)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -58,7 +58,7 @@ class DTaintConfig:
 class DTaint:
     """Detects taint-style vulnerabilities in one loaded binary."""
 
-    def __init__(self, binary, config=None, name=""):
+    def __init__(self, binary, config=None, name="", summary_cache=None):
         self.binary = binary
         self.config = config or DTaintConfig()
         self.name = name or "binary"
@@ -67,6 +67,10 @@ class DTaint:
         self.enriched = None
         self.call_graph = None
         self.timer = StageTimer()
+        # A bound per-function summary store (``get(addr)``/``put(addr,
+        # summary)``, hit/miss counters) — the pipeline layer's reuse
+        # hook around the bottom-up traversal.  ``None`` disables reuse.
+        self.summary_cache = summary_cache
 
     # ------------------------------------------------------------------
 
@@ -92,7 +96,13 @@ class DTaint:
         return self.functions
 
     def analyze_functions(self):
-        """Stage 1: static symbolic analysis, one summary per function."""
+        """Stage 1: static symbolic analysis, one summary per function.
+
+        Summaries are context-independent (the property Algorithm 2's
+        bottom-up order relies on), so each one is looked up in the
+        bound summary cache first and inserted on a miss; a warm cache
+        skips the symbolic-execution hot path entirely.
+        """
         if self.functions is None:
             self.build_cfg()
         self.timer.start("ssa")
@@ -101,11 +111,17 @@ class DTaint:
             max_paths=self.config.max_paths,
             max_blocks_per_path=self.config.max_blocks_per_path,
         )
+        cache = self.summary_cache
         self.summaries = {}
         for name, function in self.functions.items():
             if function.is_import:
                 continue
-            self.summaries[name] = engine.analyze_function(function)
+            summary = cache.get(function.addr) if cache is not None else None
+            if summary is None:
+                summary = engine.analyze_function(function)
+                if cache is not None:
+                    cache.put(function.addr, summary)
+            self.summaries[name] = summary
         self.timer.stop()
         return self.summaries
 
@@ -263,6 +279,9 @@ class DTaint:
         self.timer.stop()
         report.stage_seconds = dict(self.timer.stages)
         report.elapsed_seconds = self.timer.total
+        if self.summary_cache is not None:
+            report.summary_cache_hits = self.summary_cache.hits
+            report.summary_cache_misses = self.summary_cache.misses
         return report
 
     def run(self):

@@ -12,11 +12,13 @@ definitions, copies introduce propagation pairs, allocators return
 heap objects identified by the hash of the callsite chain.
 """
 
+import pickle
+import zlib
 from dataclasses import dataclass, field
 
 from repro.core import libc
 from repro.core.types import root_pointer
-from repro.symexec.state import Constraint, DefPair
+from repro.symexec.state import Constraint, DefPair, FunctionSummary
 from repro.symexec.value import (
     SymConst,
     SymDeref,
@@ -73,8 +75,55 @@ def _exportable(dest):
 
 
 def _chain_hash(function_name, callsite_addr):
-    """Heap identity: hash of the callsite chain (paper Listing 1)."""
-    return hash((function_name, callsite_addr)) & 0xFFFFFFFF
+    """Heap identity: hash of the callsite chain (paper Listing 1).
+
+    CRC32 rather than ``hash()``: heap identities end up in findings
+    and in cached summaries, so they must be stable across interpreter
+    runs (``hash()`` of a str is randomised per process).
+    """
+    key = ("%s@0x%x" % (function_name, callsite_addr)).encode("utf-8")
+    return zlib.crc32(key) & 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# Summary serialization (the unit of reuse for the fleet cache).
+
+SUMMARY_FORMAT_VERSION = 1
+_SUMMARY_MAGIC = b"DTSUM"
+
+
+def serialize_summary(summary):
+    """Encode a :class:`FunctionSummary` as a self-describing blob.
+
+    The header carries a magic and a format version so stale cache
+    entries written by an older summary layout decode to ``None``
+    (a cache miss) instead of poisoning an analysis.
+    """
+    payload = pickle.dumps(summary, protocol=4)
+    return _SUMMARY_MAGIC + bytes([SUMMARY_FORMAT_VERSION]) + payload
+
+
+def deserialize_summary(blob):
+    """Decode a blob from :func:`serialize_summary`; ``None`` if stale.
+
+    Any mismatch — wrong magic, old format version, undecodable
+    pickle, wrong object type — is reported as ``None`` so callers
+    fall back to re-analysis.
+    """
+    header_len = len(_SUMMARY_MAGIC) + 1
+    if not isinstance(blob, bytes) or len(blob) <= header_len:
+        return None
+    if not blob.startswith(_SUMMARY_MAGIC):
+        return None
+    if blob[len(_SUMMARY_MAGIC)] != SUMMARY_FORMAT_VERSION:
+        return None
+    try:
+        summary = pickle.loads(blob[header_len:])
+    except Exception:
+        return None
+    if not isinstance(summary, FunctionSummary):
+        return None
+    return summary
 
 
 class InterproceduralAnalysis:

@@ -64,6 +64,8 @@ class Report:
     sanitized_paths: list = field(default_factory=list)
     elapsed_seconds: float = 0.0
     stage_seconds: dict = field(default_factory=dict)
+    summary_cache_hits: int = 0
+    summary_cache_misses: int = 0
 
     @property
     def vulnerable_paths(self):
@@ -103,6 +105,10 @@ class Report:
             "indirect_resolved": self.indirect_resolved,
             "elapsed_seconds": self.elapsed_seconds,
             "stage_seconds": dict(self.stage_seconds),
+            "summary_cache": {
+                "hits": self.summary_cache_hits,
+                "misses": self.summary_cache_misses,
+            },
             "vulnerable_paths": [asdict(f) for f in self.vulnerable_paths],
             "vulnerabilities": [asdict(f) for f in self.vulnerabilities],
             "sanitized_paths": [asdict(f) for f in self.sanitized_paths],
@@ -130,6 +136,11 @@ class Report:
             "  vulnerabilities    : %d" % len(self.vulnerabilities),
             "  time               : %.2fs" % self.elapsed_seconds,
         ]
+        if self.summary_cache_hits or self.summary_cache_misses:
+            lines.append(
+                "  summary cache      : %d hits / %d misses"
+                % (self.summary_cache_hits, self.summary_cache_misses)
+            )
         for finding in self.findings:
             lines.append("  " + finding.describe())
         return "\n".join(lines)

@@ -53,3 +53,29 @@ class CorpusError(ReproError):
 
 class AnalysisError(ReproError):
     """Raised by the DTaint analysis pipeline."""
+
+
+class PipelineError(ReproError):
+    """Raised by the fleet orchestration layer (``repro.pipeline``)."""
+
+
+class AnalysisTimeout(PipelineError):
+    """A fleet job exceeded its wall-clock budget and was killed."""
+
+    def __init__(self, job_id, timeout_seconds):
+        self.job_id = job_id
+        self.timeout_seconds = timeout_seconds
+        super().__init__(
+            "job %r exceeded %.1fs timeout" % (job_id, timeout_seconds)
+        )
+
+
+class WorkerCrash(PipelineError):
+    """A fleet worker process died without delivering a result."""
+
+    def __init__(self, job_id, exitcode=None):
+        self.job_id = job_id
+        self.exitcode = exitcode
+        super().__init__(
+            "worker for job %r crashed (exitcode=%s)" % (job_id, exitcode)
+        )

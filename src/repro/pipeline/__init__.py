@@ -1,0 +1,47 @@
+"""Fleet-scale orchestration over the DTaint pipeline.
+
+The paper evaluates DTaint one image at a time; its workload is a
+6,529-image corpus.  This package closes that gap:
+
+* :mod:`repro.pipeline.scheduler` — a multiprocessing scheduler with
+  per-job timeout, bounded retry, and crash quarantine;
+* :mod:`repro.pipeline.cache` — content-addressed stores for
+  per-function summaries and whole reports, keyed by
+  ``(binary-sha256, function-addr, config-fingerprint)``;
+* :mod:`repro.pipeline.telemetry` — structured JSONL run events and
+  the end-of-run summary table;
+* :mod:`repro.pipeline.results` — canonical per-image findings and
+  the fleet-level rollup.
+"""
+
+from repro.pipeline.cache import (
+    ReportCache,
+    SummaryCache,
+    binary_sha256,
+    report_fingerprint,
+    summary_fingerprint,
+)
+from repro.pipeline.results import (
+    ResultsStore,
+    canonical_report,
+    findings_fingerprint,
+)
+from repro.pipeline.scheduler import (
+    FleetJob,
+    FleetScheduler,
+    JobResult,
+    execute_job,
+)
+from repro.pipeline.telemetry import (
+    Telemetry,
+    read_events,
+    render_fleet_summary,
+)
+
+__all__ = [
+    "FleetJob", "FleetScheduler", "JobResult", "execute_job",
+    "SummaryCache", "ReportCache", "binary_sha256",
+    "summary_fingerprint", "report_fingerprint",
+    "Telemetry", "read_events", "render_fleet_summary",
+    "ResultsStore", "canonical_report", "findings_fingerprint",
+]

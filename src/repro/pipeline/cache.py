@@ -1,0 +1,184 @@
+"""Content-addressed stores for per-function summaries and reports.
+
+DTaint's bottom-up design (paper Algorithm 2) makes every per-function
+symbolic summary context-independent, so a summary is fully determined
+by the binary's bytes, the function's address, and the analysis knobs
+that shape symbolic exploration.  That triple —
+``(binary-sha256, function-addr, config-fingerprint)`` — is the cache
+key: re-scanning an unchanged binary turns the symexec hot path into a
+sequence of near-free lookups, and a single flipped byte anywhere in
+the binary invalidates everything (content addressing, no mtime
+games).
+
+Two layers:
+
+* :class:`SummaryCache` — per-function :class:`FunctionSummary` blobs,
+  bundled one file per ``(binary, fingerprint)`` pair so a warm lookup
+  costs one read, not thousands.
+* :class:`ReportCache` — whole-run report dicts keyed by
+  ``(binary-sha256, report-fingerprint)``; a hit skips the entire
+  analysis, not just symexec.
+
+Writes are atomic (tmp + ``os.replace``) so parallel fleet workers
+never expose torn files to each other.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+
+from repro.core.interproc import (
+    SUMMARY_FORMAT_VERSION,
+    deserialize_summary,
+    serialize_summary,
+)
+
+CACHE_FORMAT_VERSION = 1
+
+# DTaintConfig knobs that shape the *per-function* summaries (symbolic
+# exploration limits) vs. the ones that only steer later whole-report
+# stages.  Keeping the summary fingerprint narrow maximises reuse: a
+# different trace depth or ablation switch re-detects over the same
+# cached summaries.
+_SUMMARY_FIELDS = ("max_paths", "max_blocks_per_path")
+_REPORT_FIELDS = _SUMMARY_FIELDS + (
+    "max_trace_depth", "enable_aliasing", "enable_structure_similarity",
+)
+
+
+def binary_sha256(data):
+    """Content address of a binary: hex SHA-256 of its bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def _fingerprint(fields):
+    blob = json.dumps(fields, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def summary_fingerprint(config):
+    """Fingerprint of the config knobs that shape function summaries."""
+    fields = {name: getattr(config, name) for name in _SUMMARY_FIELDS}
+    fields["cache_version"] = CACHE_FORMAT_VERSION
+    fields["summary_version"] = SUMMARY_FORMAT_VERSION
+    return _fingerprint(fields)
+
+
+def report_fingerprint(config):
+    """Fingerprint of the full config, or ``None`` when uncacheable.
+
+    A ``function_filter`` callable cannot be fingerprinted reliably,
+    so configs carrying one opt out of whole-report caching (summary
+    caching still applies — the filter only selects functions).
+    """
+    if config.function_filter is not None:
+        return None
+    fields = {name: getattr(config, name) for name in _REPORT_FIELDS}
+    fields["modules"] = list(config.modules)
+    fields["cache_version"] = CACHE_FORMAT_VERSION
+    return _fingerprint(fields)
+
+
+def _atomic_write(path, data):
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp = "%s.tmp.%d" % (path, os.getpid())
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+    os.replace(tmp, path)
+
+
+class BoundSummaryCache:
+    """The summary store scoped to one ``(binary, fingerprint)`` pair.
+
+    This is the object handed to :class:`~repro.core.detector.DTaint`:
+    the detector keys by function address only, keeping ``repro.core``
+    free of any pipeline-layer concepts.  Summaries are pickled at
+    ``put`` time, so later in-place mutation of the live object (the
+    alias passes rewrite summaries) never leaks into the cache.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._bundle = None      # addr -> serialized blob
+        self._dirty = False
+
+    def _load(self):
+        if self._bundle is not None:
+            return self._bundle
+        self._bundle = {}
+        try:
+            with open(self.path, "rb") as handle:
+                loaded = pickle.load(handle)
+            if isinstance(loaded, dict):
+                self._bundle = loaded
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            pass  # absent or corrupt bundle == empty cache
+        return self._bundle
+
+    def get(self, addr):
+        """Deserialized summary for ``addr``, or ``None`` (counted)."""
+        blob = self._load().get(addr)
+        summary = deserialize_summary(blob) if blob is not None else None
+        if summary is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return summary
+
+    def put(self, addr, summary):
+        self._load()[addr] = serialize_summary(summary)
+        self._dirty = True
+
+    def flush(self):
+        """Persist the bundle atomically; no-op when nothing changed."""
+        if not self._dirty:
+            return
+        _atomic_write(self.path, pickle.dumps(self._bundle, protocol=4))
+        self._dirty = False
+
+    @property
+    def stats(self):
+        return {"summary_hits": self.hits, "summary_misses": self.misses}
+
+
+class SummaryCache:
+    """Root of the on-disk summary store (``<dir>/summaries/``)."""
+
+    def __init__(self, root):
+        self.root = root
+
+    def for_binary(self, sha, config):
+        """A :class:`BoundSummaryCache` for one binary + config."""
+        name = "%s-%s.pkl" % (sha, summary_fingerprint(config))
+        return BoundSummaryCache(
+            os.path.join(self.root, "summaries", sha[:2], name)
+        )
+
+
+class ReportCache:
+    """Whole-report results keyed by ``(binary-sha256, fingerprint)``."""
+
+    def __init__(self, root):
+        self.root = root
+
+    def _path(self, sha, fingerprint):
+        name = "%s-%s.json" % (sha, fingerprint)
+        return os.path.join(self.root, "reports", sha[:2], name)
+
+    def get(self, sha, fingerprint):
+        if fingerprint is None:
+            return None
+        try:
+            with open(self._path(sha, fingerprint), "r") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, sha, fingerprint, report_dict):
+        if fingerprint is None:
+            return
+        blob = json.dumps(report_dict, sort_keys=True).encode("utf-8")
+        _atomic_write(self._path(sha, fingerprint), blob)

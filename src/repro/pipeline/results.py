@@ -1,0 +1,132 @@
+"""Machine-readable fleet results: per-image findings + rollup.
+
+The store writes two kinds of artefact under the output directory:
+
+* ``images/<job-id>.json`` — one file per analysed image holding the
+  *canonical* findings document (see :func:`canonical_report`) plus
+  run metadata (status, attempts, timings, cache counters).
+* ``fleet.json`` — the fleet-level rollup: per-image rows, aggregate
+  counters, and the cache totals.
+
+Canonicalisation exists for one hard requirement: a parallel fleet
+run must produce **byte-identical** findings to a serial run.  Wall
+times, RSS and cache counters obviously differ between runs, so the
+canonical document carries only run-independent analysis output, with
+findings sorted under a total order, and is serialised with sorted
+keys.  :func:`findings_fingerprint` hashes exactly that document.
+"""
+
+import hashlib
+import json
+import os
+
+_FINDING_SORT_KEYS = (
+    "function", "sink_name", "sink_addr", "source_name", "source_addr",
+    "kind", "expr", "hops",
+)
+
+# Run-independent counters copied from a report dict verbatim.
+_REPORT_COUNTERS = (
+    "binary", "arch", "analyzed_functions", "total_functions", "blocks",
+    "call_graph_edges", "sinks", "indirect_resolved",
+)
+
+
+def _finding_key(finding):
+    return tuple(finding.get(name, "") for name in _FINDING_SORT_KEYS)
+
+
+def canonical_report(report_dict):
+    """Strip a report dict down to its run-independent analysis output."""
+    canonical = {
+        name: report_dict.get(name) for name in _REPORT_COUNTERS
+    }
+    for section in ("vulnerable_paths", "vulnerabilities",
+                    "sanitized_paths"):
+        findings = report_dict.get(section, []) or []
+        canonical[section] = sorted(findings, key=_finding_key)
+    return canonical
+
+
+def findings_fingerprint(report_dict):
+    """SHA-256 over the canonical findings document."""
+    blob = json.dumps(
+        canonical_report(report_dict), sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ResultsStore:
+    """Writes per-image findings and the fleet rollup to a directory."""
+
+    def __init__(self, out_dir):
+        self.out_dir = out_dir
+        os.makedirs(os.path.join(out_dir, "images"), exist_ok=True)
+
+    def write_image(self, result):
+        """Persist one job's result; returns the path written."""
+        document = {
+            "job_id": result.job.job_id,
+            "target": result.job.describe_target(),
+            "status": result.status,
+            "attempts": result.attempts,
+            "error": result.error,
+            "error_type": result.error_type,
+            "elapsed_seconds": result.elapsed,
+            "resources": result.resources,
+            "cache": result.cache,
+        }
+        if result.report is not None:
+            document["findings"] = canonical_report(result.report)
+            document["findings_sha256"] = findings_fingerprint(result.report)
+            document["stage_seconds"] = result.report.get("stage_seconds", {})
+        path = os.path.join(
+            self.out_dir, "images", "%s.json" % result.job.job_id
+        )
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        return path
+
+    def write_rollup(self, results, wall_seconds):
+        """Persist ``fleet.json`` summarising the whole run."""
+        rows = []
+        totals = {
+            "jobs": len(results), "ok": 0, "quarantined": 0,
+            "vulnerable_paths": 0, "vulnerabilities": 0,
+            "summary_hits": 0, "summary_misses": 0, "report_cache_hits": 0,
+        }
+        for result in results:
+            report = result.report or {}
+            paths = len(report.get("vulnerable_paths", []))
+            vulns = len(report.get("vulnerabilities", []))
+            row = {
+                "job_id": result.job.job_id,
+                "target": result.job.describe_target(),
+                "status": result.status,
+                "attempts": result.attempts,
+                "elapsed_seconds": result.elapsed,
+                "vulnerable_paths": paths,
+                "vulnerabilities": vulns,
+                "cache": result.cache,
+            }
+            if result.report is not None:
+                row["findings_sha256"] = findings_fingerprint(result.report)
+            rows.append(row)
+            totals["ok" if result.status == "ok" else "quarantined"] += 1
+            totals["vulnerable_paths"] += paths
+            totals["vulnerabilities"] += vulns
+            totals["summary_hits"] += result.cache.get("summary_hits", 0)
+            totals["summary_misses"] += result.cache.get("summary_misses", 0)
+            totals["report_cache_hits"] += int(
+                bool(result.cache.get("report_cache_hit"))
+            )
+        rollup = {
+            "wall_seconds": wall_seconds,
+            "totals": totals,
+            "images": rows,
+        }
+        path = os.path.join(self.out_dir, "fleet.json")
+        with open(path, "w") as handle:
+            json.dump(rollup, handle, indent=2, sort_keys=True)
+        return path

@@ -1,0 +1,387 @@
+"""The fleet scheduler: parallel, crash-isolated, incremental runs.
+
+The paper's headline workload is a 6,529-image corpus; this module is
+the machinery that makes such a corpus tractable.  Each analysis job
+(one firmware image / binary) runs in its **own worker process** — not
+a shared pool — which buys three properties a pool cannot give:
+
+* **crash isolation** — a worker segfaulting, OOM-ing or calling
+  ``os._exit`` kills only its job; the scheduler observes the dead
+  pipe, retries, and eventually quarantines the job while the rest of
+  the fleet proceeds;
+* **per-job timeout** — the scheduler tracks a deadline per live
+  worker and kills overruns with ``SIGTERM``-then-``SIGKILL``;
+* **bounded retry** — every failure mode (crash, timeout, in-worker
+  exception) re-queues the job up to ``retries`` extra attempts.
+
+Workers ship results back over a one-shot pipe as plain dicts (the
+report's ``to_dict()`` form), so nothing analysis-internal needs to
+survive pickling across the process boundary.  Failures come back as
+the typed exceptions from :mod:`repro.errors` (``AnalysisTimeout``,
+``WorkerCrash``, or the worker's own ``ReproError`` subclass).
+
+The ``fork`` start method is preferred: workers inherit the loaded
+modules (fast start) and the parent's hash seed, which keeps any
+``hash()``-derived values consistent between a serial and a parallel
+run of the same fleet.
+"""
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection
+
+from repro.errors import AnalysisTimeout, PipelineError, ReproError, WorkerCrash
+from repro.pipeline.cache import (
+    ReportCache,
+    SummaryCache,
+    binary_sha256,
+    report_fingerprint,
+)
+from repro.pipeline.telemetry import Telemetry
+
+
+@dataclass
+class FleetJob:
+    """One unit of fleet work: a vendor profile or an ELF on disk."""
+
+    job_id: str
+    kind: str = "profile"        # 'profile' | 'elf'
+    key: str = ""                # corpus profile key (kind='profile')
+    path: str = ""               # ELF path on disk (kind='elf')
+    scale: float = 0.25          # profile build scale
+    modules: tuple = ()          # analysed module prefixes (kind='elf')
+    # Deterministic fault injection for chaos tests and the crash-
+    # isolation acceptance check: the named fault fires while the
+    # attempt number is <= fault_attempts.
+    fault: str = ""              # '' | 'crash' | 'hang' | 'error'
+    fault_attempts: int = 0
+
+    def describe_target(self):
+        return self.key if self.kind == "profile" else self.path
+
+
+@dataclass
+class JobResult:
+    """Terminal state of one job after scheduling completes."""
+
+    job: FleetJob
+    status: str = "pending"      # 'ok' | 'quarantined'
+    attempts: int = 0
+    report: dict = None          # Report.to_dict() form (status 'ok')
+    sha256: str = ""
+    error: str = ""
+    error_type: str = ""
+    elapsed: float = 0.0         # last attempt's wall time
+    resources: dict = field(default_factory=dict)
+    cache: dict = field(default_factory=dict)
+
+    @property
+    def ok(self):
+        return self.status == "ok"
+
+
+@dataclass
+class _Running:
+    job: FleetJob
+    attempt: int
+    process: object
+    conn: object
+    started: float
+    deadline: float = None
+
+
+def _load_job_binary(job):
+    """Materialise the job's binary; returns (name, binary, config, sha)."""
+    from repro.core import DTaintConfig
+
+    if job.kind == "profile":
+        from repro.corpus.profiles import (
+            analyzed_module_prefixes,
+            build_firmware,
+        )
+
+        built = build_firmware(job.key, scale=job.scale)
+        config = DTaintConfig(modules=analyzed_module_prefixes(job.key))
+        return built.name, built.binary, config, binary_sha256(built.elf_bytes)
+    if job.kind == "elf":
+        from repro.loader.binary import load_elf
+
+        with open(job.path, "rb") as handle:
+            data = handle.read()
+        config = DTaintConfig(modules=tuple(job.modules))
+        return job.path, load_elf(data), config, binary_sha256(data)
+    raise PipelineError("unknown job kind %r" % job.kind)
+
+
+def _inject_fault(job, attempt):
+    if not job.fault or attempt > job.fault_attempts:
+        return
+    if job.fault == "crash":
+        os._exit(70)             # simulated hard death: no result, no cleanup
+    if job.fault == "hang":
+        time.sleep(3600)
+    if job.fault == "error":
+        raise PipelineError("injected failure in job %r" % job.job_id)
+
+
+def execute_job(job, attempt=1, cache_dir=None, use_summary_cache=True,
+                use_report_cache=True):
+    """Run one job to completion in *this* process; returns a payload.
+
+    This is the body of a worker process, but it is also directly
+    callable (tests, debugging a single image without the fleet
+    machinery).  The payload is a plain dict: status, report dict,
+    binary sha, cache counters, resource usage.
+    """
+    from repro.core import DTaint
+    from repro.eval.resources import measure
+
+    _inject_fault(job, attempt)
+    with measure() as usage:
+        build_start = time.perf_counter()
+        name, binary, config, sha = _load_job_binary(job)
+        build_seconds = time.perf_counter() - build_start
+
+        cache_stats = {"summary_hits": 0, "summary_misses": 0,
+                       "report_cache_hit": False}
+        report_dict = None
+        report_fp = report_fingerprint(config) if cache_dir else None
+        if cache_dir and use_report_cache:
+            report_dict = ReportCache(cache_dir).get(sha, report_fp)
+            if report_dict is not None:
+                cache_stats["report_cache_hit"] = True
+
+        if report_dict is None:
+            bound = None
+            if cache_dir and use_summary_cache:
+                bound = SummaryCache(cache_dir).for_binary(sha, config)
+            detector = DTaint(binary, config=config, name=name,
+                              summary_cache=bound)
+            report = detector.run()
+            report_dict = report.to_dict()
+            if bound is not None:
+                bound.flush()
+                cache_stats.update(bound.stats)
+            if cache_dir and use_report_cache:
+                ReportCache(cache_dir).put(sha, report_fp, report_dict)
+    return {
+        "status": "ok",
+        "report": report_dict,
+        "sha256": sha,
+        "cache": cache_stats,
+        "resources": {
+            "wall_seconds": usage.wall_seconds,
+            "cpu_seconds": usage.cpu_seconds,
+            "max_rss_mb": usage.max_rss_mb,
+            "build_seconds": build_seconds,
+        },
+    }
+
+
+def _worker_main(job, attempt, options, conn):
+    """Worker process entry: run the job, ship exactly one message."""
+    try:
+        payload = execute_job(job, attempt=attempt, **options)
+    except ReproError as exc:
+        payload = {"status": "error", "error": str(exc),
+                   "error_type": type(exc).__name__}
+    except Exception as exc:
+        import traceback
+
+        payload = {"status": "error", "error": str(exc),
+                   "error_type": type(exc).__name__,
+                   "traceback": traceback.format_exc()}
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+class FleetScheduler:
+    """Fans fleet jobs over worker processes with retry + quarantine."""
+
+    def __init__(self, jobs=1, timeout=None, retries=1, cache_dir=None,
+                 use_summary_cache=True, use_report_cache=True,
+                 telemetry=None):
+        if jobs < 1:
+            raise PipelineError("need at least one worker slot")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = max(retries, 0)
+        self.telemetry = telemetry or Telemetry(path=None)
+        self._options = {
+            "cache_dir": cache_dir,
+            "use_summary_cache": use_summary_cache,
+            "use_report_cache": use_report_cache,
+        }
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(self, fleet_jobs):
+        """Run every job to a terminal state; returns ordered results."""
+        fleet_jobs = list(fleet_jobs)
+        results = {job.job_id: JobResult(job=job) for job in fleet_jobs}
+        if len(results) != len(fleet_jobs):
+            raise PipelineError("duplicate job_id in fleet")
+        queue = [(job, 1) for job in fleet_jobs]
+        running = []
+        run_start = time.perf_counter()
+        self.telemetry.emit(
+            "run_start", jobs=len(fleet_jobs), workers=self.jobs,
+            timeout=self.timeout, retries=self.retries,
+            cache_dir=self._options["cache_dir"],
+        )
+        try:
+            while queue or running:
+                while queue and len(running) < self.jobs:
+                    running.append(self._launch(*queue.pop(0)))
+                self._poll(running, queue, results)
+        finally:
+            for record in running:   # unwind on unexpected scheduler error
+                self._kill(record.process)
+        wall = time.perf_counter() - run_start
+        ordered = [results[job.job_id] for job in fleet_jobs]
+        self.telemetry.emit(
+            "run_finish", wall_seconds=round(wall, 4),
+            ok=sum(1 for r in ordered if r.ok),
+            quarantined=sum(1 for r in ordered if not r.ok),
+            summary_hits=sum(
+                r.cache.get("summary_hits", 0) for r in ordered
+            ),
+            summary_misses=sum(
+                r.cache.get("summary_misses", 0) for r in ordered
+            ),
+        )
+        return ordered
+
+    # ------------------------------------------------------------------
+
+    def _launch(self, job, attempt):
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(job, attempt, self._options, child_conn),
+            name="dtaint-%s" % job.job_id,
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        started = time.perf_counter()
+        deadline = started + self.timeout if self.timeout else None
+        self.telemetry.emit(
+            "job_start", job=job.job_id, attempt=attempt, pid=process.pid,
+            target=job.describe_target(),
+        )
+        return _Running(job=job, attempt=attempt, process=process,
+                        conn=parent_conn, started=started, deadline=deadline)
+
+    def _poll(self, running, queue, results):
+        """One scheduler tick: reap finished workers, enforce deadlines."""
+        conns = [record.conn for record in running]
+        ready = connection.wait(conns, timeout=0.05) if conns else []
+        now = time.perf_counter()
+        finished = []
+        for record in running:
+            if record.conn in ready:
+                finished.append((record, self._reap(record)))
+            elif record.deadline is not None and now > record.deadline:
+                self._kill(record.process)
+                finished.append((record, AnalysisTimeout(
+                    record.job.job_id, self.timeout
+                )))
+        for record, outcome in finished:
+            running.remove(record)
+            record.conn.close()
+            record.process.join(5)
+            elapsed = time.perf_counter() - record.started
+            if isinstance(outcome, dict):
+                self._complete(record, outcome, elapsed, results)
+            else:
+                self._fail(record, outcome, elapsed, queue, results)
+
+    def _reap(self, record):
+        """Read the worker's one message; a dead pipe is a crash."""
+        try:
+            payload = record.conn.recv()
+        except (EOFError, OSError):
+            record.process.join(5)
+            return WorkerCrash(record.job.job_id,
+                               exitcode=record.process.exitcode)
+        if payload.get("status") == "ok":
+            return payload
+        # The worker caught its own exception: rehydrate it typed.
+        error = PipelineError(
+            "%s: %s" % (payload.get("error_type", "Error"),
+                        payload.get("error", ""))
+        )
+        error.worker_error_type = payload.get("error_type", "")
+        return error
+
+    @staticmethod
+    def _kill(process):
+        if process.is_alive():
+            process.terminate()
+            process.join(0.5)
+        if process.is_alive():
+            process.kill()
+            process.join(5)
+
+    def _complete(self, record, payload, elapsed, results):
+        result = results[record.job.job_id]
+        result.status = "ok"
+        result.attempts = record.attempt
+        result.report = payload["report"]
+        result.sha256 = payload.get("sha256", "")
+        result.cache = payload.get("cache", {})
+        result.resources = payload.get("resources", {})
+        result.elapsed = elapsed
+        result.error = result.error_type = ""
+        cache = result.cache
+        self.telemetry.emit(
+            "cache_report", job=record.job.job_id,
+            summary_hits=cache.get("summary_hits", 0),
+            summary_misses=cache.get("summary_misses", 0),
+            report_cache_hit=cache.get("report_cache_hit", False),
+        )
+        self.telemetry.emit(
+            "job_finish", job=record.job.job_id, attempt=record.attempt,
+            elapsed=round(elapsed, 4),
+            stage_seconds=result.report.get("stage_seconds", {}),
+            max_rss_mb=round(result.resources.get("max_rss_mb", 0.0), 1),
+            vulnerable_paths=len(result.report.get("vulnerable_paths", [])),
+            vulnerabilities=len(result.report.get("vulnerabilities", [])),
+        )
+
+    def _fail(self, record, error, elapsed, queue, results):
+        result = results[record.job.job_id]
+        result.attempts = record.attempt
+        result.elapsed = elapsed
+        result.error = str(error)
+        result.error_type = getattr(
+            error, "worker_error_type", "") or type(error).__name__
+        kind = ("job_timeout" if isinstance(error, AnalysisTimeout)
+                else "job_crash" if isinstance(error, WorkerCrash)
+                else "job_error")
+        self.telemetry.emit(
+            kind, job=record.job.job_id, attempt=record.attempt,
+            elapsed=round(elapsed, 4), error=result.error,
+            error_type=result.error_type,
+        )
+        if record.attempt <= self.retries:
+            self.telemetry.emit(
+                "job_retry", job=record.job.job_id,
+                next_attempt=record.attempt + 1,
+            )
+            queue.append((record.job, record.attempt + 1))
+        else:
+            result.status = "quarantined"
+            self.telemetry.emit(
+                "job_quarantined", job=record.job.job_id,
+                attempts=record.attempt, error_type=result.error_type,
+            )

@@ -1,0 +1,121 @@
+"""Structured run telemetry: JSONL events + the end-of-run table.
+
+Every observable moment of a fleet run — scheduler decisions (job
+start/finish/retry/timeout/quarantine), worker-side stage timings,
+cache hits and misses, peak RSS — becomes one JSON object on one line
+of an append-only file.  The format is deliberately boring: it can be
+tailed during a run, grepped after one, and loaded with three lines of
+Python (:func:`read_events`).
+
+Events carry a wall-clock ``ts`` and a monotonically increasing
+``seq`` assigned by the writer, so ordering is unambiguous even when
+two events land in the same clock tick.
+"""
+
+import json
+import threading
+import time
+
+from repro.eval.tables import format_table
+
+
+class Telemetry:
+    """Append-only JSONL event writer (thread-safe, line-buffered)."""
+
+    def __init__(self, path=None):
+        self.path = path
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._handle = open(path, "a") if path else None
+
+    def emit(self, event, **fields):
+        """Record one event; returns the event dict (always built)."""
+        record = {"ts": round(time.time(), 6), "event": event}
+        record.update(fields)
+        with self._lock:
+            record["seq"] = self._seq
+            self._seq += 1
+            if self._handle is not None:
+                self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+                self._handle.flush()
+        return record
+
+    def emit_many(self, events, **common):
+        """Ship a batch of worker-collected event dicts, tagged."""
+        for event in events:
+            fields = dict(event)
+            kind = fields.pop("event", "worker_event")
+            fields.update(common)
+            self.emit(kind, **fields)
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def read_events(path):
+    """Load a telemetry JSONL file back into a list of dicts."""
+    events = []
+    with open(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def _hit_rate(cache):
+    hits = cache.get("summary_hits", 0)
+    misses = cache.get("summary_misses", 0)
+    total = hits + misses
+    if total == 0:
+        return "-"
+    return "%.0f%%" % (100.0 * hits / total)
+
+
+def render_fleet_summary(results, wall_seconds):
+    """The end-of-run table: one row per job + aggregate footer."""
+    headers = ["job", "image", "status", "attempts", "time_s",
+               "cache", "rss_mb", "paths", "vulns"]
+    rows = []
+    total_paths = total_vulns = 0
+    total_hits = total_misses = 0
+    for result in results:
+        report = result.report or {}
+        paths = len(report.get("vulnerable_paths", []))
+        vulns = len(report.get("vulnerabilities", []))
+        total_paths += paths
+        total_vulns += vulns
+        total_hits += result.cache.get("summary_hits", 0)
+        total_misses += result.cache.get("summary_misses", 0)
+        cache_note = _hit_rate(result.cache)
+        if result.cache.get("report_cache_hit"):
+            cache_note = "report"
+        rows.append([
+            result.job.job_id,
+            report.get("binary", result.job.describe_target()),
+            result.status,
+            result.attempts,
+            "%.2f" % result.elapsed,
+            cache_note,
+            "%.0f" % result.resources.get("max_rss_mb", 0.0),
+            paths if result.report else "-",
+            vulns if result.report else "-",
+        ])
+    lookups = total_hits + total_misses
+    rate = 100.0 * total_hits / lookups if lookups else 0.0
+    ok = sum(1 for r in results if r.status == "ok")
+    footer = (
+        "%d/%d jobs ok, %d vulnerable paths, %d vulnerabilities, "
+        "summary cache %d/%d hits (%.0f%%), wall %.2fs"
+        % (ok, len(results), total_paths, total_vulns,
+           total_hits, lookups, rate, wall_seconds)
+    )
+    return format_table(headers, rows, title="Fleet scan") + "\n" + footer
