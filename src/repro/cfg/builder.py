@@ -7,8 +7,15 @@ delay slots are kept with their branch.  Direct branches that leave the
 function's symbol extent are modelled as tail calls.
 """
 
+from repro import faultinject
 from repro.cfg.model import BasicBlock, CallSite, Function
-from repro.errors import CFGError, DisassemblyError
+from repro.errors import (
+    AnalysisFault,
+    CFGError,
+    DecodeFault,
+    DisassemblyError,
+    LiftFault,
+)
 from repro.ir.irsb import JumpKind
 
 
@@ -43,6 +50,7 @@ class CFGBuilder:
         )
         if symbol.is_import:
             return function
+        faultinject.check("cfg", symbol.name)
 
         leaders = {symbol.addr}
         worklist = [symbol.addr]
@@ -85,14 +93,17 @@ class CFGBuilder:
                                successors=successors)
             if call is not None:
                 call.block_addr = leader
+            faultinject.check("cfg.lift", function.name)
             try:
                 block.irsb = self._lifter.lift_block(
                     insns, mem_reader=self.binary.read_ro
                 )
+            except AnalysisFault:
+                raise
             except Exception as exc:  # lift failures leave block unlifted
-                raise CFGError(
-                    "cannot lift block 0x%x in %s: %s"
-                    % (leader, function.name, exc)
+                raise LiftFault(
+                    "cannot lift block: %s" % exc,
+                    function=function.name, addr=function.addr, site=leader,
                 )
             function.blocks[leader] = block
         # Prune successors that were never materialised (outside extent).
@@ -102,13 +113,26 @@ class CFGBuilder:
             ]
         return function
 
-    def build_all(self, functions=None):
-        """Build CFGs for the given symbols (default: all local functions)."""
+    def build_all(self, functions=None, on_fault=None):
+        """Build CFGs for the given symbols (default: all local functions).
+
+        With ``on_fault`` set, a per-function recovery failure calls
+        ``on_fault(symbol, exc)`` and skips that one function instead
+        of aborting the whole build — the fault-isolation mode the
+        detector runs in.  Without it, faults propagate (the historical
+        strict behaviour direct CFG users rely on).
+        """
         if functions is None:
             functions = self.binary.local_functions
         built = {}
         for symbol in sorted(functions, key=lambda s: s.addr):
-            built[symbol.name] = self.build_function(symbol)
+            if on_fault is None:
+                built[symbol.name] = self.build_function(symbol)
+                continue
+            try:
+                built[symbol.name] = self.build_function(symbol)
+            except CFGError as exc:
+                on_fault(symbol, exc)
         for symbol in self.binary.functions.values():
             if symbol.is_import and symbol.name not in built:
                 built[symbol.name] = Function(
@@ -119,14 +143,20 @@ class CFGBuilder:
 
     # ------------------------------------------------------------------
 
-    def _decode(self, addr):
+    def _decode(self, function, addr):
         data = self.binary.read_bytes(addr, 4)
         if data is None or len(data) < 4:
-            raise CFGError("code read out of bounds at 0x%x" % addr)
+            raise DecodeFault(
+                "code read out of bounds",
+                function=function.name, addr=function.addr, site=addr,
+            )
         try:
             return self._disasm.disasm_one(data, 0, addr)
         except DisassemblyError as exc:
-            raise CFGError(str(exc))
+            raise DecodeFault(
+                str(exc),
+                function=function.name, addr=function.addr, site=addr,
+            )
 
     def _scan_run(self, function, start):
         if self.arch.name == "arm":
@@ -138,7 +168,7 @@ class CFGBuilder:
         addr = start
         limit = function.addr + function.size
         while addr < limit:
-            insn = self._decode(addr)
+            insn = self._decode(function, addr)
             insns.append(insn)
             outcome = self._arm_flow(function, insn)
             if outcome is not None:
@@ -195,12 +225,12 @@ class CFGBuilder:
         addr = start
         limit = function.addr + function.size
         while addr < limit:
-            insn = self._decode(addr)
+            insn = self._decode(function, addr)
             insns.append(insn)
             if insn.has_delay_slot():
                 if addr + 4 >= limit:
                     raise CFGError("delay slot past extent at 0x%x" % addr)
-                insns.append(self._decode(addr + 4))
+                insns.append(self._decode(function, addr + 4))
                 return self._mips_flow(function, insn, insns)
             addr += 4
         raise CFGError(

@@ -16,6 +16,39 @@ import argparse
 import sys
 
 from repro.core import DTaint, DTaintConfig
+from repro.errors import MalformedInput, ReproError
+
+# Distinct exit codes so scripts wrapping the CLI can react to the
+# *kind* of failure, not just "nonzero":
+EXIT_OK = 0
+EXIT_FINDINGS = 1          # vulnerable paths found (--fail-on-findings)
+EXIT_USAGE = 2             # bad arguments (argparse uses 2 as well)
+EXIT_ANALYSIS_FAILED = 3   # malformed input / analysis error / quarantine
+EXIT_DEGRADED = 4          # degradation beyond --strict / --max-degraded
+
+
+def _degradation_policy(args, degraded_count):
+    """Apply --strict / --max-degraded; returns an exit code or None."""
+    limit = 0 if args.strict else args.max_degraded
+    if limit is not None and degraded_count > limit:
+        print(
+            "degradation policy violated: %d degraded function(s), "
+            "limit %d" % (degraded_count, limit),
+            file=sys.stderr,
+        )
+        return EXIT_DEGRADED
+    return None
+
+
+def _injection(args):
+    """Scoped injector from --inject specs (a no-op context without)."""
+    import contextlib
+
+    from repro.pipeline.faultinject import injected
+
+    if getattr(args, "inject", None):
+        return injected(args.inject)
+    return contextlib.nullcontext()
 
 
 def _cmd_scan(args):
@@ -25,14 +58,27 @@ def _cmd_scan(args):
 
     with open(args.file, "rb") as handle:
         data = handle.read()
-    binary = load_elf(data)
-    config = DTaintConfig(modules=tuple(args.modules or ()))
-    report = DTaint(binary, config=config, name=args.file).run()
+    try:
+        with _injection(args):
+            binary = load_elf(data, name=args.file)
+            config = DTaintConfig(
+                modules=tuple(args.modules or ()),
+                deadline_seconds=args.deadline,
+            )
+            report = DTaint(binary, config=config, name=args.file).run()
+    except MalformedInput as exc:
+        print("analysis failed: %s" % exc, file=sys.stderr)
+        return EXIT_ANALYSIS_FAILED
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.render())
-    return 1 if report.vulnerable_paths and args.fail_on_findings else 0
+    policy = _degradation_policy(args, report.degraded_count)
+    if policy is not None:
+        return policy
+    if report.vulnerable_paths and args.fail_on_findings:
+        return EXIT_FINDINGS
+    return EXIT_OK
 
 
 def _cmd_firmware(args):
@@ -41,14 +87,25 @@ def _cmd_firmware(args):
 
     with open(args.file, "rb") as handle:
         blob = handle.read()
-    fs, container = extract_filesystem(blob)
-    print("container: %s, %d filesystem entries" % (container.container, len(fs)))
-    path, data = pick_target_binary(fs)
-    print("analysing %s (%d bytes)" % (path, len(data)))
-    binary = load_elf(data)
-    report = DTaint(binary, name=path).run()
+    try:
+        with _injection(args):
+            fs, container = extract_filesystem(blob, name=args.file)
+            print("container: %s, %d filesystem entries"
+                  % (container.container, len(fs)))
+            for path, reason in fs.skipped:
+                print("skipped %s: %s" % (path, reason), file=sys.stderr)
+            path, data = pick_target_binary(fs)
+            print("analysing %s (%d bytes)" % (path, len(data)))
+            binary = load_elf(data, name=path)
+            report = DTaint(binary, name=path).run()
+    except MalformedInput as exc:
+        print("analysis failed: %s" % exc, file=sys.stderr)
+        return EXIT_ANALYSIS_FAILED
     print(report.render())
-    return 0
+    policy = _degradation_policy(args, report.degraded_count)
+    if policy is not None:
+        return policy
+    return EXIT_OK
 
 
 def _cmd_corpus(args):
@@ -105,12 +162,21 @@ def _cmd_fleet_scan(args):
               % (", ".join(unknown), ", ".join(sorted(PROFILES))),
               file=sys.stderr)
         return 2
+    try:
+        from repro.pipeline.faultinject import FaultSpec
+
+        for spec in args.inject or ():
+            FaultSpec.parse(spec)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
     jobs = []
     for key in keys:
         fault = "crash" if key == args.inject_crash else ""
         jobs.append(FleetJob(
             job_id=key, kind="profile", key=key, scale=args.scale,
             fault=fault, fault_attempts=10 ** 6 if fault else 0,
+            faults=tuple(args.inject or ()),
         ))
 
     telemetry_path = args.telemetry
@@ -143,7 +209,16 @@ def _cmd_fleet_scan(args):
     if telemetry_path:
         print("telemetry: %s" % telemetry_path)
     print(render_fleet_summary(results, wall))
-    return 0 if all(r.ok for r in results) else 1
+    if not all(r.ok for r in results):
+        return EXIT_ANALYSIS_FAILED
+    degraded = sum(
+        (r.report or {}).get("coverage", {}).get("degraded", 0)
+        for r in results
+    )
+    policy = _degradation_policy(args, degraded)
+    if policy is not None:
+        return policy
+    return EXIT_OK
 
 
 def main(argv=None):
@@ -154,6 +229,19 @@ def main(argv=None):
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_degradation_options(command):
+        command.add_argument(
+            "--strict", action="store_true",
+            help="exit %d if any function degraded" % EXIT_DEGRADED)
+        command.add_argument(
+            "--max-degraded", type=int, default=None, metavar="N",
+            help="exit %d if more than N functions degraded"
+                 % EXIT_DEGRADED)
+        command.add_argument(
+            "--inject", action="append", metavar="SPEC",
+            help="deterministic fault injection spec "
+                 "(fault@site:target, repeatable; chaos testing)")
+
     scan = sub.add_parser("scan", help="analyse an ELF binary")
     scan.add_argument("file")
     scan.add_argument("--modules", nargs="*",
@@ -162,10 +250,16 @@ def main(argv=None):
     scan.add_argument("--json", action="store_true",
                       help="emit the report as JSON (same shape the "
                            "fleet pipeline stores)")
+    scan.add_argument("--deadline", type=float, default=0.0,
+                      help="per-function symexec soft deadline in "
+                           "seconds; overruns truncate the summary "
+                           "instead of failing (0 = unlimited)")
+    add_degradation_options(scan)
     scan.set_defaults(func=_cmd_scan)
 
     firmware = sub.add_parser("firmware", help="extract + analyse firmware")
     firmware.add_argument("file")
+    add_degradation_options(firmware)
     firmware.set_defaults(func=_cmd_firmware)
 
     corpus = sub.add_parser("corpus", help="build + analyse a vendor profile")
@@ -206,6 +300,7 @@ def main(argv=None):
     fleet_scan.add_argument("--inject-crash", metavar="KEY",
                             help="chaos switch: make this job crash every "
                                  "attempt (demonstrates quarantine)")
+    add_degradation_options(fleet_scan)
     fleet_scan.set_defaults(func=_cmd_fleet_scan)
 
     args = parser.parse_args(argv)

@@ -7,14 +7,16 @@ sanitization constraint checking, and returns a
 :class:`~repro.core.report.Report`.
 """
 
+import time
 from dataclasses import dataclass, field
 
+from repro import faultinject
 from repro.cfg import CFGBuilder, build_call_graph
 from repro.core import sinks as sinks_mod
 from repro.core.aliasing import alias_replace
 from repro.core.interproc import InterproceduralAnalysis, _actual_mapping
 from repro.core.paths import PathFinder
-from repro.core.report import Finding, Report, StageTimer
+from repro.core.report import DegradedFunction, Finding, Report, StageTimer
 from repro.core.sanitize import is_sanitized
 from repro.core.structure import resolve_indirect_calls
 from repro.core.types import infer_types, root_pointer
@@ -53,10 +55,22 @@ class DTaintConfig:
     enable_structure_similarity: bool = True
     function_filter: object = None     # callable(name) -> bool, or None
     modules: tuple = ()                # name prefixes to analyse (else all)
+    # Soft per-function wall-clock budget for symbolic exploration, in
+    # seconds (0 disables).  A function that exhausts it yields a
+    # ``truncated`` summary instead of stalling the scan.
+    deadline_seconds: float = 0.0
 
 
 class DTaint:
-    """Detects taint-style vulnerabilities in one loaded binary."""
+    """Detects taint-style vulnerabilities in one loaded binary.
+
+    The failure domain of every per-function stage is that one
+    function: a decode bug, lift gap, symbolic-engine fault or
+    per-function deadline never aborts the scan.  Each such fault is
+    recorded as a :class:`~repro.core.report.DegradedFunction` and the
+    interprocedural layer substitutes a conservative empty summary at
+    the degraded callee's call sites.
+    """
 
     def __init__(self, binary, config=None, name="", summary_cache=None):
         self.binary = binary
@@ -71,6 +85,19 @@ class DTaint:
         # summary)``, hit/miss counters) — the pipeline layer's reuse
         # hook around the bottom-up traversal.  ``None`` disables reuse.
         self.summary_cache = summary_cache
+        self.degraded = {}            # function name -> DegradedFunction
+        self._selected_count = 0
+
+    # ------------------------------------------------------------------
+
+    def _degrade(self, name, addr, phase, exc, started=None):
+        """Record one function's fault; first fault per function wins."""
+        if name in self.degraded:
+            return
+        elapsed = time.perf_counter() - started if started else 0.0
+        self.degraded[name] = DegradedFunction.from_fault(
+            name, addr, phase, exc, elapsed=elapsed
+        )
 
     # ------------------------------------------------------------------
 
@@ -87,10 +114,22 @@ class DTaint:
         return symbols
 
     def build_cfg(self):
-        """Stage 0: CFG recovery over the selected functions."""
+        """Stage 0: CFG recovery over the selected functions.
+
+        A function whose CFG cannot be recovered (undecodable
+        instruction, lift gap, run past extent) is degraded and
+        skipped; recovery proceeds for every other function.
+        """
         self.timer.start("cfg")
         symbols = self._selected_symbols()
-        self.functions = CFGBuilder(self.binary).build_all(symbols)
+        self._selected_count = sum(1 for s in symbols if not s.is_import)
+
+        def on_fault(symbol, exc):
+            self._degrade(symbol.name, symbol.addr, "cfg", exc)
+
+        self.functions = CFGBuilder(self.binary).build_all(
+            symbols, on_fault=on_fault
+        )
         self.call_graph = build_call_graph(self.functions)
         self.timer.stop()
         return self.functions
@@ -110,17 +149,25 @@ class DTaint:
             self.binary,
             max_paths=self.config.max_paths,
             max_blocks_per_path=self.config.max_blocks_per_path,
+            deadline_seconds=self.config.deadline_seconds,
         )
         cache = self.summary_cache
         self.summaries = {}
         for name, function in self.functions.items():
             if function.is_import:
                 continue
-            summary = cache.get(function.addr) if cache is not None else None
-            if summary is None:
-                summary = engine.analyze_function(function)
-                if cache is not None:
-                    cache.put(function.addr, summary)
+            started = time.perf_counter()
+            try:
+                summary = (
+                    cache.get(function.addr) if cache is not None else None
+                )
+                if summary is None:
+                    summary = engine.analyze_function(function)
+                    if cache is not None:
+                        cache.put(function.addr, summary)
+            except Exception as exc:
+                self._degrade(name, function.addr, "symexec", exc, started)
+                continue
             self.summaries[name] = summary
         self.timer.stop()
         return self.summaries
@@ -131,11 +178,16 @@ class DTaint:
             self.analyze_functions()
         self.timer.start("aliasing")
         self._types = {}
-        for name, summary in self.summaries.items():
-            types = infer_types(summary)
-            self._types[name] = types
-            if self.config.enable_aliasing:
-                alias_replace(summary, types)
+        for name, summary in list(self.summaries.items()):
+            started = time.perf_counter()
+            try:
+                types = infer_types(summary)
+                self._types[name] = types
+                if self.config.enable_aliasing:
+                    alias_replace(summary, types)
+            except Exception as exc:
+                self._degrade(name, summary.addr, "aliasing", exc, started)
+                del self.summaries[name]
         self.timer.stop()
 
         self.timer.start("structure")
@@ -143,21 +195,43 @@ class DTaint:
         if self.config.enable_structure_similarity:
             from repro.core.structure import address_taken_functions
 
-            candidates = address_taken_functions(self.binary, self.summaries)
-            self.resolutions = resolve_indirect_calls(
-                self.summaries, self.call_graph,
-                candidates=sorted(candidates) or None,
-            )
+            # Indirect-call resolution is an image-wide refinement; a
+            # fault here costs resolution quality, never the scan.
+            try:
+                candidates = address_taken_functions(
+                    self.binary, self.summaries
+                )
+                self.resolutions = resolve_indirect_calls(
+                    self.summaries, self.call_graph,
+                    candidates=sorted(candidates) or None,
+                )
+            except Exception:
+                self.resolutions = []
         self.timer.stop()
 
         self.timer.start("ddg")
-        analysis = InterproceduralAnalysis(self.summaries, self.call_graph)
-        self.enriched = analysis.run()
+        analysis = InterproceduralAnalysis(
+            self.summaries, self.call_graph, degraded=self.degraded,
+        )
+
+        def on_fault(name, summary, exc):
+            self._degrade(name, summary.addr, "interproc", exc)
+            self.summaries.pop(name, None)
+
+        self.enriched = analysis.run(on_fault=on_fault)
+        self._degraded_callee_sites = sum(
+            e.degraded_callee_sites for e in self.enriched.values()
+        )
         if self.config.enable_aliasing:
             # A second alias pass connects imported callee definitions
             # with the caller's local pointer names.
-            for name, enriched in self.enriched.items():
-                alias_replace(enriched, self._types[name])
+            for name, enriched in list(self.enriched.items()):
+                try:
+                    alias_replace(enriched, self._types[name])
+                except Exception as exc:
+                    self._degrade(name, enriched.base.addr, "aliasing", exc)
+                    del self.enriched[name]
+                    self.summaries.pop(name, None)
         self.timer.stop()
         return self.enriched
 
@@ -177,6 +251,7 @@ class DTaint:
             binary_name=self.name,
             arch=self.binary.arch.name,
             analyzed_functions=len(self.summaries),
+            selected_functions=self._selected_count,
             total_functions=len(self.binary.local_functions),
             block_count=sum(
                 f.block_count for f in self.functions.values()
@@ -192,97 +267,130 @@ class DTaint:
             enriched = self.enriched.get(name)
             if enriched is None:
                 continue
-            finder = PathFinder(
-                enriched, max_depth=self.config.max_trace_depth
-            )
-            local_sinks = sinks_mod.find_sinks(name, enriched, self.binary)
-            # The engine summarises callsites once per explored path;
-            # the sink population counts distinct sink sites.
-            report.sink_count += len({s.addr for s in local_sinks})
-
-            candidate_keys = set()
-            candidates = []
-            for sink in local_sinks:
-                for index, expr in sink.dangerous:
-                    # The engine summarises a callsite once per path;
-                    # identical (sink, expr) pairs need tracing once.
-                    key = (sink.addr, index, expr)
-                    if key in candidate_keys:
-                        continue
-                    candidate_keys.add(key)
-                    candidates.append((sink, expr, index, (name,), ()))
-            variant_counts = {}
-            for callsite in enriched.callsites:
-                target = callsite.target
-                if not isinstance(target, str) or target not in pending:
-                    continue
-                # Callsites are summarised once per explored path;
-                # forward through a few distinct argument variants.
-                variant = (callsite.addr, tuple(callsite.args))
-                if variant in variant_counts:
-                    continue
-                count = variant_counts.get(callsite.addr, 0)
-                if count >= 4:
-                    continue
-                variant_counts[variant] = True
-                variant_counts[callsite.addr] = count + 1
-                mapping = _actual_mapping(callsite)
-                for sink, expr, index, chain, carried in pending[target]:
-                    rewritten = substitute(expr, mapping)
-                    key = (sink.addr, index, rewritten)
-                    if key in candidate_keys:
-                        continue
-                    candidate_keys.add(key)
-                    # Constraints from the sink's own function travel
-                    # with the forwarded use, rebased onto the actuals,
-                    # so a callee-side length check still sanitizes a
-                    # path whose taint resolves in the caller.
-                    new_carried = tuple(
-                        Constraint(
-                            expr=substitute(c.expr, mapping),
-                            taken=c.taken, site=c.site,
-                        )
-                        for c in (
-                            tuple(self.enriched[target].constraints[:32])
-                            + carried
-                        )[:64]
-                    )
-                    candidates.append((sink, rewritten, index,
-                                       chain + (name,), new_carried))
-
-            unresolved = []
-            for sink, expr, index, chain, carried in candidates:
-                paths = finder.trace(sink, expr, index)
-                if paths:
-                    chain_summaries = [
-                        self.enriched[c] for c in chain if c in self.enriched
-                    ]
-                    for path in paths:
-                        sanitized = is_sanitized(
-                            path, chain_summaries, finder.taint_objects,
-                            extra_constraints=carried,
-                        )
-                        finding = Finding.from_path(path, sanitized)
-                        dedup = (finding.key, finding.source_name,
-                                 finding.source_addr, finding.sanitized)
-                        if dedup in seen:
-                            continue
-                        seen.add(dedup)
-                        if sanitized:
-                            report.sanitized_paths.append(finding)
-                        else:
-                            report.findings.append(finding)
-                elif _forwardable(expr) and len(chain) <= 8:
-                    unresolved.append((sink, expr, index, chain, carried))
-            if unresolved:
-                pending[name] = unresolved[:32]
+            started = time.perf_counter()
+            try:
+                self._detect_one(name, enriched, report, seen, pending)
+            except Exception as exc:
+                self._degrade(name, enriched.base.addr, "detect", exc,
+                              started)
         self.timer.stop()
+        self._finalize(report)
+        return report
+
+    def _detect_one(self, name, enriched, report, seen, pending):
+        """Sink detection and path tracing for one function."""
+        faultinject.check("detect", name)
+        finder = PathFinder(
+            enriched, max_depth=self.config.max_trace_depth
+        )
+        local_sinks = sinks_mod.find_sinks(name, enriched, self.binary)
+        # The engine summarises callsites once per explored path;
+        # the sink population counts distinct sink sites.
+        report.sink_count += len({s.addr for s in local_sinks})
+
+        candidate_keys = set()
+        candidates = []
+        for sink in local_sinks:
+            for index, expr in sink.dangerous:
+                # The engine summarises a callsite once per path;
+                # identical (sink, expr) pairs need tracing once.
+                key = (sink.addr, index, expr)
+                if key in candidate_keys:
+                    continue
+                candidate_keys.add(key)
+                candidates.append((sink, expr, index, (name,), ()))
+        variant_counts = {}
+        for callsite in enriched.callsites:
+            target = callsite.target
+            if not isinstance(target, str) or target not in pending:
+                continue
+            # Callsites are summarised once per explored path;
+            # forward through a few distinct argument variants.
+            variant = (callsite.addr, tuple(callsite.args))
+            if variant in variant_counts:
+                continue
+            count = variant_counts.get(callsite.addr, 0)
+            if count >= 4:
+                continue
+            variant_counts[variant] = True
+            variant_counts[callsite.addr] = count + 1
+            mapping = _actual_mapping(callsite)
+            for sink, expr, index, chain, carried in pending[target]:
+                rewritten = substitute(expr, mapping)
+                key = (sink.addr, index, rewritten)
+                if key in candidate_keys:
+                    continue
+                candidate_keys.add(key)
+                # Constraints from the sink's own function travel
+                # with the forwarded use, rebased onto the actuals,
+                # so a callee-side length check still sanitizes a
+                # path whose taint resolves in the caller.
+                new_carried = tuple(
+                    Constraint(
+                        expr=substitute(c.expr, mapping),
+                        taken=c.taken, site=c.site,
+                    )
+                    for c in (
+                        tuple(self.enriched[target].constraints[:32])
+                        + carried
+                    )[:64]
+                )
+                candidates.append((sink, rewritten, index,
+                                   chain + (name,), new_carried))
+
+        unresolved = []
+        for sink, expr, index, chain, carried in candidates:
+            paths = finder.trace(sink, expr, index)
+            if paths:
+                chain_summaries = [
+                    self.enriched[c] for c in chain if c in self.enriched
+                ]
+                for path in paths:
+                    sanitized = is_sanitized(
+                        path, chain_summaries, finder.taint_objects,
+                        extra_constraints=carried,
+                    )
+                    finding = Finding.from_path(path, sanitized)
+                    dedup = (finding.key, finding.source_name,
+                             finding.source_addr, finding.sanitized)
+                    if dedup in seen:
+                        continue
+                    seen.add(dedup)
+                    if sanitized:
+                        report.sanitized_paths.append(finding)
+                    else:
+                        report.findings.append(finding)
+            elif _forwardable(expr) and len(chain) <= 8:
+                unresolved.append((sink, expr, index, chain, carried))
+        if unresolved:
+            pending[name] = unresolved[:32]
+
+    def _finalize(self, report):
+        """Fold the degradation ledger and timings into the report."""
         report.stage_seconds = dict(self.timer.stages)
         report.elapsed_seconds = self.timer.total
         if self.summary_cache is not None:
             report.summary_cache_hits = self.summary_cache.hits
             report.summary_cache_misses = self.summary_cache.misses
-        return report
+        report.degraded_functions = sorted(
+            self.degraded.values(), key=lambda d: (d.addr, d.function)
+        )
+        report.analyzed_functions = sum(
+            1 for name in self.summaries if name not in self.degraded
+        )
+        live = [
+            s for name, s in self.summaries.items()
+            if name not in self.degraded
+        ]
+        report.truncated_summaries = sum(
+            1 for s in live if getattr(s, "truncated", False)
+        )
+        report.deadline_truncated = sum(
+            1 for s in live if getattr(s, "deadline_hit", False)
+        )
+        report.degraded_callee_sites = getattr(
+            self, "_degraded_callee_sites", 0
+        )
 
     def run(self):
         """Run the full pipeline and return the report."""

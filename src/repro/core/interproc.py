@@ -16,6 +16,7 @@ import pickle
 import zlib
 from dataclasses import dataclass, field
 
+from repro import faultinject
 from repro.core import libc
 from repro.core.types import root_pointer
 from repro.symexec.state import Constraint, DefPair, FunctionSummary
@@ -44,6 +45,9 @@ class EnrichedSummary:
     callsites: list = field(default_factory=list)
     ret_value: object = None           # representative return expression
     taint_objects: set = field(default_factory=set)
+    # Callsites whose callee degraded: its effects were replaced by the
+    # conservative empty summary (no defs, no constraints, no taint).
+    degraded_callee_sites: int = 0
 
     @property
     def name(self):
@@ -88,7 +92,7 @@ def _chain_hash(function_name, callsite_addr):
 # ---------------------------------------------------------------------------
 # Summary serialization (the unit of reuse for the fleet cache).
 
-SUMMARY_FORMAT_VERSION = 1
+SUMMARY_FORMAT_VERSION = 2    # v2: FunctionSummary grew ``deadline_hit``
 _SUMMARY_MAGIC = b"DTSUM"
 
 
@@ -129,20 +133,39 @@ def deserialize_summary(blob):
 class InterproceduralAnalysis:
     """Bottom-up definition updating over the whole call graph."""
 
-    def __init__(self, summaries, call_graph, max_imported=_MAX_IMPORTED_DEFS):
+    def __init__(self, summaries, call_graph, max_imported=_MAX_IMPORTED_DEFS,
+                 degraded=()):
         self.summaries = summaries
         self.call_graph = call_graph
         self.enriched = {}
         self.max_imported = max_imported
+        # Names of functions earlier phases gave up on.  Their callsites
+        # get the conservative empty summary (skip the import, count the
+        # substitution) instead of poisoning the caller.
+        self.degraded = set(degraded)
 
-    def run(self, names=None):
-        """Process functions callees-first; every function exactly once."""
+    def run(self, names=None, on_fault=None):
+        """Process functions callees-first; every function exactly once.
+
+        With ``on_fault`` set, a fault while enriching one function
+        calls ``on_fault(name, summary, exc)`` and drops only that
+        function — its callers then see it as a degraded callee.
+        """
         order = self.call_graph.bottom_up_order(names)
         for name in order:
             summary = self.summaries.get(name)
             if summary is None:
                 continue  # import stub or unanalysed function
-            self.enriched[name] = self._enrich(summary)
+            if on_fault is None:
+                faultinject.check("interproc", name)
+                self.enriched[name] = self._enrich(summary)
+                continue
+            try:
+                faultinject.check("interproc", name)
+                self.enriched[name] = self._enrich(summary)
+            except Exception as exc:
+                self.degraded.add(name)
+                on_fault(name, summary, exc)
         return self.enriched
 
     # ------------------------------------------------------------------
@@ -177,6 +200,13 @@ class InterproceduralAnalysis:
             if model is not None:
                 self._apply_libc(enriched, summary, callsite, model,
                                  ret_substitutions)
+                continue
+            if target in self.degraded:
+                # Conservative empty-summary substitution: the callee
+                # contributes no defs, constraints or taint, and its
+                # return value stays the opaque ``ret_{callsite}``.
+                if first_variant:
+                    enriched.degraded_callee_sites += 1
                 continue
             callee = self.enriched.get(target)
             if callee is None:

@@ -49,6 +49,41 @@ class Finding:
 
 
 @dataclass
+class DegradedFunction:
+    """One function the scan gave up on instead of aborting.
+
+    ``phase`` is the pipeline stage that faulted (``cfg``, ``decode``,
+    ``lift``, ``symexec``, ``interproc``, ``detect``), ``reason`` the
+    fault message, ``error_type`` the exception class.  ``elapsed``
+    is run-dependent and excluded from canonical findings documents.
+    """
+
+    function: str
+    addr: int = 0
+    phase: str = ""
+    reason: str = ""
+    error_type: str = ""
+    elapsed_seconds: float = 0.0
+
+    @classmethod
+    def from_fault(cls, function, addr, phase, exc, elapsed=0.0):
+        return cls(
+            function=function,
+            addr=addr or 0,
+            phase=phase or getattr(exc, "phase", "") or "analysis",
+            reason=str(exc),
+            error_type=type(exc).__name__,
+            elapsed_seconds=elapsed,
+        )
+
+    def describe(self):
+        return "[degraded] %s@0x%x: %s in %s phase (%s)" % (
+            self.function, self.addr, self.error_type, self.phase,
+            self.reason,
+        )
+
+
+@dataclass
 class Report:
     """Full output of one DTaint run over one binary."""
 
@@ -66,10 +101,38 @@ class Report:
     stage_seconds: dict = field(default_factory=dict)
     summary_cache_hits: int = 0
     summary_cache_misses: int = 0
+    # Graceful-degradation accounting: functions the scan skipped with
+    # a typed reason, summaries cut short by caps or the soft deadline,
+    # and callsites where a degraded callee was conservatively stubbed
+    # with an empty summary.
+    selected_functions: int = 0
+    degraded_functions: list = field(default_factory=list)
+    truncated_summaries: int = 0
+    deadline_truncated: int = 0
+    degraded_callee_sites: int = 0
 
     @property
     def vulnerable_paths(self):
         return [f for f in self.findings if not f.sanitized]
+
+    @property
+    def degraded_count(self):
+        return len(self.degraded_functions)
+
+    @property
+    def coverage(self):
+        """The "analyzed 45/48 functions, 3 degraded" accounting."""
+        return {
+            "analyzed": self.analyzed_functions,
+            "selected": self.selected_functions or (
+                self.analyzed_functions + self.degraded_count
+            ),
+            "total": self.total_functions,
+            "degraded": self.degraded_count,
+            "truncated": self.truncated_summaries,
+            "deadline_truncated": self.deadline_truncated,
+            "degraded_callee_sites": self.degraded_callee_sites,
+        }
 
     @property
     def vulnerabilities(self):
@@ -109,6 +172,10 @@ class Report:
                 "hits": self.summary_cache_hits,
                 "misses": self.summary_cache_misses,
             },
+            "coverage": self.coverage,
+            "degraded_functions": [
+                asdict(d) for d in self.degraded_functions
+            ],
             "vulnerable_paths": [asdict(f) for f in self.vulnerable_paths],
             "vulnerabilities": [asdict(f) for f in self.vulnerabilities],
             "sanitized_paths": [asdict(f) for f in self.sanitized_paths],
@@ -123,10 +190,18 @@ class Report:
         return path
 
     def render(self):
+        coverage_note = ""
+        if self.degraded_count or self.truncated_summaries:
+            parts = []
+            if self.degraded_count:
+                parts.append("%d degraded" % self.degraded_count)
+            if self.truncated_summaries:
+                parts.append("%d truncated" % self.truncated_summaries)
+            coverage_note = " (%s)" % ", ".join(parts)
         lines = [
             "DTaint report for %s (%s)" % (self.binary_name, self.arch),
-            "  functions analysed : %d / %d" % (
-                self.analyzed_functions, self.total_functions
+            "  functions analysed : %d / %d%s" % (
+                self.analyzed_functions, self.total_functions, coverage_note
             ),
             "  basic blocks       : %d" % self.block_count,
             "  call graph edges   : %d" % self.call_graph_edges,
@@ -141,6 +216,8 @@ class Report:
                 "  summary cache      : %d hits / %d misses"
                 % (self.summary_cache_hits, self.summary_cache_misses)
             )
+        for degraded in self.degraded_functions:
+            lines.append("  " + degraded.describe())
         for finding in self.findings:
             lines.append("  " + finding.describe())
         return "\n".join(lines)

@@ -27,11 +27,26 @@ class LiftError(ReproError):
     """Raised when an instruction cannot be translated to IR."""
 
 
-class ELFError(ReproError):
+class MalformedInput(ReproError):
+    """Raised when an input file (ELF, container, filesystem entry) is
+    structurally invalid.
+
+    This is the typed per-file skip: a scan over many files treats any
+    :class:`MalformedInput` as "this file is unanalysable", never as a
+    reason to abort the run.  ``path`` identifies the offending file
+    when known.
+    """
+
+    def __init__(self, message, path=None):
+        self.path = path
+        super().__init__(message)
+
+
+class ELFError(MalformedInput):
     """Raised on malformed or unsupported ELF input."""
 
 
-class FirmwareError(ReproError):
+class FirmwareError(MalformedInput):
     """Raised on malformed firmware containers or filesystems."""
 
 
@@ -53,6 +68,61 @@ class CorpusError(ReproError):
 
 class AnalysisError(ReproError):
     """Raised by the DTaint analysis pipeline."""
+
+
+class AnalysisFault(AnalysisError):
+    """Base of the in-analysis fault taxonomy.
+
+    A fault is scoped to **one function**: the detector catches it,
+    records a ``DegradedFunction`` and keeps scanning the rest of the
+    binary.  Every fault carries the function it hit (name + entry
+    address) and the ``site`` (instruction/block address, or ``None``
+    when the fault is not tied to one location).  ``phase`` names the
+    pipeline stage the taxonomy attributes the fault to.
+    """
+
+    phase = "analysis"
+
+    def __init__(self, message, function=None, addr=None, site=None):
+        self.function = function
+        self.addr = addr
+        self.site = site
+        where = ""
+        if function:
+            where = " in %s" % function
+            if site is not None:
+                where += " at 0x%x" % site
+        super().__init__(message + where)
+
+
+class DecodeFault(AnalysisFault, CFGError):
+    """An instruction could not be decoded during CFG recovery."""
+
+    phase = "decode"
+
+
+class LiftFault(AnalysisFault, CFGError):
+    """A decoded instruction could not be translated to IR."""
+
+    phase = "lift"
+
+
+class SymexecFault(AnalysisFault, SymExecError):
+    """The static symbolic engine failed on one function."""
+
+    phase = "symexec"
+
+
+class DeadlineExceeded(AnalysisFault):
+    """A per-function soft deadline expired.
+
+    Unlike the other faults this one normally never propagates: the
+    symbolic engine catches it (or observes the clock directly) and
+    flags the summary ``truncated`` so the function still contributes
+    everything explored before the deadline.
+    """
+
+    phase = "deadline"
 
 
 class PipelineError(ReproError):

@@ -12,6 +12,7 @@ import math
 import struct
 from dataclasses import dataclass
 
+from repro import faultinject
 from repro.errors import FirmwareError
 from repro.firmware import image as img
 from repro.firmware.simplefs import MAGIC as SFS_MAGIC, SimpleFS
@@ -91,8 +92,13 @@ def carve(data):
     raise FirmwareError("no known container signature found")
 
 
-def extract_filesystem(data):
-    """Full pipeline: blob -> container -> SimpleFS root filesystem."""
+def extract_filesystem(data, name=""):
+    """Full pipeline: blob -> container -> SimpleFS root filesystem.
+
+    Malformed blobs raise :class:`FirmwareError`; ``name`` labels the
+    image for fault probes and error messages.
+    """
+    faultinject.check("firmware.unpack", name)
     container = carve(data)
     rootfs_data = container.rootfs
     if rootfs_data[:4] != SFS_MAGIC:

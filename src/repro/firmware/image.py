@@ -61,6 +61,16 @@ def pack_trx(kernel, rootfs, loader=b""):
 
 
 def parse_trx(data, offset=0):
+    """Parse a TRX image; malformed input raises :class:`FirmwareError`."""
+    try:
+        return _parse_trx(data, offset)
+    except FirmwareError:
+        raise
+    except (struct.error, IndexError, ValueError, OverflowError) as exc:
+        raise FirmwareError("malformed TRX image: %s" % exc)
+
+
+def _parse_trx(data, offset):
     if data[offset:offset + 4] != TRX_MAGIC:
         raise FirmwareError("not a TRX image at offset 0x%x" % offset)
     total, crc = struct.unpack_from("<II", data, offset + 4)
@@ -109,6 +119,16 @@ def pack_uimage(kernel, rootfs, name="firmware", load_addr=0x80000000,
 
 
 def parse_uimage(data, offset=0):
+    """Parse a uImage; malformed input raises :class:`FirmwareError`."""
+    try:
+        return _parse_uimage(data, offset)
+    except FirmwareError:
+        raise
+    except (struct.error, IndexError, ValueError, OverflowError) as exc:
+        raise FirmwareError("malformed uImage: %s" % exc)
+
+
+def _parse_uimage(data, offset):
     if len(data) < offset + UIMAGE_HEADER_SIZE:
         raise FirmwareError("truncated uImage header")
     fields = struct.unpack_from(UIMAGE_HEADER, data, offset)

@@ -11,7 +11,8 @@ the extractor must handle).
 import struct
 import zlib
 
-from repro.errors import FirmwareError
+from repro import faultinject
+from repro.errors import FirmwareError, MalformedInput
 
 MAGIC = b"SFS1"
 _SUPER = "<4sIII"           # magic, entry_count, table_size, crc32
@@ -28,6 +29,7 @@ class SimpleFS:
 
     def __init__(self):
         self._files = {}    # path -> (mode, bytes)
+        self.skipped = []   # (path, reason) entries dropped by unpack()
 
     def add_file(self, path, data, mode=MODE_FILE):
         if not path.startswith("/"):
@@ -93,7 +95,14 @@ class SimpleFS:
 
     @classmethod
     def unpack(cls, data):
-        """Parse bytes back into a :class:`SimpleFS`."""
+        """Parse bytes back into a :class:`SimpleFS`.
+
+        Image-level corruption (bad magic, truncated superblock or
+        table, checksum mismatch) raises :class:`FirmwareError`.  A
+        corrupt *entry* inside an otherwise intact image is dropped
+        into ``fs.skipped`` as ``(path, reason)`` instead — one bad
+        file must not lose the rest of the filesystem.
+        """
         header_size = struct.calcsize(_SUPER)
         if len(data) < header_size:
             raise FirmwareError("truncated SimpleFS superblock")
@@ -114,35 +123,56 @@ class SimpleFS:
         fs = cls()
         cursor = 0
         entry_size = struct.calcsize(_ENTRY)
-        for _ in range(count):
+        for index in range(count):
             if cursor + entry_size > len(table):
                 raise FirmwareError("truncated SimpleFS inode table")
             path_len, mode, offset, stored_len, raw_len = struct.unpack_from(
                 _ENTRY, table, cursor
             )
             cursor += entry_size
-            path = table[cursor:cursor + path_len].decode("utf-8")
+            path_bytes = table[cursor:cursor + path_len]
             cursor += path_len
-            start = payload_base + offset
-            stored = body[start:start + stored_len]
-            if len(stored) != stored_len:
-                raise FirmwareError("truncated file payload for %r" % path)
-            if stored_len == raw_len:
-                content = stored
-            else:
-                try:
-                    content = zlib.decompress(stored)
-                except zlib.error as exc:
-                    raise FirmwareError(
-                        "corrupt compressed file %r: %s" % (path, exc)
-                    )
-                if len(content) != raw_len:
-                    raise FirmwareError("bad decompressed size for %r" % path)
-            if mode == MODE_DIR & 0xFFFF:
-                fs.add_dir(path)
-            else:
-                fs._files[path] = (mode, content)
+            # Entry framing is intact past this point; anything wrong
+            # with this one file degrades to a typed per-file skip.
+            try:
+                fs._unpack_entry(
+                    path_bytes, mode, offset, stored_len, raw_len,
+                    body, payload_base,
+                )
+            except MalformedInput as exc:
+                label = (
+                    path_bytes.decode("utf-8", "replace")
+                    or "entry %d" % index
+                )
+                fs.skipped.append((label, str(exc)))
         return fs
+
+    def _unpack_entry(self, path_bytes, mode, offset, stored_len, raw_len,
+                      body, payload_base):
+        try:
+            path = path_bytes.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise FirmwareError("undecodable path: %s" % exc)
+        faultinject.check("firmware.file", path)
+        start = payload_base + offset
+        stored = body[start:start + stored_len]
+        if len(stored) != stored_len:
+            raise FirmwareError("truncated file payload for %r" % path)
+        if stored_len == raw_len:
+            content = stored
+        else:
+            try:
+                content = zlib.decompress(stored)
+            except zlib.error as exc:
+                raise FirmwareError(
+                    "corrupt compressed file %r: %s" % (path, exc)
+                )
+            if len(content) != raw_len:
+                raise FirmwareError("bad decompressed size for %r" % path)
+        if mode == MODE_DIR & 0xFFFF:
+            self.add_dir(path)
+        else:
+            self._files[path] = (mode, content)
 
 
 def _payload_size(body, count, table_size):
@@ -152,6 +182,8 @@ def _payload_size(body, count, table_size):
     end = 0
     table = body[:table_size]
     for _ in range(count):
+        if cursor + entry_size > len(table):
+            raise FirmwareError("truncated SimpleFS inode table")
         path_len, _mode, offset, stored_len, _raw = struct.unpack_from(
             _ENTRY, table, cursor
         )

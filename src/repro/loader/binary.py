@@ -9,6 +9,7 @@ stubs (symbols living in ``.plt``).
 import bisect
 from dataclasses import dataclass, field
 
+from repro import faultinject
 from repro.arch import get_arch
 from repro.errors import ELFError
 from repro.loader.elf import ElfFile
@@ -125,8 +126,14 @@ class LoadedBinary:
         return self.read_bytes(symbol.addr, symbol.size)
 
 
-def load_elf(data):
-    """Parse and map ELF ``data`` into a :class:`LoadedBinary`."""
+def load_elf(data, name=""):
+    """Parse and map ELF ``data`` into a :class:`LoadedBinary`.
+
+    Raises :class:`ELFError` (a :class:`~repro.errors.MalformedInput`)
+    for any malformed input; ``name`` is a label for fault probes and
+    error messages (typically the file path).
+    """
+    faultinject.check("loader", name)
     elf = ElfFile.parse(data)
     arch = get_arch(elf.arch_name)
 

@@ -69,8 +69,28 @@ class ElfFile:
     sections: dict = field(default_factory=dict)
     symbols: list = field(default_factory=list)
 
+    # Cap on how much zero-fill a PT_LOAD may demand (memsz - filesz);
+    # a malformed header must not be able to allocate gigabytes.
+    MAX_SEGMENT_MEMSZ = 1 << 28
+
     @classmethod
     def parse(cls, data):
+        """Parse ``data``; every malformed input raises :class:`ELFError`.
+
+        Untyped failures from arithmetic on attacker-controlled header
+        fields (``struct.error``, ``IndexError``, ...) are converted so
+        callers need exactly one except clause per file.
+        """
+        try:
+            return cls._parse(data)
+        except ELFError:
+            raise
+        except (struct.error, IndexError, ValueError, OverflowError,
+                MemoryError) as exc:
+            raise ELFError("malformed ELF: %s" % exc)
+
+    @classmethod
+    def _parse(cls, data):
         if len(data) < C.EHDR_SIZE:
             raise ELFError("file too small for an ELF header")
         if data[:4] != C.ELF_MAGIC:
@@ -101,6 +121,10 @@ class ElfFile:
             if p_type == C.PT_LOAD:
                 if offset + filesz > len(data):
                     raise ELFError("PT_LOAD %d extends past end of file" % i)
+                if memsz < filesz or memsz > cls.MAX_SEGMENT_MEMSZ:
+                    raise ELFError(
+                        "PT_LOAD %d has implausible memsz 0x%x" % (i, memsz)
+                    )
                 elf.segments.append(
                     ElfSegment(p_type, offset, vaddr, filesz, memsz, flags)
                 )
@@ -145,7 +169,10 @@ class ElfFile:
                 raise ELFError(".symtab has a bad strtab link")
             strtab = parsed_sections[section.link]
             str_data = self.data[strtab.offset:strtab.offset + strtab.size]
-            count = section.size // C.SYM_SIZE
+            # Bound the iteration by the bytes actually present, so a
+            # forged sh_size cannot spin this loop past end-of-file.
+            available = max(0, len(self.data) - section.offset)
+            count = min(section.size, available) // C.SYM_SIZE
             for i in range(count):
                 base = section.offset + i * C.SYM_SIZE
                 name_off, value, size, info, _other, shndx = struct.unpack_from(

@@ -11,7 +11,9 @@ The paper evaluates DTaint one image at a time; its workload is a
 * :mod:`repro.pipeline.telemetry` — structured JSONL run events and
   the end-of-run summary table;
 * :mod:`repro.pipeline.results` — canonical per-image findings and
-  the fleet-level rollup.
+  the fleet-level rollup;
+* :mod:`repro.pipeline.faultinject` — the deterministic fault-injection
+  harness behind the chaos suite and ``--inject``.
 """
 
 from repro.pipeline.cache import (
@@ -20,6 +22,12 @@ from repro.pipeline.cache import (
     binary_sha256,
     report_fingerprint,
     summary_fingerprint,
+)
+from repro.pipeline.faultinject import (
+    FaultInjector,
+    FaultSpec,
+    injected,
+    pick_target,
 )
 from repro.pipeline.results import (
     ResultsStore,
@@ -44,4 +52,5 @@ __all__ = [
     "summary_fingerprint", "report_fingerprint",
     "Telemetry", "read_events", "render_fleet_summary",
     "ResultsStore", "canonical_report", "findings_fingerprint",
+    "FaultInjector", "FaultSpec", "injected", "pick_target",
 ]

@@ -20,7 +20,11 @@ Two layers:
   analysis, not just symexec.
 
 Writes are atomic (tmp + ``os.replace``) so parallel fleet workers
-never expose torn files to each other.
+never expose torn files to each other.  A bundle that fails to load
+(torn write survived a crash, disk corruption, stale format) is
+**quarantined**: renamed to ``<name>.corrupt`` and counted, so the
+fault is visible in telemetry and the next run rebuilds a clean bundle
+instead of tripping over the same bytes forever.
 """
 
 import hashlib
@@ -34,7 +38,9 @@ from repro.core.interproc import (
     serialize_summary,
 )
 
-CACHE_FORMAT_VERSION = 1
+# v2: reports grew coverage/degraded sections; summaries carry
+# deadline_hit (see SUMMARY_FORMAT_VERSION).
+CACHE_FORMAT_VERSION = 2
 
 # DTaintConfig knobs that shape the *per-function* summaries (symbolic
 # exploration limits) vs. the ones that only steer later whole-report
@@ -88,6 +94,19 @@ def _atomic_write(path, data):
     os.replace(tmp, path)
 
 
+def _quarantine(path):
+    """Move a corrupt cache file aside to ``<path>.corrupt``.
+
+    Keeps the evidence for debugging while guaranteeing the bad bytes
+    are never re-read; racing workers may both try, so a lost rename
+    is fine (the other worker already moved or replaced it).
+    """
+    try:
+        os.replace(path, path + ".corrupt")
+    except OSError:
+        pass
+
+
 class BoundSummaryCache:
     """The summary store scoped to one ``(binary, fingerprint)`` pair.
 
@@ -102,6 +121,7 @@ class BoundSummaryCache:
         self.path = path
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
         self._bundle = None      # addr -> serialized blob
         self._dirty = False
 
@@ -112,10 +132,18 @@ class BoundSummaryCache:
         try:
             with open(self.path, "rb") as handle:
                 loaded = pickle.load(handle)
-            if isinstance(loaded, dict):
-                self._bundle = loaded
-        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
-            pass  # absent or corrupt bundle == empty cache
+        except FileNotFoundError:
+            return self._bundle  # absent == empty cache
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                AttributeError, ImportError):
+            self.corrupt += 1
+            _quarantine(self.path)
+            return self._bundle
+        if isinstance(loaded, dict):
+            self._bundle = loaded
+        else:
+            self.corrupt += 1
+            _quarantine(self.path)
         return self._bundle
 
     def get(self, addr):
@@ -141,7 +169,11 @@ class BoundSummaryCache:
 
     @property
     def stats(self):
-        return {"summary_hits": self.hits, "summary_misses": self.misses}
+        return {
+            "summary_hits": self.hits,
+            "summary_misses": self.misses,
+            "cache_corrupt": self.corrupt,
+        }
 
 
 class SummaryCache:
@@ -163,6 +195,7 @@ class ReportCache:
 
     def __init__(self, root):
         self.root = root
+        self.corrupt = 0
 
     def _path(self, sha, fingerprint):
         name = "%s-%s.json" % (sha, fingerprint)
@@ -171,10 +204,15 @@ class ReportCache:
     def get(self, sha, fingerprint):
         if fingerprint is None:
             return None
+        path = self._path(sha, fingerprint)
         try:
-            with open(self._path(sha, fingerprint), "r") as handle:
+            with open(path, "r") as handle:
                 return json.load(handle)
+        except FileNotFoundError:
+            return None
         except (OSError, ValueError):
+            self.corrupt += 1
+            _quarantine(path)
             return None
 
     def put(self, sha, fingerprint, report_dict):

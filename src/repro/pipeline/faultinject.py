@@ -1,0 +1,33 @@
+"""Fleet-facing façade over the fault-injection harness.
+
+The implementation lives in :mod:`repro.faultinject`: the probe points
+are compiled into ``repro.core``, ``repro.cfg`` and ``repro.loader``,
+which this package itself imports, so the machinery has to sit below
+the pipeline layer.  Fleet code (scheduler, CLI, chaos tests) imports
+it from here.
+
+``FleetJob.faults`` carries spec strings in the ``fault@site:target``
+form; :func:`~repro.pipeline.scheduler.execute_job` installs a
+:class:`FaultInjector` for them inside the worker process, so an
+injected fault is scoped to exactly one job.
+"""
+
+from repro.faultinject import (
+    FAULT_CLASSES,
+    MATCH_ANY,
+    FaultInjector,
+    FaultSpec,
+    FiredFault,
+    active,
+    check,
+    injected,
+    install,
+    pick_target,
+    uninstall,
+)
+
+__all__ = [
+    "FAULT_CLASSES", "MATCH_ANY", "FaultInjector", "FaultSpec",
+    "FiredFault", "active", "check", "injected", "install",
+    "pick_target", "uninstall",
+]

@@ -36,6 +36,14 @@ def _finding_key(finding):
     return tuple(finding.get(name, "") for name in _FINDING_SORT_KEYS)
 
 
+# Coverage counters carried into the canonical document (the
+# "analyzed 45/48, 3 degraded" accounting); elapsed times stay out.
+_COVERAGE_FIELDS = (
+    "analyzed", "selected", "total", "degraded", "truncated",
+    "deadline_truncated", "degraded_callee_sites",
+)
+
+
 def canonical_report(report_dict):
     """Strip a report dict down to its run-independent analysis output."""
     canonical = {
@@ -45,6 +53,23 @@ def canonical_report(report_dict):
                     "sanitized_paths"):
         findings = report_dict.get(section, []) or []
         canonical[section] = sorted(findings, key=_finding_key)
+    coverage = report_dict.get("coverage", {}) or {}
+    canonical["coverage"] = {
+        name: coverage.get(name, 0) for name in _COVERAGE_FIELDS
+    }
+    canonical["degraded"] = sorted(
+        (
+            {
+                "function": d.get("function", ""),
+                "addr": d.get("addr", 0),
+                "phase": d.get("phase", ""),
+                "error_type": d.get("error_type", ""),
+                "reason": d.get("reason", ""),
+            }
+            for d in report_dict.get("degraded_functions", []) or []
+        ),
+        key=lambda d: (d["addr"], d["function"]),
+    )
     return canonical
 
 
@@ -76,6 +101,7 @@ class ResultsStore:
             "elapsed_seconds": result.elapsed,
             "resources": result.resources,
             "cache": result.cache,
+            "fired_faults": list(getattr(result, "fired_faults", [])),
         }
         if result.report is not None:
             document["findings"] = canonical_report(result.report)
@@ -95,11 +121,15 @@ class ResultsStore:
             "jobs": len(results), "ok": 0, "quarantined": 0,
             "vulnerable_paths": 0, "vulnerabilities": 0,
             "summary_hits": 0, "summary_misses": 0, "report_cache_hits": 0,
+            "cache_corrupt": 0,
+            "analyzed_functions": 0, "selected_functions": 0,
+            "degraded_functions": 0, "truncated_summaries": 0,
         }
         for result in results:
             report = result.report or {}
             paths = len(report.get("vulnerable_paths", []))
             vulns = len(report.get("vulnerabilities", []))
+            coverage = report.get("coverage", {}) or {}
             row = {
                 "job_id": result.job.job_id,
                 "target": result.job.describe_target(),
@@ -108,6 +138,7 @@ class ResultsStore:
                 "elapsed_seconds": result.elapsed,
                 "vulnerable_paths": paths,
                 "vulnerabilities": vulns,
+                "degraded": coverage.get("degraded", 0),
                 "cache": result.cache,
             }
             if result.report is not None:
@@ -121,6 +152,11 @@ class ResultsStore:
             totals["report_cache_hits"] += int(
                 bool(result.cache.get("report_cache_hit"))
             )
+            totals["cache_corrupt"] += result.cache.get("cache_corrupt", 0)
+            totals["analyzed_functions"] += coverage.get("analyzed", 0)
+            totals["selected_functions"] += coverage.get("selected", 0)
+            totals["degraded_functions"] += coverage.get("degraded", 0)
+            totals["truncated_summaries"] += coverage.get("truncated", 0)
         rollup = {
             "wall_seconds": wall_seconds,
             "totals": totals,

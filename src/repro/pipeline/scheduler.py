@@ -29,9 +29,11 @@ run of the same fleet.
 import multiprocessing
 import os
 import time
+import zlib
 from dataclasses import dataclass, field
 from multiprocessing import connection
 
+from repro import faultinject
 from repro.errors import AnalysisTimeout, PipelineError, ReproError, WorkerCrash
 from repro.pipeline.cache import (
     ReportCache,
@@ -57,6 +59,10 @@ class FleetJob:
     # attempt number is <= fault_attempts.
     fault: str = ""              # '' | 'crash' | 'hang' | 'error'
     fault_attempts: int = 0
+    # In-analysis fault injection (repro.faultinject spec strings, e.g.
+    # 'decode@cfg:handle_request'): installed in the worker before the
+    # scan so the fault degrades one function instead of the job.
+    faults: tuple = ()
 
     def describe_target(self):
         return self.key if self.kind == "profile" else self.path
@@ -76,6 +82,7 @@ class JobResult:
     elapsed: float = 0.0         # last attempt's wall time
     resources: dict = field(default_factory=dict)
     cache: dict = field(default_factory=dict)
+    fired_faults: list = field(default_factory=list)
 
     @property
     def ok(self):
@@ -111,7 +118,7 @@ def _load_job_binary(job):
         with open(job.path, "rb") as handle:
             data = handle.read()
         config = DTaintConfig(modules=tuple(job.modules))
-        return job.path, load_elf(data), config, binary_sha256(data)
+        return job.path, load_elf(data, name=job.path), config, binary_sha256(data)
     raise PipelineError("unknown job kind %r" % job.kind)
 
 
@@ -139,38 +146,53 @@ def execute_job(job, attempt=1, cache_dir=None, use_summary_cache=True,
     from repro.eval.resources import measure
 
     _inject_fault(job, attempt)
-    with measure() as usage:
-        build_start = time.perf_counter()
-        name, binary, config, sha = _load_job_binary(job)
-        build_seconds = time.perf_counter() - build_start
+    injector = None
+    if job.faults:
+        # A run with injected faults must neither read a clean cached
+        # result (the fault would silently not fire) nor poison the
+        # shared caches with degraded output.
+        injector = faultinject.install(faultinject.FaultInjector(job.faults))
+        use_summary_cache = use_report_cache = False
+    try:
+        with measure() as usage:
+            build_start = time.perf_counter()
+            name, binary, config, sha = _load_job_binary(job)
+            build_seconds = time.perf_counter() - build_start
 
-        cache_stats = {"summary_hits": 0, "summary_misses": 0,
-                       "report_cache_hit": False}
-        report_dict = None
-        report_fp = report_fingerprint(config) if cache_dir else None
-        if cache_dir and use_report_cache:
-            report_dict = ReportCache(cache_dir).get(sha, report_fp)
-            if report_dict is not None:
-                cache_stats["report_cache_hit"] = True
+            cache_stats = {"summary_hits": 0, "summary_misses": 0,
+                           "report_cache_hit": False, "cache_corrupt": 0}
+            report_dict = None
+            report_fp = report_fingerprint(config) if cache_dir else None
+            report_cache = ReportCache(cache_dir) if cache_dir else None
+            if report_cache is not None and use_report_cache:
+                report_dict = report_cache.get(sha, report_fp)
+                if report_dict is not None:
+                    cache_stats["report_cache_hit"] = True
 
-        if report_dict is None:
-            bound = None
-            if cache_dir and use_summary_cache:
-                bound = SummaryCache(cache_dir).for_binary(sha, config)
-            detector = DTaint(binary, config=config, name=name,
-                              summary_cache=bound)
-            report = detector.run()
-            report_dict = report.to_dict()
-            if bound is not None:
-                bound.flush()
-                cache_stats.update(bound.stats)
-            if cache_dir and use_report_cache:
-                ReportCache(cache_dir).put(sha, report_fp, report_dict)
+            if report_dict is None:
+                bound = None
+                if cache_dir and use_summary_cache:
+                    bound = SummaryCache(cache_dir).for_binary(sha, config)
+                detector = DTaint(binary, config=config, name=name,
+                                  summary_cache=bound)
+                report = detector.run()
+                report_dict = report.to_dict()
+                if bound is not None:
+                    bound.flush()
+                    cache_stats.update(bound.stats)
+                if report_cache is not None and use_report_cache:
+                    report_cache.put(sha, report_fp, report_dict)
+            if report_cache is not None:
+                cache_stats["cache_corrupt"] += report_cache.corrupt
+    finally:
+        if injector is not None:
+            faultinject.uninstall()
     return {
         "status": "ok",
         "report": report_dict,
         "sha256": sha,
         "cache": cache_stats,
+        "fired_faults": injector.fired_specs() if injector else [],
         "resources": {
             "wall_seconds": usage.wall_seconds,
             "cpu_seconds": usage.cpu_seconds,
@@ -204,12 +226,14 @@ class FleetScheduler:
 
     def __init__(self, jobs=1, timeout=None, retries=1, cache_dir=None,
                  use_summary_cache=True, use_report_cache=True,
-                 telemetry=None):
+                 telemetry=None, backoff=0.1, backoff_cap=5.0):
         if jobs < 1:
             raise PipelineError("need at least one worker slot")
         self.jobs = jobs
         self.timeout = timeout
         self.retries = max(retries, 0)
+        self.backoff = max(backoff or 0.0, 0.0)
+        self.backoff_cap = backoff_cap
         self.telemetry = telemetry or Telemetry(path=None)
         self._options = {
             "cache_dir": cache_dir,
@@ -229,7 +253,10 @@ class FleetScheduler:
         results = {job.job_id: JobResult(job=job) for job in fleet_jobs}
         if len(results) != len(fleet_jobs):
             raise PipelineError("duplicate job_id in fleet")
-        queue = [(job, 1) for job in fleet_jobs]
+        # Queue entries are (job, attempt, not_before): retries sit in
+        # the queue until their backoff delay expires, without ever
+        # blocking the scheduler loop or other jobs' slots.
+        queue = [(job, 1, 0.0) for job in fleet_jobs]
         running = []
         run_start = time.perf_counter()
         self.telemetry.emit(
@@ -239,8 +266,21 @@ class FleetScheduler:
         )
         try:
             while queue or running:
-                while queue and len(running) < self.jobs:
-                    running.append(self._launch(*queue.pop(0)))
+                now = time.perf_counter()
+                while len(running) < self.jobs:
+                    entry = next(
+                        (e for e in queue if e[2] <= now), None
+                    )
+                    if entry is None:
+                        break
+                    queue.remove(entry)
+                    running.append(self._launch(entry[0], entry[1]))
+                if not running:
+                    # Everything left is backing off; sleep to the
+                    # soonest eligibility instead of spinning.
+                    soonest = min(e[2] for e in queue)
+                    time.sleep(min(max(soonest - now, 0.0), 0.05))
+                    continue
                 self._poll(running, queue, results)
         finally:
             for record in running:   # unwind on unexpected scheduler error
@@ -256,6 +296,13 @@ class FleetScheduler:
             ),
             summary_misses=sum(
                 r.cache.get("summary_misses", 0) for r in ordered
+            ),
+            cache_corrupt=sum(
+                r.cache.get("cache_corrupt", 0) for r in ordered
+            ),
+            degraded=sum(
+                (r.report or {}).get("coverage", {}).get("degraded", 0)
+                for r in ordered
             ),
         )
         return ordered
@@ -339,6 +386,7 @@ class FleetScheduler:
         result.report = payload["report"]
         result.sha256 = payload.get("sha256", "")
         result.cache = payload.get("cache", {})
+        result.fired_faults = payload.get("fired_faults", [])
         result.resources = payload.get("resources", {})
         result.elapsed = elapsed
         result.error = result.error_type = ""
@@ -349,6 +397,22 @@ class FleetScheduler:
             summary_misses=cache.get("summary_misses", 0),
             report_cache_hit=cache.get("report_cache_hit", False),
         )
+        if cache.get("cache_corrupt"):
+            self.telemetry.emit(
+                "cache_corrupt", job=record.job.job_id,
+                count=cache["cache_corrupt"],
+            )
+        coverage = result.report.get("coverage", {})
+        if coverage.get("degraded"):
+            self.telemetry.emit(
+                "job_degraded", job=record.job.job_id,
+                degraded=coverage.get("degraded", 0),
+                truncated=coverage.get("truncated", 0),
+                degraded_functions=[
+                    d.get("function", "")
+                    for d in result.report.get("degraded_functions", [])
+                ],
+            )
         self.telemetry.emit(
             "job_finish", job=record.job.job_id, attempt=record.attempt,
             elapsed=round(elapsed, 4),
@@ -356,6 +420,7 @@ class FleetScheduler:
             max_rss_mb=round(result.resources.get("max_rss_mb", 0.0), 1),
             vulnerable_paths=len(result.report.get("vulnerable_paths", [])),
             vulnerabilities=len(result.report.get("vulnerabilities", [])),
+            degraded=coverage.get("degraded", 0),
         )
 
     def _fail(self, record, error, elapsed, queue, results):
@@ -374,14 +439,34 @@ class FleetScheduler:
             error_type=result.error_type,
         )
         if record.attempt <= self.retries:
+            delay = self.backoff_delay(record.job.job_id, record.attempt + 1)
             self.telemetry.emit(
                 "job_retry", job=record.job.job_id,
                 next_attempt=record.attempt + 1,
+                backoff_seconds=round(delay, 4),
             )
-            queue.append((record.job, record.attempt + 1))
+            queue.append(
+                (record.job, record.attempt + 1,
+                 time.perf_counter() + delay)
+            )
         else:
             result.status = "quarantined"
             self.telemetry.emit(
                 "job_quarantined", job=record.job.job_id,
                 attempts=record.attempt, error_type=result.error_type,
             )
+
+    def backoff_delay(self, job_id, attempt):
+        """Exponential backoff with deterministic jitter.
+
+        ``base * 2^(attempt-2) * (1 + j)`` where the jitter fraction
+        ``j in [0, 1)`` is derived from ``crc32(job_id:attempt)`` —
+        the same job retries on the same schedule every run, while
+        distinct jobs spread out instead of thundering back together.
+        """
+        if not self.backoff or attempt <= 1:
+            return 0.0
+        key = ("%s:%d" % (job_id, attempt)).encode("utf-8")
+        jitter = (zlib.crc32(key) % 1000) / 1000.0
+        delay = self.backoff * (2 ** (attempt - 2)) * (1.0 + jitter)
+        return min(delay, self.backoff_cap)

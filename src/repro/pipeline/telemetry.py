@@ -83,16 +83,22 @@ def _hit_rate(cache):
 def render_fleet_summary(results, wall_seconds):
     """The end-of-run table: one row per job + aggregate footer."""
     headers = ["job", "image", "status", "attempts", "time_s",
-               "cache", "rss_mb", "paths", "vulns"]
+               "cache", "rss_mb", "paths", "vulns", "degr"]
     rows = []
     total_paths = total_vulns = 0
     total_hits = total_misses = 0
+    total_analyzed = total_selected = total_degraded = 0
     for result in results:
         report = result.report or {}
         paths = len(report.get("vulnerable_paths", []))
         vulns = len(report.get("vulnerabilities", []))
+        coverage = report.get("coverage", {}) or {}
+        degraded = coverage.get("degraded", 0)
         total_paths += paths
         total_vulns += vulns
+        total_analyzed += coverage.get("analyzed", 0)
+        total_selected += coverage.get("selected", 0)
+        total_degraded += degraded
         total_hits += result.cache.get("summary_hits", 0)
         total_misses += result.cache.get("summary_misses", 0)
         cache_note = _hit_rate(result.cache)
@@ -108,14 +114,17 @@ def render_fleet_summary(results, wall_seconds):
             "%.0f" % result.resources.get("max_rss_mb", 0.0),
             paths if result.report else "-",
             vulns if result.report else "-",
+            degraded if result.report else "-",
         ])
     lookups = total_hits + total_misses
     rate = 100.0 * total_hits / lookups if lookups else 0.0
     ok = sum(1 for r in results if r.status == "ok")
     footer = (
-        "%d/%d jobs ok, %d vulnerable paths, %d vulnerabilities, "
+        "%d/%d jobs ok, analyzed %d/%d functions (%d degraded), "
+        "%d vulnerable paths, %d vulnerabilities, "
         "summary cache %d/%d hits (%.0f%%), wall %.2fs"
-        % (ok, len(results), total_paths, total_vulns,
+        % (ok, len(results), total_analyzed, total_selected,
+           total_degraded, total_paths, total_vulns,
            total_hits, lookups, rate, wall_seconds)
     )
     return format_table(headers, rows, title="Fleet scan") + "\n" + footer

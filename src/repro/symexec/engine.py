@@ -12,7 +12,10 @@ are analysed at most once per path (the paper's loop heuristic), so a
 basic block can contribute several distinct symbolic states.
 """
 
-from repro.errors import SymExecError
+import time
+
+from repro import faultinject
+from repro.errors import DeadlineExceeded, SymExecError
 from repro.ir.expr import Binop, Const, Get, ITE, Load, RdTmp, Unop
 from repro.ir.irsb import JumpKind
 from repro.ir.stmt import Exit, IMark, Put, Store, WrTmp
@@ -42,12 +45,18 @@ class SymbolicEngine:
     """Runs the static symbolic analysis over recovered functions."""
 
     def __init__(self, binary, max_paths=64, max_blocks_per_path=256,
-                 track_register_defs=False):
+                 track_register_defs=False, deadline_seconds=None):
         self.binary = binary
         self.arch = binary.arch
         self.cc = binary.arch.cc
         self.max_paths = max_paths
         self.max_blocks_per_path = max_blocks_per_path
+        # Soft per-function wall-clock budget.  The path/block caps
+        # bound the *shape* of exploration but not its duration on
+        # pathological functions (wide fork fans of cheap paths); the
+        # deadline bounds time directly.  Hitting it flags the summary
+        # ``truncated`` — everything explored so far still counts.
+        self.deadline_seconds = deadline_seconds or None
         # The top-down baseline mirrors angr's DDG, which "builds data
         # dependence on every variable (in the register and memory)";
         # DTaint itself keeps register flow implicit in the symbols.
@@ -75,6 +84,7 @@ class SymbolicEngine:
 
     def analyze_function(self, function):
         """Explore ``function``; return its :class:`FunctionSummary`."""
+        faultinject.check("symexec", function.name)
         summary = FunctionSummary(name=function.name, addr=function.addr)
         if function.is_import or function.entry_block is None:
             return summary
@@ -86,10 +96,18 @@ class SymbolicEngine:
         uses_seen = set()
         constraints_seen = set()
 
+        deadline = None
+        if self.deadline_seconds:
+            deadline = time.monotonic() + self.deadline_seconds
+
         stack = [(function.addr, self.initial_state())]
         while stack:
             if summary.paths_explored >= self.max_paths:
                 summary.truncated = True
+                break
+            if self._deadline_hit(deadline, function.name):
+                summary.truncated = True
+                summary.deadline_hit = True
                 break
             block_addr, state = stack.pop()
             path_ended = True
@@ -99,6 +117,10 @@ class SymbolicEngine:
                 steps += 1
                 if steps > self.max_blocks_per_path:
                     summary.truncated = True
+                    break
+                if deadline is not None and time.monotonic() > deadline:
+                    summary.truncated = True
+                    summary.deadline_hit = True
                     break
                 block = function.blocks.get(current)
                 if block is None or current in state.visited:
@@ -120,6 +142,14 @@ class SymbolicEngine:
                     stack.append((addr, forked))
             summary.paths_explored += 1
         return summary
+
+    def _deadline_hit(self, deadline, function_name):
+        """True when the soft deadline expired (or one was injected)."""
+        try:
+            faultinject.check("symexec.deadline", function_name)
+        except DeadlineExceeded:
+            return True
+        return deadline is not None and time.monotonic() > deadline
 
     # ------------------------------------------------------------------
 

@@ -120,6 +120,7 @@ class FunctionSummary:
     ret_values: list = field(default_factory=list)
     paths_explored: int = 0
     truncated: bool = False
+    deadline_hit: bool = False   # truncation caused by the soft deadline
     loop_stores: list = field(default_factory=list)  # (site, dest, value)
     register_defs: list = field(default_factory=list)  # (reg, site, value)
 

@@ -167,3 +167,81 @@ class TestCLI:
         rc = cli_main(["firmware", str(blob)])
         assert rc == 0
         assert "httpd" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """Distinct exit codes per failure kind (scan / firmware / fleet-scan)."""
+
+    def _vuln_elf(self, tmp_path):
+        from repro.loader.link import build_executable
+
+        elf_bytes, _ = build_executable(
+            "arm",
+            ".globl main\nmain:\n    push {lr}\n    ldr r0, =n\n"
+            "    bl getenv\n    bl system\n    pop {pc}\n.ltorg\n"
+            ".rodata\nn: .asciz \"X\"\n",
+            imports=["getenv", "system"],
+        )
+        target = tmp_path / "handler.elf"
+        target.write_bytes(elf_bytes)
+        return str(target)
+
+    def test_scan_findings_exit_code(self, tmp_path, capsys):
+        target = self._vuln_elf(tmp_path)
+        assert cli_main(["scan", target]) == 0
+        assert cli_main(["scan", target, "--fail-on-findings"]) == 1
+
+    def test_scan_malformed_input_exits_3(self, tmp_path, capsys):
+        bad = tmp_path / "not-an.elf"
+        bad.write_bytes(b"\x7fELF" + b"\xff" * 16)
+        assert cli_main(["scan", str(bad)]) == 3
+        assert "analysis failed" in capsys.readouterr().err
+
+    def test_scan_strict_degradation_exits_4(self, tmp_path, capsys):
+        target = self._vuln_elf(tmp_path)
+        rc = cli_main([
+            "scan", target, "--inject", "decode@cfg:main", "--strict",
+        ])
+        assert rc == 4
+        captured = capsys.readouterr()
+        assert "degradation policy violated" in captured.err
+        assert "[degraded] main@" in captured.out
+
+    def test_scan_max_degraded_tolerates(self, tmp_path, capsys):
+        target = self._vuln_elf(tmp_path)
+        rc = cli_main([
+            "scan", target, "--inject", "decode@cfg:main",
+            "--max-degraded", "1",
+        ])
+        assert rc == 0
+
+    def test_scan_deadline_flag(self, tmp_path, capsys):
+        target = self._vuln_elf(tmp_path)
+        assert cli_main(["scan", target, "--deadline", "30"]) == 0
+
+    def test_firmware_malformed_exits_3(self, tmp_path, capsys):
+        blob = tmp_path / "fw.bin"
+        blob.write_bytes(b"\x00" * 64)
+        assert cli_main(["firmware", str(blob)]) == 3
+
+    def test_fleet_scan_bad_inject_spec_exits_2(self, tmp_path, capsys):
+        rc = cli_main([
+            "fleet-scan", "dir645", "--scale", "0.05", "--no-cache",
+            "--inject", "not-a-spec",
+        ])
+        assert rc == 2
+
+    def test_fleet_scan_quarantine_exits_3(self, capsys):
+        rc = cli_main([
+            "fleet-scan", "dir645", "--scale", "0.05", "--jobs", "1",
+            "--retries", "0", "--no-cache", "--inject-crash", "dir645",
+        ])
+        assert rc == 3
+
+    def test_fleet_scan_strict_degradation_exits_4(self, capsys):
+        rc = cli_main([
+            "fleet-scan", "dir645", "--scale", "0.05", "--jobs", "1",
+            "--no-cache", "--inject", "symexec@symexec:*", "--strict",
+        ])
+        assert rc == 4
+        assert "degradation policy violated" in capsys.readouterr().err

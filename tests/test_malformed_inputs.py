@@ -1,0 +1,207 @@
+"""Malformed-input corpus: every broken file fails *typed*, never raw.
+
+The loader and the firmware extractors sit on the trust boundary: the
+bytes they parse come off flash images.  The contract under test is
+that any corruption — truncation at every offset, seeded bit flips,
+zero-length files, forged header fields — surfaces as the typed
+:class:`MalformedInput` hierarchy (``ELFError`` / ``FirmwareError``)
+and **never** as ``struct.error``, ``IndexError``, ``MemoryError`` or
+a hang.
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.corpus.profiles import build_firmware
+from repro.errors import ELFError, FirmwareError, MalformedInput
+from repro.firmware import binwalk
+from repro.firmware.image import (
+    pack_trx,
+    pack_uimage,
+    parse_trx,
+    parse_uimage,
+)
+from repro.firmware.simplefs import SimpleFS
+from repro.loader.binary import load_elf
+from repro.loader.elf import ElfFile
+
+
+@pytest.fixture(scope="module")
+def built():
+    """A real corpus binary (the seed for every corruption below)."""
+    return build_firmware("dgn1000", scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def firmware_blob(built):
+    fs = SimpleFS()
+    fs.add_file("/bin/httpd", built.elf_bytes)
+    fs.add_file("/etc/version", b"v1.0.42\n" * 30)
+    return pack_trx(b"KERNELSTUB" * 20, fs.pack())
+
+
+def _assert_typed(parse, data, expected=MalformedInput):
+    """A corrupt input either parses or raises the typed family."""
+    try:
+        parse(data)
+    except expected:
+        pass
+    # Any other exception type propagates and fails the test.
+
+
+class TestMalformedELF:
+    def test_zero_length(self):
+        with pytest.raises(ELFError):
+            load_elf(b"")
+
+    def test_not_elf_at_all(self):
+        with pytest.raises(ELFError):
+            load_elf(b"GIF89a" + b"\x00" * 100)
+
+    def test_truncation_sweep(self, built):
+        elf = built.elf_bytes
+        # Every truncation length across the file, coarse then fine
+        # around the header region where most parsing happens.
+        lengths = set(range(0, min(len(elf), 256))) | set(
+            range(0, len(elf), max(1, len(elf) // 128))
+        )
+        for length in sorted(lengths):
+            _assert_typed(load_elf, elf[:length], ELFError)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_seeded_bit_flips(self, built, seed):
+        rng = random.Random(seed)
+        elf = bytearray(built.elf_bytes)
+        for _ in range(rng.randrange(1, 16)):
+            elf[rng.randrange(len(elf))] ^= 1 << rng.randrange(8)
+        _assert_typed(load_elf, bytes(elf), ELFError)
+
+    def test_forged_symbol_count_cannot_spin(self, built):
+        # Blow sh_size of .symtab up to claim ~268M symbols; the parse
+        # must bound itself by the actual bytes, not the forged size.
+        elf = built.elf_bytes
+        parsed = ElfFile.parse(elf)
+        symtab = parsed.sections[".symtab"]
+        e_shoff = struct.unpack_from(parsed.endian + "I", elf, 32)[0]
+        e_shentsize, e_shnum = struct.unpack_from(
+            parsed.endian + "HH", elf, 46
+        )
+        forged = bytearray(elf)
+        for i in range(e_shnum):
+            base = e_shoff + i * e_shentsize
+            offset, size = struct.unpack_from(
+                parsed.endian + "II", forged, base + 16
+            )
+            if offset == symtab.offset and size == symtab.size:
+                struct.pack_into(
+                    parsed.endian + "I", forged, base + 20, 0xFFFFFFF0
+                )
+                break
+        else:
+            pytest.fail("could not locate .symtab header to forge")
+        _assert_typed(load_elf, bytes(forged), ELFError)
+
+    def test_forged_memsz_cannot_allocate(self, built):
+        # A PT_LOAD claiming a multi-GB memsz must be rejected before
+        # the loader tries to zero-fill it.
+        elf = built.elf_bytes
+        endian = ElfFile.parse(elf).endian
+        e_phoff = struct.unpack_from(endian + "I", elf, 28)[0]
+        forged = bytearray(elf)
+        struct.pack_into(endian + "I", forged, e_phoff + 20, 0xF0000000)
+        with pytest.raises(ELFError):
+            load_elf(bytes(forged))
+
+
+class TestMalformedFirmware:
+    def test_zero_length(self):
+        with pytest.raises(FirmwareError):
+            binwalk.extract_filesystem(b"")
+
+    def test_truncation_sweep(self, firmware_blob):
+        step = max(1, len(firmware_blob) // 200)
+        for length in range(0, len(firmware_blob), step):
+            _assert_typed(
+                binwalk.extract_filesystem, firmware_blob[:length],
+                FirmwareError,
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_seeded_bit_flips(self, firmware_blob, seed):
+        rng = random.Random(1000 + seed)
+        blob = bytearray(firmware_blob)
+        for _ in range(rng.randrange(1, 16)):
+            blob[rng.randrange(len(blob))] ^= 1 << rng.randrange(8)
+        _assert_typed(
+            binwalk.extract_filesystem, bytes(blob), FirmwareError
+        )
+
+    def test_trx_header_garbage(self):
+        _assert_typed(parse_trx, pack_trx(b"K", b"R")[:10], FirmwareError)
+        with pytest.raises(FirmwareError):
+            parse_trx(b"HDR0")          # magic with nothing behind it
+
+    def test_uimage_header_garbage(self):
+        image = pack_uimage(b"kern", b"root")
+        with pytest.raises(FirmwareError):
+            parse_uimage(image[:30])
+        # Valid header CRC but payload too short for the rootfs-offset
+        # word: still a typed failure.
+        _assert_typed(parse_uimage, image[:70], FirmwareError)
+
+    def test_simplefs_entry_corruption_is_per_file(self):
+        fs = SimpleFS()
+        fs.add_file("/bin/good", b"G" * 200)
+        fs.add_file("/bin/bad", b"B" * 200)
+        packed = bytearray(fs.pack())
+        # Corrupt /bin/bad's compressed payload, then re-seal the
+        # image checksum so only the entry is broken, not the image.
+        import zlib
+
+        header_size = struct.calcsize("<4sIII")
+        _magic, count, table_size, _crc = struct.unpack_from(
+            "<4sIII", packed, 0
+        )
+        entry_size = struct.calcsize("<HHIII")
+        cursor = 0
+        table = packed[header_size:header_size + table_size]
+        target_span = None
+        for _ in range(count):
+            path_len, _mode, offset, stored_len, _raw = struct.unpack_from(
+                "<HHIII", table, cursor
+            )
+            path = bytes(
+                table[cursor + entry_size:cursor + entry_size + path_len]
+            )
+            if path == b"/bin/bad":
+                target_span = (offset, stored_len)
+            cursor += entry_size + path_len
+        assert target_span is not None
+        start = header_size + table_size + target_span[0]
+        packed[start] ^= 0xFF
+        new_crc = zlib.crc32(bytes(packed[header_size:])) & 0xFFFFFFFF
+        struct.pack_into("<I", packed, header_size - 4, new_crc)
+
+        unpacked = SimpleFS.unpack(bytes(packed))
+        assert "/bin/good" in unpacked
+        assert "/bin/bad" not in unpacked
+        assert unpacked.skipped[0][0] == "/bin/bad"
+
+    def test_undecodable_path_is_per_file_skip(self):
+        fs = SimpleFS()
+        fs.add_file("/bin/ok", b"fine")
+        packed = bytearray(fs.pack())
+        header_size = struct.calcsize("<4sIII")
+        entry_size = struct.calcsize("<HHIII")
+        # First path byte -> invalid UTF-8 continuation, reseal CRC.
+        import zlib
+
+        packed[header_size + entry_size] = 0xFF
+        new_crc = zlib.crc32(bytes(packed[header_size:])) & 0xFFFFFFFF
+        struct.pack_into("<I", packed, header_size - 4, new_crc)
+        unpacked = SimpleFS.unpack(bytes(packed))
+        assert len(unpacked) == 0
+        assert len(unpacked.skipped) == 1
+        assert "undecodable path" in unpacked.skipped[0][1]

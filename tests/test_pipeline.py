@@ -374,3 +374,77 @@ class TestScanJsonCLI:
         from repro.cli import main as cli_main
 
         assert cli_main(["fleet-scan", "nope"]) == 2
+
+
+class TestCacheQuarantine:
+    def test_corrupt_bundle_is_quarantined(self, tmp_path):
+        import os
+
+        elf = _small_elf()
+        _report, bound = _scan(elf, str(tmp_path))
+        with open(bound.path, "wb") as handle:
+            handle.write(b"\x00not a pickle")
+        _report, rebound = _scan(elf, str(tmp_path))
+        assert rebound.stats["cache_corrupt"] == 1
+        assert os.path.exists(bound.path + ".corrupt")
+        # The bad bytes are gone; the rebuilt bundle serves hits again.
+        _report, warm = _scan(elf, str(tmp_path))
+        assert warm.stats["cache_corrupt"] == 0
+        assert warm.hits > 0 and warm.misses == 0
+
+    def test_corrupt_report_cache_is_quarantined(self, tmp_path):
+        import os
+
+        cache = ReportCache(str(tmp_path))
+        fingerprint = report_fingerprint(DTaintConfig())
+        cache.put("ab" * 32, fingerprint, {"binary": "x"})
+        path = cache._path("ab" * 32, fingerprint)
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        assert cache.get("ab" * 32, fingerprint) is None
+        assert cache.corrupt == 1
+        assert os.path.exists(path + ".corrupt")
+        # A later put/get cycle works on a clean slate.
+        cache.put("ab" * 32, fingerprint, {"binary": "x"})
+        assert cache.get("ab" * 32, fingerprint) == {"binary": "x"}
+
+
+class TestBackoff:
+    def test_deterministic_jitter(self):
+        a = FleetScheduler(jobs=1, backoff=0.5)
+        b = FleetScheduler(jobs=1, backoff=0.5)
+        for attempt in (2, 3, 4):
+            assert a.backoff_delay("job-x", attempt) == \
+                b.backoff_delay("job-x", attempt)
+        # Different jobs spread out; same job grows exponentially.
+        assert a.backoff_delay("job-x", 2) != a.backoff_delay("job-y", 2)
+        assert a.backoff_delay("job-x", 3) > a.backoff_delay("job-x", 2)
+        assert a.backoff_delay("job-x", 2) >= 0.5
+        assert a.backoff_delay("job-x", 1) == 0.0
+        assert FleetScheduler(jobs=1, backoff=0.0).backoff_delay(
+            "job-x", 5
+        ) == 0.0
+
+    def test_cap_bounds_runaway_delays(self):
+        scheduler = FleetScheduler(jobs=1, backoff=1.0, backoff_cap=2.0)
+        assert scheduler.backoff_delay("j", 30) == 2.0
+
+    def test_retry_telemetry_records_backoff(self, tmp_path):
+        telemetry_path = str(tmp_path / "events.jsonl")
+        with Telemetry(path=telemetry_path) as telemetry:
+            scheduler = FleetScheduler(
+                jobs=1, retries=1, backoff=0.05, telemetry=telemetry,
+            )
+            results = scheduler.run([FleetJob(
+                job_id="flaky", kind="profile", key="dir645", scale=SCALE,
+                fault="error", fault_attempts=1,
+            )])
+        assert results[0].ok and results[0].attempts == 2
+        retries = [
+            e for e in read_events(telemetry_path)
+            if e["event"] == "job_retry"
+        ]
+        assert len(retries) == 1
+        assert retries[0]["backoff_seconds"] == round(
+            scheduler.backoff_delay("flaky", 2), 4
+        )
