@@ -1,0 +1,313 @@
+"""Hot-path benchmark: end-to-end corpus scan + microbenchmarks.
+
+Measures the costs the hash-consing/indexing overhaul attacks:
+
+* ``end_to_end``   — cold, single-process ``DTaint`` scan of the
+  synthetic vendor corpus (no caches), the number every fleet worker
+  pays per image;
+* ``expr_construction`` — symbolic-expression construction, equality
+  and hashing (the symexec inner loop shape);
+* ``alias_query``  — Algorithm 1 alias recognition over a synthetic
+  summary with many pointer stores;
+* ``similarity_matrix`` — pairwise Formula 2 layout similarity.
+
+Results are written as machine-readable JSON so later PRs have a perf
+trajectory to regress against.  With a committed ``BENCH_hotpath.json``
+present, the run compares its end-to-end time against the recorded
+reference for the same mode and exits nonzero past ``--fail-threshold``
+(the CI smoke job runs ``--quick`` exactly this way).
+
+Usage:
+    python benchmarks/bench_hotpath.py [--quick] [--out out.json]
+    python benchmarks/bench_hotpath.py --record after   # update baseline
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core import DTaint, DTaintConfig  # noqa: E402
+from repro.core.aliasing import alias_replace  # noqa: E402
+from repro.core.structure import extract_layouts, similarity  # noqa: E402
+from repro.core.types import infer_types  # noqa: E402
+from repro.symexec.state import DefPair, FunctionSummary  # noqa: E402
+from repro.symexec.value import (  # noqa: E402
+    SymConst,
+    SymVar,
+    mk_add,
+    mk_deref,
+    mk_mul,
+    mk_sub,
+)
+
+REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_hotpath.json")
+
+
+# ---------------------------------------------------------------------------
+# Microbenchmarks.
+
+def bench_expr_construction(iterations):
+    """Build/canonicalise expressions + hash them into sets (ops/s)."""
+    args = [SymVar("arg%d" % i) for i in range(4)]
+    seen = set()
+    table = {}
+    start = time.perf_counter()
+    for i in range(iterations):
+        base = args[i & 3]
+        addr = mk_add(base, SymConst(i & 0xFF))
+        cell = mk_deref(addr)
+        expr = mk_sub(mk_add(cell, SymConst(8)), SymConst(i & 0xFF))
+        scaled = mk_add(mk_mul(SymConst(4), base), SymConst(i & 0x3F))
+        seen.add(expr)
+        table[cell] = scaled
+        if scaled in seen:          # pragma: no cover - rare by shape
+            seen.discard(scaled)
+        hash(addr)
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "iterations": iterations,
+        "ops_per_second": round(iterations / elapsed) if elapsed else None,
+    }
+
+
+def _synthetic_alias_summary(stores, derefs_per_base):
+    """A summary full of pointer stores + field accesses through them."""
+    summary = FunctionSummary(name="bench_alias", addr=0x1000)
+    sp0 = SymVar("sp0")
+    for i in range(stores):
+        base = SymVar("arg%d" % (i % 4))
+        slot = mk_deref(mk_sub(sp0, SymConst(8 + 4 * i)))
+        summary.def_pairs.append(
+            DefPair(dest=slot, value=mk_add(base, SymConst(4 * (i % 8))),
+                    site=0x1000 + i)
+        )
+        for j in range(derefs_per_base):
+            field = mk_deref(mk_add(base, SymConst(0x10 + 4 * j)))
+            summary.def_pairs.append(
+                DefPair(dest=field, value=SymConst(j), site=0x2000 + i + j)
+            )
+    return summary
+
+
+def bench_alias_query(rounds, stores=48, derefs_per_base=6):
+    """Algorithm 1 alias recognition over a synthetic summary."""
+    start = time.perf_counter()
+    added_total = 0
+    for _ in range(rounds):
+        summary = _synthetic_alias_summary(stores, derefs_per_base)
+        types = infer_types(summary)
+        added_total += len(alias_replace(summary, types))
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "rounds": rounds,
+        "def_pairs": stores * (derefs_per_base + 1),
+        "added_pairs_per_round": added_total // max(rounds, 1),
+    }
+
+
+def _synthetic_layout_summary(index, fields):
+    """A summary whose arg0 layout partially overlaps its neighbours."""
+    summary = FunctionSummary(name="layout_%d" % index, addr=0x4000 + index)
+    root = SymVar("arg0")
+    for j in range(fields):
+        offset = 4 * ((index + j) % (fields + 4))
+        cell = mk_deref(mk_add(root, SymConst(offset)))
+        summary.def_pairs.append(
+            DefPair(dest=cell, value=SymConst(j), site=0x4000 + j)
+        )
+        inner = mk_deref(mk_add(cell, SymConst(8)))
+        summary.def_pairs.append(
+            DefPair(dest=inner, value=SymConst(j), site=0x5000 + j)
+        )
+    return summary
+
+
+def bench_similarity_matrix(layouts_count, fields=12, repeats=1):
+    """Pairwise Formula 2 similarity over ``layouts_count`` layouts."""
+    summaries = [
+        _synthetic_layout_summary(i, fields) for i in range(layouts_count)
+    ]
+    arg0 = SymVar("arg0")
+    extracted = [extract_layouts(s).get(arg0) for s in summaries]
+    start = time.perf_counter()
+    comparisons = 0
+    total = 0.0
+    for _ in range(repeats):
+        for a in extracted:
+            for b in extracted:
+                total += similarity(a, b)
+                comparisons += 1
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "comparisons": comparisons,
+        "score_sum": round(total, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
+# End-to-end corpus scan.
+
+def bench_end_to_end(profiles, scale):
+    """Cold single-process scans (no caches) over the vendor corpus."""
+    from repro.corpus.profiles import analyzed_module_prefixes, build_firmware
+
+    per_image = {}
+    total = 0.0
+    findings = 0
+    for key in profiles:
+        built = build_firmware(key, scale=scale)
+        config = DTaintConfig(modules=analyzed_module_prefixes(key))
+        start = time.perf_counter()
+        report = DTaint(built.binary, config=config, name=key).run()
+        elapsed = time.perf_counter() - start
+        per_image[key] = round(elapsed, 4)
+        total += elapsed
+        findings += len(report.vulnerabilities)
+    return {
+        "seconds": round(total, 4),
+        "scale": scale,
+        "profiles": list(profiles),
+        "per_image_seconds": per_image,
+        "vulnerabilities": findings,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Harness.
+
+def run_suite(quick=False):
+    from repro.corpus.profiles import PROFILE_ORDER
+
+    if quick:
+        profiles = list(PROFILE_ORDER)[:2]
+        scale = 0.1
+        expr_iters = 50_000
+        alias_rounds = 20
+        layout_count = 24
+    else:
+        profiles = list(PROFILE_ORDER)
+        scale = 0.25
+        expr_iters = 200_000
+        alias_rounds = 60
+        layout_count = 48
+    results = {
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "end_to_end": bench_end_to_end(profiles, scale),
+        "micro": {
+            "expr_construction": bench_expr_construction(expr_iters),
+            "alias_query": bench_alias_query(alias_rounds),
+            "similarity_matrix": bench_similarity_matrix(layout_count),
+        },
+    }
+    return results
+
+
+def _render(results):
+    lines = ["bench_hotpath (%s mode, python %s)"
+             % (results["mode"], results["python"])]
+    e2e = results["end_to_end"]
+    lines.append("  end_to_end          : %8.3fs  (%d profiles @ scale %s)"
+                 % (e2e["seconds"], len(e2e["profiles"]), e2e["scale"]))
+    for name, micro in results["micro"].items():
+        note = ""
+        if "ops_per_second" in micro and micro["ops_per_second"]:
+            note = "  (%d ops/s)" % micro["ops_per_second"]
+        lines.append("  %-20s: %8.3fs%s" % (name, micro["seconds"], note))
+    return "\n".join(lines)
+
+
+def _load_baseline(path):
+    try:
+        with open(path, "r") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def _reference_for(baseline, mode):
+    """The recorded post-optimization numbers for this mode, if any."""
+    if not baseline:
+        return None
+    key = "after_quick" if mode == "quick" else "after"
+    reference = baseline.get(key)
+    if reference and "end_to_end" in reference:
+        return reference
+    return None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small corpus subset + fewer iterations")
+    parser.add_argument("--out", default=None,
+                        help="write the measurement document to this path")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed baseline JSON to regress against")
+    parser.add_argument("--record", choices=["before", "after", "after_quick"],
+                        help="merge this run into the baseline file under "
+                             "the given section instead of checking")
+    parser.add_argument("--fail-threshold", type=float, default=2.0,
+                        help="fail when end_to_end exceeds reference * N")
+    args = parser.parse_args(argv)
+
+    results = run_suite(quick=args.quick)
+    print(_render(results))
+
+    if args.record:
+        baseline = _load_baseline(args.baseline) or {"schema": 1}
+        baseline[args.record] = results
+        before = baseline.get("before", {}).get("end_to_end", {})
+        after = baseline.get("after", {}).get("end_to_end", {})
+        if before.get("seconds") and after.get("seconds"):
+            baseline["speedup_end_to_end"] = round(
+                before["seconds"] / after["seconds"], 2
+            )
+        with open(args.baseline, "w") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("recorded %r into %s" % (args.record, args.baseline))
+        return 0
+
+    document = {"schema": 1, "current": results}
+    baseline = _load_baseline(args.baseline)
+    reference = _reference_for(baseline, results["mode"])
+    status = 0
+    if reference is not None:
+        current = results["end_to_end"]["seconds"]
+        recorded = reference["end_to_end"]["seconds"]
+        ratio = current / recorded if recorded else 0.0
+        document["reference_end_to_end_seconds"] = recorded
+        document["ratio_vs_reference"] = round(ratio, 3)
+        document["fail_threshold"] = args.fail_threshold
+        print("end_to_end vs committed reference: %.3fs / %.3fs = %.2fx"
+              % (current, recorded, ratio))
+        if ratio > args.fail_threshold:
+            print("PERF REGRESSION: %.2fx exceeds the %.1fx threshold"
+                  % (ratio, args.fail_threshold), file=sys.stderr)
+            status = 1
+    else:
+        print("no committed reference for %s mode; check skipped"
+              % results["mode"])
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.out)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ function's symbol extent are modelled as tail calls.
 """
 
 from repro import faultinject
+from repro.profiling import PROFILER
 from repro.cfg.model import BasicBlock, CallSite, Function
 from repro.errors import (
     AnalysisFault,
@@ -95,9 +96,11 @@ class CFGBuilder:
                 call.block_addr = leader
             faultinject.check("cfg.lift", function.name)
             try:
-                block.irsb = self._lifter.lift_block(
-                    insns, mem_reader=self.binary.read_ro
-                )
+                with PROFILER.phase("lift"):
+                    block.irsb = self._lifter.lift_block(
+                        insns, mem_reader=self.binary.read_ro
+                    )
+                PROFILER.count("lift_blocks")
             except AnalysisFault:
                 raise
             except Exception as exc:  # lift failures leave block unlifted

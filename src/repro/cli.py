@@ -73,6 +73,11 @@ def _cmd_scan(args):
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.render())
+    if args.profile:
+        from repro import profiling
+
+        print(profiling.render(report.phase_profile,
+                               title="phase profile (%s)" % args.file))
     policy = _degradation_policy(args, report.degraded_count)
     if policy is not None:
         return policy
@@ -254,6 +259,9 @@ def main(argv=None):
                       help="per-function symexec soft deadline in "
                            "seconds; overruns truncate the summary "
                            "instead of failing (0 = unlimited)")
+    scan.add_argument("--profile", action="store_true",
+                      help="print the per-phase time/counter breakdown "
+                           "(lift/symexec/alias/similarity/detect)")
     add_degradation_options(scan)
     scan.set_defaults(func=_cmd_scan)
 

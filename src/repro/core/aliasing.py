@@ -12,15 +12,18 @@ pairs.
 
 from dataclasses import dataclass
 
+from repro.profiling import PROFILER
 from repro.symexec.state import DefPair
 from repro.symexec.value import (
     SymDeref,
     SymHeap,
     SymRet,
     SymVar,
+    _sort_key,
     base_offset,
     mk_add,
     mk_sub,
+    node_set,
     substitute,
     walk,
     SymConst,
@@ -81,6 +84,12 @@ def alias_replace(summary, types, max_new=512):
     pointer, a new definition pair naming the same object through the
     alias is appended.  Returns the list of added pairs.
     """
+    with PROFILER.phase("alias"):
+        PROFILER.count("alias_queries")
+        return _alias_replace(summary, types, max_new)
+
+
+def _alias_replace(summary, types, max_new):
     def_pairs = summary.def_pairs
     aliases = find_aliases(def_pairs, types)
     if not aliases:
@@ -105,19 +114,26 @@ def alias_replace(summary, types, max_new=512):
         )
         rewrites.setdefault(entry.alias, []).append((entry.base, reverse))
 
+    # Index: which rewritable atoms appear in a destination is a set
+    # intersection against its interned sub-node set, not a re-walk —
+    # every pointer atom of ``dest`` is one of its sub-nodes, so
+    # ``nodes(dest) ∩ rewrite_keys`` covers both halves of the old
+    # union and destinations without aliased atoms are skipped in O(1).
+    rewrite_keys = frozenset(rewrites)
     existing = set(def_pairs)
     added = []
     for pair in list(def_pairs):
         if not isinstance(pair.dest, SymDeref):
             continue
-        for ptr in _pointer_atoms(pair.dest) | {
-            node for node in walk(pair.dest) if node in rewrites
-        }:
+        mentioned = node_set(pair.dest) & rewrite_keys
+        if not mentioned:
+            continue
+        for ptr in sorted(mentioned, key=_sort_key):
             for origin, replacement in rewrites.get(ptr, ()):
-                if origin == pair.dest or replacement == pair.dest:
+                if origin is pair.dest or replacement is pair.dest:
                     continue  # would rewrite the defining store itself
                 new_dest = substitute(pair.dest, {ptr: replacement})
-                if new_dest == pair.dest:
+                if new_dest is pair.dest:
                     continue
                 new_pair = DefPair(
                     dest=new_dest, value=pair.value, site=pair.site

@@ -10,7 +10,7 @@ sanitization constraint checking, and returns a
 import time
 from dataclasses import dataclass, field
 
-from repro import faultinject
+from repro import faultinject, profiling
 from repro.cfg import CFGBuilder, build_call_graph
 from repro.core import sinks as sinks_mod
 from repro.core.aliasing import alias_replace
@@ -87,6 +87,9 @@ class DTaint:
         self.summary_cache = summary_cache
         self.degraded = {}            # function name -> DegradedFunction
         self._selected_count = 0
+        # Per-run phase accounting: the profiler is cumulative per
+        # process, so the report carries the delta since construction.
+        self._profile_baseline = profiling.PROFILER.snapshot()
 
     # ------------------------------------------------------------------
 
@@ -263,16 +266,18 @@ class DTaint:
         seen = set()
         pending = {}  # function name -> unresolved (sink, expr, idx, chain)
         order = self.call_graph.bottom_up_order(list(self.enriched))
-        for name in order:
-            enriched = self.enriched.get(name)
-            if enriched is None:
-                continue
-            started = time.perf_counter()
-            try:
-                self._detect_one(name, enriched, report, seen, pending)
-            except Exception as exc:
-                self._degrade(name, enriched.base.addr, "detect", exc,
-                              started)
+        with profiling.PROFILER.phase("detect"):
+            for name in order:
+                enriched = self.enriched.get(name)
+                if enriched is None:
+                    continue
+                started = time.perf_counter()
+                try:
+                    self._detect_one(name, enriched, report, seen, pending)
+                    profiling.PROFILER.count("detect_functions")
+                except Exception as exc:
+                    self._degrade(name, enriched.base.addr, "detect", exc,
+                                  started)
         self.timer.stop()
         self._finalize(report)
         return report
@@ -369,6 +374,9 @@ class DTaint:
         """Fold the degradation ledger and timings into the report."""
         report.stage_seconds = dict(self.timer.stages)
         report.elapsed_seconds = self.timer.total
+        report.phase_profile = profiling.delta(
+            self._profile_baseline, profiling.PROFILER.snapshot()
+        )
         if self.summary_cache is not None:
             report.summary_cache_hits = self.summary_cache.hits
             report.summary_cache_misses = self.summary_cache.misses

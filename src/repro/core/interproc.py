@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro import faultinject
 from repro.core import libc
+from repro.profiling import PROFILER
 from repro.core.types import root_pointer
 from repro.symexec.state import Constraint, DefPair, FunctionSummary
 from repro.symexec.value import (
@@ -92,7 +93,7 @@ def _chain_hash(function_name, callsite_addr):
 # ---------------------------------------------------------------------------
 # Summary serialization (the unit of reuse for the fleet cache).
 
-SUMMARY_FORMAT_VERSION = 2    # v2: FunctionSummary grew ``deadline_hit``
+SUMMARY_FORMAT_VERSION = 3    # v3: hash-consed SymExpr pickle layout
 _SUMMARY_MAGIC = b"DTSUM"
 
 
@@ -152,20 +153,21 @@ class InterproceduralAnalysis:
         function — its callers then see it as a degraded callee.
         """
         order = self.call_graph.bottom_up_order(names)
-        for name in order:
-            summary = self.summaries.get(name)
-            if summary is None:
-                continue  # import stub or unanalysed function
-            if on_fault is None:
-                faultinject.check("interproc", name)
-                self.enriched[name] = self._enrich(summary)
-                continue
-            try:
-                faultinject.check("interproc", name)
-                self.enriched[name] = self._enrich(summary)
-            except Exception as exc:
-                self.degraded.add(name)
-                on_fault(name, summary, exc)
+        with PROFILER.phase("interproc"):
+            for name in order:
+                summary = self.summaries.get(name)
+                if summary is None:
+                    continue  # import stub or unanalysed function
+                if on_fault is None:
+                    faultinject.check("interproc", name)
+                    self.enriched[name] = self._enrich(summary)
+                    continue
+                try:
+                    faultinject.check("interproc", name)
+                    self.enriched[name] = self._enrich(summary)
+                except Exception as exc:
+                    self.degraded.add(name)
+                    on_fault(name, summary, exc)
         return self.enriched
 
     # ------------------------------------------------------------------

@@ -130,19 +130,18 @@ class PathFinder:
         from repro.symexec.value import base_offset, walk
 
         for node in walk(expr):
-            for pointer in self.taint_objects:
-                if node == pointer:
-                    return [
-                        SymTaint(source=_object_source(self, pointer),
-                                 callsite=_object_site(self, pointer))
-                    ]
+            if node in self.taint_objects:
+                return [
+                    SymTaint(source=_object_source(self, node),
+                             callsite=_object_site(self, node))
+                ]
         for deref in derefs_in(expr):
             candidates = [deref.addr]
             view = base_offset(deref.addr)
             if view is not None and view[0] is not None:
                 candidates.append(view[0])
-            for pointer in self.taint_objects:
-                if any(c == pointer for c in candidates):
+            for pointer in candidates:
+                if pointer in self.taint_objects:
                     return [
                         SymTaint(source=_object_source(self, pointer),
                                  callsite=_object_site(self, pointer))

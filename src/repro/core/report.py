@@ -99,6 +99,9 @@ class Report:
     sanitized_paths: list = field(default_factory=list)
     elapsed_seconds: float = 0.0
     stage_seconds: dict = field(default_factory=dict)
+    # Per-phase hot-path profile (repro.profiling snapshot delta):
+    # {"seconds": {...}, "counters": {...}} accumulated by this run.
+    phase_profile: dict = field(default_factory=dict)
     summary_cache_hits: int = 0
     summary_cache_misses: int = 0
     # Graceful-degradation accounting: functions the scan skipped with
@@ -168,6 +171,10 @@ class Report:
             "indirect_resolved": self.indirect_resolved,
             "elapsed_seconds": self.elapsed_seconds,
             "stage_seconds": dict(self.stage_seconds),
+            "phase_profile": {
+                "seconds": dict(self.phase_profile.get("seconds", {})),
+                "counters": dict(self.phase_profile.get("counters", {})),
+            },
             "summary_cache": {
                 "hits": self.summary_cache_hits,
                 "misses": self.summary_cache_misses,

@@ -12,9 +12,11 @@ bases.  The best-scoring candidate resolves each indirect call.
 from dataclasses import dataclass, field
 
 from repro.core.types import UNKNOWN, infer_types, root_pointer
+from repro.profiling import PROFILER
 from repro.symexec.value import (
     SymDeref,
     SymVar,
+    _sort_key,
     base_offset,
     pretty,
     substitute,
@@ -35,13 +37,35 @@ class StructLayout:
 
     root: object
     fields: dict = field(default_factory=dict)
+    _bases: object = field(default=None, repr=False, compare=False)
+    _signature: object = field(default=None, repr=False, compare=False)
 
     def add(self, base, offset, type_):
         self.fields.setdefault(base, set()).add((offset, type_))
+        self._bases = None
+        self._signature = None
 
     @property
     def bases(self):
-        return set(self.fields)
+        if self._bases is None:
+            self._bases = frozenset(self.fields)
+        return self._bases
+
+    def signature(self):
+        """Canonical, hashable identity of the layout's content.
+
+        Bases are interned expressions (identity-hashable), field sets
+        become frozensets, and entries are ordered canonically — two
+        layouts with equal content share one signature, which keys the
+        pairwise similarity memo.
+        """
+        if self._signature is None:
+            self._signature = tuple(sorted(
+                ((base, frozenset(fields))
+                 for base, fields in self.fields.items()),
+                key=lambda entry: _sort_key(entry[0]),
+            ))
+        return self._signature
 
     @property
     def field_count(self):
@@ -109,21 +133,38 @@ def extract_layouts(summary, types=None):
     return layouts
 
 
+_SIMILARITY_MEMO = {}  # (signature, signature) -> score
+
+
 def similarity(a, b):
     """Formula 2: sum of Jaccard indices over aligned base addresses.
 
     Returns 0.0 when the base-containment or field-type compatibility
-    rules fail.
+    rules fail.  Scores are memoized on the layouts' canonical
+    signatures, so the candidate × callsite matrix in indirect-call
+    resolution computes each distinct pairing once.
     """
     if a is None or b is None:
         return 0.0
+    PROFILER.count("similarity_comparisons")
+    key = (a.signature(), b.signature())
+    cached = _SIMILARITY_MEMO.get(key)
+    if cached is None:
+        cached = _similarity_uncached(a, b)
+        _SIMILARITY_MEMO[key] = cached
+    else:
+        PROFILER.count("similarity_memo_hits")
+    return cached
+
+
+def _similarity_uncached(a, b):
     bases_a, bases_b = a.bases, b.bases
     if not bases_a or not bases_b:
         return 0.0
     if not (bases_a <= bases_b or bases_b <= bases_a):
         return 0.0
     score = 0.0
-    for base in bases_a & bases_b:
+    for base in sorted(bases_a & bases_b, key=_sort_key):
         fields_a, fields_b = a.fields[base], b.fields[base]
         # Same offset at the same base must have the same type.
         offsets_a = dict(fields_a)
@@ -211,6 +252,12 @@ def resolve_indirect_calls(summaries, call_graph, candidates=None,
     wins (paper: "establish data dependencies of two data structures
     with the highest similarity").
     """
+    with PROFILER.phase("similarity"):
+        return _resolve_indirect_calls(summaries, call_graph, candidates,
+                                       min_score)
+
+
+def _resolve_indirect_calls(summaries, call_graph, candidates, min_score):
     layouts = {
         name: extract_layouts(summary) for name, summary in summaries.items()
     }

@@ -125,13 +125,27 @@ def _base_atom(addr_expr):
     return None
 
 
+_ROOT_POINTER_MEMO = {}  # interned expr -> root atom | None
+
+
 def root_pointer(expr):
     """Follow deref chains to the root object of an address expression.
 
     ``deref(deref(arg0 + 0x58) + 0xec)`` roots at ``arg0``; used by
     Algorithm 2's exportability check ("d.rootPtr is argument or return
-    pointer").
+    pointer").  Memoized per interned expression: roots are asked for
+    the same layout nodes over and over during structure extraction.
     """
+    try:
+        return _ROOT_POINTER_MEMO[expr]
+    except KeyError:
+        pass
+    root = _root_pointer_uncached(expr)
+    _ROOT_POINTER_MEMO[expr] = root
+    return root
+
+
+def _root_pointer_uncached(expr):
     current = expr
     for _ in range(64):
         if isinstance(current, SymDeref):

@@ -40,7 +40,8 @@ from repro.core.interproc import (
 
 # v2: reports grew coverage/degraded sections; summaries carry
 # deadline_hit (see SUMMARY_FORMAT_VERSION).
-CACHE_FORMAT_VERSION = 2
+# v3: hash-consed SymExpr pickle layout; reports carry phase_profile.
+CACHE_FORMAT_VERSION = 3
 
 # DTaintConfig knobs that shape the *per-function* summaries (symbolic
 # exploration limits) vs. the ones that only steer later whole-report

@@ -402,6 +402,18 @@ class FleetScheduler:
                 "cache_corrupt", job=record.job.job_id,
                 count=cache["cache_corrupt"],
             )
+        profile = result.report.get("phase_profile", {})
+        if profile.get("seconds") and not cache.get("report_cache_hit"):
+            # A report served whole from cache carries the *original*
+            # run's profile; re-emitting it would claim analysis time
+            # this job never spent.
+            self.telemetry.emit(
+                "phase_times", job=record.job.job_id,
+                seconds={
+                    k: round(v, 4) for k, v in profile["seconds"].items()
+                },
+                counters=profile.get("counters", {}),
+            )
         coverage = result.report.get("coverage", {})
         if coverage.get("degraded"):
             self.telemetry.emit(

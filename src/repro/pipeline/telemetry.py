@@ -80,6 +80,34 @@ def _hit_rate(cache):
     return "%.0f%%" % (100.0 * hits / total)
 
 
+def aggregate_phase_profile(results):
+    """Sum per-job ``phase_profile`` sections across a fleet run.
+
+    Jobs served whole from the report cache are excluded — their
+    profile describes the original computation, not this run.
+    """
+    from repro import profiling
+
+    return profiling.merge(
+        (result.report or {}).get("phase_profile", {})
+        for result in results
+        if not (result.cache or {}).get("report_cache_hit")
+    )
+
+
+def _phase_share_note(results):
+    """``phases: symexec 61% | detect 20% | ...`` or '' when untimed."""
+    from repro import profiling
+
+    shares = profiling.phase_percentages(aggregate_phase_profile(results))
+    if not shares:
+        return ""
+    ordered = sorted(shares.items(), key=lambda kv: (-kv[1], kv[0]))
+    return "phases: " + " | ".join(
+        "%s %.1f%%" % (name, share) for name, share in ordered
+    )
+
+
 def render_fleet_summary(results, wall_seconds):
     """The end-of-run table: one row per job + aggregate footer."""
     headers = ["job", "image", "status", "attempts", "time_s",
@@ -127,4 +155,7 @@ def render_fleet_summary(results, wall_seconds):
            total_degraded, total_paths, total_vulns,
            total_hits, lookups, rate, wall_seconds)
     )
+    phase_note = _phase_share_note(results)
+    if phase_note:
+        footer += "\n" + phase_note
     return format_table(headers, rows, title="Fleet scan") + "\n" + footer

@@ -16,6 +16,7 @@ import time
 
 from repro import faultinject
 from repro.errors import DeadlineExceeded, SymExecError
+from repro.profiling import PROFILER
 from repro.ir.expr import Binop, Const, Get, ITE, Load, RdTmp, Unop
 from repro.ir.irsb import JumpKind
 from repro.ir.stmt import Exit, IMark, Put, Store, WrTmp
@@ -84,6 +85,14 @@ class SymbolicEngine:
 
     def analyze_function(self, function):
         """Explore ``function``; return its :class:`FunctionSummary`."""
+        # The phase counter lives *here*, not in the detector, so a
+        # summary served from cache never registers as symbolic
+        # execution — warm fleet runs must show symexec_functions == 0.
+        with PROFILER.phase("symexec"):
+            PROFILER.count("symexec_functions")
+            return self._analyze_function(function)
+
+    def _analyze_function(self, function):
         faultinject.check("symexec", function.name)
         summary = FunctionSummary(name=function.name, addr=function.addr)
         if function.is_import or function.entry_block is None:

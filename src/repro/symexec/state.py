@@ -123,13 +123,28 @@ class FunctionSummary:
     deadline_hit: bool = False   # truncation caused by the soft deadline
     loop_stores: list = field(default_factory=list)  # (site, dest, value)
     register_defs: list = field(default_factory=list)  # (reg, site, value)
+    _def_index: set = field(default_factory=set, repr=False, compare=False)
+
+    def __getstate__(self):
+        # The dedup index is derivable; keep cached blobs lean.
+        state = dict(self.__dict__)
+        state["_def_index"] = set()
+        return state
 
     def add_def(self, pair):
         if pair not in self._def_set():
             self.def_pairs.append(pair)
+            self._def_index.add(pair)
 
     def _def_set(self):
-        return set(self.def_pairs)
+        # Incremental: def_pairs is append-mostly, so the set is grown
+        # to match rather than rebuilt per insertion.  Code that extends
+        # def_pairs directly (aliasing, enrichment) is still covered —
+        # the delta is absorbed on the next call.
+        index = self._def_index
+        if len(index) != len(self.def_pairs):
+            index = self._def_index = set(self.def_pairs)
+        return index
 
     def defs_of(self, dest):
         return [p for p in self.def_pairs if p.dest == dest]

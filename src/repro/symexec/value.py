@@ -1,4 +1,4 @@
-"""Canonical symbolic values.
+"""Canonical symbolic values, hash-consed.
 
 The paper describes variables "through the memory" with address
 expressions of the form ``base + offset`` and ``deref`` for memory
@@ -19,91 +19,303 @@ access (§III-B, Fig. 6).  This module is that representation:
 * :class:`SymHeap` — a heap object identified by the hash of its
   callsite chain (paper §III-E, Listing 1).
 
-Everything is immutable and hashable; equality is structural, which is
-exactly the aliasing notion the paper's Algorithm 1 extends.
-"""
+Everything is immutable; structural equality — the aliasing notion the
+paper's Algorithm 1 extends — is **identity**: every constructor
+interns into a per-class arena, so two structurally equal expressions
+are the same object, ``==`` is a pointer comparison, and ``hash`` is
+the constant-time default identity hash instead of a recursive walk.
+The arenas also back memo tables for the hot structural queries
+(:func:`base_offset`, :func:`walk`, :func:`pretty`, sub-node sets for
+:func:`substitute`), which are computed once per distinct expression.
 
-from dataclasses import dataclass
+The arenas are per-process and grow monotonically; fleet workers are
+per-job processes, so nothing outlives the scan that built it.
+Construction is not thread-safe in general but uses atomic
+``dict.setdefault`` publication, so concurrent construction can never
+yield two live objects for one structural value.  Pickling round-trips
+through the constructors (``__reduce__``), re-interning on load.
+"""
 
 from repro.ir.expr import Ops
 
 _MASK32 = 0xFFFFFFFF
 
 
-@dataclass(frozen=True)
 class SymExpr:
-    """Base class for canonical symbolic values."""
+    """Base class for canonical (interned) symbolic values."""
+
+    __slots__ = ()
+
+    def __setattr__(self, name, value):
+        raise AttributeError(
+            "%s is immutable (interned)" % type(self).__name__
+        )
+
+    def __delattr__(self, name):
+        raise AttributeError(
+            "%s is immutable (interned)" % type(self).__name__
+        )
+
+    # Interned values are shared freely: copying is identity.
+    def __copy__(self):
+        return self
+
+    def __deepcopy__(self, memo):
+        return self
 
 
-@dataclass(frozen=True)
+def _intern(pool, key, candidate):
+    """Publish ``candidate`` under ``key`` unless a twin won the race."""
+    return pool.setdefault(key, candidate)
+
+
 class SymConst(SymExpr):
-    value: int
+    __slots__ = ("value",)
+    _pool = {}
+
+    def __new__(cls, value):
+        self = cls._pool.get(value)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "value", value)
+            self = _intern(cls._pool, value, self)
+        return self
+
+    def __reduce__(self):
+        return (SymConst, (self.value,))
+
+    def __repr__(self):
+        return "SymConst(value=%r)" % (self.value,)
 
 
-@dataclass(frozen=True)
 class SymVar(SymExpr):
-    name: str
+    __slots__ = ("name",)
+    _pool = {}
+
+    def __new__(cls, name):
+        self = cls._pool.get(name)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "name", name)
+            self = _intern(cls._pool, name, self)
+        return self
+
+    def __reduce__(self):
+        return (SymVar, (self.name,))
+
+    def __repr__(self):
+        return "SymVar(name=%r)" % (self.name,)
 
 
-@dataclass(frozen=True)
 class SymRet(SymExpr):
     """The symbolic return value ``ret_{callsite}``."""
 
-    callsite: int  # callsite address
+    __slots__ = ("callsite",)
+    _pool = {}
+
+    def __new__(cls, callsite):
+        self = cls._pool.get(callsite)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "callsite", callsite)
+            self = _intern(cls._pool, callsite, self)
+        return self
+
+    def __reduce__(self):
+        return (SymRet, (self.callsite,))
+
+    def __repr__(self):
+        return "SymRet(callsite=%r)" % (self.callsite,)
 
 
-@dataclass(frozen=True)
 class SymDeref(SymExpr):
-    addr: SymExpr
-    size: int = 4
+    __slots__ = ("addr", "size")
+    _pool = {}
+
+    def __new__(cls, addr, size=4):
+        key = (addr, size)
+        self = cls._pool.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "addr", addr)
+            object.__setattr__(self, "size", size)
+            self = _intern(cls._pool, key, self)
+        return self
+
+    def __reduce__(self):
+        return (SymDeref, (self.addr, self.size))
+
+    def __repr__(self):
+        return "SymDeref(addr=%r, size=%r)" % (self.addr, self.size)
 
 
-@dataclass(frozen=True)
 class SymLin(SymExpr):
     """Canonical linear form: ``sum(coef * atom) + const``.
 
-    ``terms`` is a sorted tuple of ``(atom, coef)`` with non-zero
-    integer coefficients; invariant: at least one term, and not the
-    degenerate single-term/coef-1/const-0 case (that is just the atom).
+    ``terms`` is a tuple of ``(atom, coef)`` pairs sorted by the
+    canonical atom order, with non-zero integer coefficients;
+    invariant: at least one term, and not the degenerate
+    single-term/coef-1/const-0 case (that is just the atom).  The
+    constructor asserts the invariant — build through
+    :func:`make_linear` (or the ``mk_*`` arithmetic) rather than
+    assembling term tuples by hand.
     """
 
-    terms: tuple
-    const: int
+    __slots__ = ("terms", "const")
+    _pool = {}
+
+    def __new__(cls, terms, const):
+        key = (terms, const)
+        self = cls._pool.get(key)
+        if self is None:
+            assert _valid_linear(terms, const), (
+                "non-canonical SymLin: terms=%r const=%r" % (terms, const)
+            )
+            self = object.__new__(cls)
+            object.__setattr__(self, "terms", terms)
+            object.__setattr__(self, "const", const)
+            self = _intern(cls._pool, key, self)
+        return self
+
+    def __reduce__(self):
+        return (SymLin, (self.terms, self.const))
+
+    def __repr__(self):
+        return "SymLin(terms=%r, const=%r)" % (self.terms, self.const)
 
 
-@dataclass(frozen=True)
 class SymOp(SymExpr):
     """Residual operation over canonical operands."""
 
-    op: str
-    args: tuple
+    __slots__ = ("op", "args")
+    _pool = {}
+
+    def __new__(cls, op, args):
+        key = (op, args)
+        self = cls._pool.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "op", op)
+            object.__setattr__(self, "args", args)
+            self = _intern(cls._pool, key, self)
+        return self
+
+    def __reduce__(self):
+        return (SymOp, (self.op, self.args))
+
+    def __repr__(self):
+        return "SymOp(op=%r, args=%r)" % (self.op, self.args)
 
 
-@dataclass(frozen=True)
 class SymTaint(SymExpr):
     """Attacker-controlled data introduced by ``source`` at a callsite."""
 
-    source: str
-    callsite: int
+    __slots__ = ("source", "callsite")
+    _pool = {}
+
+    def __new__(cls, source, callsite):
+        key = (source, callsite)
+        self = cls._pool.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "source", source)
+            object.__setattr__(self, "callsite", callsite)
+            self = _intern(cls._pool, key, self)
+        return self
+
+    def __reduce__(self):
+        return (SymTaint, (self.source, self.callsite))
+
+    def __repr__(self):
+        return "SymTaint(source=%r, callsite=%r)" % (
+            self.source, self.callsite,
+        )
 
 
-@dataclass(frozen=True)
 class SymHeap(SymExpr):
     """A heap pointer, unique per callsite chain (hashed)."""
 
-    chain_hash: int
-    label: str = "heap"
+    __slots__ = ("chain_hash", "label")
+    _pool = {}
 
+    def __new__(cls, chain_hash, label="heap"):
+        key = (chain_hash, label)
+        self = cls._pool.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "chain_hash", chain_hash)
+            object.__setattr__(self, "label", label)
+            self = _intern(cls._pool, key, self)
+        return self
+
+    def __reduce__(self):
+        return (SymHeap, (self.chain_hash, self.label))
+
+    def __repr__(self):
+        return "SymHeap(chain_hash=%r, label=%r)" % (
+            self.chain_hash, self.label,
+        )
+
+
+# Small-constant pool: the offsets/immediates that dominate real code
+# are interned eagerly so the hot path's first lookup always hits.
+for _v in range(257):
+    SymConst(_v)
+for _v in (0xFF, 0xFFFF, 0xFFFFFF, _MASK32, 0x1000, 0x8000):
+    SymConst(_v)
+del _v
 
 UNKNOWN = SymVar("<unknown>")
 
 
+def _valid_linear(terms, const):
+    """The documented SymLin canonical-form invariant."""
+    if not isinstance(terms, tuple) or not terms:
+        return False
+    if not isinstance(const, int):
+        return False
+    if len(terms) == 1 and terms[0][1] == 1 and const == 0:
+        return False  # degenerate: just the atom
+    previous = None
+    for entry in terms:
+        if not (isinstance(entry, tuple) and len(entry) == 2):
+            return False
+        atom, coef = entry
+        if not isinstance(coef, int) or coef == 0:
+            return False
+        if isinstance(atom, (SymConst, SymLin)):
+            return False  # constants fold into const; no nested linears
+        key = _sort_key(atom)
+        if previous is not None and key < previous:
+            return False  # terms must be sorted canonically
+        previous = key
+    return True
+
+
 # ---------------------------------------------------------------------------
-# Linear canonicalisation.
+# Memo tables.  Interning makes every expression a stable dict key with
+# a constant-time hash, so each structural query is computed once per
+# distinct expression for the life of the process.
+
+_SORT_KEYS = {}      # atom -> (type name, rendered form)
+_PRETTY = {}         # expr -> paper-notation string
+_NODES = {}          # expr -> pre-order tuple of sub-expressions
+_NODE_SETS = {}      # expr -> frozenset of sub-expressions
+_BASE_OFFSET = {}    # expr -> (base, offset) | None
+_DEREFS = {}         # expr -> tuple of SymDeref sub-expressions
+_TAINTS = {}         # expr -> tuple of SymTaint sub-expressions
+
 
 def _sort_key(atom):
-    return (type(atom).__name__, pretty(atom))
+    key = _SORT_KEYS.get(atom)
+    if key is None:
+        key = (type(atom).__name__, pretty(atom))
+        _SORT_KEYS[atom] = key
+    return key
 
+
+# ---------------------------------------------------------------------------
+# Linear canonicalisation.
 
 def _to_linear(expr):
     """Decompose ``expr`` into ``(dict atom->coef, const)``.
@@ -133,7 +345,35 @@ def _from_linear(terms, const):
     return SymLin(terms=ordered, const=const)
 
 
+def make_linear(terms, const):
+    """Build the canonical form of ``Σ coef·atom + const``.
+
+    ``terms`` maps atoms to integer coefficients (zeros allowed — they
+    are dropped); the result is a :class:`SymLin`, a bare atom, or a
+    :class:`SymConst`, whichever the invariant dictates.  This is the
+    single entry point that assembles term tuples (one pass, one
+    sort); nothing else constructs :class:`SymLin` directly.
+    """
+    return _from_linear(terms, const)
+
+
 def mk_add(a, b):
+    # Fast path: adding a constant never changes the term tuple, so the
+    # dominant ``base + offset`` shape skips the dict rebuild + re-sort.
+    if isinstance(b, SymConst):
+        if isinstance(a, SymConst):
+            return SymConst((a.value + b.value) & _MASK32)
+        delta = _signed(b.value)
+        if delta == 0:
+            return a
+        if isinstance(a, SymLin):
+            const = a.const + delta
+            if const == 0 and len(a.terms) == 1 and a.terms[0][1] == 1:
+                return a.terms[0][0]
+            return SymLin(a.terms, const)
+        return SymLin(((a, 1),), delta)
+    if isinstance(a, SymConst):
+        return mk_add(b, a)
     ta, ca = _to_linear(a)
     tb, cb = _to_linear(b)
     for atom, coef in tb.items():
@@ -142,6 +382,8 @@ def mk_add(a, b):
 
 
 def mk_neg(a):
+    if isinstance(a, SymConst):
+        return SymConst((-a.value) & _MASK32)
     terms, const = _to_linear(a)
     return _from_linear({atom: -coef for atom, coef in terms.items()}, -const)
 
@@ -164,7 +406,7 @@ def mk_mul(a, b):
 
 
 def mk_deref(addr, size=4):
-    return SymDeref(addr=addr, size=size)
+    return SymDeref(addr, size)
 
 
 _CONST_FOLD = {
@@ -214,7 +456,7 @@ def mk_binop(op, a, b):
         return a
     if op == Ops.OR and isinstance(b, SymConst) and b.value == 0:
         return a
-    if op == Ops.XOR and a == b:
+    if op == Ops.XOR and a is b:
         return SymConst(0)
     return SymOp(op, (a, b))
 
@@ -259,7 +501,7 @@ def mk_unop(op, a):
 def mk_ite(cond, iftrue, iffalse):
     if isinstance(cond, SymConst):
         return iftrue if cond.value else iffalse
-    if iftrue == iffalse:
+    if iftrue is iffalse:
         return iftrue
     return SymOp("ite", (cond, iftrue, iffalse))
 
@@ -274,6 +516,18 @@ def base_offset(expr):
     ``None``; returns ``None`` when the expression is not of that shape
     (multiple symbolic terms or scaled bases).
     """
+    try:
+        return _BASE_OFFSET[expr]
+    except KeyError:
+        pass
+    except TypeError:
+        return _base_offset_uncached(expr)  # non-interned input
+    view = _base_offset_uncached(expr)
+    _BASE_OFFSET[expr] = view
+    return view
+
+
+def _base_offset_uncached(expr):
     if isinstance(expr, SymConst):
         return None, expr.value
     if isinstance(expr, SymLin):
@@ -285,17 +539,36 @@ def base_offset(expr):
     return None
 
 
+def nodes(expr):
+    """``expr`` and every sub-expression, pre-order, as a cached tuple."""
+    cached = _NODES.get(expr)
+    if cached is None:
+        out = [expr]
+        if isinstance(expr, SymDeref):
+            out.extend(nodes(expr.addr))
+        elif isinstance(expr, SymLin):
+            for atom, _coef in expr.terms:
+                out.extend(nodes(atom))
+        elif isinstance(expr, SymOp):
+            for arg in expr.args:
+                out.extend(nodes(arg))
+        cached = tuple(out)
+        _NODES[expr] = cached
+    return cached
+
+
+def node_set(expr):
+    """The cached set of ``expr``'s sub-expressions (including itself)."""
+    cached = _NODE_SETS.get(expr)
+    if cached is None:
+        cached = frozenset(nodes(expr))
+        _NODE_SETS[expr] = cached
+    return cached
+
+
 def walk(expr):
     """Yield ``expr`` and every sub-expression, pre-order."""
-    yield expr
-    if isinstance(expr, SymDeref):
-        yield from walk(expr.addr)
-    elif isinstance(expr, SymLin):
-        for atom, _coef in expr.terms:
-            yield from walk(atom)
-    elif isinstance(expr, SymOp):
-        for arg in expr.args:
-            yield from walk(arg)
+    return iter(nodes(expr))
 
 
 def substitute(expr, mapping):
@@ -303,19 +576,34 @@ def substitute(expr, mapping):
 
     Replacement applies to whole sub-expressions after their children
     were rewritten, so ``deref(arg0+4)`` maps correctly even when both
-    ``arg0`` and the full deref appear as keys.
+    ``arg0`` and the full deref appear as keys.  Sub-trees that contain
+    no mapping key are returned as-is (identity), making the common
+    no-op case a set-intersection check.
     """
-    if not mapping:
+    if not mapping or node_set(expr).isdisjoint(mapping):
         return expr
 
     def rewrite(node):
+        if node_set(node).isdisjoint(mapping):
+            return node
         if isinstance(node, SymDeref):
             new = SymDeref(rewrite(node.addr), node.size)
         elif isinstance(node, SymLin):
-            acc = SymConst(node.const)
+            terms = {}
+            const = node.const
             for atom, coef in node.terms:
-                acc = mk_add(acc, mk_mul(SymConst(coef), rewrite(atom)))
-            new = acc
+                new_atom = rewrite(atom)
+                if new_atom is atom:
+                    terms[atom] = terms.get(atom, 0) + coef
+                    continue
+                # A replaced atom may itself be linear or constant:
+                # fold it in one accumulation pass instead of chaining
+                # mk_add over intermediate tuples.
+                sub_terms, sub_const = _to_linear(new_atom)
+                for sub_atom, sub_coef in sub_terms.items():
+                    terms[sub_atom] = terms.get(sub_atom, 0) + coef * sub_coef
+                const += coef * sub_const
+            new = _from_linear(terms, const)
         elif isinstance(node, SymOp):
             new = SymOp(node.op, tuple(rewrite(a) for a in node.args))
         else:
@@ -327,16 +615,28 @@ def substitute(expr, mapping):
 
 def contains(expr, needle):
     """True when ``needle`` occurs anywhere inside ``expr``."""
-    return any(node == needle for node in walk(expr))
+    return needle in node_set(expr)
 
 
 def derefs_in(expr):
     """All :class:`SymDeref` nodes inside ``expr`` (including itself)."""
-    return [node for node in walk(expr) if isinstance(node, SymDeref)]
+    cached = _DEREFS.get(expr)
+    if cached is None:
+        cached = tuple(
+            node for node in nodes(expr) if isinstance(node, SymDeref)
+        )
+        _DEREFS[expr] = cached
+    return cached
 
 
 def taints_in(expr):
-    return [node for node in walk(expr) if isinstance(node, SymTaint)]
+    cached = _TAINTS.get(expr)
+    if cached is None:
+        cached = tuple(
+            node for node in nodes(expr) if isinstance(node, SymTaint)
+        )
+        _TAINTS[expr] = cached
+    return cached
 
 
 # ---------------------------------------------------------------------------
@@ -353,6 +653,14 @@ _OP_SYMBOLS = {
 
 def pretty(expr):
     """Render in the paper's notation, e.g. ``deref(arg0 + 0x4c)``."""
+    cached = _PRETTY.get(expr)
+    if cached is None:
+        cached = _pretty_uncached(expr)
+        _PRETTY[expr] = cached
+    return cached
+
+
+def _pretty_uncached(expr):
     if isinstance(expr, SymConst):
         return "0x%x" % (expr.value & _MASK32) if expr.value >= 0 else (
             "-0x%x" % (-expr.value)
