@@ -54,6 +54,10 @@ class TopDownDDG:
     max_edges_per_context: int = 20000
     stats: DDGStats = field(default_factory=DDGStats)
     graph: object = None
+    # (name, context) -> raw per-context summary, filled by build().
+    # Differential tooling (repro.diffcheck) derives the baseline's
+    # vulnerability verdicts from these.
+    analyzed: dict = field(default_factory=dict)
 
     def roots(self):
         """Functions nobody calls (analysis entry points)."""
@@ -132,6 +136,7 @@ class TopDownDDG:
             if not changed:
                 break
         self.stats.ssa_seconds = time.perf_counter() - started
+        self.analyzed = analyzed
 
         started = time.perf_counter()
         self.graph = self._link_definitions(analyzed)

@@ -10,6 +10,9 @@
 ``dtaint fleet-scan``         — analyse many images in parallel with
                                  summary/report caching, retries and
                                  JSONL telemetry
+``dtaint diffcheck``          — differential sweep of the static
+                                 detector against a concrete-execution
+                                 oracle and the top-down baseline
 """
 
 import argparse
@@ -226,6 +229,48 @@ def _cmd_fleet_scan(args):
     return EXIT_OK
 
 
+def _cmd_diffcheck(args):
+    import json
+    import os
+
+    from repro.diffcheck import ARCHES, DiffCheck
+    from repro.pipeline import ResultsStore, Telemetry
+
+    if args.count < 1:
+        print("--count must be at least 1", file=sys.stderr)
+        return EXIT_USAGE
+    telemetry_path = args.telemetry
+    if telemetry_path is None and args.out:
+        telemetry_path = os.path.join(args.out, "telemetry.jsonl")
+    if telemetry_path:
+        os.makedirs(os.path.dirname(telemetry_path) or ".", exist_ok=True)
+    telemetry = Telemetry(path=telemetry_path)
+    harness = DiffCheck(
+        seed=args.seed,
+        count=args.count,
+        arches=tuple(args.arch) if args.arch else ARCHES,
+        run_baseline=not args.no_baseline,
+        shrink=not args.no_shrink,
+        telemetry=telemetry,
+    )
+    report = harness.run()
+    telemetry.close()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if args.out:
+        path = ResultsStore(args.out).write_diffcheck(report.to_dict())
+        print("triage report: %s" % path)
+    if telemetry_path:
+        print("telemetry: %s" % telemetry_path)
+    if not report.ok:
+        return EXIT_FINDINGS
+    if args.fail_on_any_divergence and report.divergences:
+        return EXIT_FINDINGS
+    return EXIT_OK
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="dtaint",
@@ -310,6 +355,37 @@ def main(argv=None):
                                  "attempt (demonstrates quarantine)")
     add_degradation_options(fleet_scan)
     fleet_scan.set_defaults(func=_cmd_fleet_scan)
+
+    diffcheck = sub.add_parser(
+        "diffcheck",
+        help="differential sweep: static detector vs concrete-execution "
+             "oracle vs top-down baseline on seeded labeled programs",
+    )
+    diffcheck.add_argument("--seed", type=int, default=0,
+                           help="sweep seed (same seed, same programs)")
+    diffcheck.add_argument("--count", type=int, default=20,
+                           help="number of generated programs")
+    diffcheck.add_argument("--arch", action="append",
+                           choices=["arm", "mips"],
+                           help="restrict generation to an architecture "
+                                "(repeatable; default both)")
+    diffcheck.add_argument("--no-baseline", action="store_true",
+                           help="skip the top-down baseline judge")
+    diffcheck.add_argument("--no-shrink", action="store_true",
+                           help="attach full programs as reproducers "
+                                "instead of shrinking them")
+    diffcheck.add_argument("--json", action="store_true",
+                           help="emit the triage report as JSON")
+    diffcheck.add_argument("--out",
+                           help="directory for diffcheck.json")
+    diffcheck.add_argument("--telemetry",
+                           help="JSONL event log path (default: "
+                                "<out>/telemetry.jsonl when --out is set)")
+    diffcheck.add_argument("--fail-on-any-divergence", action="store_true",
+                           help="exit %d on any divergence, not just "
+                                "unexplained static false negatives"
+                                % EXIT_FINDINGS)
+    diffcheck.set_defaults(func=_cmd_diffcheck)
 
     args = parser.parse_args(argv)
     return args.func(args)

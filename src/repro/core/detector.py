@@ -14,7 +14,11 @@ from repro import faultinject, profiling
 from repro.cfg import CFGBuilder, build_call_graph
 from repro.core import sinks as sinks_mod
 from repro.core.aliasing import alias_replace
-from repro.core.interproc import InterproceduralAnalysis, _actual_mapping
+from repro.core.interproc import (
+    MAX_VARIANTS_PER_CALLSITE,
+    InterproceduralAnalysis,
+    _actual_mapping,
+)
 from repro.core.paths import PathFinder
 from repro.core.report import DegradedFunction, Finding, Report, StageTimer
 from repro.core.sanitize import is_sanitized
@@ -304,7 +308,8 @@ class DTaint:
                     continue
                 candidate_keys.add(key)
                 candidates.append((sink, expr, index, (name,), ()))
-        variant_counts = {}
+        variant_counts = {}   # callsite addr -> distinct variants used
+        seen_variants = set()  # (addr, args) pairs already forwarded
         for callsite in enriched.callsites:
             target = callsite.target
             if not isinstance(target, str) or target not in pending:
@@ -312,12 +317,12 @@ class DTaint:
             # Callsites are summarised once per explored path;
             # forward through a few distinct argument variants.
             variant = (callsite.addr, tuple(callsite.args))
-            if variant in variant_counts:
+            if variant in seen_variants:
                 continue
             count = variant_counts.get(callsite.addr, 0)
-            if count >= 4:
+            if count >= MAX_VARIANTS_PER_CALLSITE:
                 continue
-            variant_counts[variant] = True
+            seen_variants.add(variant)
             variant_counts[callsite.addr] = count + 1
             mapping = _actual_mapping(callsite)
             for sink, expr, index, chain, carried in pending[target]:

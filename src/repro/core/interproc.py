@@ -29,11 +29,16 @@ from repro.symexec.value import (
     SymTaint,
     SymVar,
     mk_deref,
+    pretty,
     substitute,
 )
 
 _ARG_NAMES = tuple("arg%d" % i for i in range(10))
 _MAX_IMPORTED_DEFS = 2000
+# The engine records one callsite summary per explored path; only the
+# first few distinct (addr, args) variants of each call site are
+# imported, or the work compounds with the path count.
+MAX_VARIANTS_PER_CALLSITE = 4
 
 
 @dataclass
@@ -180,23 +185,22 @@ class InterproceduralAnalysis:
 
         ret_substitutions = {}
         import_budget = [self.max_imported]
-        # The engine records one callsite summary per explored path;
-        # imports are applied per *distinct* (address, arguments) pair,
-        # a few variants per call site, or the work compounds with the
-        # path count.
-        seen_variants = {}
+        # Imports are applied per *distinct* (address, arguments) pair,
+        # capped at MAX_VARIANTS_PER_CALLSITE per call site.
+        variant_counts = {}   # callsite addr -> distinct variants imported
+        seen_variants = set()  # (addr, args) pairs already imported
         for callsite in summary.callsites:
             target = callsite.target
             if not isinstance(target, str):
                 continue  # unresolved indirect call
             variant_key = (callsite.addr, tuple(callsite.args))
-            count = seen_variants.get(callsite.addr, 0)
             if variant_key in seen_variants:
                 continue
-            if count >= 4:
+            count = variant_counts.get(callsite.addr, 0)
+            if count >= MAX_VARIANTS_PER_CALLSITE:
                 continue
-            seen_variants[variant_key] = True
-            seen_variants[callsite.addr] = count + 1
+            seen_variants.add(variant_key)
+            variant_counts[callsite.addr] = count + 1
             first_variant = count == 0
             model = libc.model_for(target)
             if model is not None:
@@ -248,13 +252,16 @@ class InterproceduralAnalysis:
         for value in summary.ret_values:
             values.append(substitute(value, ret_substitutions))
         distinct = [v for v in dict.fromkeys(values) if v != SymConst(0)]
-        if len(distinct) == 1:
-            return distinct[0]
+        if not distinct:
+            return SymConst(0)
+        # Stable sort by the printable form so the fallback choice does
+        # not depend on path-exploration order.
+        distinct.sort(key=pretty)
         # Prefer a tainted/heap return among several paths.
         for value in distinct:
             if isinstance(value, (SymTaint, SymHeap)):
                 return value
-        return distinct[0] if distinct else SymConst(0)
+        return distinct[0]
 
     # ------------------------------------------------------------------
 

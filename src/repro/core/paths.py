@@ -97,18 +97,24 @@ class PathFinder:
         rewritten_any = False
         for deref in derefs_in(expr):
             for pair in self._lookup(deref):
+                # ``visited`` is scoped to the *current chain*: a key is
+                # live only while its rewrite is on the stack (cycle
+                # guard), then backtracked so sibling branches may chase
+                # the same definition.  The global ``_expansions`` budget
+                # bounds total work instead.
                 key = (deref, pair.dest, pair.value)
                 if key in visited:
                     continue
-                visited.add(key)
                 new_expr = substitute(expr, {deref: pair.value})
                 if new_expr == expr:
                     continue
                 rewritten_any = True
+                visited.add(key)
                 steps.append((pair.site, pair.dest, pair.value))
                 self._dfs(sink, new_expr, arg_index, steps, visited,
                           results, depth + 1)
                 steps.pop()
+                visited.discard(key)
         return rewritten_any
 
     def _lookup(self, deref):

@@ -1,0 +1,40 @@
+"""Differential correctness harness.
+
+Cross-validates the static detector against two independent judges on
+randomized-but-seeded labeled programs: the concrete-execution oracle
+(:mod:`repro.diffcheck.oracle`, built on :mod:`repro.emu`) and the
+top-down baseline (:mod:`repro.diffcheck.baselinecheck`, built on
+:mod:`repro.baseline`).  Divergences are classified and shrunk into
+minimal reproducers (:mod:`repro.diffcheck.triage`,
+:mod:`repro.diffcheck.harness`).
+"""
+
+from repro.diffcheck.generate import (
+    ARCHES,
+    PATTERNS,
+    FragmentSpec,
+    ProgramSpec,
+    build_program,
+    generate_specs,
+)
+from repro.diffcheck.harness import DiffCheck, run_diffcheck, shrink_spec
+from repro.diffcheck.oracle import oracle_check, oracle_verdicts
+from repro.diffcheck.baselinecheck import baseline_flagged
+from repro.diffcheck.triage import Divergence, TriageReport
+
+__all__ = [
+    "ARCHES",
+    "PATTERNS",
+    "FragmentSpec",
+    "ProgramSpec",
+    "build_program",
+    "generate_specs",
+    "DiffCheck",
+    "run_diffcheck",
+    "shrink_spec",
+    "oracle_check",
+    "oracle_verdicts",
+    "baseline_flagged",
+    "Divergence",
+    "TriageReport",
+]

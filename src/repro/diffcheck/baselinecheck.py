@@ -1,0 +1,132 @@
+"""Vulnerability verdicts from the top-down baseline.
+
+:class:`~repro.baseline.topdown.TopDownDDG` reproduces the angr-style
+cost model (per-context re-analysis) but only builds a def-use graph —
+it never says "vulnerable".  This module derives per-function verdicts
+from its raw per-context summaries: a function is flagged when any of
+its contexts shows a sink's dangerous argument reachable (by bounded
+backward substitution over the context's definition pairs) from a
+source call's return value or source-filled buffer.
+
+Deliberately *not* shared with the DTaint detector: the point of the
+differential harness is an independent second opinion, so the flow
+check here is the simple textbook one — no aliasing, no structure
+similarity, and no sanitization modeling (the baseline flags a
+guarded flow too; those show up as informational disagreements).
+"""
+
+from repro.baseline.topdown import TopDownDDG
+from repro.core import libc
+from repro.symexec.value import base_offset, derefs_in, substitute, walk
+
+_MAX_REWRITES = 200
+_MAX_DEFS_PER_VAR = 8
+
+
+def baseline_flagged(binary, functions, call_graph, **ddg_kwargs):
+    """Names the top-down baseline considers vulnerable.
+
+    Builds the DDG (per-context re-analysis and all) and judges each
+    analysed context independently; a function is flagged if *any*
+    context exposes a source-to-sink flow.
+    """
+    ddg = TopDownDDG(binary=binary, functions=functions,
+                     call_graph=call_graph, **ddg_kwargs)
+    ddg.build()
+    flagged = set()
+    for (name, _context), summary in ddg.analyzed.items():
+        if name not in flagged and _summary_has_flow(summary):
+            flagged.add(name)
+    return flagged
+
+
+def _taint_introductions(summary):
+    """(roots, objects): source return values and source-filled buffers."""
+    roots = set()
+    objects = set()
+    for callsite in summary.callsites:
+        target = callsite.target
+        if not isinstance(target, str):
+            continue
+        model = libc.model_for(target)
+        if model is None or target not in libc.SOURCE_NAMES:
+            continue
+        if model.taints_ret or model.ret_attacker_len:
+            # The engine parks SymRet(addr) in the return register
+            # after every summarised call, so the raw summary already
+            # links uses of the result to this callsite.
+            from repro.symexec.value import SymRet
+
+            roots.add(SymRet(callsite.addr))
+        for index in model.taints_args:
+            if index < len(callsite.args):
+                pointer = callsite.args[index]
+                if pointer is not None:
+                    objects.add(pointer)
+    return roots, objects
+
+
+def _dangerous_exprs(summary):
+    """Sink-side expressions whose taintedness means a vulnerability."""
+    dangerous = []
+    for callsite in summary.callsites:
+        target = callsite.target
+        if not isinstance(target, str):
+            continue
+        model = libc.model_for(target)
+        if model is None or model.sink is None:
+            continue
+        _kind, indices = model.sink
+        for index in indices:
+            if index < len(callsite.args):
+                expr = callsite.args[index]
+                if expr is not None:
+                    dangerous.append(expr)
+    # The structural "loop" sink: a byte stored inside a loop whose
+    # value came from memory (the unbounded-copy shape).
+    for _site, _dest, value in summary.loop_stores:
+        dangerous.append(value)
+    return dangerous
+
+
+def _mentions_taint(expr, roots, objects):
+    for node in walk(expr):
+        if node in roots or node in objects:
+            return True
+    for deref in derefs_in(expr):
+        candidates = [deref.addr]
+        view = base_offset(deref.addr)
+        if view is not None and view[0] is not None:
+            candidates.append(view[0])
+        if any(pointer in objects for pointer in candidates):
+            return True
+    return False
+
+
+def _summary_has_flow(summary):
+    roots, objects = _taint_introductions(summary)
+    if not roots and not objects:
+        return False
+    defs_by_dest = {}
+    for pair in summary.def_pairs:
+        defs_by_dest.setdefault(pair.dest, []).append(pair.value)
+
+    for start in _dangerous_exprs(summary):
+        # Bounded backward rewriting: replace derefs with their
+        # reaching definitions until a taint introduction surfaces.
+        frontier = [start]
+        seen = {start}
+        rewrites = 0
+        while frontier and rewrites < _MAX_REWRITES:
+            expr = frontier.pop()
+            if _mentions_taint(expr, roots, objects):
+                return True
+            for deref in derefs_in(expr):
+                for value in defs_by_dest.get(deref, ())[
+                        :_MAX_DEFS_PER_VAR]:
+                    rewrites += 1
+                    rewritten = substitute(expr, {deref: value})
+                    if rewritten not in seen:
+                        seen.add(rewritten)
+                        frontier.append(rewritten)
+    return False

@@ -1,0 +1,174 @@
+"""Seeded generation of labeled differential-test programs.
+
+Programs are composed from the vulnerability patterns in
+:mod:`repro.corpus.vulnpatterns` — each fragment carries its own
+``vulnerable`` switch and ground-truth label — plus procedurally
+generated filler functions (safe call-graph noise).  A
+:class:`ProgramSpec` is a pure value: the same spec always builds the
+same binary, which is what makes shrunk reproducers meaningful.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.corpus import vulnpatterns as vp
+from repro.corpus.builder import build_binary
+from repro.corpus.minicc import compiler_for
+from repro.corpus.profiles import make_filler
+
+ARCHES = ("arm", "mips")
+
+
+def _cmdi_generic(name, vulnerable=True):
+    return vp.zero_day_cmdi(name, vulnerable=vulnerable)
+
+
+# Every pattern behind the uniform signature (name, vulnerable) ->
+# (functions, ground_truth).  Keys are stable: they appear in triage
+# reports and shrunk reproducers.
+PATTERNS = {
+    "strncpy_post": vp.cve_2013_7389_strncpy,
+    "sprintf_cookie": vp.cve_2013_7389_sprintf,
+    "system_soap": vp.cve_2015_2051,
+    "strcpy_cookie": vp.cve_2016_5681,
+    "system_hostname": vp.cve_2017_6334,
+    "system_ping": vp.cve_2017_6077,
+    "popen_cmd": vp.edb_43055,
+    "cmdi_generic": _cmdi_generic,
+    "memcpy_frame": vp.zero_day_read_memcpy,
+    "loop_copy": vp.zero_day_loop_copy,
+    "sscanf_session": vp.zero_day_sscanf,
+    "fgets_strcpy": vp.zero_day_fgets_strcpy,
+}
+
+PATTERN_ORDER = tuple(sorted(PATTERNS))
+
+
+class _FillerShape:
+    """The profile knobs make_filler reads, sized for tiny programs."""
+
+    branches_per_filler = (1, 3)
+    calls_per_filler = (0, 2)
+    sink_call_rate = 0.25
+
+
+@dataclass(frozen=True)
+class FragmentSpec:
+    """One vulnerability-pattern instance inside a program."""
+
+    pattern: str              # key into PATTERNS
+    function: str             # unique function name for this instance
+    vulnerable: bool
+
+    def to_dict(self):
+        return {
+            "pattern": self.pattern,
+            "function": self.function,
+            "vulnerable": self.vulnerable,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(pattern=data["pattern"], function=data["function"],
+                   vulnerable=bool(data["vulnerable"]))
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A deterministic recipe for one labeled test program."""
+
+    name: str
+    arch: str
+    fragments: tuple          # of FragmentSpec
+    fillers: int = 0
+    filler_seed: int = 0
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "arch": self.arch,
+            "fragments": [f.to_dict() for f in self.fragments],
+            "fillers": self.fillers,
+            "filler_seed": self.filler_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            name=data["name"],
+            arch=data["arch"],
+            fragments=tuple(
+                FragmentSpec.from_dict(f) for f in data["fragments"]
+            ),
+            fillers=int(data.get("fillers", 0)),
+            filler_seed=int(data.get("filler_seed", 0)),
+        )
+
+    # Reduction steps for the shrinker -------------------------------
+
+    def without_fragment(self, index):
+        fragments = tuple(
+            f for i, f in enumerate(self.fragments) if i != index
+        )
+        return ProgramSpec(name=self.name, arch=self.arch,
+                           fragments=fragments, fillers=self.fillers,
+                           filler_seed=self.filler_seed)
+
+    def without_fillers(self):
+        return ProgramSpec(name=self.name, arch=self.arch,
+                           fragments=self.fragments, fillers=0,
+                           filler_seed=self.filler_seed)
+
+
+def generate_specs(seed, count, arches=ARCHES, max_fragments=3,
+                   max_fillers=2):
+    """``count`` seeded program specs; same (seed, count) -> same list."""
+    rng = random.Random(seed)
+    specs = []
+    for index in range(count):
+        arch = rng.choice(list(arches))
+        n_fragments = rng.randint(1, max_fragments)
+        keys = rng.sample(PATTERN_ORDER, n_fragments)
+        fragments = tuple(
+            FragmentSpec(
+                pattern=key,
+                function="h%d_%s" % (i, key),
+                vulnerable=rng.random() < 0.6,
+            )
+            for i, key in enumerate(keys)
+        )
+        specs.append(ProgramSpec(
+            name="dc%04d_%s" % (index, arch),
+            arch=arch,
+            fragments=fragments,
+            fillers=rng.randint(0, max_fillers),
+            filler_seed=rng.randrange(2 ** 31),
+        ))
+    return specs
+
+
+def build_program(spec):
+    """Assemble a spec into a loaded BuiltBinary with ground truth."""
+    functions = []
+    ground_truth = []
+    for fragment in spec.fragments:
+        factory = PATTERNS[fragment.pattern]
+        frag_functions, frag_truth = factory(
+            name=fragment.function, vulnerable=fragment.vulnerable
+        )
+        functions.extend(frag_functions)
+        ground_truth.extend(frag_truth)
+    rng = random.Random(spec.filler_seed)
+    filler_names = []
+    for i in range(spec.fillers):
+        name = "fill%02d_%s" % (i, spec.name)
+        functions.append(
+            make_filler(name, rng, list(filler_names), _FillerShape())
+        )
+        filler_names.append(name)
+    compiler = compiler_for(spec.arch, spec.name)
+    source, imports = compiler.compile_module(functions)
+    return build_binary(
+        spec.name, spec.arch, source, imports,
+        entry=functions[0].name, ground_truth=ground_truth,
+    )

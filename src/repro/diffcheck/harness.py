@@ -1,0 +1,249 @@
+"""The differential harness: generate, run all three judges, triage.
+
+For every generated program the harness collects up to three verdicts
+per function — the static detector's, the top-down baseline's, and the
+concrete-execution oracle's — classifies each disagreement (see
+:mod:`repro.diffcheck.triage`), and greedily shrinks each divergent
+program by dropping fragments/fillers while the divergence persists,
+so the reproducer attached to a divergence is minimal.
+"""
+
+import time
+
+from repro.core import DTaint
+from repro.diffcheck.baselinecheck import baseline_flagged
+from repro.diffcheck.generate import (
+    ARCHES,
+    ProgramSpec,
+    build_program,
+    generate_specs,
+)
+from repro.diffcheck.oracle import (
+    DEFAULT_MAX_STEPS,
+    oracle_check,
+    oracle_verdicts,
+)
+from repro.diffcheck.triage import EXPLAINED, Divergence, TriageReport
+
+
+def _reductions(spec):
+    """Candidate one-step reductions, cheapest first."""
+    if spec.fillers:
+        yield spec.without_fillers()
+    for index in range(len(spec.fragments)):
+        if len(spec.fragments) > 1 or spec.fillers:
+            yield spec.without_fragment(index)
+
+
+def shrink_spec(spec, predicate, max_rounds=6):
+    """Greedy shrink: apply reductions while ``predicate`` holds.
+
+    Returns ``(minimized_spec, steps_taken)``.  ``predicate`` is asked
+    whether a candidate still exhibits the divergence; a candidate
+    that fails to build counts as not exhibiting it.
+    """
+    current = spec
+    steps = 0
+    improved = True
+    while improved and steps < max_rounds:
+        improved = False
+        for candidate in _reductions(current):
+            if predicate(candidate):
+                current = candidate
+                steps += 1
+                improved = True
+                break
+    return current, steps
+
+
+class DiffCheck:
+    """One seeded differential sweep."""
+
+    def __init__(self, seed=0, count=20, arches=ARCHES, max_fragments=3,
+                 max_fillers=2, run_baseline=True, shrink=True,
+                 telemetry=None, max_steps=DEFAULT_MAX_STEPS):
+        self.seed = seed
+        self.count = count
+        self.arches = tuple(arches)
+        self.max_fragments = max_fragments
+        self.max_fillers = max_fillers
+        self.run_baseline = run_baseline
+        self.shrink = shrink
+        self.telemetry = telemetry
+        self.max_steps = max_steps
+
+    # ------------------------------------------------------------------
+
+    def run(self):
+        started = time.perf_counter()
+        report = TriageReport(seed=self.seed, count=self.count)
+        self._emit("diffcheck_start", seed=self.seed, count=self.count,
+                   baseline=self.run_baseline)
+        specs = generate_specs(
+            self.seed, self.count, arches=self.arches,
+            max_fragments=self.max_fragments, max_fillers=self.max_fillers,
+        )
+        for spec in specs:
+            checked, divergences = self._check_program(
+                spec, need_oracle=True, need_baseline=self.run_baseline,
+            )
+            report.programs += 1
+            report.functions_checked += checked
+            for divergence in divergences:
+                if self.shrink:
+                    minimized, steps = self._shrink(spec, divergence)
+                    divergence.reproducer = minimized.to_dict()
+                    divergence.shrink_steps = steps
+                else:
+                    divergence.reproducer = spec.to_dict()
+                report.divergences.append(divergence)
+                self._emit(
+                    "diffcheck_divergence", kind=divergence.kind,
+                    program=divergence.program,
+                    function=divergence.function,
+                    pattern=divergence.pattern,
+                    explained=bool(divergence.explained),
+                )
+            self._emit("diffcheck_program", program=spec.name,
+                       arch=spec.arch, functions=checked,
+                       divergences=len(divergences))
+        report.elapsed_seconds = time.perf_counter() - started
+        counts = report.counts
+        self._emit(
+            "diffcheck_done", programs=report.programs,
+            functions=report.functions_checked, ok=report.ok,
+            static_fn=counts["static-fn"], static_fp=counts["static-fp"],
+            baseline_disagreement=counts["baseline-disagreement"],
+            oracle_mismatch=counts["oracle-mismatch"],
+            unexplained_static_fn=len(report.unexplained_static_fns),
+            elapsed_seconds=round(report.elapsed_seconds, 3),
+        )
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _check_program(self, spec, need_oracle, need_baseline):
+        """Run the judges over one program.
+
+        Returns ``(functions_checked, [Divergence, ...])``.
+        """
+        built = build_program(spec)
+        detector = DTaint(built.binary, name=spec.name)
+        static_report = detector.run()
+        static_vuln = set()
+        static_kinds = {}
+        for finding in static_report.findings:
+            if not finding.sanitized:
+                static_vuln.add(finding.function)
+                static_kinds.setdefault(finding.function, finding.kind)
+
+        truth = {g.function: g for g in built.ground_truth}
+        patterns = {f.function: f.pattern for f in spec.fragments}
+
+        oracle = {}
+        if need_oracle:
+            oracle = oracle_verdicts(built, max_steps=self.max_steps)
+            # A static finding in a non-ground-truth function (a
+            # filler) still gets its day in court.
+            for name in sorted(static_vuln - set(oracle)):
+                oracle[name] = oracle_check(
+                    built, name, static_kinds[name],
+                    max_steps=self.max_steps,
+                )
+
+        baseline = None
+        if need_baseline:
+            baseline = baseline_flagged(
+                built.binary, detector.functions, detector.call_graph,
+            )
+
+        divergences = []
+        checked = sorted(set(truth) | static_vuln)
+        for name in checked:
+            divergences.extend(self._classify(
+                spec, name,
+                expected=(truth[name].vulnerable if name in truth
+                          else None),
+                static=name in static_vuln,
+                oracle=(oracle[name].confirmed if name in oracle
+                        else None),
+                baseline=(name in baseline if baseline is not None
+                          else None),
+                pattern=patterns.get(name, ""),
+                effect=(oracle[name].effect if name in oracle else ""),
+            ))
+        return len(checked), divergences
+
+    def _classify(self, spec, name, expected, static, oracle, baseline,
+                  pattern, effect):
+        def divergence(kind, detail):
+            return Divergence(
+                kind=kind, program=spec.name, function=name,
+                pattern=pattern, expected=expected, static=static,
+                oracle=oracle, baseline=baseline, detail=detail,
+                explained=EXPLAINED.get((kind, pattern), ""),
+                reproducer=spec.to_dict(),
+            )
+
+        found = []
+        if oracle is not None and expected is not None \
+                and oracle != expected:
+            found.append(divergence(
+                "oracle-mismatch",
+                "generator label %s but concrete execution says %s (%s)"
+                % (expected, oracle, effect or "no effect"),
+            ))
+        if oracle is not None and oracle and not static:
+            found.append(divergence(
+                "static-fn",
+                "exploited in emulation (%s) but no unsanitized static "
+                "path" % effect,
+            ))
+        if oracle is not None and static and not oracle:
+            found.append(divergence(
+                "static-fp",
+                "static vulnerable path but the exploit attempt showed "
+                "no effect",
+            ))
+        if baseline is not None and baseline != static:
+            found.append(divergence(
+                "baseline-disagreement",
+                "baseline %s vs static %s" % (
+                    "flags" if baseline else "misses",
+                    "flags" if static else "misses",
+                ),
+            ))
+        return found
+
+    # ------------------------------------------------------------------
+
+    def _shrink(self, spec, divergence):
+        need_oracle = divergence.kind != "baseline-disagreement"
+        need_baseline = divergence.kind == "baseline-disagreement"
+
+        def predicate(candidate):
+            try:
+                _checked, divergences = self._check_program(
+                    candidate, need_oracle=need_oracle,
+                    need_baseline=need_baseline,
+                )
+            except Exception:
+                return False
+            return any(
+                d.kind == divergence.kind
+                and d.function == divergence.function
+                for d in divergences
+            )
+
+        return shrink_spec(spec, predicate)
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, event, **fields):
+        if self.telemetry is not None:
+            self.telemetry.emit(event, **fields)
+
+
+def run_diffcheck(seed=0, count=20, **kwargs):
+    """Convenience wrapper: one sweep, returns the TriageReport."""
+    return DiffCheck(seed=seed, count=count, **kwargs).run()

@@ -1,0 +1,37 @@
+"""The concrete-execution oracle.
+
+A function's vulnerability verdict comes from actually *running* it on
+the emulated CPU (:mod:`repro.emu`) under attacker-controlled input —
+every environment variable, socket read and config line resolves to an
+overlong hostile payload — and watching for the observable effect: a
+hijacked program counter, a trampled stack canary, or a shell
+metacharacter reaching ``system``/``popen``.  That machinery lives in
+:mod:`repro.core.validate`; this module packages it as the judge the
+differential harness trusts over both static analyses.
+"""
+
+from repro.core.validate import validate_function, validate_ground_truth
+
+# Generated programs are a handful of tiny handlers; a lower step
+# budget than full PoC validation keeps 50-program sweeps quick while
+# still letting unbounded copy loops run to their overflow.
+DEFAULT_MAX_STEPS = 200_000
+
+
+def oracle_verdicts(built, max_steps=DEFAULT_MAX_STEPS):
+    """Concrete verdicts for every ground-truth function.
+
+    Returns ``{function_name: ValidationResult}``; ``confirmed`` is
+    the oracle's vulnerability verdict.  Each function runs with its
+    ground truth's protocol-shaped PoC input when one is recorded.
+    """
+    return validate_ground_truth(built, max_steps=max_steps)
+
+
+def oracle_check(built, function, kind, poc_input=b"",
+                 max_steps=DEFAULT_MAX_STEPS):
+    """Concrete verdict for one function (e.g. a static-flagged filler)."""
+    return validate_function(
+        built.binary, function, kind,
+        input_bytes=poc_input, max_steps=max_steps,
+    )

@@ -1,0 +1,147 @@
+"""Divergence records and the triage report.
+
+Divergence taxonomy (static verdicts are judged against the concrete
+oracle, not against the generator's labels — execution is the ground
+truth of record):
+
+* ``static-fn`` — the oracle exploited the function but the static
+  detector reported no unsanitized path.  The serious class: unless
+  explained, it fails the run.
+* ``static-fp`` — the static detector reported a vulnerable path the
+  oracle could not exploit.
+* ``baseline-disagreement`` — the top-down baseline's verdict differs
+  from the static detector's (informational; the baseline models no
+  sanitization, so sanitized decoys routinely land here).
+* ``oracle-mismatch`` — the oracle's verdict contradicts the
+  generator's ground-truth label: a generator or emulation bug, never
+  blamed on the detector (but reported loudly — a broken judge
+  invalidates the whole comparison).
+"""
+
+from dataclasses import dataclass, field
+
+# (divergence kind, pattern key) -> why this divergence is understood
+# and tolerated.  Entries here keep CI green; every entry must carry a
+# real explanation, which the triage report prints alongside the
+# divergence.
+EXPLAINED = {}
+
+SEVERITY = ("oracle-mismatch", "static-fn", "static-fp",
+            "baseline-disagreement")
+
+
+@dataclass
+class Divergence:
+    """One disagreement between two of the three verdict sources."""
+
+    kind: str                 # one of SEVERITY
+    program: str
+    function: str
+    pattern: str = ""         # fragment pattern key ('' for fillers)
+    expected: object = None   # generator label (None for fillers)
+    static: object = None     # bool: unsanitized path reported
+    oracle: object = None     # bool: exploit confirmed in emulation
+    baseline: object = None   # bool: baseline flagged (None if skipped)
+    detail: str = ""
+    explained: str = ""       # non-empty -> tolerated, with the reason
+    reproducer: dict = field(default_factory=dict)   # minimized spec
+    shrink_steps: int = 0
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "program": self.program,
+            "function": self.function,
+            "pattern": self.pattern,
+            "expected": self.expected,
+            "static": self.static,
+            "oracle": self.oracle,
+            "baseline": self.baseline,
+            "detail": self.detail,
+            "explained": self.explained,
+            "reproducer": self.reproducer,
+            "shrink_steps": self.shrink_steps,
+        }
+
+    def describe(self):
+        verdicts = "static=%s oracle=%s baseline=%s expected=%s" % (
+            self.static, self.oracle, self.baseline, self.expected,
+        )
+        note = " [explained: %s]" % self.explained if self.explained else ""
+        return "[%s] %s/%s (%s): %s%s" % (
+            self.kind, self.program, self.function,
+            self.pattern or "filler", verdicts, note,
+        )
+
+
+@dataclass
+class TriageReport:
+    """Everything one differential sweep learned."""
+
+    seed: int
+    count: int
+    programs: int = 0
+    functions_checked: int = 0
+    divergences: list = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def counts(self):
+        tally = {kind: 0 for kind in SEVERITY}
+        for divergence in self.divergences:
+            tally[divergence.kind] = tally.get(divergence.kind, 0) + 1
+        return tally
+
+    @property
+    def unexplained_static_fns(self):
+        return [
+            d for d in self.divergences
+            if d.kind == "static-fn" and not d.explained
+        ]
+
+    @property
+    def ok(self):
+        """The CI gate: no unexplained missed vulnerability."""
+        return not self.unexplained_static_fns
+
+    def to_dict(self):
+        return {
+            "seed": self.seed,
+            "count": self.count,
+            "programs": self.programs,
+            "functions_checked": self.functions_checked,
+            "counts": self.counts,
+            "unexplained_static_fns": len(self.unexplained_static_fns),
+            "ok": self.ok,
+            "elapsed_seconds": self.elapsed_seconds,
+            "divergences": [
+                d.to_dict() for d in sorted(
+                    self.divergences,
+                    key=lambda d: (SEVERITY.index(d.kind), d.program,
+                                   d.function),
+                )
+            ],
+        }
+
+    def render(self):
+        counts = self.counts
+        lines = [
+            "diffcheck: seed=%d, %d programs, %d functions checked, %.1fs"
+            % (self.seed, self.programs, self.functions_checked,
+               self.elapsed_seconds),
+            "  static-FN            : %d (%d unexplained)" % (
+                counts["static-fn"], len(self.unexplained_static_fns)),
+            "  static-FP            : %d" % counts["static-fp"],
+            "  baseline-disagreement: %d" % counts["baseline-disagreement"],
+            "  oracle-mismatch      : %d" % counts["oracle-mismatch"],
+        ]
+        for divergence in sorted(
+            self.divergences,
+            key=lambda d: (SEVERITY.index(d.kind), d.program, d.function),
+        ):
+            lines.append("  " + divergence.describe())
+        lines.append(
+            "verdict: %s" % ("OK" if self.ok
+                             else "UNEXPLAINED STATIC FALSE NEGATIVES")
+        )
+        return "\n".join(lines)

@@ -41,14 +41,18 @@ from repro.core.interproc import (
 # v2: reports grew coverage/degraded sections; summaries carry
 # deadline_hit (see SUMMARY_FORMAT_VERSION).
 # v3: hash-consed SymExpr pickle layout; reports carry phase_profile.
-CACHE_FORMAT_VERSION = 3
+# v4: deadline_seconds joined the summary fingerprint — a summary
+# truncated under a tight deadline must never serve a deadline-free
+# run (or vice versa).
+CACHE_FORMAT_VERSION = 4
 
 # DTaintConfig knobs that shape the *per-function* summaries (symbolic
 # exploration limits) vs. the ones that only steer later whole-report
 # stages.  Keeping the summary fingerprint narrow maximises reuse: a
 # different trace depth or ablation switch re-detects over the same
-# cached summaries.
-_SUMMARY_FIELDS = ("max_paths", "max_blocks_per_path")
+# cached summaries.  deadline_seconds belongs here because the soft
+# deadline truncates path exploration mid-function.
+_SUMMARY_FIELDS = ("max_paths", "max_blocks_per_path", "deadline_seconds")
 _REPORT_FIELDS = _SUMMARY_FIELDS + (
     "max_trace_depth", "enable_aliasing", "enable_structure_similarity",
 )

@@ -114,6 +114,18 @@ class ResultsStore:
             json.dump(document, handle, indent=2, sort_keys=True)
         return path
 
+    def write_diffcheck(self, triage_dict):
+        """Persist a differential sweep's triage report.
+
+        ``triage_dict`` is :meth:`repro.diffcheck.TriageReport.to_dict`
+        output: divergence counts, the CI verdict, and one minimized
+        reproducer per divergence.  Returns the path written.
+        """
+        path = os.path.join(self.out_dir, "diffcheck.json")
+        with open(path, "w") as handle:
+            json.dump(triage_dict, handle, indent=2, sort_keys=True)
+        return path
+
     def write_rollup(self, results, wall_seconds):
         """Persist ``fleet.json`` summarising the whole run."""
         rows = []

@@ -1,0 +1,216 @@
+"""Tests for the differential correctness harness (repro.diffcheck)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.diffcheck import (
+    PATTERNS,
+    DiffCheck,
+    FragmentSpec,
+    ProgramSpec,
+    baseline_flagged,
+    build_program,
+    generate_specs,
+    oracle_verdicts,
+    run_diffcheck,
+    shrink_spec,
+)
+from repro.core import DTaint
+from repro.pipeline.telemetry import read_events
+
+
+def _spec(patterns, arch="arm", fillers=0, name="t"):
+    """Spec with one fragment per (pattern, vulnerable) pair."""
+    fragments = tuple(
+        FragmentSpec(pattern=key, function="h%d_%s" % (i, key),
+                     vulnerable=vulnerable)
+        for i, (key, vulnerable) in enumerate(patterns)
+    )
+    return ProgramSpec(name=name, arch=arch, fragments=fragments,
+                       fillers=fillers, filler_seed=7)
+
+
+class TestGeneration:
+    def test_same_seed_same_specs(self):
+        first = generate_specs(seed=7, count=5)
+        second = generate_specs(seed=7, count=5)
+        assert [s.to_dict() for s in first] == \
+            [s.to_dict() for s in second]
+
+    def test_different_seeds_differ(self):
+        a = [s.to_dict() for s in generate_specs(seed=1, count=10)]
+        b = [s.to_dict() for s in generate_specs(seed=2, count=10)]
+        assert a != b
+
+    def test_spec_round_trips_through_dict(self):
+        spec = generate_specs(seed=3, count=1)[0]
+        assert ProgramSpec.from_dict(spec.to_dict()) == spec
+
+    def test_build_contains_every_fragment_and_filler(self):
+        spec = _spec([("system_soap", True), ("strcpy_cookie", False)],
+                     fillers=2)
+        built = build_program(spec)
+        names = {f.name for f in built.binary.local_functions}
+        assert {"h0_system_soap", "h1_strcpy_cookie"} <= names
+        assert sum(1 for n in names if n.startswith("fill")) == 2
+        labels = {g.function: g.vulnerable for g in built.ground_truth}
+        assert labels == {"h0_system_soap": True,
+                          "h1_strcpy_cookie": False}
+
+
+class TestOracle:
+    @pytest.mark.parametrize("arch", ["arm", "mips"])
+    def test_vulnerable_and_safe_variants_separate(self, arch):
+        spec = _spec([("system_soap", True), ("strcpy_cookie", False)],
+                     arch=arch)
+        built = build_program(spec)
+        verdicts = oracle_verdicts(built)
+        assert verdicts["h0_system_soap"].confirmed
+        assert not verdicts["h1_strcpy_cookie"].confirmed
+
+
+class TestBaselineCheck:
+    def test_flags_flow_with_or_without_sanitization(self):
+        # The baseline models no sanitization: both variants flagged —
+        # exactly the imprecision the differential report surfaces.
+        for vulnerable in (True, False):
+            spec = _spec([("system_soap", vulnerable)])
+            built = build_program(spec)
+            detector = DTaint(built.binary, name="t")
+            detector.build_cfg()
+            flagged = baseline_flagged(
+                built.binary, detector.functions, detector.call_graph
+            )
+            assert "h0_system_soap" in flagged
+
+    def test_does_not_flag_fillers(self):
+        spec = _spec([("system_soap", True)], fillers=2)
+        built = build_program(spec)
+        detector = DTaint(built.binary, name="t")
+        detector.build_cfg()
+        flagged = baseline_flagged(
+            built.binary, detector.functions, detector.call_graph
+        )
+        assert not any(name.startswith("fill") for name in flagged)
+
+
+class TestShrinker:
+    def test_shrinks_to_the_offending_fragment(self):
+        spec = _spec(
+            [("system_soap", True), ("strcpy_cookie", False),
+             ("memcpy_frame", True)],
+            fillers=2,
+        )
+
+        def predicate(candidate):
+            return any(f.function == "h1_strcpy_cookie"
+                       for f in candidate.fragments)
+
+        minimized, steps = shrink_spec(spec, predicate)
+        assert [f.function for f in minimized.fragments] == \
+            ["h1_strcpy_cookie"]
+        assert minimized.fillers == 0
+        assert steps == 3
+
+    def test_nothing_to_shrink(self):
+        spec = _spec([("system_soap", True)])
+        minimized, steps = shrink_spec(spec, lambda c: True)
+        assert minimized == spec and steps == 0
+
+
+class TestHarness:
+    def test_sweep_has_no_unexplained_static_fns(self):
+        report = run_diffcheck(seed=3, count=6)
+        assert report.ok
+        assert report.programs == 6
+        assert report.functions_checked > 0
+        counts = report.counts
+        assert counts["static-fn"] == 0
+        assert counts["oracle-mismatch"] == 0
+
+    def test_sanitized_decoys_become_baseline_disagreements(self):
+        # A program that is one sanitized decoy: static and oracle
+        # agree it is safe, the check-blind baseline flags it.
+        harness = DiffCheck(seed=0, count=1, shrink=False)
+        checked, divergences = harness._check_program(
+            _spec([("system_ping", False)]),
+            need_oracle=True, need_baseline=True,
+        )
+        assert checked == 1
+        assert [d.kind for d in divergences] == ["baseline-disagreement"]
+        assert divergences[0].expected is False
+
+    def test_divergences_carry_minimized_reproducers(self):
+        report = run_diffcheck(seed=1, count=4)
+        for divergence in report.divergences:
+            reproducer = divergence.reproducer
+            assert reproducer["fragments"], divergence.describe()
+            # Shrinking keeps the divergent function's own fragment.
+            assert any(f["function"] == divergence.function
+                       for f in reproducer["fragments"])
+
+    def test_triage_report_dict_shape(self):
+        report = run_diffcheck(seed=2, count=3, shrink=False)
+        doc = report.to_dict()
+        assert set(doc["counts"]) == {
+            "static-fn", "static-fp", "baseline-disagreement",
+            "oracle-mismatch",
+        }
+        assert doc["ok"] == (doc["unexplained_static_fns"] == 0)
+        json.dumps(doc)   # must be JSON-serialisable as-is
+
+
+class TestCLI:
+    def test_diffcheck_cli_writes_artifacts(self, tmp_path, capsys):
+        out = str(tmp_path / "out")
+        code = main(["diffcheck", "--seed", "1", "--count", "2",
+                     "--out", out])
+        assert code == 0
+        doc = json.load(open(str(tmp_path / "out" / "diffcheck.json")))
+        assert doc["seed"] == 1 and doc["programs"] == 2
+        events = read_events(str(tmp_path / "out" / "telemetry.jsonl"))
+        kinds = {e["event"] for e in events}
+        assert {"diffcheck_start", "diffcheck_program",
+                "diffcheck_done"} <= kinds
+        done = [e for e in events if e["event"] == "diffcheck_done"][0]
+        assert done["ok"] is True
+        assert capsys.readouterr().out.strip()
+
+    def test_fail_on_any_divergence(self, tmp_path):
+        # Seeded sweeps include sanitized decoys, so baseline
+        # disagreements exist; the strict switch turns them fatal.
+        code = main(["diffcheck", "--seed", "1", "--count", "4",
+                     "--no-shrink", "--fail-on-any-divergence"])
+        assert code == 1
+
+    def test_rejects_bad_count(self, capsys):
+        assert main(["diffcheck", "--count", "0"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# Property: the oracle is trustworthy — every vulnerable=True generated
+# program's sink is actually reachable in emulation (and the matched
+# sanitized variant is not exploitable), so oracle labels can judge the
+# detector.
+
+_PATTERN_KEYS = sorted(PATTERNS)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    key=st.sampled_from(_PATTERN_KEYS),
+    arch=st.sampled_from(["arm", "mips"]),
+    vulnerable=st.booleans(),
+)
+def test_oracle_round_trips_generated_labels(key, arch, vulnerable):
+    spec = _spec([(key, vulnerable)], arch=arch, name="prop")
+    built = build_program(spec)
+    (verdict,) = oracle_verdicts(built).values()
+    assert verdict.confirmed == vulnerable, (
+        "%s/%s vulnerable=%s: oracle said %s (%s)"
+        % (key, arch, vulnerable, verdict.confirmed, verdict.effect)
+    )

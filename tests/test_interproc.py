@@ -3,10 +3,16 @@
 import pytest
 
 from repro.cfg import CFGBuilder, build_call_graph
-from repro.core.interproc import InterproceduralAnalysis, _exportable
+from repro.cfg.callgraph import CallGraph
+from repro.core.interproc import (
+    MAX_VARIANTS_PER_CALLSITE,
+    InterproceduralAnalysis,
+    _exportable,
+)
 from repro.loader.binary import load_elf
 from repro.loader.link import build_executable
 from repro.symexec import SymbolicEngine
+from repro.symexec.state import CallSiteSummary, DefPair, FunctionSummary
 from repro.symexec.value import (
     SymConst,
     SymHeap,
@@ -179,6 +185,72 @@ leaf:
     order = call_graph.bottom_up_order(list(enriched))
     assert order.index("leaf") < order.index("mid") < order.index("main")
     assert set(enriched) == {"main", "mid", "leaf"}
+
+
+def _synthetic_pair(caller_callsites):
+    """A caller/callee pair built directly from summaries (no ELF)."""
+    callee = FunctionSummary(name="callee", addr=0x2000)
+    callee.def_pairs = [
+        DefPair(dest=mk_deref(SymVar("arg0")), value=SymConst(7),
+                site=0x2000)
+    ]
+    caller = FunctionSummary(name="caller", addr=0x1000,
+                             callsites=list(caller_callsites))
+    call_graph = CallGraph()
+    call_graph.graph.add_node("callee")
+    call_graph.graph.add_node("caller")
+    call_graph.add_edge("caller", "callee")
+    analysis = InterproceduralAnalysis(
+        {"callee": callee, "caller": caller}, call_graph
+    )
+    return analysis.run()
+
+
+def test_variant_cap_per_callsite():
+    """One call site summarised with many distinct argument variants:
+    only the first MAX_VARIANTS_PER_CALLSITE are imported."""
+    sites = [
+        CallSiteSummary(addr=0x1010, target="callee",
+                        args=[SymConst(0x9000 + 16 * i)])
+        for i in range(MAX_VARIANTS_PER_CALLSITE + 3)
+    ]
+    enriched = _synthetic_pair(sites)
+    imported = {
+        pretty(p.dest) for p in enriched["caller"].def_pairs
+        if p.value == SymConst(7)
+    }
+    assert len(imported) == MAX_VARIANTS_PER_CALLSITE
+
+
+def test_duplicate_variants_do_not_consume_the_cap():
+    """The same (addr, args) pair repeated across explored paths is
+    imported once and does not count against the variant budget."""
+    repeated = [
+        CallSiteSummary(addr=0x1010, target="callee",
+                        args=[SymConst(0x9000)])
+        for _ in range(MAX_VARIANTS_PER_CALLSITE + 2)
+    ]
+    distinct = [
+        CallSiteSummary(addr=0x1010, target="callee",
+                        args=[SymConst(0xA000 + 16 * i)])
+        for i in range(MAX_VARIANTS_PER_CALLSITE - 1)
+    ]
+    enriched = _synthetic_pair(repeated + distinct)
+    imported = {
+        pretty(p.dest) for p in enriched["caller"].def_pairs
+        if p.value == SymConst(7)
+    }
+    assert len(imported) == MAX_VARIANTS_PER_CALLSITE
+
+
+def test_representative_ret_is_exploration_order_independent():
+    analysis = InterproceduralAnalysis({}, CallGraph())
+    values = [mk_deref(SymVar("arg0")), mk_deref(SymVar("arg1"))]
+    forward = FunctionSummary(name="f", addr=0, ret_values=list(values))
+    backward = FunctionSummary(name="f", addr=0,
+                               ret_values=list(reversed(values)))
+    assert analysis._representative_ret(forward, {}) == \
+        analysis._representative_ret(backward, {})
 
 
 def test_recursion_does_not_hang():

@@ -1,0 +1,82 @@
+"""Unit tests for the backward DFS path generator.
+
+The regression of record: ``PathFinder._dfs`` used to mark
+``(deref, dest, value)`` keys in a ``visited`` set shared across
+sibling branches and never unmarked them on backtrack, so a definition
+chased while resolving one reaching definition was permanently
+excluded from every later sibling — real source→sink paths were lost
+depending on iteration order.
+"""
+
+from repro.core.paths import PathFinder
+from repro.symexec.state import DefPair
+from repro.symexec.value import (
+    SymConst,
+    SymTaint,
+    SymVar,
+    mk_add,
+    mk_deref,
+)
+
+DEREF_S = mk_deref(SymVar("s"))
+DEREF_M = mk_deref(SymVar("m"))
+TAINT = SymTaint(source="recv", callsite=0x100)
+
+
+class _Enriched:
+    """The minimal surface PathFinder needs."""
+
+    name = "handler"
+
+    def __init__(self, pairs):
+        self.def_pairs = list(pairs)
+        self.taint_objects = set()
+
+
+class _Sink:
+    name = "strcpy"
+    addr = 0x400
+
+
+def _trace(pairs, expr):
+    finder = PathFinder(_Enriched(pairs))
+    return finder.trace(_Sink(), expr)
+
+
+def test_sibling_branches_share_a_definition_chain():
+    """Two reaching definitions of the same slot both flow through
+    ``deref(m)``; chasing the chain in the first branch must not
+    consume it for the second."""
+    pairs = [
+        DefPair(dest=DEREF_S, value=mk_add(DEREF_M, SymConst(1)), site=1),
+        DefPair(dest=DEREF_S, value=mk_add(DEREF_M, SymConst(2)), site=2),
+        DefPair(dest=DEREF_M, value=TAINT, site=3),
+    ]
+    paths = _trace(pairs, DEREF_S)
+    assert len(paths) == 2
+    assert {p.source_name for p in paths} == {"recv"}
+    assert {p.steps[0][0] for p in paths} == {1, 2}
+
+
+def test_two_sinks_reuse_one_finder():
+    """Each trace() starts a fresh chain: two sinks sharing the whole
+    definition chain both resolve to the source."""
+    pairs = [
+        DefPair(dest=DEREF_S, value=DEREF_M, site=1),
+        DefPair(dest=DEREF_M, value=TAINT, site=2),
+    ]
+    finder = PathFinder(_Enriched(pairs))
+    first = finder.trace(_Sink(), DEREF_S)
+    second = finder.trace(_Sink(), DEREF_S)
+    assert len(first) == 1 and len(second) == 1
+    assert first[0].source_name == second[0].source_name == "recv"
+
+
+def test_cyclic_definitions_terminate():
+    """Mutually recursive definitions: the on-chain visited guard (plus
+    the depth/expansion budgets) must prevent an infinite rewrite."""
+    pairs = [
+        DefPair(dest=DEREF_S, value=mk_add(DEREF_M, SymConst(1)), site=1),
+        DefPair(dest=DEREF_M, value=mk_add(DEREF_S, SymConst(1)), site=2),
+    ]
+    assert _trace(pairs, DEREF_S) == []

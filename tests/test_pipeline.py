@@ -119,6 +119,22 @@ class TestSummaryCache:
         )
         assert bound.hits == 0 and bound.misses > 0
 
+    def test_deadline_change_invalidates(self, tmp_path):
+        """A summary truncated under a tight --deadline must never be
+        served to a deadline-free run (or vice versa): the deadline
+        shapes the summary itself, so it belongs in the fingerprint."""
+        elf = _small_elf()
+        tight = DTaintConfig(deadline_seconds=1e-9)
+        free = DTaintConfig()
+        assert summary_fingerprint(tight) != summary_fingerprint(free)
+        assert report_fingerprint(tight) != report_fingerprint(free)
+        # The tight deadline genuinely truncates the summary.
+        truncated = DTaint(load_elf(elf), config=tight).analyze_functions()
+        assert any(s.deadline_hit for s in truncated.values())
+        _scan(elf, str(tmp_path), config=tight)
+        _report, bound = _scan(elf, str(tmp_path), config=free)
+        assert bound.hits == 0 and bound.misses > 0
+
     def test_fingerprint_functions(self):
         a, b = DTaintConfig(), DTaintConfig(max_paths=8)
         assert summary_fingerprint(a) != summary_fingerprint(b)
