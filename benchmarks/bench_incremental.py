@@ -1,0 +1,271 @@
+"""Incremental-analysis benchmark: cold scan, warm rescan, one-line patch.
+
+Measures and *asserts* the three acceptance properties of the
+``repro.increment`` subsystem:
+
+* ``cold``  — first scan of an image populates the fleet index;
+* ``warm``  — re-scanning the byte-identical image through the fleet
+  layer alone (per-binary bundles cleared) runs **zero** symbolic
+  executions and reproduces the findings fingerprint exactly;
+* ``patched`` — rebuilding the image with one handler patched
+  re-analyses only that handler's Merkle closure (reuse ratio >= 0.8)
+  and the delta report classifies the patch as ``fixed`` with no
+  spurious ``new`` findings.
+
+Results are written to ``BENCH_incremental.json`` at the repo root so
+later PRs have a reuse trajectory to regress against.  Any violated
+property exits nonzero — the CI ``incremental-smoke`` job runs
+``--quick`` exactly this way.
+
+Usage:
+    python benchmarks/bench_incremental.py [--quick] [--out out.json]
+"""
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro import profiling  # noqa: E402
+from repro.core import DTaint, DTaintConfig  # noqa: E402
+from repro.corpus.fleet import build_version_pair  # noqa: E402
+from repro.corpus.profiles import analyzed_module_prefixes  # noqa: E402
+from repro.increment import (  # noqa: E402
+    classify_functions,
+    clear_binary_bundles,
+    compute_delta,
+)
+from repro.increment.reuse import open_incremental_cache  # noqa: E402
+from repro.pipeline import (  # noqa: E402
+    binary_sha256,
+    canonical_report,
+    findings_fingerprint,
+)
+
+REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_incremental.json")
+
+
+class PropertyViolation(AssertionError):
+    """An incremental-analysis acceptance property failed."""
+
+
+def _require(condition, message):
+    if not condition:
+        raise PropertyViolation(message)
+
+
+def _scan(built, cache_dir, config):
+    """One incremental scan; returns (report, cache, seconds, counters)."""
+    before = profiling.PROFILER.snapshot()
+    start = time.perf_counter()
+    sha = binary_sha256(built.elf_bytes)
+    cache = open_incremental_cache(cache_dir, sha, config)
+    report = DTaint(
+        built.binary, config=config, name=built.name, summary_cache=cache
+    ).run()
+    cache.flush()
+    elapsed = time.perf_counter() - start
+    counters = profiling.delta(
+        before, profiling.PROFILER.snapshot()
+    )["counters"]
+    return report, cache, elapsed, counters
+
+
+def _image_doc(built, report, config):
+    detector = DTaint(built.binary, config=config, name=built.name)
+    detector.analyze_functions()
+    from repro.increment import fingerprint_functions
+
+    fps = fingerprint_functions(
+        built.binary, detector.functions, detector.call_graph
+    )
+    return {
+        "name": built.name,
+        "sha256": binary_sha256(built.elf_bytes),
+        "findings": canonical_report(report.to_dict()),
+        "fingerprints": {
+            name: {"local": fp.local, "closure": fp.closure}
+            for name, fp in fps.items()
+        },
+    }
+
+
+def run_suite(key, scale, cache_dir):
+    old_built, new_built, flipped = build_version_pair(key, scale=scale)
+    config = DTaintConfig(modules=analyzed_module_prefixes(key))
+
+    # -- cold ---------------------------------------------------------------
+    cold_report, cold_cache, cold_seconds, cold_counters = _scan(
+        old_built, cache_dir, config
+    )
+    functions = cold_counters.get("fingerprinted_functions", 0)
+    _require(cold_cache.stats["fleet_stored"] > 0,
+             "cold scan stored no fleet summaries")
+
+    # -- warm: fleet layer alone, zero symbolic executions ------------------
+    cleared = clear_binary_bundles(cache_dir)
+    _require(cleared > 0, "cold scan left no binary bundles to clear")
+    warm_report, warm_cache, warm_seconds, warm_counters = _scan(
+        old_built, cache_dir, config
+    )
+    warm_symexec = warm_counters.get("symexec_functions", 0)
+    _require(warm_symexec == 0,
+             "warm rescan ran %d symbolic executions, expected 0"
+             % warm_symexec)
+    _require(warm_cache.stats["reuse_ratio"] == 1.0,
+             "warm rescan reuse ratio %.4f, expected 1.0"
+             % warm_cache.stats["reuse_ratio"])
+    _require(
+        findings_fingerprint(warm_report.to_dict())
+        == findings_fingerprint(cold_report.to_dict()),
+        "warm rescan changed the findings fingerprint",
+    )
+
+    # -- patched: one handler flipped, one closure re-analysed --------------
+    patched_report, patched_cache, patched_seconds, patched_counters = _scan(
+        new_built, cache_dir, config
+    )
+    patched_symexec = patched_counters.get("symexec_functions", 0)
+    changed = classify_functions(
+        _image_doc(old_built, cold_report, config)["fingerprints"],
+        _image_doc(new_built, patched_report, config)["fingerprints"],
+    )
+    closure_size = len(
+        changed["body_changed"] + changed["callee_changed"]
+        + changed["added"]
+    )
+    reuse = patched_cache.stats["reuse_ratio"]
+    _require(flipped in changed["body_changed"],
+             "patched handler %r not classified body_changed" % flipped)
+    _require(patched_symexec == closure_size,
+             "patched rescan ran %d symbolic executions, expected the "
+             "changed closure of %d" % (patched_symexec, closure_size))
+    _require(reuse >= 0.8,
+             "patched rescan reuse ratio %.4f below the 0.8 floor" % reuse)
+
+    delta = compute_delta(
+        _image_doc(old_built, cold_report, config),
+        _image_doc(new_built, patched_report, config),
+    )
+    _require(delta["counts"]["new"] == 0,
+             "delta reported %d spurious new findings"
+             % delta["counts"]["new"])
+    _require(delta["counts"]["fixed"] == 1,
+             "delta reported %d fixed findings, expected exactly the "
+             "patched handler" % delta["counts"]["fixed"])
+    _require(delta["findings"]["fixed"][0]["function"] == flipped,
+             "delta attributed the fix to %r, expected %r"
+             % (delta["findings"]["fixed"][0]["function"], flipped))
+
+    return {
+        "profile": key,
+        "scale": scale,
+        "functions": functions,
+        "flipped_handler": flipped,
+        "cold": {
+            "seconds": round(cold_seconds, 4),
+            "symexec_functions": cold_counters.get("symexec_functions", 0),
+            "fleet_stored": cold_cache.stats["fleet_stored"],
+        },
+        "warm": {
+            "seconds": round(warm_seconds, 4),
+            "symexec_functions": warm_symexec,
+            "reuse_ratio": warm_cache.stats["reuse_ratio"],
+            "speedup_vs_cold": round(cold_seconds / warm_seconds, 2)
+            if warm_seconds else None,
+        },
+        "patched": {
+            "seconds": round(patched_seconds, 4),
+            "symexec_functions": patched_symexec,
+            "changed_closure_size": closure_size,
+            "reuse_ratio": reuse,
+            "delta_counts": {
+                "new": delta["counts"]["new"],
+                "fixed": delta["counts"]["fixed"],
+                "persisting": delta["counts"]["persisting"],
+            },
+            "function_counts": delta["function_counts"],
+        },
+    }
+
+
+def _render(results):
+    lines = ["bench_incremental (%s mode, python %s)"
+             % (results["mode"], results["python"])]
+    for suite in results["suites"]:
+        lines.append("  %s @ scale %s (%d functions, patched: %s)"
+                     % (suite["profile"], suite["scale"],
+                        suite["functions"], suite["flipped_handler"]))
+        lines.append("    cold   : %8.3fs  (%d symexec, %d stored)"
+                     % (suite["cold"]["seconds"],
+                        suite["cold"]["symexec_functions"],
+                        suite["cold"]["fleet_stored"]))
+        lines.append("    warm   : %8.3fs  (%d symexec, reuse %.0f%%, "
+                     "%.1fx vs cold)"
+                     % (suite["warm"]["seconds"],
+                        suite["warm"]["symexec_functions"],
+                        100 * suite["warm"]["reuse_ratio"],
+                        suite["warm"]["speedup_vs_cold"] or 0.0))
+        counts = suite["patched"]["delta_counts"]
+        lines.append("    patched: %8.3fs  (%d symexec, reuse %.0f%%; "
+                     "delta: %d new, %d fixed, %d persisting)"
+                     % (suite["patched"]["seconds"],
+                        suite["patched"]["symexec_functions"],
+                        100 * suite["patched"]["reuse_ratio"],
+                        counts["new"], counts["fixed"],
+                        counts["persisting"]))
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="one profile at small scale (CI smoke)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="write the measurement document to this path")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        plan = [("dir645", 0.05)]
+    else:
+        plan = [("dir645", 0.25), ("dir890l", 0.25)]
+
+    suites = []
+    status = 0
+    for key, scale in plan:
+        cache_dir = tempfile.mkdtemp(prefix="dtaint-bench-inc-")
+        try:
+            suites.append(run_suite(key, scale, cache_dir))
+        except PropertyViolation as exc:
+            print("PROPERTY VIOLATION [%s]: %s" % (key, exc),
+                  file=sys.stderr)
+            status = 1
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+    results = {
+        "schema": 1,
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "suites": suites,
+    }
+    print(_render(results))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.out)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

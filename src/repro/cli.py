@@ -9,7 +9,14 @@
 ``dtaint fleet``              — run the Figure 1 emulation study
 ``dtaint fleet-scan``         — analyse many images in parallel with
                                  summary/report caching, retries and
-                                 JSONL telemetry
+                                 JSONL telemetry (``--incremental``
+                                 adds cross-binary fleet dedup,
+                                 ``--baseline DIR`` a version delta)
+``dtaint delta OLD NEW``      — diff two firmware versions: re-analyse
+                                 only changed function closures,
+                                 classify findings new/fixed/persisting
+``dtaint cache gc``           — prune quarantined and stale-format
+                                 entries from a cache directory
 ``dtaint diffcheck``          — differential sweep of the static
                                  detector against a concrete-execution
                                  oracle and the top-down baseline
@@ -194,13 +201,23 @@ def _cmd_fleet_scan(args):
         os.makedirs(os.path.dirname(telemetry_path) or ".", exist_ok=True)
     telemetry = Telemetry(path=telemetry_path)
 
+    if args.baseline and not args.out:
+        print("--baseline requires --out (the delta report is written "
+              "there)", file=sys.stderr)
+        return EXIT_USAGE
+    incremental = args.incremental or bool(args.baseline)
     cache_dir = None if args.no_cache else args.cache_dir
+    if incremental and cache_dir is None:
+        print("--incremental/--baseline need a cache dir (conflicts "
+              "with --no-cache)", file=sys.stderr)
+        return EXIT_USAGE
     scheduler = FleetScheduler(
         jobs=args.jobs,
         timeout=args.timeout or None,
         retries=args.retries,
         cache_dir=cache_dir,
         use_report_cache=not args.no_report_cache,
+        use_fleet_index=incremental,
         telemetry=telemetry,
     )
     start = time.perf_counter()
@@ -208,17 +225,22 @@ def _cmd_fleet_scan(args):
     wall = time.perf_counter() - start
     telemetry.close()
 
+    new_findings = 0
     if args.out:
         store = ResultsStore(args.out)
         for result in results:
             store.write_image(result)
         rollup = store.write_rollup(results, wall)
         print("results: %s" % rollup)
+        if args.baseline:
+            new_findings = _fleet_baseline_delta(args, results, store)
     if telemetry_path:
         print("telemetry: %s" % telemetry_path)
     print(render_fleet_summary(results, wall))
     if not all(r.ok for r in results):
         return EXIT_ANALYSIS_FAILED
+    if args.baseline and new_findings and args.fail_on_findings:
+        return EXIT_FINDINGS
     degraded = sum(
         (r.report or {}).get("coverage", {}).get("degraded", 0)
         for r in results
@@ -227,6 +249,120 @@ def _cmd_fleet_scan(args):
     if policy is not None:
         return policy
     return EXIT_OK
+
+
+def _cmd_delta(args):
+    import json
+
+    from repro.increment import render_delta, run_delta
+
+    config = DTaintConfig(modules=tuple(args.modules or ()))
+    try:
+        delta_doc, old_image, new_image = run_delta(
+            args.old, args.new, config=config, cache_dir=args.cache_dir,
+        )
+    except (MalformedInput, OSError) as exc:
+        print("delta failed: %s" % exc, file=sys.stderr)
+        return EXIT_ANALYSIS_FAILED
+    if args.json:
+        print(json.dumps(delta_doc, indent=2, sort_keys=True))
+    else:
+        print(render_delta(delta_doc))
+        for image in (old_image, new_image):
+            stats = image.get("cache") or {}
+            if stats:
+                print("  cache %s: %d/%d summary hits, reuse %.0f%%" % (
+                    image["name"],
+                    stats.get("summary_hits", 0),
+                    stats.get("summary_hits", 0)
+                    + stats.get("summary_misses", 0),
+                    100.0 * stats.get("reuse_ratio", 0.0),
+                ))
+    if args.out:
+        from repro.pipeline import ResultsStore
+
+        path = ResultsStore(args.out).write_delta(delta_doc)
+        print("delta report: %s" % path)
+    if args.fail_on_new and delta_doc["counts"]["new"]:
+        return EXIT_FINDINGS
+    return EXIT_OK
+
+
+def _cmd_cache_gc(args):
+    from repro.pipeline.cache import collect_garbage
+
+    stats = collect_garbage(args.cache_dir, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        "cache gc (%s): %s %d corrupt, %d tmp, %d files; pruned %d "
+        "stale summaries; %d bytes freed"
+        % (args.cache_dir, verb, stats["corrupt_removed"],
+           stats["tmp_removed"], stats["files_removed"],
+           stats["stale_summaries"], stats["bytes_freed"])
+    )
+    return EXIT_OK
+
+
+def _fleet_baseline_delta(args, results, store):
+    """--baseline DIR: diff this run's images against a previous run's."""
+    import json
+    import os
+
+    from repro.increment import classify_findings, classify_functions
+
+    baseline_dir = os.path.join(args.baseline, "images")
+    deltas = {}
+    for result in results:
+        if not result.ok or result.report is None:
+            continue
+        path = os.path.join(baseline_dir, "%s.json" % result.job.job_id)
+        if not os.path.exists(path):
+            deltas[result.job.job_id] = {"status": "no_baseline"}
+            continue
+        with open(path, "r") as handle:
+            old_doc = json.load(handle)
+        new_findings = {
+            section: result.report.get(section, [])
+            for section in ("vulnerabilities", "vulnerable_paths")
+        }
+        findings = classify_findings(
+            old_doc.get("findings", {}), new_findings
+        )
+        functions = classify_functions(
+            old_doc.get("fingerprints", {}) or {},
+            result.fingerprints or {},
+        )
+        deltas[result.job.job_id] = {
+            "status": "ok",
+            "functions": {
+                kind: len(names) for kind, names in functions.items()
+            },
+            "changed": sorted(
+                functions["body_changed"] + functions["callee_changed"]
+                + functions["added"] + functions["removed"]
+            ),
+            "counts": {
+                kind: len(items) for kind, items in findings.items()
+            },
+            "new": findings["new"],
+            "fixed": findings["fixed"],
+        }
+    document = {"baseline": args.baseline, "images": deltas}
+    path = store.write_delta(document)
+    print("baseline delta: %s" % path)
+    for job_id in sorted(deltas):
+        delta = deltas[job_id]
+        if delta.get("status") != "ok":
+            print("  %s: %s" % (job_id, delta.get("status")))
+            continue
+        counts = delta["counts"]
+        print("  %s: %d new, %d fixed, %d persisting (%d closures changed)"
+              % (job_id, counts["new"], counts["fixed"],
+                 counts["persisting"], len(delta["changed"])))
+    return sum(
+        d["counts"]["new"] for d in deltas.values()
+        if d.get("status") == "ok"
+    )
 
 
 def _cmd_diffcheck(args):
@@ -339,6 +475,20 @@ def main(argv=None):
                             help="disable all caching for this run")
     fleet_scan.add_argument("--no-report-cache", action="store_true",
                             help="keep summary reuse but always re-detect")
+    fleet_scan.add_argument("--incremental", action="store_true",
+                            help="layer the content-addressed fleet index "
+                                 "over the per-binary caches: summaries "
+                                 "and whole-image findings are reused "
+                                 "across binaries by position-independent "
+                                 "fingerprint")
+    fleet_scan.add_argument("--baseline", metavar="DIR",
+                            help="previous --out directory to diff "
+                                 "against; writes <out>/delta.json with "
+                                 "new/fixed/persisting findings per image "
+                                 "(implies --incremental)")
+    fleet_scan.add_argument("--fail-on-findings", action="store_true",
+                            help="with --baseline: exit %d if any image "
+                                 "gained a new finding" % EXIT_FINDINGS)
     fleet_scan.add_argument("--timeout", type=float, default=0.0,
                             help="per-job wall-clock budget in seconds "
                                  "(0 = unlimited)")
@@ -355,6 +505,42 @@ def main(argv=None):
                                  "attempt (demonstrates quarantine)")
     add_degradation_options(fleet_scan)
     fleet_scan.set_defaults(func=_cmd_fleet_scan)
+
+    delta = sub.add_parser(
+        "delta",
+        help="diff two firmware versions: classify functions by "
+             "fingerprint and findings as new/fixed/persisting",
+    )
+    delta.add_argument("old", help="old-version ELF")
+    delta.add_argument("new", help="new-version ELF")
+    delta.add_argument("--modules", nargs="*",
+                       help="function-name prefixes to analyse")
+    delta.add_argument("--cache-dir",
+                       help="fleet cache: unchanged closures reuse their "
+                            "summaries instead of re-running symexec")
+    delta.add_argument("--json", action="store_true",
+                       help="emit the delta document as JSON")
+    delta.add_argument("--out",
+                       help="directory for delta.json")
+    delta.add_argument("--fail-on-new", action="store_true",
+                       help="exit %d if the new version introduces "
+                            "findings" % EXIT_FINDINGS)
+    delta.set_defaults(func=_cmd_delta)
+
+    cache = sub.add_parser(
+        "cache", help="cache maintenance (gc)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="prune .corrupt quarantine files, orphaned tmp files and "
+             "stale-format summaries",
+    )
+    cache_gc.add_argument("--cache-dir", default=".dtaint-cache")
+    cache_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be removed, touch "
+                               "nothing")
+    cache_gc.set_defaults(func=_cmd_cache_gc)
 
     diffcheck = sub.add_parser(
         "diffcheck",

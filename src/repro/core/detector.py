@@ -138,6 +138,13 @@ class DTaint:
             symbols, on_fault=on_fault
         )
         self.call_graph = build_call_graph(self.functions)
+        # Duck-typed pipeline hook: an incremental summary cache
+        # fingerprints the recovered functions here (it needs the call
+        # graph for closure hashes).  Plain bound caches have no such
+        # method and pay nothing; repro.core stays pipeline-agnostic.
+        bind = getattr(self.summary_cache, "bind_functions", None)
+        if bind is not None:
+            bind(self.binary, self.functions, self.call_graph)
         self.timer.stop()
         return self.functions
 

@@ -130,3 +130,49 @@ def source_availability(images):
     """The §II-A static-analysis statistic: images without source."""
     without = sum(1 for image in images if not image.has_source_release)
     return {"total": len(images), "no_source": without}
+
+
+# ---------------------------------------------------------------------------
+# Firmware-version pairs (incremental-analysis fixtures).
+
+
+def build_version_pair(key, scale=0.25, flip=None):
+    """Build two releases of one vendor image differing in ONE handler.
+
+    The "new" release is the same profile with a bumped version string
+    and the ``vulnerable`` flag of one handler toggled — the minimal
+    realistic patch: a vendor fixes (or introduces) one bug and every
+    function address downstream of the edit shifts.  Returns
+    ``(old_built, new_built, flipped_handler_name)``.
+
+    ``flip`` names the handler to toggle; default: the first handler
+    that is vulnerable in the base profile (so the delta reads as a
+    vendor *fix*).
+    """
+    from dataclasses import replace
+
+    from repro.corpus.profiles import PROFILES, build_firmware
+
+    profile = PROFILES[key]
+    flipped = None
+    new_handlers = []
+    for factory, kwargs, module in profile.handlers:
+        name = kwargs.get("name", "")
+        vulnerable = kwargs.get("vulnerable", True)
+        if flipped is None and (name == flip or
+                                (flip is None and vulnerable)):
+            kwargs = dict(kwargs)
+            kwargs["vulnerable"] = not vulnerable
+            flipped = name
+        new_handlers.append((factory, kwargs, module))
+    if flipped is None:
+        raise ValueError("no handler to flip in profile %r (flip=%r)"
+                         % (key, flip))
+    new_profile = replace(
+        profile,
+        version="%s-patched" % profile.version,
+        handlers=new_handlers,
+    )
+    old_built = build_firmware(key, scale=scale)
+    new_built = build_firmware(key, scale=scale, profile=new_profile)
+    return old_built, new_built, flipped

@@ -463,13 +463,15 @@ PROFILE_ORDER = ("dir645", "dir890l", "dgn1000", "dgn2200", "uniview",
                  "hikvision")
 
 
-def build_firmware(key, scale=1.0):
+def build_firmware(key, scale=1.0, profile=None):
     """Build one profile's binary at ``scale``; returns a BuiltBinary.
 
     Handler (vulnerable + decoy) functions are always included; filler
-    counts, and therefore blocks/edges/sinks, scale linearly.
+    counts, and therefore blocks/edges/sinks, scale linearly.  An
+    explicit ``profile`` overrides the registry entry for ``key`` —
+    version-pair fixtures patch one handler and rebuild.
     """
-    profile = PROFILES[key]
+    profile = profile or PROFILES[key]
     rng = random.Random(profile.seed)
 
     handler_funcs = []

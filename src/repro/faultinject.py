@@ -24,6 +24,7 @@ site                    target                        faults
 ``loader``              file label (may be empty)     malformed
 ``firmware.unpack``     file label (may be empty)     malformed
 ``firmware.file``       filesystem path               malformed
+``results``             output file basename          malformed
 ======================  ============================  ==================
 
 Determinism: a spec either names its target exactly or uses ``*``

@@ -1,0 +1,164 @@
+"""The fleet dedup index: content-addressed cross-binary stores.
+
+Layered *in front of* the per-binary caches in
+:mod:`repro.pipeline.cache`, this index keys artefacts by what the
+code **is** rather than where it was found:
+
+* ``<cache>/fleet/sum/<xx>/<closure>-<cfgfp>.pkl`` — one function
+  summary per (closure fingerprint, summary-config fingerprint); any
+  image containing an isomorphic function with an unchanged callee
+  closure can rebase and reuse it;
+* ``<cache>/fleet/img/<xx>/<imagefp>-<reportfp>.json`` — one whole
+  findings document per (image fingerprint, report-config
+  fingerprint); reused when a rebuilt image has an identical function
+  closure set and the layout shifted rigidly.
+
+Records are self-describing (``version`` = ``CACHE_FORMAT_VERSION``);
+stale or undecodable records read as misses and are quarantined the
+same way the per-binary bundles are.  Writes are atomic and
+content-addressed, so racing fleet workers can only ever write the
+same bytes to the same key.
+"""
+
+import json
+import os
+import pickle
+
+from repro.core.interproc import deserialize_summary, serialize_summary
+from repro.pipeline.cache import (
+    CACHE_FORMAT_VERSION,
+    _atomic_write,
+    _quarantine,
+)
+
+
+class FleetIndex:
+    """On-disk content-addressed store for summaries + findings."""
+
+    def __init__(self, root, config_fp):
+        self.root = os.path.join(root, "fleet")
+        self.config_fp = config_fp
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.stored = 0
+        self._pending = {}    # path -> serialized record bytes
+
+    # -- paths -------------------------------------------------------------
+
+    def _summary_path(self, closure):
+        name = "%s-%s.pkl" % (closure, self.config_fp)
+        return os.path.join(self.root, "sum", closure[:2], name)
+
+    def _image_path(self, image_fp, report_fp):
+        name = "%s-%s.json" % (image_fp, report_fp)
+        return os.path.join(self.root, "img", image_fp[:2], name)
+
+    # -- summaries ---------------------------------------------------------
+
+    def get_summary(self, closure):
+        """(summary, literals, strays) for a closure key, or ``None``."""
+        path = self._summary_path(closure)
+        record = self._pending.get(path)
+        if record is not None:
+            record = pickle.loads(record)
+        else:
+            try:
+                with open(path, "rb") as handle:
+                    record = pickle.load(handle)
+            except FileNotFoundError:
+                self.misses += 1
+                return None
+            except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                    AttributeError, ImportError):
+                self.corrupt += 1
+                _quarantine(path)
+                self.misses += 1
+                return None
+        if (not isinstance(record, dict)
+                or record.get("version") != CACHE_FORMAT_VERSION):
+            self.corrupt += 1
+            _quarantine(path)
+            self.misses += 1
+            return None
+        summary = deserialize_summary(record.get("blob"))
+        if summary is None:
+            self.corrupt += 1
+            _quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return (summary, tuple(record.get("literals", ())),
+                tuple(record.get("strays", ())))
+
+    def put_summary(self, closure, summary, literals, strays=()):
+        """Stage one summary for the closure key (first writer wins)."""
+        path = self._summary_path(closure)
+        if path in self._pending or os.path.exists(path):
+            return
+        record = {
+            "version": CACHE_FORMAT_VERSION,
+            "name": summary.name,
+            "addr": summary.addr,
+            "blob": serialize_summary(summary),
+            "literals": tuple(literals),
+            "strays": tuple(strays),
+        }
+        self._pending[path] = pickle.dumps(record, protocol=4)
+        self.stored += 1
+
+    # -- whole-image findings ----------------------------------------------
+
+    def get_image_report(self, image_fp, report_fp):
+        """(report_dict, entries {name: old_addr}) or ``None``."""
+        if not image_fp or not report_fp:
+            return None
+        path = self._image_path(image_fp, report_fp)
+        try:
+            with open(path, "r") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self.corrupt += 1
+            _quarantine(path)
+            return None
+        if (not isinstance(record, dict)
+                or record.get("version") != CACHE_FORMAT_VERSION):
+            self.corrupt += 1
+            _quarantine(path)
+            return None
+        return record.get("report"), record.get("entries", {})
+
+    def put_image_report(self, image_fp, report_fp, report_dict, entries):
+        if not image_fp or not report_fp:
+            return
+        path = self._image_path(image_fp, report_fp)
+        if os.path.exists(path):
+            return
+        record = {
+            "version": CACHE_FORMAT_VERSION,
+            "report": report_dict,
+            "entries": entries,
+        }
+        _atomic_write(
+            path, json.dumps(record, sort_keys=True).encode("utf-8")
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush(self):
+        """Persist staged summaries; racing writers write equal bytes."""
+        for path, data in self._pending.items():
+            if not os.path.exists(path):
+                _atomic_write(path, data)
+        self._pending.clear()
+
+    @property
+    def stats(self):
+        return {
+            "fleet_hits": self.hits,
+            "fleet_misses": self.misses,
+            "fleet_stored": self.stored,
+            "cache_corrupt": self.corrupt,
+        }

@@ -1,0 +1,223 @@
+"""Rebase a cached function summary onto a new address layout.
+
+A base :class:`~repro.symexec.state.FunctionSummary` depends only on
+the function's own IR — that is what makes cross-binary reuse sound —
+but it *records* position-dependent values: definition/constraint/use
+sites, callsite and return addresses, ``SymRet(callsite)`` symbols,
+and ``SymConst`` literals that point into the data segments (format
+strings and globals; the sink layer dereferences these via
+``binary.read_cstring``, so they must stay valid in the new image).
+
+A fingerprint match guarantees the two layouts are isomorphic: every
+instruction sits at the same entry-relative offset and the literal
+tables align positionally.  Relocation is therefore a rigid shift
+(``new_entry - old_entry``) of every site plus an exact substitution
+``SymConst(old_literal) -> SymConst(new_literal)`` /
+``SymRet(a) -> SymRet(a + offset)`` over every expression.
+
+One guard: a mapped-data address can reach a summary without passing
+through the literal table — split-immediate materialisation (MIPS
+``lui``/``addiu``, ARM ``movw``/``movt``) composes it from constants
+the canonicaliser can only token as raw values, and symbolic execution
+folds loads from *read-only* data.  Such **stray** addresses are
+recorded at store time together with a digest of the bytes behind
+them (:func:`stray_addresses`).  Their raw values are still
+fingerprint-covered (the composing constants token as ``c:<hex>``, so
+a fingerprint match implies value equality), but the *content* behind
+them is not — :func:`strays_compatible` re-digests the candidate
+binary and refuses reuse on any mismatch, because the detect phase
+dereferences these addresses (``binary.read_cstring`` on format
+strings) against the image being scanned.
+"""
+
+import hashlib
+
+from repro.symexec.state import (
+    CallSiteSummary,
+    Constraint,
+    DefPair,
+    FunctionSummary,
+    VarUse,
+)
+from repro.symexec.value import SymConst, SymRet, substitute, walk
+
+
+def _iter_exprs(summary):
+    for pair in summary.def_pairs:
+        yield pair.dest
+        yield pair.value
+    for use in summary.uses:
+        yield use.var
+    for constraint in summary.constraints:
+        yield constraint.expr
+    for callsite in summary.callsites:
+        if not isinstance(callsite.target, str):
+            yield callsite.target
+        for arg in callsite.args:
+            if arg is not None:
+                yield arg
+        for arg in callsite.stack_args:
+            if arg is not None:
+                yield arg
+        for constraint in callsite.constraints:
+            yield constraint.expr
+    for value in summary.ret_values:
+        yield value
+    for _site, dest, value in summary.loop_stores:
+        yield dest
+        yield value
+    for _reg, _site, value in summary.register_defs:
+        yield value
+
+
+def _stray_tag(binary, value):
+    """Content witness for one stray address in one binary.
+
+    Read-only data digests its first 64 bytes (enough to cover any
+    format string or folded word the detect phase will read back);
+    writable data is tagged ``w`` — its content is mutable state no
+    summary may depend on, only the address classification matters.
+    """
+    if binary.read_ro(value, 1) is None:
+        return "w"
+    vaddr, data, _executable = binary.segment_for(value)
+    offset = value - vaddr
+    window = bytes(data[offset:offset + 64])
+    return hashlib.sha256(window).hexdigest()[:16]
+
+
+def stray_addresses(summary, binary, literals):
+    """Mapped-address constants the literal table does not cover.
+
+    Sorted tuple of ``(value, content_tag)`` pairs for ``SymConst``
+    values that fall inside a mapped segment but were never rendered
+    from the function's own IR — split-immediate and read-only-fold
+    artefacts whose backing bytes must be re-verified before reuse in
+    another image (:func:`strays_compatible`).
+    """
+    covered = set(literals)
+    strays = set()
+    for expr in _iter_exprs(summary):
+        for node in walk(expr):
+            if not isinstance(node, SymConst):
+                continue
+            value = node.value
+            if value < 0x1000 or value in covered:
+                continue
+            if binary.segment_for(value) is not None:
+                strays.add(value)
+    return tuple(
+        (value, _stray_tag(binary, value)) for value in sorted(strays)
+    )
+
+
+def strays_compatible(binary, strays):
+    """True when every stray's backing bytes match in ``binary``."""
+    for value, tag in strays:
+        if binary.segment_for(value) is None:
+            return False
+        if _stray_tag(binary, value) != tag:
+            return False
+    return True
+
+
+def _literal_mapping(old_literals, new_literals):
+    """Positional old -> new literal map; ``None`` on any conflict."""
+    if len(old_literals) != len(new_literals):
+        return None
+    mapping = {}
+    for old, new in zip(old_literals, new_literals):
+        seen = mapping.get(old)
+        if seen is not None and seen != new:
+            return None
+        mapping[old] = new
+    return mapping
+
+
+def relocate_summary(summary, new_name, new_entry, old_literals,
+                     new_literals):
+    """A copy of ``summary`` rebased to ``new_entry``; ``None`` if unsound.
+
+    ``old_literals``/``new_literals`` are the positionally aligned
+    literal tables of the stored and the requesting fingerprint.  Stray
+    addresses must be vetted by the caller (:func:`strays_compatible`)
+    first; they keep their raw values through relocation — fingerprint
+    equality guarantees those values are identical in both layouts.
+    The identity relocation (same entry, same literals) is always
+    sound and returns the summary unchanged.
+    """
+    offset = new_entry - summary.addr
+    literal_map = _literal_mapping(old_literals, new_literals)
+    if literal_map is None:
+        return None
+    moved_literals = {
+        old: new for old, new in literal_map.items() if old != new
+    }
+    if offset == 0 and not moved_literals:
+        if summary.name != new_name:
+            summary.name = new_name
+        return summary
+
+    mapping = {
+        SymConst(old): SymConst(new)
+        for old, new in moved_literals.items()
+    }
+    if offset:
+        rets = set()
+        for expr in _iter_exprs(summary):
+            for node in walk(expr):
+                if isinstance(node, SymRet):
+                    rets.add(node.callsite)
+        for callsite in rets:
+            mapping[SymRet(callsite)] = SymRet(callsite + offset)
+
+    def fix(expr):
+        return substitute(expr, mapping) if mapping else expr
+
+    def site(value):
+        return value + offset if value else value
+
+    out = FunctionSummary(name=new_name, addr=new_entry)
+    out.def_pairs = [
+        DefPair(dest=fix(p.dest), value=fix(p.value), site=site(p.site))
+        for p in summary.def_pairs
+    ]
+    out.uses = [
+        VarUse(var=fix(u.var), site=site(u.site)) for u in summary.uses
+    ]
+    out.constraints = [
+        Constraint(expr=fix(c.expr), taken=c.taken, site=site(c.site))
+        for c in summary.constraints
+    ]
+    out.callsites = [
+        CallSiteSummary(
+            addr=site(c.addr),
+            target=c.target if isinstance(c.target, str) else fix(c.target),
+            args=[fix(a) if a is not None else None for a in c.args],
+            return_addr=(
+                c.return_addr + offset if c.return_addr else c.return_addr
+            ),
+            constraints=tuple(
+                Constraint(expr=fix(k.expr), taken=k.taken,
+                           site=site(k.site))
+                for k in c.constraints
+            ),
+            stack_args=[
+                fix(a) if a is not None else None for a in c.stack_args
+            ],
+        )
+        for c in summary.callsites
+    ]
+    out.ret_values = [fix(v) for v in summary.ret_values]
+    out.loop_stores = [
+        (site(s), fix(dest), fix(value))
+        for s, dest, value in summary.loop_stores
+    ]
+    out.register_defs = [
+        (reg, site(s), fix(value))
+        for reg, s, value in summary.register_defs
+    ]
+    out.paths_explored = summary.paths_explored
+    out.truncated = summary.truncated
+    out.deadline_hit = summary.deadline_hit
+    return out

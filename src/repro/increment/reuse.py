@@ -1,0 +1,229 @@
+"""The incremental summary cache: binary-scoped bundle + fleet index.
+
+:class:`IncrementalSummaryCache` presents the exact ``get(addr)`` /
+``put(addr, summary)`` / ``hits`` / ``misses`` surface the detector
+already binds to, so ``repro.core`` stays free of pipeline concepts.
+The one addition is ``bind_functions`` — a duck-typed hook the
+detector calls right after call-graph construction — which computes
+the position-independent fingerprints this cache keys the fleet layer
+by (timed under the ``increment`` profiler phase).
+
+Lookup order: the per-binary bundle first (one dict probe), then the
+fleet index by closure fingerprint, rebasing the stored summary onto
+this binary's layout on a hit and back-filling the bundle so the next
+run of the same binary never pays the relocation again.
+"""
+
+import os
+
+from repro import profiling
+from repro.increment.fingerprint import (
+    fingerprint_functions,
+    image_fingerprint,
+)
+from repro.increment.index import FleetIndex
+from repro.increment.relocate import (
+    relocate_summary,
+    stray_addresses,
+    strays_compatible,
+)
+from repro.pipeline.cache import SummaryCache, summary_fingerprint
+
+
+class IncrementalSummaryCache:
+    """Two-level summary store: binary bundle in front of fleet index."""
+
+    def __init__(self, bound, index):
+        self.bound = bound
+        self.index = index
+        self.binary = None
+        self.fingerprints = {}          # name -> FunctionFingerprint
+        self._by_addr = {}              # entry addr -> FunctionFingerprint
+        self.hits = 0
+        self.misses = 0
+
+    # -- detector hooks ----------------------------------------------------
+
+    def bind_functions(self, binary, functions, call_graph):
+        """Fingerprint the recovered functions (detector build_cfg hook)."""
+        with profiling.PROFILER.phase("increment"):
+            self.binary = binary
+            self.fingerprints = fingerprint_functions(
+                binary, functions, call_graph
+            )
+            self._by_addr = {
+                fp.addr: fp for fp in self.fingerprints.values()
+            }
+            profiling.PROFILER.count(
+                "fingerprinted_functions", len(self.fingerprints)
+            )
+
+    def get(self, addr):
+        summary = self.bound.get(addr)
+        if summary is not None:
+            self.hits += 1
+            return summary
+        fingerprint = self._by_addr.get(addr)
+        if fingerprint is None:
+            self.misses += 1
+            return None
+        with profiling.PROFILER.phase("increment"):
+            hit = self.index.get_summary(fingerprint.closure)
+            summary = None
+            if hit is not None:
+                stored, old_literals, strays = hit
+                if strays_compatible(self.binary, strays):
+                    summary = relocate_summary(
+                        stored, fingerprint.name, addr,
+                        old_literals, fingerprint.literals,
+                    )
+        if summary is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        # Back-fill the binary-scoped bundle: future runs of this
+        # exact binary hit on the first probe, relocation-free.
+        self.bound.put(addr, summary)
+        return summary
+
+    def put(self, addr, summary):
+        self.bound.put(addr, summary)
+        fingerprint = self._by_addr.get(addr)
+        if fingerprint is None or self.binary is None:
+            return
+        with profiling.PROFILER.phase("increment"):
+            strays = stray_addresses(
+                summary, self.binary, fingerprint.literals
+            )
+            self.index.put_summary(
+                fingerprint.closure, summary, fingerprint.literals,
+                strays=strays,
+            )
+
+    def flush(self):
+        self.bound.flush()
+        self.index.flush()
+
+    # -- whole-image findings reuse ----------------------------------------
+
+    def image_fingerprint(self, report_fp):
+        """Content address of this image's analysis identity, or ``None``."""
+        if not self.fingerprints or self.binary is None or not report_fp:
+            return None
+        with profiling.PROFILER.phase("increment"):
+            return image_fingerprint(
+                self.fingerprints, self.binary, report_fp
+            )
+
+    def lookup_image_report(self, report_fp):
+        """A relocated cached findings document, or ``None``."""
+        image_fp = self.image_fingerprint(report_fp)
+        if image_fp is None:
+            return None
+        hit = self.index.get_image_report(image_fp, report_fp)
+        if hit is None:
+            return None
+        report_dict, entries = hit
+        new_entries = {
+            name: fp.addr for name, fp in self.fingerprints.items()
+        }
+        return relocate_report(report_dict, entries, new_entries)
+
+    def store_image_report(self, report_fp, report_dict):
+        image_fp = self.image_fingerprint(report_fp)
+        if image_fp is None:
+            return
+        entries = {
+            name: fp.addr for name, fp in self.fingerprints.items()
+        }
+        self.index.put_image_report(
+            image_fp, report_fp, report_dict, entries
+        )
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def corrupt(self):
+        return self.bound.corrupt + self.index.corrupt
+
+    @property
+    def stats(self):
+        lookups = self.hits + self.misses
+        stats = {
+            "summary_hits": self.hits,
+            "summary_misses": self.misses,
+            "cache_corrupt": self.corrupt,
+            "reuse_ratio": round(self.hits / lookups, 4) if lookups else 0.0,
+        }
+        stats.update(self.index.stats)
+        stats["cache_corrupt"] = self.corrupt
+        return stats
+
+    def closure_fingerprints(self):
+        """name -> {local, closure} digests (shipped in fleet image
+        documents; the shape :func:`repro.increment.delta.classify_functions`
+        compares directly)."""
+        return {
+            name: {"local": fp.local, "closure": fp.closure}
+            for name, fp in self.fingerprints.items()
+        }
+
+
+_ADDR_FIELDS = ("sink_addr", "source_addr")
+
+
+def relocate_report(report_dict, old_entries, new_entries):
+    """Shift a cached findings document onto a new layout, or ``None``.
+
+    Sound only when every matched function moved by the same offset
+    (findings carry cross-function addresses — a forwarded sink's
+    source can live in a different function — so per-function deltas
+    cannot be applied field-by-field).  The common cases are covered:
+    the identical binary (offset 0) and a rigidly rebased one.
+    """
+    deltas = set()
+    for name, old_addr in old_entries.items():
+        new_addr = new_entries.get(name)
+        if new_addr is None:
+            return None
+        deltas.add(new_addr - old_addr)
+    if len(deltas) > 1:
+        return None
+    offset = deltas.pop() if deltas else 0
+    if offset == 0:
+        return report_dict
+    import copy
+
+    shifted = copy.deepcopy(report_dict)
+    for section in ("vulnerable_paths", "vulnerabilities",
+                    "sanitized_paths"):
+        for finding in shifted.get(section, []) or []:
+            for fld in _ADDR_FIELDS:
+                if isinstance(finding.get(fld), int) and finding[fld]:
+                    finding[fld] += offset
+    for degraded in shifted.get("degraded_functions", []) or []:
+        if isinstance(degraded.get("addr"), int) and degraded["addr"]:
+            degraded["addr"] += offset
+    return shifted
+
+
+def open_incremental_cache(cache_dir, sha, config):
+    """The standard two-level cache for one binary under ``cache_dir``."""
+    bound = SummaryCache(cache_dir).for_binary(sha, config)
+    index = FleetIndex(cache_dir, summary_fingerprint(config))
+    return IncrementalSummaryCache(bound, index)
+
+
+def clear_binary_bundles(cache_dir):
+    """Delete the per-binary summary bundles, keeping the fleet index.
+
+    Bench/test helper: proves the fleet layer alone can serve a warm
+    re-scan (the binary-scoped fast path is a strict optimisation).
+    """
+    root = os.path.join(cache_dir, "summaries")
+    removed = 0
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in filenames:
+            os.unlink(os.path.join(dirpath, filename))
+            removed += 1
+    return removed

@@ -20,6 +20,7 @@ from repro.pipeline.cache import (
     ReportCache,
     SummaryCache,
     binary_sha256,
+    collect_garbage,
     report_fingerprint,
     summary_fingerprint,
 )
@@ -49,7 +50,7 @@ from repro.pipeline.telemetry import (
 __all__ = [
     "FleetJob", "FleetScheduler", "JobResult", "execute_job",
     "SummaryCache", "ReportCache", "binary_sha256",
-    "summary_fingerprint", "report_fingerprint",
+    "summary_fingerprint", "report_fingerprint", "collect_garbage",
     "Telemetry", "read_events", "render_fleet_summary",
     "ResultsStore", "canonical_report", "findings_fingerprint",
     "FaultInjector", "FaultSpec", "injected", "pick_target",

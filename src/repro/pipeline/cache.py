@@ -10,14 +10,36 @@ sequence of near-free lookups, and a single flipped byte anywhere in
 the binary invalidates everything (content addressing, no mtime
 games).
 
-Two layers:
+Cache-key hierarchy
+-------------------
 
-* :class:`SummaryCache` — per-function :class:`FunctionSummary` blobs,
-  bundled one file per ``(binary, fingerprint)`` pair so a warm lookup
-  costs one read, not thousands.
-* :class:`ReportCache` — whole-run report dicts keyed by
-  ``(binary-sha256, report-fingerprint)``; a hit skips the entire
-  analysis, not just symexec.
+Two addressing schemes coexist, from most to least specific:
+
+* **Binary-scoped** (this module) — keyed by *where* the code was
+  found: ``(binary-sha256, function-addr, config-fingerprint)``.
+  Exact, cheap (one dict probe per function), invalidated wholesale
+  by any rebuild.
+
+  - :class:`SummaryCache` — per-function :class:`FunctionSummary`
+    blobs, bundled one file per ``(binary, fingerprint)`` pair so a
+    warm lookup costs one read, not thousands
+    (``<dir>/summaries/<xx>/<sha>-<cfgfp>.pkl``).
+  - :class:`ReportCache` — whole-run report dicts keyed by
+    ``(binary-sha256, report-fingerprint)``; a hit skips the entire
+    analysis, not just symexec
+    (``<dir>/reports/<xx>/<sha>-<reportfp>.json``).
+
+* **Content-addressed** (:mod:`repro.increment.index`) — keyed by
+  *what* the code is: the function's position-independent Merkle
+  closure fingerprint (``<dir>/fleet/sum/...``) or the whole image's
+  closure-set fingerprint (``<dir>/fleet/img/...``).  Survives
+  relinking, version rebuilds and cross-image duplication; a hit pays
+  a relocation pass.  :class:`repro.increment.reuse.
+  IncrementalSummaryCache` layers it behind the binary-scoped bundle,
+  back-filling the bundle on every fleet hit.
+
+Both layers share ``config-fingerprint`` semantics (only the knobs
+that shape the artefact participate) and ``CACHE_FORMAT_VERSION``.
 
 Writes are atomic (tmp + ``os.replace``) so parallel fleet workers
 never expose torn files to each other.  A bundle that fails to load
@@ -225,3 +247,118 @@ class ReportCache:
             return
         blob = json.dumps(report_dict, sort_keys=True).encode("utf-8")
         _atomic_write(self._path(sha, fingerprint), blob)
+
+
+# ---------------------------------------------------------------------------
+# Garbage collection (``dtaint cache gc``).
+
+
+def _summary_blob_stale(blob):
+    """True when a bundled blob predates the current summary format."""
+    if not isinstance(blob, (bytes, bytearray)) or len(blob) <= 6:
+        return True
+    if blob[:5] != b"DTSUM":
+        return True
+    return blob[5] != SUMMARY_FORMAT_VERSION
+
+
+def _gc_bundle(path, dry_run, stats):
+    """Prune stale per-function blobs inside one summary bundle."""
+    try:
+        with open(path, "rb") as handle:
+            bundle = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+            AttributeError, ImportError):
+        stats["files_removed"] += 1
+        stats["bytes_freed"] += _file_size(path)
+        if not dry_run:
+            os.unlink(path)
+        return
+    if not isinstance(bundle, dict):
+        stats["files_removed"] += 1
+        stats["bytes_freed"] += _file_size(path)
+        if not dry_run:
+            os.unlink(path)
+        return
+    stale = [
+        addr for addr, blob in bundle.items() if _summary_blob_stale(blob)
+    ]
+    if not stale:
+        return
+    stats["stale_summaries"] += len(stale)
+    if len(stale) == len(bundle):
+        stats["files_removed"] += 1
+        stats["bytes_freed"] += _file_size(path)
+        if not dry_run:
+            os.unlink(path)
+        return
+    if not dry_run:
+        for addr in stale:
+            del bundle[addr]
+        _atomic_write(path, pickle.dumps(bundle, protocol=4))
+
+
+def _gc_fleet_record(path, dry_run, stats):
+    """Drop a fleet-index record written under an older cache format."""
+    try:
+        with open(path, "rb") as handle:
+            record = pickle.load(handle)
+        stale = (not isinstance(record, dict)
+                 or record.get("version") != CACHE_FORMAT_VERSION
+                 or _summary_blob_stale(record.get("blob")))
+    except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+            AttributeError, ImportError):
+        stale = True
+    if stale:
+        stats["stale_summaries"] += 1
+        stats["files_removed"] += 1
+        stats["bytes_freed"] += _file_size(path)
+        if not dry_run:
+            os.unlink(path)
+
+
+def _file_size(path):
+    try:
+        return os.path.getsize(path)
+    except OSError:
+        return 0
+
+
+def collect_garbage(root, dry_run=False):
+    """Prune quarantine leftovers and stale-format cache entries.
+
+    Removes ``*.corrupt`` quarantine files and orphaned ``*.tmp.*``
+    writes anywhere under ``root``, deletes fleet-index records whose
+    format version predates :data:`CACHE_FORMAT_VERSION`, and rewrites
+    summary bundles dropping blobs older than the current summary
+    format (deleting bundles left empty).  With ``dry_run`` nothing is
+    touched; the returned stats describe what *would* happen either
+    way: ``corrupt_removed``, ``tmp_removed``, ``stale_summaries``,
+    ``files_removed``, ``bytes_freed``.
+    """
+    stats = {
+        "corrupt_removed": 0, "tmp_removed": 0, "stale_summaries": 0,
+        "files_removed": 0, "bytes_freed": 0,
+    }
+    if not os.path.isdir(root):
+        return stats
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in filenames:
+            path = os.path.join(dirpath, filename)
+            if filename.endswith(".corrupt"):
+                stats["corrupt_removed"] += 1
+                stats["bytes_freed"] += _file_size(path)
+                if not dry_run:
+                    os.unlink(path)
+            elif ".tmp." in filename:
+                stats["tmp_removed"] += 1
+                stats["bytes_freed"] += _file_size(path)
+                if not dry_run:
+                    os.unlink(path)
+            elif (os.sep + "summaries" + os.sep in path
+                    and filename.endswith(".pkl")):
+                _gc_bundle(path, dry_run, stats)
+            elif (os.sep + os.path.join("fleet", "sum") + os.sep in path
+                    and filename.endswith(".pkl")):
+                _gc_fleet_record(path, dry_run, stats)
+    return stats

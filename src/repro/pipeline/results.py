@@ -20,6 +20,8 @@ import hashlib
 import json
 import os
 
+from repro import faultinject
+
 _FINDING_SORT_KEYS = (
     "function", "sink_name", "sink_addr", "source_name", "source_addr",
     "kind", "expr", "hops",
@@ -82,8 +84,35 @@ def findings_fingerprint(report_dict):
     return hashlib.sha256(blob).hexdigest()
 
 
+def _write_json(path, document):
+    """Atomic JSON write: tmp + ``os.replace``.
+
+    Concurrent fleet workers and a mid-write crash can therefore never
+    leave a torn ``results.json``/rollup on disk — readers see either
+    the previous complete file or the new complete file.  The
+    ``results`` fault probe sits between serialisation and the rename,
+    modelling a worker dying with the tmp file written but the
+    publication step not taken.
+    """
+    tmp = "%s.tmp.%d" % (path, os.getpid())
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            faultinject.check("results", os.path.basename(path))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 class ResultsStore:
-    """Writes per-image findings and the fleet rollup to a directory."""
+    """Writes per-image findings and the fleet rollup to a directory.
+
+    All writes are atomic (see :func:`_write_json`)."""
 
     def __init__(self, out_dir):
         self.out_dir = out_dir
@@ -107,12 +136,15 @@ class ResultsStore:
             document["findings"] = canonical_report(result.report)
             document["findings_sha256"] = findings_fingerprint(result.report)
             document["stage_seconds"] = result.report.get("stage_seconds", {})
+        fingerprints = getattr(result, "fingerprints", None)
+        if fingerprints:
+            # Position-independent closure fingerprints (incremental
+            # runs): the baseline a later --baseline diff matches on.
+            document["fingerprints"] = fingerprints
         path = os.path.join(
             self.out_dir, "images", "%s.json" % result.job.job_id
         )
-        with open(path, "w") as handle:
-            json.dump(document, handle, indent=2, sort_keys=True)
-        return path
+        return _write_json(path, document)
 
     def write_diffcheck(self, triage_dict):
         """Persist a differential sweep's triage report.
@@ -122,9 +154,12 @@ class ResultsStore:
         reproducer per divergence.  Returns the path written.
         """
         path = os.path.join(self.out_dir, "diffcheck.json")
-        with open(path, "w") as handle:
-            json.dump(triage_dict, handle, indent=2, sort_keys=True)
-        return path
+        return _write_json(path, triage_dict)
+
+    def write_delta(self, delta_doc, name="delta.json"):
+        """Persist a version-delta document; returns the path written."""
+        path = os.path.join(self.out_dir, name)
+        return _write_json(path, delta_doc)
 
     def write_rollup(self, results, wall_seconds):
         """Persist ``fleet.json`` summarising the whole run."""
@@ -134,6 +169,7 @@ class ResultsStore:
             "vulnerable_paths": 0, "vulnerabilities": 0,
             "summary_hits": 0, "summary_misses": 0, "report_cache_hits": 0,
             "cache_corrupt": 0,
+            "fleet_hits": 0, "fleet_misses": 0,
             "analyzed_functions": 0, "selected_functions": 0,
             "degraded_functions": 0, "truncated_summaries": 0,
         }
@@ -165,16 +201,20 @@ class ResultsStore:
                 bool(result.cache.get("report_cache_hit"))
             )
             totals["cache_corrupt"] += result.cache.get("cache_corrupt", 0)
+            totals["fleet_hits"] += result.cache.get("fleet_hits", 0)
+            totals["fleet_misses"] += result.cache.get("fleet_misses", 0)
             totals["analyzed_functions"] += coverage.get("analyzed", 0)
             totals["selected_functions"] += coverage.get("selected", 0)
             totals["degraded_functions"] += coverage.get("degraded", 0)
             totals["truncated_summaries"] += coverage.get("truncated", 0)
+        lookups = totals["fleet_hits"] + totals["fleet_misses"]
+        totals["reuse_ratio"] = (
+            round(totals["fleet_hits"] / lookups, 4) if lookups else 0.0
+        )
         rollup = {
             "wall_seconds": wall_seconds,
             "totals": totals,
             "images": rows,
         }
         path = os.path.join(self.out_dir, "fleet.json")
-        with open(path, "w") as handle:
-            json.dump(rollup, handle, indent=2, sort_keys=True)
-        return path
+        return _write_json(path, rollup)

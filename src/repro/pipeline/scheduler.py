@@ -77,6 +77,9 @@ class JobResult:
     attempts: int = 0
     report: dict = None          # Report.to_dict() form (status 'ok')
     sha256: str = ""
+    # name -> closure fingerprint (incremental runs only): the
+    # position-independent identity a later --baseline diff matches on.
+    fingerprints: dict = None
     error: str = ""
     error_type: str = ""
     elapsed: float = 0.0         # last attempt's wall time
@@ -134,13 +137,20 @@ def _inject_fault(job, attempt):
 
 
 def execute_job(job, attempt=1, cache_dir=None, use_summary_cache=True,
-                use_report_cache=True):
+                use_report_cache=True, use_fleet_index=False):
     """Run one job to completion in *this* process; returns a payload.
 
     This is the body of a worker process, but it is also directly
     callable (tests, debugging a single image without the fleet
     machinery).  The payload is a plain dict: status, report dict,
     binary sha, cache counters, resource usage.
+
+    With ``use_fleet_index`` the bound summary cache is layered over
+    the content-addressed fleet store (:mod:`repro.increment`):
+    summaries and whole-image findings are reused across *different*
+    binaries whenever the position-independent fingerprints match, and
+    the payload additionally carries each function's closure
+    fingerprint for version-delta reports.
     """
     from repro.core import DTaint
     from repro.eval.resources import measure
@@ -152,7 +162,7 @@ def execute_job(job, attempt=1, cache_dir=None, use_summary_cache=True,
         # result (the fault would silently not fire) nor poison the
         # shared caches with degraded output.
         injector = faultinject.install(faultinject.FaultInjector(job.faults))
-        use_summary_cache = use_report_cache = False
+        use_summary_cache = use_report_cache = use_fleet_index = False
     try:
         with measure() as usage:
             build_start = time.perf_counter()
@@ -161,10 +171,17 @@ def execute_job(job, attempt=1, cache_dir=None, use_summary_cache=True,
 
             cache_stats = {"summary_hits": 0, "summary_misses": 0,
                            "report_cache_hit": False, "cache_corrupt": 0}
+            fingerprints = None
             report_dict = None
             report_fp = report_fingerprint(config) if cache_dir else None
             report_cache = ReportCache(cache_dir) if cache_dir else None
-            if report_cache is not None and use_report_cache:
+            # Incremental runs skip the per-sha report probe: the
+            # image-findings layer below subsumes it (a byte-identical
+            # binary always matches its own closures) and, unlike it,
+            # yields the closure fingerprints that --baseline deltas
+            # compare against.
+            if (report_cache is not None and use_report_cache
+                    and not use_fleet_index):
                 report_dict = report_cache.get(sha, report_fp)
                 if report_dict is not None:
                     cache_stats["report_cache_hit"] = True
@@ -172,14 +189,35 @@ def execute_job(job, attempt=1, cache_dir=None, use_summary_cache=True,
             if report_dict is None:
                 bound = None
                 if cache_dir and use_summary_cache:
-                    bound = SummaryCache(cache_dir).for_binary(sha, config)
+                    if use_fleet_index:
+                        from repro.increment.reuse import (
+                            open_incremental_cache,
+                        )
+
+                        bound = open_incremental_cache(cache_dir, sha, config)
+                    else:
+                        bound = SummaryCache(cache_dir).for_binary(sha, config)
                 detector = DTaint(binary, config=config, name=name,
                                   summary_cache=bound)
-                report = detector.run()
-                report_dict = report.to_dict()
+                if use_fleet_index and bound is not None:
+                    # Whole-image reuse: if every function's closure
+                    # fingerprint matches a previously analysed image
+                    # (same config), its findings apply verbatim modulo
+                    # a uniform address shift — skip analysis entirely.
+                    detector.build_cfg()
+                    report_dict = bound.lookup_image_report(report_fp)
+                    if report_dict is not None:
+                        cache_stats["image_findings_hit"] = True
+                if report_dict is None:
+                    report = detector.run()
+                    report_dict = report.to_dict()
+                    if use_fleet_index and bound is not None:
+                        bound.store_image_report(report_fp, report_dict)
                 if bound is not None:
                     bound.flush()
                     cache_stats.update(bound.stats)
+                    if use_fleet_index:
+                        fingerprints = bound.closure_fingerprints()
                 if report_cache is not None and use_report_cache:
                     report_cache.put(sha, report_fp, report_dict)
             if report_cache is not None:
@@ -192,6 +230,7 @@ def execute_job(job, attempt=1, cache_dir=None, use_summary_cache=True,
         "report": report_dict,
         "sha256": sha,
         "cache": cache_stats,
+        "fingerprints": fingerprints,
         "fired_faults": injector.fired_specs() if injector else [],
         "resources": {
             "wall_seconds": usage.wall_seconds,
@@ -226,7 +265,8 @@ class FleetScheduler:
 
     def __init__(self, jobs=1, timeout=None, retries=1, cache_dir=None,
                  use_summary_cache=True, use_report_cache=True,
-                 telemetry=None, backoff=0.1, backoff_cap=5.0):
+                 use_fleet_index=False, telemetry=None, backoff=0.1,
+                 backoff_cap=5.0):
         if jobs < 1:
             raise PipelineError("need at least one worker slot")
         self.jobs = jobs
@@ -239,6 +279,7 @@ class FleetScheduler:
             "cache_dir": cache_dir,
             "use_summary_cache": use_summary_cache,
             "use_report_cache": use_report_cache,
+            "use_fleet_index": use_fleet_index,
         }
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
@@ -299,6 +340,12 @@ class FleetScheduler:
             ),
             cache_corrupt=sum(
                 r.cache.get("cache_corrupt", 0) for r in ordered
+            ),
+            fleet_hits=sum(
+                r.cache.get("fleet_hits", 0) for r in ordered
+            ),
+            fleet_misses=sum(
+                r.cache.get("fleet_misses", 0) for r in ordered
             ),
             degraded=sum(
                 (r.report or {}).get("coverage", {}).get("degraded", 0)
@@ -385,25 +432,35 @@ class FleetScheduler:
         result.attempts = record.attempt
         result.report = payload["report"]
         result.sha256 = payload.get("sha256", "")
+        result.fingerprints = payload.get("fingerprints")
         result.cache = payload.get("cache", {})
         result.fired_faults = payload.get("fired_faults", [])
         result.resources = payload.get("resources", {})
         result.elapsed = elapsed
         result.error = result.error_type = ""
         cache = result.cache
-        self.telemetry.emit(
-            "cache_report", job=record.job.job_id,
-            summary_hits=cache.get("summary_hits", 0),
-            summary_misses=cache.get("summary_misses", 0),
-            report_cache_hit=cache.get("report_cache_hit", False),
-        )
+        cache_event = {
+            "job": record.job.job_id,
+            "summary_hits": cache.get("summary_hits", 0),
+            "summary_misses": cache.get("summary_misses", 0),
+            "report_cache_hit": cache.get("report_cache_hit", False),
+        }
+        if "fleet_hits" in cache or "fleet_misses" in cache:
+            cache_event["fleet_hits"] = cache.get("fleet_hits", 0)
+            cache_event["fleet_misses"] = cache.get("fleet_misses", 0)
+            cache_event["reuse_ratio"] = cache.get("reuse_ratio", 0.0)
+            cache_event["image_findings_hit"] = cache.get(
+                "image_findings_hit", False
+            )
+        self.telemetry.emit("cache_report", **cache_event)
         if cache.get("cache_corrupt"):
             self.telemetry.emit(
                 "cache_corrupt", job=record.job.job_id,
                 count=cache["cache_corrupt"],
             )
         profile = result.report.get("phase_profile", {})
-        if profile.get("seconds") and not cache.get("report_cache_hit"):
+        if (profile.get("seconds") and not cache.get("report_cache_hit")
+                and not cache.get("image_findings_hit")):
             # A report served whole from cache carries the *original*
             # run's profile; re-emitting it would claim analysis time
             # this job never spent.

@@ -92,6 +92,7 @@ def aggregate_phase_profile(results):
         (result.report or {}).get("phase_profile", {})
         for result in results
         if not (result.cache or {}).get("report_cache_hit")
+        and not (result.cache or {}).get("image_findings_hit")
     )
 
 
@@ -116,6 +117,7 @@ def render_fleet_summary(results, wall_seconds):
     total_paths = total_vulns = 0
     total_hits = total_misses = 0
     total_analyzed = total_selected = total_degraded = 0
+    total_fleet_hits = total_fleet_misses = 0
     for result in results:
         report = result.report or {}
         paths = len(report.get("vulnerable_paths", []))
@@ -129,9 +131,13 @@ def render_fleet_summary(results, wall_seconds):
         total_degraded += degraded
         total_hits += result.cache.get("summary_hits", 0)
         total_misses += result.cache.get("summary_misses", 0)
+        total_fleet_hits += result.cache.get("fleet_hits", 0)
+        total_fleet_misses += result.cache.get("fleet_misses", 0)
         cache_note = _hit_rate(result.cache)
         if result.cache.get("report_cache_hit"):
             cache_note = "report"
+        elif result.cache.get("image_findings_hit"):
+            cache_note = "image"
         rows.append([
             result.job.job_id,
             report.get("binary", result.job.describe_target()),
@@ -155,6 +161,14 @@ def render_fleet_summary(results, wall_seconds):
            total_degraded, total_paths, total_vulns,
            total_hits, lookups, rate, wall_seconds)
     )
+    fleet_lookups = total_fleet_hits + total_fleet_misses
+    if fleet_lookups:
+        footer += (
+            "\nfleet dedup: %d/%d summaries reused across binaries "
+            "(%.0f%% reuse ratio)"
+            % (total_fleet_hits, fleet_lookups,
+               100.0 * total_fleet_hits / fleet_lookups)
+        )
     phase_note = _phase_share_note(results)
     if phase_note:
         footer += "\n" + phase_note

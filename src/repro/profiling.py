@@ -2,7 +2,8 @@
 
 A single per-process :class:`PhaseProfiler` accumulates wall-clock
 seconds and event counters per analysis phase (``lift``, ``symexec``,
-``alias``, ``similarity``, ``detect``, ``interproc``).  The hooks are
+``alias``, ``similarity``, ``detect``, ``interproc``, ``increment`` —
+the last covering fingerprinting and fleet-dedup work).  The hooks are
 cheap enough to stay enabled permanently: one ``perf_counter`` pair
 per timed region and one dict increment per counted event, so every
 scan carries its own phase breakdown — ``dtaint scan --profile``
@@ -17,7 +18,8 @@ in one process don't bleed into each other's reports).
 import time
 from contextlib import contextmanager
 
-PHASES = ("lift", "symexec", "alias", "similarity", "detect", "interproc")
+PHASES = ("lift", "symexec", "alias", "similarity", "detect", "interproc",
+          "increment")
 
 
 class PhaseProfiler:

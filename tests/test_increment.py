@@ -1,0 +1,504 @@
+"""The incremental fleet-analysis subsystem (`repro.increment`).
+
+Acceptance properties:
+
+* function fingerprints are position-independent: rebuilding an image
+  with one patched handler leaves every untouched function's local and
+  closure fingerprints equal even where its address shifted;
+* a relocated cached summary is field-for-field equal to a freshly
+  computed one, and stray (split-immediate / ro-fold) addresses are
+  re-verified by content before reuse;
+* re-scanning an unchanged image through the fleet index alone runs
+  **zero** symbolic executions; a one-handler mutation re-runs exactly
+  the changed Merkle closure;
+* delta reports classify the injected patch as `fixed` with nothing
+  spurious, and a self-delta is empty and byte-identical;
+* `cache gc` prunes quarantine/tmp/stale-version files; ResultsStore
+  writes are atomic under injected mid-write faults.
+"""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro import profiling
+from repro.core import DTaint, DTaintConfig
+from repro.corpus.fleet import build_version_pair
+from repro.corpus.profiles import analyzed_module_prefixes
+from repro.errors import MalformedInput
+from repro.increment import (
+    FleetIndex,
+    classify_functions,
+    clear_binary_bundles,
+    compute_delta,
+    delta_fingerprint,
+    fingerprint_functions,
+    relocate_summary,
+    stray_addresses,
+    strays_compatible,
+)
+from repro.increment.reuse import open_incremental_cache
+from repro.loader.binary import load_elf
+from repro.loader.link import build_executable
+from repro.pipeline import (
+    FleetJob,
+    binary_sha256,
+    canonical_report,
+    collect_garbage,
+    execute_job,
+    findings_fingerprint,
+)
+from repro.pipeline.cache import CACHE_FORMAT_VERSION, summary_fingerprint
+from repro.pipeline.faultinject import injected
+from repro.pipeline.results import ResultsStore
+
+SCALE = 0.05
+KEY = "dir645"
+
+
+@pytest.fixture(scope="module")
+def version_pair():
+    return build_version_pair(KEY, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return DTaintConfig(modules=analyzed_module_prefixes(KEY))
+
+
+def _fingerprint(built, config):
+    detector = DTaint(built.binary, config=config, name=built.name)
+    detector.analyze_functions()
+    fps = fingerprint_functions(
+        built.binary, detector.functions, detector.call_graph
+    )
+    return detector, fps
+
+
+def _scan_image(built, cache_dir, config):
+    sha = binary_sha256(built.elf_bytes)
+    cache = open_incremental_cache(cache_dir, sha, config)
+    report = DTaint(
+        built.binary, config=config, name=built.name, summary_cache=cache
+    ).run()
+    cache.flush()
+    return report, cache
+
+
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_position_independent_across_version_pair(
+        self, version_pair, config
+    ):
+        old_built, new_built, flipped = version_pair
+        _, old_fps = _fingerprint(old_built, config)
+        _, new_fps = _fingerprint(new_built, config)
+        assert old_fps[flipped].local != new_fps[flipped].local
+        shifted = [
+            name for name in old_fps
+            if name != flipped and old_fps[name].addr != new_fps[name].addr
+        ]
+        assert shifted, "patch did not shift any function address"
+        for name in shifted:
+            assert old_fps[name].local == new_fps[name].local
+            assert old_fps[name].closure == new_fps[name].closure
+
+    def test_deterministic(self, version_pair, config):
+        old_built, _, _ = version_pair
+        _, first = _fingerprint(old_built, config)
+        _, second = _fingerprint(old_built, config)
+        assert first == second
+
+    def test_closure_tracks_callees(self):
+        def build(ret):
+            asm = (
+                ".globl caller\ncaller:\n    push {lr}\n    bl callee\n"
+                "    pop {pc}\n"
+                ".globl callee\ncallee:\n    mov r0, #%d\n    bx lr\n" % ret
+            )
+            elf, _ = build_executable("arm", asm, imports=[])
+            return load_elf(elf)
+
+        def fps(binary):
+            detector = DTaint(binary, name="t")
+            detector.analyze_functions()
+            return fingerprint_functions(
+                binary, detector.functions, detector.call_graph
+            )
+
+        one, two = fps(build(1)), fps(build(2))
+        assert one["callee"].local != two["callee"].local
+        assert one["caller"].local == two["caller"].local
+        # The caller's own body is unchanged but its callee closure
+        # moved underneath it — the summary-reuse invalidation signal.
+        assert one["caller"].closure != two["caller"].closure
+
+
+class TestRelocation:
+    def test_relocated_equals_fresh(self, version_pair, config):
+        old_built, new_built, flipped = version_pair
+        old_det, old_fps = _fingerprint(old_built, config)
+        new_det, new_fps = _fingerprint(new_built, config)
+        moved = [
+            name for name in old_det.summaries
+            if name != flipped
+            and name in new_fps
+            and old_fps[name].addr != new_fps[name].addr
+        ]
+        assert moved
+        for name in moved:
+            stored = old_det.summaries[name]
+            strays = stray_addresses(stored, old_built.binary,
+                                     old_fps[name].literals)
+            assert strays_compatible(new_built.binary, strays)
+            relocated = relocate_summary(
+                stored, name, new_fps[name].addr,
+                old_fps[name].literals, new_fps[name].literals,
+            )
+            fresh = new_det.summaries[name]
+            assert relocated is not None
+            assert relocated.addr == fresh.addr
+            assert relocated.def_pairs == fresh.def_pairs
+            assert relocated.constraints == fresh.constraints
+            assert relocated.ret_values == fresh.ret_values
+            assert [c.addr for c in relocated.callsites] == [
+                c.addr for c in fresh.callsites
+            ]
+            assert [c.args for c in relocated.callsites] == [
+                c.args for c in fresh.callsites
+            ]
+
+    def test_stray_content_mismatch_refused(self, version_pair, config):
+        old_built, _, _ = version_pair
+        det, fps = _fingerprint(old_built, config)
+        with_strays = [
+            (name, stray_addresses(det.summaries[name], old_built.binary,
+                                   fps[name].literals))
+            for name in det.summaries
+        ]
+        name, strays = next(
+            (n, s) for n, s in with_strays if s
+        )
+        assert strays_compatible(old_built.binary, strays)
+        tampered = tuple((value, "deadbeef") for value, _tag in strays)
+        assert not strays_compatible(old_built.binary, tampered)
+        unmapped = tuple((0x7FFF0000, tag) for _v, tag in strays)
+        assert not strays_compatible(old_built.binary, unmapped)
+
+
+class TestFleetIndex:
+    def test_round_trip(self, tmp_path, version_pair, config):
+        old_built, _, _ = version_pair
+        det, fps = _fingerprint(old_built, config)
+        name = sorted(det.summaries)[0]
+        fp = fps[name]
+        strays = stray_addresses(det.summaries[name], old_built.binary,
+                                 fp.literals)
+        writer = FleetIndex(str(tmp_path), summary_fingerprint(config))
+        writer.put_summary(fp.closure, det.summaries[name], fp.literals,
+                           strays=strays)
+        assert writer.stored == 1
+        writer.flush()
+        reader = FleetIndex(str(tmp_path), summary_fingerprint(config))
+        hit = reader.get_summary(fp.closure)
+        assert hit is not None
+        summary, literals, read_strays = hit
+        assert summary.name == name
+        assert literals == fp.literals
+        assert read_strays == strays
+        assert reader.get_summary("0" * 32) is None
+        assert reader.stats["fleet_hits"] == 1
+        assert reader.stats["fleet_misses"] == 1
+
+    def test_stale_version_quarantined(self, tmp_path):
+        index = FleetIndex(str(tmp_path), "cfg")
+        path = index._summary_path("ab" * 16)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            pickle.dump({"version": CACHE_FORMAT_VERSION + 1}, handle)
+        assert index.get_summary("ab" * 16) is None
+        assert index.corrupt == 1
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+
+
+class TestIncrementalScan:
+    def test_zero_symexec_on_fleet_only_rescan(
+        self, tmp_path, version_pair, config
+    ):
+        old_built, _, _ = version_pair
+        report, cold = _scan_image(old_built, str(tmp_path), config)
+        assert cold.stats["fleet_stored"] > 0
+        # Drop the binary-scoped bundles: the fleet layer must carry
+        # the warm re-scan alone, via relocation at offset zero.
+        assert clear_binary_bundles(str(tmp_path)) > 0
+        before = profiling.PROFILER.snapshot()
+        warm_report, warm = _scan_image(old_built, str(tmp_path), config)
+        counters = profiling.delta(
+            before, profiling.PROFILER.snapshot()
+        )["counters"]
+        assert counters.get("symexec_functions", 0) == 0
+        assert counters.get("fingerprinted_functions", 0) > 0
+        assert warm.stats["summary_misses"] == 0
+        assert warm.stats["reuse_ratio"] == 1.0
+        assert findings_fingerprint(warm_report.to_dict()) == \
+            findings_fingerprint(report.to_dict())
+
+    def test_mutation_reanalyzes_only_changed_closure(
+        self, tmp_path, version_pair, config
+    ):
+        old_built, new_built, flipped = version_pair
+        _scan_image(old_built, str(tmp_path), config)
+        before = profiling.PROFILER.snapshot()
+        report, cache = _scan_image(new_built, str(tmp_path), config)
+        counters = profiling.delta(
+            before, profiling.PROFILER.snapshot()
+        )["counters"]
+        _, new_fps = _fingerprint(new_built, config)
+        _, old_fps = _fingerprint(old_built, config)
+        changed = classify_functions(old_fps, new_fps)
+        closure_size = len(
+            changed["body_changed"] + changed["callee_changed"]
+            + changed["added"]
+        )
+        assert flipped in changed["body_changed"]
+        assert counters.get("symexec_functions", 0) == closure_size
+        assert cache.stats["summary_misses"] == closure_size
+        assert cache.stats["reuse_ratio"] >= 0.8
+        # Differential soundness: the incremental scan must equal a
+        # cold scan of the mutated image.
+        cold_report, _ = _scan_image(
+            new_built, str(tmp_path / "cold"), config
+        )
+        assert findings_fingerprint(report.to_dict()) == \
+            findings_fingerprint(cold_report.to_dict())
+
+    def test_execute_job_image_findings_reuse(self, tmp_path):
+        job = FleetJob(job_id=KEY, kind="profile", key=KEY, scale=SCALE)
+        cold = execute_job(job, cache_dir=str(tmp_path),
+                           use_fleet_index=True, use_report_cache=False)
+        assert cold["fingerprints"]
+        assert not cold["cache"].get("image_findings_hit")
+        warm = execute_job(job, cache_dir=str(tmp_path),
+                           use_fleet_index=True, use_report_cache=False)
+        assert warm["cache"]["image_findings_hit"]
+        assert warm["fingerprints"] == cold["fingerprints"]
+        assert findings_fingerprint(warm["report"]) == \
+            findings_fingerprint(cold["report"])
+
+
+class TestDelta:
+    def _image(self, built, report):
+        _, fps = _fingerprint(
+            built, DTaintConfig(modules=analyzed_module_prefixes(KEY))
+        )
+        return {
+            "name": built.name,
+            "sha256": binary_sha256(built.elf_bytes),
+            "findings": canonical_report(report.to_dict()),
+            "fingerprints": {
+                n: {"local": f.local, "closure": f.closure}
+                for n, f in fps.items()
+            },
+        }
+
+    def test_version_pair_delta_classifies_fix(
+        self, tmp_path, version_pair, config
+    ):
+        old_built, new_built, flipped = version_pair
+        old_report, _ = _scan_image(old_built, str(tmp_path), config)
+        new_report, _ = _scan_image(new_built, str(tmp_path), config)
+        doc = compute_delta(
+            self._image(old_built, old_report),
+            self._image(new_built, new_report),
+        )
+        assert doc["counts"]["new"] == 0
+        assert doc["counts"]["fixed"] == 1
+        assert doc["findings"]["fixed"][0]["function"] == flipped
+        assert doc["function_counts"]["body_changed"] == 1
+        assert flipped in doc["functions"]["body_changed"]
+        assert doc["function_counts"]["added"] == 0
+        assert doc["function_counts"]["removed"] == 0
+
+    def test_self_delta_empty_and_byte_identical(
+        self, tmp_path, version_pair, config
+    ):
+        old_built, _, _ = version_pair
+        report_a, _ = _scan_image(old_built, str(tmp_path / "a"), config)
+        report_b, _ = _scan_image(old_built, str(tmp_path / "b"), config)
+        doc_ab = compute_delta(
+            self._image(old_built, report_a),
+            self._image(old_built, report_b),
+        )
+        doc_ba = compute_delta(
+            self._image(old_built, report_b),
+            self._image(old_built, report_a),
+        )
+        assert doc_ab["counts"]["new"] == 0
+        assert doc_ab["counts"]["fixed"] == 0
+        assert doc_ab["changed_closure"] == []
+        assert delta_fingerprint(doc_ab) == delta_fingerprint(doc_ba)
+
+    def test_classify_functions_accepts_plain_dicts(self):
+        old = {
+            "a": {"local": "1", "closure": "1"},
+            "b": {"local": "2", "closure": "2"},
+            "gone": {"local": "3", "closure": "3"},
+        }
+        new = {
+            "a": {"local": "1", "closure": "9"},
+            "b": {"local": "x", "closure": "y"},
+            "fresh": {"local": "4", "closure": "4"},
+        }
+        out = classify_functions(old, new)
+        assert out["callee_changed"] == ["a"]
+        assert out["body_changed"] == ["b"]
+        assert out["added"] == ["fresh"]
+        assert out["removed"] == ["gone"]
+        assert out["unchanged"] == []
+
+
+class TestCacheGC:
+    def _seed(self, root):
+        os.makedirs(os.path.join(root, "summaries", "ab"), exist_ok=True)
+        os.makedirs(os.path.join(root, "fleet", "sum", "cd"), exist_ok=True)
+        corrupt = os.path.join(root, "summaries", "ab", "x.pkl.corrupt")
+        with open(corrupt, "wb") as handle:
+            handle.write(b"junk")
+        tmp = os.path.join(root, "summaries", "ab", "y.pkl.tmp.123")
+        with open(tmp, "wb") as handle:
+            handle.write(b"half-written")
+        stale_bundle = os.path.join(root, "summaries", "ab", "z.pkl")
+        with open(stale_bundle, "wb") as handle:
+            pickle.dump({0x1000: b"DTSUM" + bytes([255]) + b"old"}, handle)
+        stale_fleet = os.path.join(root, "fleet", "sum", "cd", "w.pkl")
+        with open(stale_fleet, "wb") as handle:
+            pickle.dump({"version": CACHE_FORMAT_VERSION + 5}, handle)
+        return corrupt, tmp, stale_bundle, stale_fleet
+
+    def test_dry_run_touches_nothing(self, tmp_path):
+        root = str(tmp_path)
+        paths = self._seed(root)
+        stats = collect_garbage(root, dry_run=True)
+        assert stats["corrupt_removed"] == 1
+        assert stats["tmp_removed"] == 1
+        assert stats["files_removed"] >= 2
+        assert stats["bytes_freed"] > 0
+        for path in paths:
+            assert os.path.exists(path)
+
+    def test_gc_removes_stale_files(self, tmp_path):
+        root = str(tmp_path)
+        paths = self._seed(root)
+        stats = collect_garbage(root)
+        assert stats["corrupt_removed"] == 1
+        assert stats["tmp_removed"] == 1
+        assert stats["stale_summaries"] >= 1
+        for path in paths:
+            assert not os.path.exists(path)
+
+    def test_gc_keeps_live_entries(self, tmp_path, version_pair, config):
+        old_built, _, _ = version_pair
+        _, cache = _scan_image(old_built, str(tmp_path), config)
+        stored = cache.stats["fleet_stored"]
+        assert stored > 0
+        stats = collect_garbage(str(tmp_path))
+        assert stats["files_removed"] == 0
+        # The fleet layer still serves a full warm re-scan.
+        clear_binary_bundles(str(tmp_path))
+        _, warm = _scan_image(old_built, str(tmp_path), config)
+        assert warm.stats["summary_misses"] == 0
+
+
+class TestAtomicResults:
+    def _result(self, tmp_path):
+        job = FleetJob(job_id=KEY, kind="profile", key=KEY, scale=SCALE)
+        payload = execute_job(job, cache_dir=str(tmp_path / "cache"))
+        from repro.pipeline.scheduler import JobResult
+
+        result = JobResult(job=job, status="ok", attempts=1,
+                           report=payload["report"],
+                           cache=payload["cache"],
+                           resources=payload["resources"])
+        return result
+
+    def test_mid_write_fault_leaves_previous_file_intact(self, tmp_path):
+        result = self._result(tmp_path)
+        store = ResultsStore(str(tmp_path / "out"))
+        first = store.write_rollup([result], 1.0)
+        with open(first) as handle:
+            before = handle.read()
+        with injected(["malformed@results:fleet.json"]):
+            with pytest.raises(MalformedInput):
+                store.write_rollup([result], 2.0)
+        with open(first) as handle:
+            assert handle.read() == before
+        leftovers = [
+            name for name in os.listdir(str(tmp_path / "out"))
+            if ".tmp." in name
+        ]
+        assert leftovers == []
+        # The store recovers once the fault is gone.
+        store.write_rollup([result], 3.0)
+        with open(first) as handle:
+            assert json.load(handle)["wall_seconds"] == 3.0
+
+    def test_image_write_is_atomic_under_fault(self, tmp_path):
+        result = self._result(tmp_path)
+        store = ResultsStore(str(tmp_path / "out"))
+        target = "%s.json" % result.job.job_id
+        with injected(["malformed@results:%s" % target]):
+            with pytest.raises(MalformedInput):
+                store.write_image(result)
+        images = os.listdir(str(tmp_path / "out" / "images"))
+        assert images == []
+        path = store.write_image(result)
+        with open(path) as handle:
+            assert json.load(handle)["status"] == "ok"
+
+
+class TestCLI:
+    def test_delta_cli(self, tmp_path, capsys, version_pair):
+        from repro.cli import main
+
+        old_built, new_built, _ = version_pair
+        old_path, new_path = str(tmp_path / "old"), str(tmp_path / "new")
+        with open(old_path, "wb") as handle:
+            handle.write(old_built.elf_bytes)
+        with open(new_path, "wb") as handle:
+            handle.write(new_built.elf_bytes)
+        code = main([
+            "delta", old_path, new_path, "--modules", "cgi_",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(tmp_path / "out"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 fixed" in out
+        assert "0 new" in out
+        with open(str(tmp_path / "out" / "delta.json")) as handle:
+            doc = json.load(handle)
+        assert doc["counts"]["fixed"] == 1
+
+    def test_cache_gc_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = str(tmp_path)
+        os.makedirs(os.path.join(root, "reports"), exist_ok=True)
+        with open(os.path.join(root, "reports", "x.json.corrupt"),
+                  "w") as handle:
+            handle.write("junk")
+        code = main(["cache", "gc", "--cache-dir", root, "--dry-run"])
+        assert code == 0
+        assert "would remove 1 corrupt" in capsys.readouterr().out
+        assert os.path.exists(os.path.join(root, "reports",
+                                           "x.json.corrupt"))
+        code = main(["cache", "gc", "--cache-dir", root])
+        assert code == 0
+        assert "removed 1 corrupt" in capsys.readouterr().out
+        assert not os.path.exists(os.path.join(root, "reports",
+                                               "x.json.corrupt"))
