@@ -1,0 +1,297 @@
+"""Service benchmark: warm-pool submit->done latency vs one-shot runs.
+
+Two acceptance properties of the ``repro.service`` subsystem:
+
+* ``latency`` — steady-state daemon submissions reuse warm workers, so
+  the per-job submit->done latency must not pay the per-process
+  start-up cost a one-shot ``fleet-scan`` (fresh scheduler, fresh
+  fork) pays on every invocation; the warm pool must fork exactly once
+  for the whole series;
+* ``fidelity`` — every job's canonical-findings fingerprint is
+  byte-identical across the daemon, the one-shot scheduler, and a
+  plain in-process run.
+
+``--smoke`` additionally runs the CI end-to-end check: start a real
+``dtaint serve`` subprocess, submit an image over HTTP, assert the
+findings fingerprint matches an in-process run byte-for-byte, and shut
+the daemon down cleanly.  Any violated property exits nonzero — the CI
+``service-smoke`` job runs ``--smoke --quick`` exactly this way.
+
+Usage:
+    python benchmarks/bench_service.py [--quick] [--smoke] [--out out.json]
+"""
+
+import argparse
+import json
+import os
+import platform
+import re
+import shutil
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.pipeline import (  # noqa: E402
+    FleetJob,
+    FleetScheduler,
+    execute_job,
+    findings_fingerprint,
+)
+
+REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_service.json")
+
+# One taint-style handler per job; the env-var name makes each binary
+# byte-distinct so daemon submissions don't dedup against each other.
+_HANDLER_ASM = (
+    ".globl main\nmain:\n    push {lr}\n    ldr r0, =n\n"
+    "    bl getenv\n    bl system\n    pop {pc}\n.ltorg\n"
+    ".rodata\nn: .asciz \"%s\"\n"
+)
+
+
+class PropertyViolation(AssertionError):
+    """A service acceptance property failed."""
+
+
+def _require(condition, message):
+    if not condition:
+        raise PropertyViolation(message)
+
+
+def _build_targets(work_dir, count):
+    from repro.loader.link import build_executable
+
+    paths = []
+    for index in range(count):
+        elf_bytes, _ = build_executable(
+            "arm", _HANDLER_ASM % ("CMD%d" % index),
+            imports=["getenv", "system"],
+        )
+        path = os.path.join(work_dir, "handler%d.elf" % index)
+        with open(path, "wb") as handle:
+            handle.write(elf_bytes)
+        paths.append(path)
+    return paths
+
+
+# ---------------------------------------------------------------------------
+# Latency: warm daemon vs one-shot scheduler.
+
+
+def run_latency(work_dir, jobs):
+    from repro.service import AnalysisDaemon, job_spec
+
+    targets = _build_targets(work_dir, jobs)
+    reference = {
+        path: findings_fingerprint(
+            execute_job(FleetJob(job_id="ref", kind="elf", path=path))
+            ["report"]
+        )
+        for path in targets
+    }
+
+    # One-shot: a fresh scheduler (fresh worker fork) per job — the
+    # cost a CLI invocation pays every time.
+    oneshot = []
+    for path in targets:
+        start = time.perf_counter()
+        scheduler = FleetScheduler(jobs=1)
+        with scheduler:
+            result = scheduler.run(
+                [FleetJob(job_id="one", kind="elf", path=path)]
+            )[0]
+        oneshot.append(time.perf_counter() - start)
+        _require(result.ok, "one-shot job failed: %s" % result.error)
+        _require(
+            findings_fingerprint(result.report) == reference[path],
+            "one-shot fingerprint diverged for %s" % path,
+        )
+
+    # Warm daemon: one persistent pool serves the whole series.
+    warm = []
+    with AnalysisDaemon(
+        os.path.join(work_dir, "dtaint.sqlite"), workers=1
+    ) as daemon:
+        for path in targets:
+            start = time.perf_counter()
+            job = daemon.submit(job_spec("elf", path=path))
+            _require(daemon.run_once() == 1, "daemon claimed nothing")
+            warm.append(time.perf_counter() - start)
+            finished = daemon.job_status(job["job_id"])
+            _require(
+                finished["state"] == "done",
+                "daemon job %s: %s" % (finished["state"],
+                                       finished["error"]),
+            )
+            findings = daemon.job_findings(job["job_id"])
+            _require(
+                findings["findings_sha256"] == reference[path],
+                "daemon fingerprint diverged for %s" % path,
+            )
+        spawned = daemon.scheduler.pool.spawned_total
+    _require(
+        spawned == 1,
+        "warm pool forked %d times for %d jobs" % (spawned, jobs),
+    )
+    return {
+        "jobs": jobs,
+        "oneshot_median_s": round(statistics.median(oneshot), 4),
+        "oneshot_mean_s": round(statistics.fmean(oneshot), 4),
+        "warm_median_s": round(statistics.median(warm), 4),
+        "warm_mean_s": round(statistics.fmean(warm), 4),
+        "speedup_median": round(
+            statistics.median(oneshot) / max(statistics.median(warm), 1e-9),
+            2,
+        ),
+        "workers_forked_warm": spawned,
+        "fingerprints_matched": jobs,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Smoke: a real daemon subprocess, driven over HTTP.
+
+
+def run_smoke(work_dir):
+    from repro.service import ServiceClient
+
+    target = _build_targets(work_dir, 1)[0]
+    reference = findings_fingerprint(
+        execute_job(FleetJob(job_id="ref", kind="elf", path=target))
+        ["report"]
+    )
+    db_path = os.path.join(work_dir, "serve.sqlite")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--host", "127.0.0.1", "--port", "0", "--db", db_path,
+         "--workers", "1", "--no-cache", "--allow-shutdown"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+        cwd=REPO_ROOT,
+    )
+    try:
+        # The daemon announces its bound (ephemeral) port on stdout.
+        match = None
+        deadline = time.monotonic() + 60
+        while match is None and time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                break
+            match = re.search(r"listening on http://([\d.]+):(\d+)", line)
+        _require(match is not None, "daemon never announced its port")
+        client = ServiceClient(
+            "http://%s:%s" % (match.group(1), match.group(2))
+        )
+        _require(client.healthz()["ok"], "healthz failed")
+        start = time.perf_counter()
+        job = client.submit(kind="elf", path=target)
+        _require(job["outcome"] == "created", "submission not created")
+        finished = client.wait(job["job_id"], timeout=180)
+        elapsed = time.perf_counter() - start
+        _require(
+            finished["state"] == "done",
+            "job finished %s: %s" % (finished["state"], finished["error"]),
+        )
+        findings = client.findings(job["job_id"])
+        _require(
+            findings["findings_sha256"] == reference,
+            "HTTP findings fingerprint %r != in-process %r"
+            % (findings["findings_sha256"], reference),
+        )
+        events = client.events(job["job_id"])
+        _require(
+            any(e["event"] == "job_finish" for e in events),
+            "progress stream missing job_finish",
+        )
+        client.shutdown()
+        process.wait(30)
+        _require(
+            process.returncode == 0,
+            "daemon exited %r after shutdown" % process.returncode,
+        )
+        return {
+            "submit_to_done_s": round(elapsed, 4),
+            "findings_sha256": findings["findings_sha256"],
+            "fingerprint_match": True,
+            "clean_shutdown": True,
+        }
+    finally:
+        if process.poll() is None:
+            process.terminate()
+            try:
+                process.wait(10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+        process.stdout.close()
+
+
+# ---------------------------------------------------------------------------
+
+
+def _render(results):
+    lines = ["service benchmark"]
+    latency = results.get("latency")
+    if latency:
+        lines.append(
+            "  latency over %d jobs: one-shot %.3fs -> warm %.3fs "
+            "(median, %.1fx); pool forked %d worker(s)"
+            % (latency["jobs"], latency["oneshot_median_s"],
+               latency["warm_median_s"], latency["speedup_median"],
+               latency["workers_forked_warm"])
+        )
+    smoke = results.get("smoke")
+    if smoke:
+        lines.append(
+            "  smoke: HTTP submit->done %.3fs, fingerprint %s..., "
+            "clean shutdown"
+            % (smoke["submit_to_done_s"], smoke["findings_sha256"][:16])
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer jobs (CI smoke size)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="also run the end-to-end daemon subprocess "
+                             "check")
+    parser.add_argument("--no-latency", action="store_true",
+                        help="skip the latency comparison")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="result JSON path (default %(default)s)")
+    args = parser.parse_args(argv)
+
+    work_dir = tempfile.mkdtemp(prefix="bench-service-")
+    results = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    try:
+        if not args.no_latency:
+            results["latency"] = run_latency(
+                work_dir, jobs=3 if args.quick else 8
+            )
+        if args.smoke:
+            results["smoke"] = run_smoke(work_dir)
+    except PropertyViolation as exc:
+        print("PROPERTY VIOLATED: %s" % exc, file=sys.stderr)
+        return 1
+    finally:
+        shutil.rmtree(work_dir, ignore_errors=True)
+    print(_render(results))
+    with open(args.out, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

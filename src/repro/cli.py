@@ -16,10 +16,21 @@
                                  only changed function closures,
                                  classify findings new/fixed/persisting
 ``dtaint cache gc``           — prune quarantined and stale-format
-                                 entries from a cache directory
+                                 entries from a cache directory (and,
+                                 with ``--results-db``, apply run/job
+                                 retention to the sqlite store)
 ``dtaint diffcheck``          — differential sweep of the static
                                  detector against a concrete-execution
                                  oracle and the top-down baseline
+``dtaint serve``              — run the persistent analysis daemon:
+                                 durable sqlite job queue, warm worker
+                                 pool, REST/JSON API
+``dtaint client``             — talk to a running daemon (submit /
+                                 status / wait / findings / events /
+                                 cancel / stats / shutdown)
+``dtaint results``            — migrate a JSON ``--out`` directory
+                                 into the sqlite results store, or
+                                 export a stored run back to JSON
 """
 
 import argparse
@@ -177,6 +188,8 @@ def _cmd_fleet_scan(args):
               % (", ".join(unknown), ", ".join(sorted(PROFILES))),
               file=sys.stderr)
         return 2
+    if args.server:
+        return _fleet_scan_via_server(args, keys)
     try:
         from repro.pipeline.faultinject import FaultSpec
 
@@ -221,7 +234,8 @@ def _cmd_fleet_scan(args):
         telemetry=telemetry,
     )
     start = time.perf_counter()
-    results = scheduler.run(jobs)
+    with scheduler:
+        results = scheduler.run(jobs)
     wall = time.perf_counter() - start
     telemetry.close()
 
@@ -234,6 +248,14 @@ def _cmd_fleet_scan(args):
         print("results: %s" % rollup)
         if args.baseline:
             new_findings = _fleet_baseline_delta(args, results, store)
+    if args.results_db:
+        from repro.service import ResultsDB
+
+        with ResultsDB(args.results_db) as db:
+            run_id, _images = db.record_run(
+                results, wall, kind="fleet", source=args.out or "",
+            )
+        print("results db: %s (run %d)" % (args.results_db, run_id))
     if telemetry_path:
         print("telemetry: %s" % telemetry_path)
     print(render_fleet_summary(results, wall))
@@ -300,27 +322,232 @@ def _cmd_cache_gc(args):
            stats["tmp_removed"], stats["files_removed"],
            stats["stale_summaries"], stats["bytes_freed"])
     )
+    if args.results_db:
+        from repro.service import ResultsDB
+
+        with ResultsDB(args.results_db) as db:
+            db_stats = db.gc(
+                retain_runs=args.retain_runs,
+                retain_jobs=args.retain_jobs,
+                dry_run=args.dry_run,
+            )
+        print(
+            "results gc (%s): %s %d runs (%d images), %d queue jobs "
+            "(%d events)"
+            % (args.results_db, verb, db_stats["runs_removed"],
+               db_stats["images_removed"], db_stats["jobs_removed"],
+               db_stats["events_removed"])
+        )
     return EXIT_OK
+
+
+def _cmd_serve(args):
+    import threading
+
+    from repro.service import AnalysisDaemon, serve
+
+    daemon = AnalysisDaemon(
+        db_path=args.db,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        workers=args.workers,
+        timeout=args.timeout or None,
+        retries=args.retries,
+        incremental=args.incremental,
+        telemetry_path=args.telemetry,
+        scale=args.scale,
+    )
+    server = serve(
+        daemon, host=args.host, port=args.port,
+        allow_shutdown=args.allow_shutdown, verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+    resumed = daemon.start()
+    if resumed:
+        print("resumed %d job(s) stranded by a previous daemon" % resumed)
+    print("dtaint daemon listening on http://%s:%d (db: %s, %d workers)"
+          % (host, port, args.db, args.workers), flush=True)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        threading.Thread(target=server.shutdown, daemon=True).start()
+        server.server_close()
+        daemon.stop()
+    return EXIT_OK
+
+
+def _cmd_client(args):
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.http_timeout)
+    try:
+        if args.client_command == "submit":
+            job = client.submit(
+                kind="elf" if args.elf else "profile",
+                key="" if args.elf else args.target,
+                path=args.target if args.elf else "",
+                scale=args.scale,
+                modules=args.modules or (),
+                priority=args.priority,
+            )
+            print("job %d: %s (%s)" % (
+                job["job_id"], job["state"], job["outcome"]))
+            if args.wait:
+                job = client.wait(job["job_id"], timeout=args.wait_timeout)
+                print("job %d finished: %s" % (job["job_id"], job["state"]))
+                if job["state"] != "done":
+                    return EXIT_ANALYSIS_FAILED
+            return EXIT_OK
+        if args.client_command == "status":
+            print(json.dumps(client.job(args.job_id), indent=2,
+                             sort_keys=True))
+            return EXIT_OK
+        if args.client_command == "wait":
+            job = client.wait(args.job_id, timeout=args.wait_timeout)
+            print("job %d: %s" % (args.job_id, job["state"]))
+            return EXIT_OK if job["state"] == "done" \
+                else EXIT_ANALYSIS_FAILED
+        if args.client_command == "findings":
+            print(json.dumps(client.findings(args.job_id), indent=2,
+                             sort_keys=True))
+            return EXIT_OK
+        if args.client_command == "events":
+            for event in client.events(args.job_id, after=args.after):
+                print(json.dumps(event, sort_keys=True))
+            return EXIT_OK
+        if args.client_command == "cancel":
+            result = client.cancel(args.job_id)
+            print("job %d: %s" % (args.job_id, result["disposition"]))
+            return EXIT_OK
+        if args.client_command == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return EXIT_OK
+        if args.client_command == "shutdown":
+            client.shutdown()
+            print("daemon stopping")
+            return EXIT_OK
+    except ServiceError as exc:
+        print("client error: %s" % exc, file=sys.stderr)
+        return EXIT_ANALYSIS_FAILED
+    print("unknown client command %r" % args.client_command,
+          file=sys.stderr)
+    return EXIT_USAGE
+
+
+def _fleet_scan_via_server(args, keys):
+    """fleet-scan --server: submit the fleet over HTTP and wait."""
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server)
+    try:
+        client.healthz()
+        submitted = []
+        for key in keys:
+            job = client.submit(kind="profile", key=key, scale=args.scale)
+            submitted.append((key, job["job_id"]))
+            print("submitted %s as job %d (%s)"
+                  % (key, job["job_id"], job["outcome"]))
+        failed = 0
+        for key, job_id in submitted:
+            job = client.wait(job_id, timeout=args.timeout or 600.0)
+            findings = client.findings(job_id)
+            sha = findings.get("findings_sha256", "")
+            print("  %s: %s%s" % (
+                key, job["state"], (" findings %s" % sha) if sha else ""))
+            if job["state"] != "done":
+                failed += 1
+    except ServiceError as exc:
+        print("fleet-scan --server failed: %s" % exc, file=sys.stderr)
+        return EXIT_ANALYSIS_FAILED
+    return EXIT_ANALYSIS_FAILED if failed else EXIT_OK
+
+
+def _cmd_results_migrate(args):
+    from repro.service import ResultsDB, migrate_output_dir
+
+    try:
+        with ResultsDB(args.db) as db:
+            run_id, counts = migrate_output_dir(db, args.out_dir)
+    except ReproError as exc:
+        print("migrate failed: %s" % exc, file=sys.stderr)
+        return EXIT_ANALYSIS_FAILED
+    print("migrated %s -> %s as run %d (%d images, %d documents, "
+          "rollup: %s)"
+          % (args.out_dir, args.db, run_id, counts["images"],
+             counts["documents"], "yes" if counts["rollup"] else "no"))
+    return EXIT_OK
+
+
+def _cmd_results_export(args):
+    from repro.service import ResultsDB, export_run_dir
+
+    try:
+        with ResultsDB(args.db) as db:
+            run_id = args.run if args.run is not None else db.latest_run_id()
+            if run_id is None:
+                print("no runs in %s" % args.db, file=sys.stderr)
+                return EXIT_ANALYSIS_FAILED
+            written = export_run_dir(db, run_id, args.out_dir)
+    except ReproError as exc:
+        print("export failed: %s" % exc, file=sys.stderr)
+        return EXIT_ANALYSIS_FAILED
+    print("exported run %d -> %s (%d files)"
+          % (run_id, args.out_dir, len(written)))
+    return EXIT_OK
+
+
+def _baseline_documents(baseline):
+    """Per-image baseline docs from a ``--out`` dir or a sqlite store.
+
+    Accepts the JSON layout (a directory with ``images/*.json``), a
+    results database file, or a directory containing ``dtaint.sqlite``
+    — so a delta can be computed against either generation of store.
+    """
+    import json
+    import os
+
+    db_path = None
+    if os.path.isfile(baseline):
+        db_path = baseline
+    elif os.path.isdir(baseline):
+        from repro.service import default_db_path
+
+        candidate = default_db_path(baseline)
+        if (os.path.isfile(candidate)
+                and not os.path.isdir(os.path.join(baseline, "images"))):
+            db_path = candidate
+    if db_path is not None:
+        from repro.service import ResultsDB
+
+        with ResultsDB(db_path) as db:
+            return db.baseline_documents()
+    documents = {}
+    images_dir = os.path.join(baseline, "images")
+    if os.path.isdir(images_dir):
+        for name in sorted(os.listdir(images_dir)):
+            if name.endswith(".json"):
+                with open(os.path.join(images_dir, name), "r") as handle:
+                    document = json.load(handle)
+                documents[document.get("job_id", name[:-5])] = document
+    return documents
 
 
 def _fleet_baseline_delta(args, results, store):
     """--baseline DIR: diff this run's images against a previous run's."""
-    import json
-    import os
-
     from repro.increment import classify_findings, classify_functions
 
-    baseline_dir = os.path.join(args.baseline, "images")
+    baseline_docs = _baseline_documents(args.baseline)
     deltas = {}
     for result in results:
         if not result.ok or result.report is None:
             continue
-        path = os.path.join(baseline_dir, "%s.json" % result.job.job_id)
-        if not os.path.exists(path):
+        old_doc = baseline_docs.get(result.job.job_id)
+        if old_doc is None:
             deltas[result.job.job_id] = {"status": "no_baseline"}
             continue
-        with open(path, "r") as handle:
-            old_doc = json.load(handle)
         new_findings = {
             section: result.report.get(section, [])
             for section in ("vulnerabilities", "vulnerable_paths")
@@ -497,6 +724,14 @@ def main(argv=None):
     fleet_scan.add_argument("--out",
                             help="directory for per-image findings + "
                                  "fleet.json rollup")
+    fleet_scan.add_argument("--results-db", metavar="PATH",
+                            help="also record the run into a sqlite "
+                                 "results store (usable later as "
+                                 "--baseline)")
+    fleet_scan.add_argument("--server", metavar="URL",
+                            help="submit to a running 'dtaint serve' "
+                                 "daemon over HTTP instead of running "
+                                 "in-process")
     fleet_scan.add_argument("--telemetry",
                             help="JSONL event log path (default: "
                                  "<out>/telemetry.jsonl when --out is set)")
@@ -537,10 +772,121 @@ def main(argv=None):
              "stale-format summaries",
     )
     cache_gc.add_argument("--cache-dir", default=".dtaint-cache")
+    cache_gc.add_argument("--results-db", metavar="PATH",
+                          help="sqlite results store to apply retention "
+                               "to as well")
+    cache_gc.add_argument("--retain-runs", type=int, default=None,
+                          metavar="N",
+                          help="keep only the newest N runs in the "
+                               "results store")
+    cache_gc.add_argument("--retain-jobs", type=int, default=None,
+                          metavar="N",
+                          help="keep only the newest N finished queue "
+                               "jobs (and their event feeds)")
     cache_gc.add_argument("--dry-run", action="store_true",
                           help="report what would be removed, touch "
                                "nothing")
     cache_gc.set_defaults(func=_cmd_cache_gc)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent analysis daemon: durable job queue, "
+             "warm worker pool, REST/JSON API",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8649,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--db", default="dtaint.sqlite",
+                       help="sqlite results + queue store")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="warm analysis worker processes")
+    serve.add_argument("--cache-dir", default=".dtaint-cache",
+                       help="content-addressed summary/report store")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the summary/report caches")
+    serve.add_argument("--incremental", action="store_true",
+                       help="layer the cross-binary fleet index over "
+                            "the per-binary caches")
+    serve.add_argument("--timeout", type=float, default=0.0,
+                       help="per-job wall-clock budget in seconds "
+                            "(0 = unlimited)")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="extra attempts after a crash/timeout")
+    serve.add_argument("--scale", type=float, default=0.25,
+                       help="default profile build scale for "
+                            "submissions that omit one")
+    serve.add_argument("--telemetry",
+                       help="also append the event stream to this "
+                            "JSONL file")
+    serve.add_argument("--allow-shutdown", action="store_true",
+                       help="enable POST /api/v1/shutdown (CI smoke)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each request to stderr")
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser(
+        "client",
+        help="talk to a running 'dtaint serve' daemon",
+    )
+    client.add_argument("--url", default="http://127.0.0.1:8649",
+                        help="daemon base URL")
+    client.add_argument("--http-timeout", type=float, default=30.0)
+    client_sub = client.add_subparsers(dest="client_command",
+                                       required=True)
+    c_submit = client_sub.add_parser("submit", help="submit a job")
+    c_submit.add_argument("target",
+                          help="profile key, or ELF path with --elf")
+    c_submit.add_argument("--elf", action="store_true",
+                          help="treat TARGET as an ELF path on the "
+                               "daemon's host")
+    c_submit.add_argument("--scale", type=float, default=None)
+    c_submit.add_argument("--modules", nargs="*",
+                          help="function-name prefixes to analyse")
+    c_submit.add_argument("--priority", type=int, default=0,
+                          help="higher runs sooner")
+    c_submit.add_argument("--wait", action="store_true",
+                          help="block until the job finishes")
+    c_submit.add_argument("--wait-timeout", type=float, default=600.0)
+    for name, extra in (("status", "show a job's queue row"),
+                        ("wait", "block until a job finishes"),
+                        ("findings", "fetch canonical findings"),
+                        ("events", "print the job's progress stream"),
+                        ("cancel", "cancel a job")):
+        c = client_sub.add_parser(name, help=extra)
+        c.add_argument("job_id", type=int)
+        if name == "wait":
+            c.add_argument("--wait-timeout", type=float, default=600.0)
+        if name == "events":
+            c.add_argument("--after", type=int, default=0,
+                           help="resume after this event_id")
+    client_sub.add_parser("stats", help="queue + store statistics")
+    client_sub.add_parser("shutdown", help="stop the daemon (needs "
+                                           "--allow-shutdown)")
+    client.set_defaults(func=_cmd_client)
+
+    results = sub.add_parser(
+        "results",
+        help="results-store maintenance (migrate, export)",
+    )
+    results_sub = results.add_subparsers(dest="results_command",
+                                         required=True)
+    r_migrate = results_sub.add_parser(
+        "migrate",
+        help="import a JSON --out directory into the sqlite store "
+             "(lossless)",
+    )
+    r_migrate.add_argument("out_dir", help="previous --out directory")
+    r_migrate.add_argument("--db", default="dtaint.sqlite")
+    r_migrate.set_defaults(func=_cmd_results_migrate)
+    r_export = results_sub.add_parser(
+        "export",
+        help="write a stored run back out as the JSON directory layout",
+    )
+    r_export.add_argument("out_dir", help="destination directory")
+    r_export.add_argument("--db", default="dtaint.sqlite")
+    r_export.add_argument("--run", type=int, default=None,
+                          help="run id (default: latest)")
+    r_export.set_defaults(func=_cmd_results_export)
 
     diffcheck = sub.add_parser(
         "diffcheck",

@@ -34,6 +34,8 @@ from repro.pipeline.results import (
     ResultsStore,
     canonical_report,
     findings_fingerprint,
+    image_document,
+    rollup_document,
 )
 from repro.pipeline.scheduler import (
     FleetJob,
@@ -46,12 +48,15 @@ from repro.pipeline.telemetry import (
     read_events,
     render_fleet_summary,
 )
+from repro.pipeline.workerpool import PoolWorker, WorkerPool
 
 __all__ = [
     "FleetJob", "FleetScheduler", "JobResult", "execute_job",
+    "WorkerPool", "PoolWorker",
     "SummaryCache", "ReportCache", "binary_sha256",
     "summary_fingerprint", "report_fingerprint", "collect_garbage",
     "Telemetry", "read_events", "render_fleet_summary",
     "ResultsStore", "canonical_report", "findings_fingerprint",
+    "image_document", "rollup_document",
     "FaultInjector", "FaultSpec", "injected", "pick_target",
 ]

@@ -84,6 +84,96 @@ def findings_fingerprint(report_dict):
     return hashlib.sha256(blob).hexdigest()
 
 
+def image_document(result):
+    """The per-image results document for one terminal job result.
+
+    This is the *only* builder of the per-image shape: the JSON store
+    (:class:`ResultsStore`), the sqlite store
+    (:class:`repro.service.store.ResultsDB`) and the analysis daemon
+    all persist exactly this document, which is what makes migration
+    between the two stores lossless.
+    """
+    document = {
+        "job_id": result.job.job_id,
+        "target": result.job.describe_target(),
+        "status": result.status,
+        "attempts": result.attempts,
+        "error": result.error,
+        "error_type": result.error_type,
+        "elapsed_seconds": result.elapsed,
+        "resources": result.resources,
+        "cache": result.cache,
+        "fired_faults": list(getattr(result, "fired_faults", [])),
+    }
+    if result.report is not None:
+        document["findings"] = canonical_report(result.report)
+        document["findings_sha256"] = findings_fingerprint(result.report)
+        document["stage_seconds"] = result.report.get("stage_seconds", {})
+    fingerprints = getattr(result, "fingerprints", None)
+    if fingerprints:
+        # Position-independent closure fingerprints (incremental
+        # runs): the baseline a later --baseline diff matches on.
+        document["fingerprints"] = fingerprints
+    return document
+
+
+def rollup_document(results, wall_seconds):
+    """The fleet-level rollup document for a batch of job results."""
+    rows = []
+    totals = {
+        "jobs": len(results), "ok": 0, "quarantined": 0,
+        "vulnerable_paths": 0, "vulnerabilities": 0,
+        "summary_hits": 0, "summary_misses": 0, "report_cache_hits": 0,
+        "cache_corrupt": 0,
+        "fleet_hits": 0, "fleet_misses": 0,
+        "analyzed_functions": 0, "selected_functions": 0,
+        "degraded_functions": 0, "truncated_summaries": 0,
+    }
+    for result in results:
+        report = result.report or {}
+        paths = len(report.get("vulnerable_paths", []))
+        vulns = len(report.get("vulnerabilities", []))
+        coverage = report.get("coverage", {}) or {}
+        row = {
+            "job_id": result.job.job_id,
+            "target": result.job.describe_target(),
+            "status": result.status,
+            "attempts": result.attempts,
+            "elapsed_seconds": result.elapsed,
+            "vulnerable_paths": paths,
+            "vulnerabilities": vulns,
+            "degraded": coverage.get("degraded", 0),
+            "cache": result.cache,
+        }
+        if result.report is not None:
+            row["findings_sha256"] = findings_fingerprint(result.report)
+        rows.append(row)
+        totals["ok" if result.status == "ok" else "quarantined"] += 1
+        totals["vulnerable_paths"] += paths
+        totals["vulnerabilities"] += vulns
+        totals["summary_hits"] += result.cache.get("summary_hits", 0)
+        totals["summary_misses"] += result.cache.get("summary_misses", 0)
+        totals["report_cache_hits"] += int(
+            bool(result.cache.get("report_cache_hit"))
+        )
+        totals["cache_corrupt"] += result.cache.get("cache_corrupt", 0)
+        totals["fleet_hits"] += result.cache.get("fleet_hits", 0)
+        totals["fleet_misses"] += result.cache.get("fleet_misses", 0)
+        totals["analyzed_functions"] += coverage.get("analyzed", 0)
+        totals["selected_functions"] += coverage.get("selected", 0)
+        totals["degraded_functions"] += coverage.get("degraded", 0)
+        totals["truncated_summaries"] += coverage.get("truncated", 0)
+    lookups = totals["fleet_hits"] + totals["fleet_misses"]
+    totals["reuse_ratio"] = (
+        round(totals["fleet_hits"] / lookups, 4) if lookups else 0.0
+    )
+    return {
+        "wall_seconds": wall_seconds,
+        "totals": totals,
+        "images": rows,
+    }
+
+
 def _write_json(path, document):
     """Atomic JSON write: tmp + ``os.replace``.
 
@@ -120,31 +210,10 @@ class ResultsStore:
 
     def write_image(self, result):
         """Persist one job's result; returns the path written."""
-        document = {
-            "job_id": result.job.job_id,
-            "target": result.job.describe_target(),
-            "status": result.status,
-            "attempts": result.attempts,
-            "error": result.error,
-            "error_type": result.error_type,
-            "elapsed_seconds": result.elapsed,
-            "resources": result.resources,
-            "cache": result.cache,
-            "fired_faults": list(getattr(result, "fired_faults", [])),
-        }
-        if result.report is not None:
-            document["findings"] = canonical_report(result.report)
-            document["findings_sha256"] = findings_fingerprint(result.report)
-            document["stage_seconds"] = result.report.get("stage_seconds", {})
-        fingerprints = getattr(result, "fingerprints", None)
-        if fingerprints:
-            # Position-independent closure fingerprints (incremental
-            # runs): the baseline a later --baseline diff matches on.
-            document["fingerprints"] = fingerprints
         path = os.path.join(
             self.out_dir, "images", "%s.json" % result.job.job_id
         )
-        return _write_json(path, document)
+        return _write_json(path, image_document(result))
 
     def write_diffcheck(self, triage_dict):
         """Persist a differential sweep's triage report.
@@ -163,58 +232,5 @@ class ResultsStore:
 
     def write_rollup(self, results, wall_seconds):
         """Persist ``fleet.json`` summarising the whole run."""
-        rows = []
-        totals = {
-            "jobs": len(results), "ok": 0, "quarantined": 0,
-            "vulnerable_paths": 0, "vulnerabilities": 0,
-            "summary_hits": 0, "summary_misses": 0, "report_cache_hits": 0,
-            "cache_corrupt": 0,
-            "fleet_hits": 0, "fleet_misses": 0,
-            "analyzed_functions": 0, "selected_functions": 0,
-            "degraded_functions": 0, "truncated_summaries": 0,
-        }
-        for result in results:
-            report = result.report or {}
-            paths = len(report.get("vulnerable_paths", []))
-            vulns = len(report.get("vulnerabilities", []))
-            coverage = report.get("coverage", {}) or {}
-            row = {
-                "job_id": result.job.job_id,
-                "target": result.job.describe_target(),
-                "status": result.status,
-                "attempts": result.attempts,
-                "elapsed_seconds": result.elapsed,
-                "vulnerable_paths": paths,
-                "vulnerabilities": vulns,
-                "degraded": coverage.get("degraded", 0),
-                "cache": result.cache,
-            }
-            if result.report is not None:
-                row["findings_sha256"] = findings_fingerprint(result.report)
-            rows.append(row)
-            totals["ok" if result.status == "ok" else "quarantined"] += 1
-            totals["vulnerable_paths"] += paths
-            totals["vulnerabilities"] += vulns
-            totals["summary_hits"] += result.cache.get("summary_hits", 0)
-            totals["summary_misses"] += result.cache.get("summary_misses", 0)
-            totals["report_cache_hits"] += int(
-                bool(result.cache.get("report_cache_hit"))
-            )
-            totals["cache_corrupt"] += result.cache.get("cache_corrupt", 0)
-            totals["fleet_hits"] += result.cache.get("fleet_hits", 0)
-            totals["fleet_misses"] += result.cache.get("fleet_misses", 0)
-            totals["analyzed_functions"] += coverage.get("analyzed", 0)
-            totals["selected_functions"] += coverage.get("selected", 0)
-            totals["degraded_functions"] += coverage.get("degraded", 0)
-            totals["truncated_summaries"] += coverage.get("truncated", 0)
-        lookups = totals["fleet_hits"] + totals["fleet_misses"]
-        totals["reuse_ratio"] = (
-            round(totals["fleet_hits"] / lookups, 4) if lookups else 0.0
-        )
-        rollup = {
-            "wall_seconds": wall_seconds,
-            "totals": totals,
-            "images": rows,
-        }
         path = os.path.join(self.out_dir, "fleet.json")
-        return _write_json(path, rollup)
+        return _write_json(path, rollup_document(results, wall_seconds))

@@ -2,31 +2,36 @@
 
 The paper's headline workload is a 6,529-image corpus; this module is
 the machinery that makes such a corpus tractable.  Each analysis job
-(one firmware image / binary) runs in its **own worker process** — not
-a shared pool — which buys three properties a pool cannot give:
+(one firmware image / binary) runs in a **worker process** drawn from
+a persistent :class:`~repro.pipeline.workerpool.WorkerPool`, which
+preserves the three properties the original process-per-job design
+bought while amortising process start-up across jobs:
 
 * **crash isolation** — a worker segfaulting, OOM-ing or calling
   ``os._exit`` kills only its job; the scheduler observes the dead
-  pipe, retries, and eventually quarantines the job while the rest of
-  the fleet proceeds;
+  pipe, discards that worker, retries the job in a fresh one, and
+  eventually quarantines it while the rest of the fleet proceeds;
 * **per-job timeout** — the scheduler tracks a deadline per live
   worker and kills overruns with ``SIGTERM``-then-``SIGKILL``;
 * **bounded retry** — every failure mode (crash, timeout, in-worker
   exception) re-queues the job up to ``retries`` extra attempts.
 
-Workers ship results back over a one-shot pipe as plain dicts (the
+Workers ship results back over their pipe as plain dicts (the
 report's ``to_dict()`` form), so nothing analysis-internal needs to
 survive pickling across the process boundary.  Failures come back as
 the typed exceptions from :mod:`repro.errors` (``AnalysisTimeout``,
 ``WorkerCrash``, or the worker's own ``ReproError`` subclass).
 
-The ``fork`` start method is preferred: workers inherit the loaded
-modules (fast start) and the parent's hash seed, which keeps any
-``hash()``-derived values consistent between a serial and a parallel
-run of the same fleet.
+A scheduler is **reusable**: ``run()`` may be called any number of
+times and healthy workers stay warm between calls — this is what the
+analysis daemon (:mod:`repro.service`) builds on.  All per-run state
+(result map, retry queue, backoff bookkeeping) lives inside ``run()``;
+nothing leaks from one batch into the next.  Call :meth:`close` (or
+use the scheduler as a context manager) to reap the pool; one-shot
+callers that skip it only leave daemonic idle workers that die with
+the parent process.
 """
 
-import multiprocessing
 import os
 import time
 import zlib
@@ -42,6 +47,7 @@ from repro.pipeline.cache import (
     report_fingerprint,
 )
 from repro.pipeline.telemetry import Telemetry
+from repro.pipeline.workerpool import WorkerPool
 
 
 @dataclass
@@ -96,10 +102,13 @@ class JobResult:
 class _Running:
     job: FleetJob
     attempt: int
-    process: object
-    conn: object
+    worker: object               # PoolWorker serving this attempt
     started: float
     deadline: float = None
+
+    @property
+    def conn(self):
+        return self.worker.conn
 
 
 def _load_job_binary(job):
@@ -241,32 +250,13 @@ def execute_job(job, attempt=1, cache_dir=None, use_summary_cache=True,
     }
 
 
-def _worker_main(job, attempt, options, conn):
-    """Worker process entry: run the job, ship exactly one message."""
-    try:
-        payload = execute_job(job, attempt=attempt, **options)
-    except ReproError as exc:
-        payload = {"status": "error", "error": str(exc),
-                   "error_type": type(exc).__name__}
-    except Exception as exc:
-        import traceback
-
-        payload = {"status": "error", "error": str(exc),
-                   "error_type": type(exc).__name__,
-                   "traceback": traceback.format_exc()}
-    try:
-        conn.send(payload)
-    finally:
-        conn.close()
-
-
 class FleetScheduler:
-    """Fans fleet jobs over worker processes with retry + quarantine."""
+    """Fans fleet jobs over warm pool workers with retry + quarantine."""
 
     def __init__(self, jobs=1, timeout=None, retries=1, cache_dir=None,
                  use_summary_cache=True, use_report_cache=True,
                  use_fleet_index=False, telemetry=None, backoff=0.1,
-                 backoff_cap=5.0):
+                 backoff_cap=5.0, pool=None):
         if jobs < 1:
             raise PipelineError("need at least one worker slot")
         self.jobs = jobs
@@ -281,10 +271,30 @@ class FleetScheduler:
             "use_report_cache": use_report_cache,
             "use_fleet_index": use_fleet_index,
         }
-        methods = multiprocessing.get_all_start_methods()
-        self._ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn"
-        )
+        # An externally supplied pool is shared (the daemon hands one
+        # scheduler per batch the same warm workers); an owned pool is
+        # created lazily on the first run() so the fork happens after
+        # the caller finished configuring the parent process.
+        self._pool = pool
+        self._owns_pool = pool is None
+
+    @property
+    def pool(self):
+        if self._pool is None:
+            self._pool = WorkerPool()
+        return self._pool
+
+    def close(self):
+        """Reap the owned worker pool (shared pools are left alone)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
 
     # ------------------------------------------------------------------
 
@@ -325,7 +335,7 @@ class FleetScheduler:
                 self._poll(running, queue, results)
         finally:
             for record in running:   # unwind on unexpected scheduler error
-                self._kill(record.process)
+                self.pool.discard(record.worker)
         wall = time.perf_counter() - run_start
         ordered = [results[job.job_id] for job in fleet_jobs]
         self.telemetry.emit(
@@ -357,23 +367,22 @@ class FleetScheduler:
     # ------------------------------------------------------------------
 
     def _launch(self, job, attempt):
-        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-        process = self._ctx.Process(
-            target=_worker_main,
-            args=(job, attempt, self._options, child_conn),
-            name="dtaint-%s" % job.job_id,
-            daemon=True,
-        )
-        process.start()
-        child_conn.close()
+        worker = self.pool.acquire()
+        try:
+            worker.send_job(job, attempt, self._options)
+        except (BrokenPipeError, OSError):
+            # Worker died between fork and first job: replace it once.
+            self.pool.discard(worker)
+            worker = self.pool.acquire()
+            worker.send_job(job, attempt, self._options)
         started = time.perf_counter()
         deadline = started + self.timeout if self.timeout else None
         self.telemetry.emit(
-            "job_start", job=job.job_id, attempt=attempt, pid=process.pid,
+            "job_start", job=job.job_id, attempt=attempt, pid=worker.pid,
             target=job.describe_target(),
         )
-        return _Running(job=job, attempt=attempt, process=process,
-                        conn=parent_conn, started=started, deadline=deadline)
+        return _Running(job=job, attempt=attempt, worker=worker,
+                        started=started, deadline=deadline)
 
     def _poll(self, running, queue, results):
         """One scheduler tick: reap finished workers, enforce deadlines."""
@@ -385,14 +394,12 @@ class FleetScheduler:
             if record.conn in ready:
                 finished.append((record, self._reap(record)))
             elif record.deadline is not None and now > record.deadline:
-                self._kill(record.process)
+                self.pool.discard(record.worker)
                 finished.append((record, AnalysisTimeout(
                     record.job.job_id, self.timeout
                 )))
         for record, outcome in finished:
             running.remove(record)
-            record.conn.close()
-            record.process.join(5)
             elapsed = time.perf_counter() - record.started
             if isinstance(outcome, dict):
                 self._complete(record, outcome, elapsed, results)
@@ -400,13 +407,21 @@ class FleetScheduler:
                 self._fail(record, outcome, elapsed, queue, results)
 
     def _reap(self, record):
-        """Read the worker's one message; a dead pipe is a crash."""
+        """Read the worker's result message; a dead pipe is a crash.
+
+        A clean payload (including an in-worker typed error) leaves
+        the worker warm for the next job; a dead pipe means the
+        process itself is gone and the worker is discarded.
+        """
         try:
             payload = record.conn.recv()
         except (EOFError, OSError):
-            record.process.join(5)
-            return WorkerCrash(record.job.job_id,
-                               exitcode=record.process.exitcode)
+            record.worker.process.join(5)
+            crash = WorkerCrash(record.job.job_id,
+                                exitcode=record.worker.process.exitcode)
+            self.pool.discard(record.worker)
+            return crash
+        self.pool.release(record.worker)
         if payload.get("status") == "ok":
             return payload
         # The worker caught its own exception: rehydrate it typed.
@@ -416,15 +431,6 @@ class FleetScheduler:
         )
         error.worker_error_type = payload.get("error_type", "")
         return error
-
-    @staticmethod
-    def _kill(process):
-        if process.is_alive():
-            process.terminate()
-            process.join(0.5)
-        if process.is_alive():
-            process.kill()
-            process.join(5)
 
     def _complete(self, record, payload, elapsed, results):
         result = results[record.job.job_id]

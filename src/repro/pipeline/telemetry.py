@@ -20,13 +20,28 @@ from repro.eval.tables import format_table
 
 
 class Telemetry:
-    """Append-only JSONL event writer (thread-safe, line-buffered)."""
+    """Append-only JSONL event writer (thread-safe, line-buffered).
 
-    def __init__(self, path=None):
+    Beyond the JSONL file, events **fan out** to any number of sinks
+    — callables invoked with each finished record under the writer
+    lock, so a sink observes events in exactly ``seq`` order.  The
+    analysis daemon uses a sink to mirror the stream into the sqlite
+    results store, where it becomes the per-job progress feed the
+    REST API serves.  A sink that raises is dropped after the first
+    failure rather than poisoning every later emit.
+    """
+
+    def __init__(self, path=None, sinks=()):
         self.path = path
         self._lock = threading.Lock()
         self._seq = 0
         self._handle = open(path, "a") if path else None
+        self._sinks = list(sinks)
+
+    def add_sink(self, sink):
+        """Register a callable receiving every event record."""
+        with self._lock:
+            self._sinks.append(sink)
 
     def emit(self, event, **fields):
         """Record one event; returns the event dict (always built)."""
@@ -38,6 +53,14 @@ class Telemetry:
             if self._handle is not None:
                 self._handle.write(json.dumps(record, sort_keys=True) + "\n")
                 self._handle.flush()
+            dead = []
+            for sink in self._sinks:
+                try:
+                    sink(record)
+                except Exception:
+                    dead.append(sink)
+            for sink in dead:
+                self._sinks.remove(sink)
         return record
 
     def emit_many(self, events, **common):

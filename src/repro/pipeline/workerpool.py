@@ -1,0 +1,212 @@
+"""A persistent pool of warm analysis worker processes.
+
+The original scheduler forked one process per job attempt: perfect
+crash isolation, but every attempt paid the full interpreter +
+import + intern-pool warm-up cost.  For a long-running service that
+cost dominates small jobs, so the pool keeps workers alive between
+jobs: a worker loops ``recv job -> execute -> send payload`` over a
+duplex pipe until told to stop.
+
+Crash isolation is preserved because isolation never came from the
+one-shot lifecycle — it comes from the process boundary.  A worker
+that segfaults, ``os._exit``-s, or blows its deadline is *discarded*
+(killed and forgotten) and a fresh worker is spawned on demand; only
+the job it was holding is affected.  A worker that merely reports a
+typed analysis error stays warm and goes back to the idle list.
+
+Within-worker state that persists across jobs is safe by design:
+
+* the hash-consing arenas (:mod:`repro.symexec.value`) are
+  content-addressed, so pre-existing interned nodes can never change
+  an analysis result, only make it cheaper;
+* the phase profiler is read via snapshot deltas
+  (:class:`repro.core.detector.DTaint` takes a baseline snapshot), so
+  accumulated counters from earlier jobs cancel out;
+* fault injectors are installed/uninstalled inside
+  :func:`~repro.pipeline.scheduler.execute_job`'s ``try/finally``.
+
+The ``fork`` start method is preferred for the same reason as before:
+workers inherit loaded modules and the parent's hash seed.
+"""
+
+import itertools
+import multiprocessing
+
+from repro.errors import PipelineError, ReproError
+
+_STOP = None        # sentinel message: worker exits its loop
+
+
+def _pool_worker_main(conn):
+    """Worker process entry: serve jobs until stopped or orphaned."""
+    from repro.pipeline.scheduler import execute_job
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break                    # parent died or closed us: exit
+        if message is _STOP:
+            break
+        job, attempt, options = message
+        try:
+            payload = execute_job(job, attempt=attempt, **options)
+        except ReproError as exc:
+            payload = {"status": "error", "error": str(exc),
+                       "error_type": type(exc).__name__}
+        except Exception as exc:
+            import traceback
+
+            payload = {"status": "error", "error": str(exc),
+                       "error_type": type(exc).__name__,
+                       "traceback": traceback.format_exc()}
+        try:
+            conn.send(payload)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class PoolWorker:
+    """One live worker process + its duplex command/result pipe."""
+
+    __slots__ = ("process", "conn", "worker_id", "jobs_done")
+
+    def __init__(self, process, conn, worker_id):
+        self.process = process
+        self.conn = conn
+        self.worker_id = worker_id
+        self.jobs_done = 0
+
+    @property
+    def pid(self):
+        return self.process.pid
+
+    def send_job(self, job, attempt, options):
+        self.conn.send((job, attempt, options))
+
+    def kill(self):
+        """Terminate escalating SIGTERM -> SIGKILL; close the pipe."""
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(0.5)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(5)
+
+
+class WorkerPool:
+    """Spawns, recycles, and reaps warm analysis workers.
+
+    ``acquire()`` hands out an idle warm worker when one exists and
+    forks a new one otherwise; the *caller* bounds concurrency (the
+    scheduler never holds more workers than its slot count), so the
+    pool itself imposes no cap.  ``release()`` returns a healthy
+    worker to the idle list; ``discard()`` destroys a worker whose
+    process can no longer be trusted (crash, timeout, torn pipe).
+
+    ``max_jobs_per_worker`` optionally recycles a worker after N jobs
+    — a blunt but effective bound on slow per-process growth (intern
+    arenas, RSS high-water) during very long daemon runs.  0 disables
+    recycling.
+    """
+
+    def __init__(self, ctx=None, max_jobs_per_worker=0):
+        if ctx is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+        self._ctx = ctx
+        self.max_jobs_per_worker = max(int(max_jobs_per_worker or 0), 0)
+        self._idle = []
+        self._ids = itertools.count(1)
+        self.spawned_total = 0
+        self.recycled_total = 0
+        self.discarded_total = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    def acquire(self):
+        """An idle warm worker, or a freshly spawned one."""
+        if self._closed:
+            raise PipelineError("worker pool is closed")
+        while self._idle:
+            worker = self._idle.pop()
+            if worker.process.is_alive():
+                return worker
+            # Died while idle (OOM killer, operator): silently replace.
+            worker.kill()
+            self.discarded_total += 1
+        return self._spawn()
+
+    def release(self, worker):
+        """Return a healthy worker to the warm idle list."""
+        worker.jobs_done += 1
+        if (self.max_jobs_per_worker
+                and worker.jobs_done >= self.max_jobs_per_worker):
+            self._stop(worker)
+            self.recycled_total += 1
+            return
+        if self._closed or not worker.process.is_alive():
+            worker.kill()
+            self.discarded_total += 1
+            return
+        self._idle.append(worker)
+
+    def discard(self, worker):
+        """Destroy a worker whose process is no longer trustworthy."""
+        worker.kill()
+        self.discarded_total += 1
+
+    @property
+    def warm_count(self):
+        return len(self._idle)
+
+    def prewarm(self, count):
+        """Fork ``count`` idle workers ahead of the first job."""
+        need = max(count - len(self._idle), 0)
+        for _ in range(need):
+            self._idle.append(self._spawn())
+
+    def close(self):
+        """Stop every idle worker; the pool refuses further acquires."""
+        self._closed = True
+        while self._idle:
+            self._stop(self._idle.pop())
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _spawn(self):
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        worker_id = next(self._ids)
+        process = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(child_conn,),
+            name="dtaint-worker-%d" % worker_id,
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self.spawned_total += 1
+        return PoolWorker(process, parent_conn, worker_id)
+
+    def _stop(self, worker):
+        """Ask a worker to exit its loop, then make sure it did."""
+        try:
+            worker.conn.send(_STOP)
+        except (BrokenPipeError, OSError):
+            pass
+        worker.process.join(2)
+        worker.kill()

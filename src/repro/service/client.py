@@ -1,0 +1,138 @@
+"""A thin urllib client for the daemon's REST API.
+
+``ServiceClient`` is the programmatic face (used by ``dtaint client``
+and the CI smoke); every method maps 1:1 onto an endpoint and returns
+parsed JSON.  Transport and HTTP-level failures surface as
+:class:`ServiceError` so callers can distinguish "the daemon said no"
+from "there is no daemon".
+"""
+
+import json
+import time
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+from repro.errors import PipelineError
+from repro.service.api import API_PREFIX
+from repro.service.queue import TERMINAL_STATES
+
+
+class ServiceError(PipelineError):
+    """The daemon rejected a request or could not be reached."""
+
+    def __init__(self, message, status=None):
+        PipelineError.__init__(self, message)
+        self.status = status
+
+
+class ServiceClient:
+    """Speaks the ``/api/v1`` surface of one daemon."""
+
+    def __init__(self, url, timeout=30.0):
+        self.base = url.rstrip("/")
+        if not self.base.startswith("http"):
+            self.base = "http://" + self.base
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method, path, body=None, raw=False):
+        url = self.base + API_PREFIX + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urlrequest.Request(url, data=data, headers=headers,
+                                 method=method)
+        try:
+            with urlrequest.urlopen(req, timeout=self.timeout) as response:
+                payload = response.read().decode("utf-8")
+        except urlerror.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServiceError(
+                "%s %s -> %d: %s" % (method, path, exc.code, detail),
+                status=exc.code,
+            )
+        except (urlerror.URLError, OSError) as exc:
+            raise ServiceError(
+                "cannot reach daemon at %s: %s" % (self.base, exc)
+            )
+        if raw:
+            return payload
+        return json.loads(payload) if payload.strip() else {}
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self):
+        return self._request("GET", "/healthz")
+
+    def stats(self):
+        return self._request("GET", "/stats")
+
+    def submit(self, kind="profile", key="", path="", scale=None,
+               modules=(), priority=0):
+        body = {"kind": kind, "key": key, "path": path,
+                "modules": list(modules), "priority": priority}
+        if scale is not None:
+            body["scale"] = scale
+        return self._request("POST", "/jobs", body=body)
+
+    def jobs(self, state=None, limit=200):
+        path = "/jobs?limit=%d" % limit
+        if state:
+            path += "&state=%s" % state
+        return self._request("GET", path)["jobs"]
+
+    def job(self, job_id):
+        return self._request("GET", "/jobs/%d" % int(job_id))
+
+    def cancel(self, job_id):
+        return self._request("POST", "/jobs/%d/cancel" % int(job_id))
+
+    def events(self, job_id, after=0, limit=1000):
+        payload = self._request(
+            "GET", "/jobs/%d/events?after=%d&limit=%d"
+                   % (int(job_id), int(after), int(limit)),
+            raw=True,
+        )
+        return [
+            json.loads(line) for line in payload.splitlines() if line.strip()
+        ]
+
+    def findings(self, job_id):
+        return self._request("GET", "/jobs/%d/findings" % int(job_id))
+
+    def query_findings(self, function=None, kind=None, section=None,
+                       limit=200):
+        query = ["limit=%d" % limit]
+        for name, value in (("function", function), ("kind", kind),
+                            ("section", section)):
+            if value:
+                query.append("%s=%s" % (name, value))
+        return self._request(
+            "GET", "/findings?" + "&".join(query)
+        )["findings"]
+
+    def shutdown(self):
+        return self._request("POST", "/shutdown")
+
+    # -- conveniences ------------------------------------------------------
+
+    def wait(self, job_id, timeout=300.0, poll=0.2):
+        """Poll until the job reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    "job %s still %s after %.0fs"
+                    % (job_id, job["state"], timeout)
+                )
+            time.sleep(poll)

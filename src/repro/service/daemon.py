@@ -1,0 +1,233 @@
+"""The persistent analysis daemon: queue → warm pool → sqlite store.
+
+``AnalysisDaemon`` is the orchestration core every frontend shares
+(REST API, ``dtaint client``, tests driving it in-process).  One
+dispatcher thread loops:
+
+1. claim up to ``workers`` pending jobs from the durable queue
+   (priority order);
+2. run them as one batch on the **persistent** scheduler — the warm
+   worker pool survives between batches, so steady-state submissions
+   skip process start-up entirely;
+3. record the batch into the sqlite store (one transaction) and move
+   each queue job to ``done``/``failed``.
+
+Telemetry fans out into the store via a sink, so every scheduler
+event (job_start, phase_times, cache_report, job_finish, ...) becomes
+a per-job progress row the API can stream incrementally.
+
+Crash-safe resume: on :meth:`start` the queue's ``running`` leftovers
+from a dead daemon are swept back to ``pending`` and simply get
+re-dispatched; results are only published in the same transaction
+that completes the queue row, so a half-processed batch re-runs
+without duplicating history.
+"""
+
+import json
+import threading
+import time
+
+from repro.pipeline.scheduler import FleetJob, FleetScheduler
+from repro.pipeline.telemetry import Telemetry
+from repro.service.queue import JobQueue
+from repro.service.store import ResultsDB
+
+
+def fleet_job_from_spec(spec, job_id):
+    """Materialise a queue spec into the scheduler's job form."""
+    return FleetJob(
+        job_id=job_id,
+        kind=spec["kind"],
+        key=spec.get("key", ""),
+        path=spec.get("path", ""),
+        scale=spec.get("scale", 0.25),
+        modules=tuple(spec.get("modules") or ()),
+    )
+
+
+class AnalysisDaemon:
+    """Long-running analysis service over one sqlite store."""
+
+    def __init__(self, db_path, cache_dir=None, workers=2, timeout=None,
+                 retries=1, incremental=False, telemetry_path=None,
+                 poll_interval=0.2, scale=None):
+        self.db = ResultsDB(db_path)
+        self.queue = JobQueue(self.db)
+        self.workers = max(int(workers), 1)
+        self.poll_interval = poll_interval
+        self.default_scale = scale
+        self.telemetry = Telemetry(path=telemetry_path)
+        self.telemetry.add_sink(self._event_sink)
+        self.scheduler = FleetScheduler(
+            jobs=self.workers,
+            timeout=timeout or None,
+            retries=retries,
+            cache_dir=cache_dir,
+            use_fleet_index=incremental,
+            telemetry=self.telemetry,
+        )
+        self.started_ts = time.time()
+        self.batches = 0
+        self.jobs_processed = 0
+        self._queue_ids = {}         # fleet job_id -> queue job_id
+        self._stop = threading.Event()
+        self._thread = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self):
+        """Recover stranded jobs and start the dispatcher thread."""
+        resumed = self.queue.recover()
+        if resumed:
+            self.telemetry.emit("daemon_resume", requeued=resumed)
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="dtaint-dispatch", daemon=True,
+        )
+        self._thread.start()
+        return resumed
+
+    def stop(self):
+        """Stop dispatching, reap the worker pool, close the store."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(30)
+            self._thread = None
+        self.scheduler.close()
+        self.telemetry.close()
+        self.db.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch_loop(self):
+        while not self._stop.is_set():
+            if not self.run_once():
+                self._stop.wait(self.poll_interval)
+
+    def run_once(self):
+        """Claim and process one batch; returns the number of jobs.
+
+        Public so tests (and synchronous embedders) can drive the
+        daemon deterministically without the dispatcher thread.
+        """
+        rows = self.queue.claim_batch(limit=self.workers)
+        if not rows:
+            return 0
+        fleet_jobs = []
+        self._queue_ids = {}
+        for row in rows:
+            fleet_id = "q%d" % row["job_id"]
+            self._queue_ids[fleet_id] = row["job_id"]
+            fleet_jobs.append(fleet_job_from_spec(row["spec"], fleet_id))
+        start = time.perf_counter()
+        results = self.scheduler.run(fleet_jobs)
+        wall = time.perf_counter() - start
+        run_id, image_ids = self.db.record_run(
+            results, wall, kind="service",
+            queue_job_ids=self._queue_ids,
+        )
+        for row, result in zip(rows, results):
+            if result.ok:
+                self.queue.complete(
+                    row["job_id"], image_id=image_ids.get(result.job.job_id)
+                )
+            else:
+                self.queue.fail(
+                    row["job_id"], error=result.error,
+                    error_type=result.error_type,
+                )
+        self.batches += 1
+        self.jobs_processed += len(rows)
+        self.telemetry.emit(
+            "batch_finish", run_id=run_id, jobs=len(rows),
+            wall_seconds=round(wall, 4),
+            warm_workers=self.scheduler.pool.warm_count,
+        )
+        return len(rows)
+
+    def _event_sink(self, record):
+        queue_job_id = self._queue_ids.get(record.get("job"))
+        self.db.append_event(queue_job_id, record)
+
+    # -- frontends ---------------------------------------------------------
+
+    def submit(self, spec, priority=0):
+        """Idempotent submission; returns the queue job row."""
+        job_id, outcome = self.queue.submit(spec, priority=priority)
+        self.telemetry.emit(
+            "job_submitted", queue_job_id=job_id, outcome=outcome,
+            kind=spec.get("kind", ""),
+            target=spec.get("key") or spec.get("path") or "",
+        )
+        job = self.queue.get(job_id)
+        job["outcome"] = outcome
+        return job
+
+    def job_status(self, job_id):
+        return self.queue.get(job_id)
+
+    def job_findings(self, job_id):
+        """The canonical findings document for a finished job."""
+        job = self.queue.get(job_id)
+        if job is None:
+            return None
+        response = {"job_id": job_id, "state": job["state"]}
+        if job.get("image_id"):
+            document = self.db.image_document(job["image_id"])
+            if document is not None:
+                response["findings"] = document.get("findings")
+                response["findings_sha256"] = document.get(
+                    "findings_sha256", ""
+                )
+                response["target"] = document.get("target", "")
+                response["document"] = document
+        return response
+
+    def job_events(self, job_id, after=0, limit=1000):
+        return self.db.events(queue_job_id=job_id, after=after,
+                              limit=limit)
+
+    def stats(self):
+        stats = self.db.stats()
+        stats.update({
+            "uptime_seconds": round(time.time() - self.started_ts, 3),
+            "workers": self.workers,
+            "warm_workers": (
+                self.scheduler.pool.warm_count
+                if self.scheduler._pool is not None else 0
+            ),
+            "workers_spawned": (
+                self.scheduler.pool.spawned_total
+                if self.scheduler._pool is not None else 0
+            ),
+            "batches": self.batches,
+            "jobs_processed": self.jobs_processed,
+        })
+        return stats
+
+
+def verify_roundtrip(document):
+    """Re-derive the fingerprint of a stored findings document.
+
+    Sanity helper for clients: the stored ``findings`` section *is*
+    the canonical document :func:`~repro.pipeline.results.
+    findings_fingerprint` hashes, so hashing it again must reproduce
+    the stored ``findings_sha256`` exactly.  Returns ``True`` when it
+    does.
+    """
+    import hashlib
+
+    findings = document.get("findings")
+    if findings is None:
+        return False
+    blob = json.dumps(
+        findings, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return (hashlib.sha256(blob).hexdigest()
+            == document.get("findings_sha256"))

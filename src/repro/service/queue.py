@@ -1,0 +1,249 @@
+"""The durable job queue over the sqlite results store.
+
+Jobs move ``pending → running → done | failed``, with ``cancelled``
+reachable from ``pending`` (and *requested* on a running job, which
+the daemon honours at the next safe point).  Everything is one table
+(``queue_jobs`` in :mod:`repro.service.store`), so the queue survives
+daemon restarts for free: on start-up :meth:`JobQueue.recover` sweeps
+jobs stranded in ``running`` by a crash back to ``pending``.
+
+Submission is **idempotent**: every job carries a ``dedup_key``
+derived from the image fingerprint (file content hash for on-disk
+ELFs, build recipe for synthetic profiles) plus the analysis-config
+fingerprint.  Submitting the same work twice returns the first job —
+live or already finished — instead of scanning again; a *failed* or
+*cancelled* job is revived to ``pending`` so resubmission is also the
+retry knob.
+
+Claiming is priority-ordered (higher first, FIFO within a priority)
+and transactional, so concurrent dispatchers can never double-claim.
+"""
+
+import hashlib
+import json
+import time
+
+from repro.errors import PipelineError
+
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (PENDING, RUNNING, DONE, FAILED, CANCELLED)
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+_SPEC_FIELDS = ("kind", "key", "path", "scale", "modules")
+
+
+def job_spec(kind, key="", path="", scale=0.25, modules=()):
+    """A normalised job-submission spec (the queue's unit of work)."""
+    if kind not in ("profile", "elf"):
+        raise PipelineError("unknown job kind %r" % kind)
+    if kind == "profile" and not key:
+        raise PipelineError("profile jobs need a profile key")
+    if kind == "elf" and not path:
+        raise PipelineError("elf jobs need a file path")
+    return {
+        "kind": kind,
+        "key": key,
+        "path": path,
+        "scale": float(scale),
+        "modules": sorted(modules or ()),
+    }
+
+
+def dedup_key(spec, config_fingerprint=""):
+    """Image fingerprint + config fingerprint → idempotency key.
+
+    For on-disk ELF jobs the image fingerprint is the file's content
+    hash, so resubmitting an unchanged file dedups while a rebuilt
+    binary at the same path queues fresh work.  Synthetic profile
+    builds are deterministic in ``(key, scale)``, which therefore *is*
+    their image fingerprint.
+    """
+    fields = {name: spec.get(name) for name in _SPEC_FIELDS}
+    if spec.get("kind") == "elf":
+        try:
+            with open(spec["path"], "rb") as handle:
+                fields["content_sha256"] = hashlib.sha256(
+                    handle.read()
+                ).hexdigest()
+        except OSError:
+            pass                     # missing file fails at run time
+    if not config_fingerprint:
+        from repro.core import DTaintConfig
+        from repro.pipeline.cache import report_fingerprint
+
+        config_fingerprint = report_fingerprint(
+            DTaintConfig(modules=tuple(spec.get("modules") or ()))
+        )
+    fields["config"] = config_fingerprint
+    blob = json.dumps(fields, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class JobQueue:
+    """Durable, priority-ordered, idempotent job queue."""
+
+    def __init__(self, db):
+        self.db = db
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec, priority=0, key=None):
+        """Enqueue a job; returns ``(job_id, outcome)``.
+
+        ``outcome`` is ``'created'`` for new work, ``'deduplicated'``
+        when an equivalent job is pending/running/done, and
+        ``'revived'`` when a failed/cancelled job went back to
+        pending.
+        """
+        key = key or dedup_key(spec)
+        with self.db._transaction() as conn:
+            row = conn.execute(
+                "SELECT job_id, state FROM queue_jobs WHERE dedup_key = ?",
+                (key,),
+            ).fetchone()
+            if row is None:
+                cursor = conn.execute(
+                    "INSERT INTO queue_jobs(dedup_key, spec_json, "
+                    "priority, state, submitted_ts) VALUES (?, ?, ?, ?, ?)",
+                    (key, json.dumps(spec, sort_keys=True), int(priority),
+                     PENDING, time.time()),
+                )
+                return cursor.lastrowid, "created"
+            if row["state"] in (FAILED, CANCELLED):
+                conn.execute(
+                    "UPDATE queue_jobs SET state = ?, priority = ?, "
+                    "cancel_requested = 0, submitted_ts = ?, "
+                    "started_ts = NULL, finished_ts = NULL, error = '', "
+                    "error_type = '' WHERE job_id = ?",
+                    (PENDING, int(priority), time.time(), row["job_id"]),
+                )
+                return row["job_id"], "revived"
+            return row["job_id"], "deduplicated"
+
+    # -- dispatch ----------------------------------------------------------
+
+    def claim_batch(self, limit=1):
+        """Atomically move up to ``limit`` pending jobs to running."""
+        with self.db._transaction() as conn:
+            rows = conn.execute(
+                "SELECT * FROM queue_jobs WHERE state = ? AND "
+                "cancel_requested = 0 "
+                "ORDER BY priority DESC, job_id LIMIT ?",
+                (PENDING, int(limit)),
+            ).fetchall()
+            now = time.time()
+            claimed = []
+            for row in rows:
+                conn.execute(
+                    "UPDATE queue_jobs SET state = ?, started_ts = ?, "
+                    "attempts = attempts + 1 WHERE job_id = ?",
+                    (RUNNING, now, row["job_id"]),
+                )
+                claimed.append(self._as_dict(row, state=RUNNING))
+        return claimed
+
+    def complete(self, job_id, image_id=None):
+        self._finish(job_id, DONE, image_id=image_id)
+
+    def fail(self, job_id, error="", error_type=""):
+        self._finish(job_id, FAILED, error=error, error_type=error_type)
+
+    def _finish(self, job_id, state, image_id=None, error="",
+                error_type=""):
+        with self.db._transaction() as conn:
+            conn.execute(
+                "UPDATE queue_jobs SET state = ?, finished_ts = ?, "
+                "image_id = COALESCE(?, image_id), error = ?, "
+                "error_type = ? WHERE job_id = ?",
+                (state, time.time(), image_id, error, error_type,
+                 int(job_id)),
+            )
+
+    # -- cancellation ------------------------------------------------------
+
+    def cancel(self, job_id):
+        """Cancel a job; returns the resulting disposition.
+
+        ``'cancelled'`` — it was pending and will never run;
+        ``'cancel_requested'`` — it is running, the daemon will not
+        re-dispatch it but the in-flight attempt completes;
+        ``'already_terminal'`` / ``'missing'`` otherwise.
+        """
+        with self.db._transaction() as conn:
+            row = conn.execute(
+                "SELECT state FROM queue_jobs WHERE job_id = ?",
+                (int(job_id),),
+            ).fetchone()
+            if row is None:
+                return "missing"
+            if row["state"] == PENDING:
+                conn.execute(
+                    "UPDATE queue_jobs SET state = ?, finished_ts = ?, "
+                    "cancel_requested = 1 WHERE job_id = ?",
+                    (CANCELLED, time.time(), int(job_id)),
+                )
+                return "cancelled"
+            if row["state"] == RUNNING:
+                conn.execute(
+                    "UPDATE queue_jobs SET cancel_requested = 1 "
+                    "WHERE job_id = ?", (int(job_id),),
+                )
+                return "cancel_requested"
+            return "already_terminal"
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self):
+        """Requeue jobs a dead daemon left in ``running``; returns n."""
+        with self.db._transaction() as conn:
+            cursor = conn.execute(
+                "UPDATE queue_jobs SET state = ?, started_ts = NULL "
+                "WHERE state = ?", (PENDING, RUNNING),
+            )
+            return cursor.rowcount
+
+    # -- introspection -----------------------------------------------------
+
+    def get(self, job_id):
+        with self.db._lock:
+            row = self.db._conn.execute(
+                "SELECT * FROM queue_jobs WHERE job_id = ?",
+                (int(job_id),),
+            ).fetchone()
+        return self._as_dict(row) if row is not None else None
+
+    def list_jobs(self, state=None, limit=200):
+        clauses, params = [], []
+        if state:
+            clauses.append("state = ?")
+            params.append(state)
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        params.append(int(limit))
+        with self.db._lock:
+            rows = self.db._conn.execute(
+                "SELECT * FROM queue_jobs" + where
+                + " ORDER BY job_id DESC LIMIT ?", params,
+            ).fetchall()
+        return [self._as_dict(row) for row in rows]
+
+    def counts(self):
+        with self.db._lock:
+            rows = self.db._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM queue_jobs GROUP BY state"
+            ).fetchall()
+        counts = {state: 0 for state in STATES}
+        counts.update({row["state"]: row["n"] for row in rows})
+        return counts
+
+    @staticmethod
+    def _as_dict(row, **overrides):
+        job = {key: row[key] for key in row.keys()}
+        job["spec"] = json.loads(job.pop("spec_json"))
+        job["cancel_requested"] = bool(job["cancel_requested"])
+        job.update(overrides)
+        return job
