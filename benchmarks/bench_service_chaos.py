@@ -1,0 +1,214 @@
+"""Service chaos smoke: kill -9 sweep, memory governor, dead-letter.
+
+Three acceptance properties of the robustness layer, each enforced
+(exit 1 on violation) and all evidence written to the triage artifact
+the CI ``service-chaos`` job uploads:
+
+* ``kill_sweep`` — SIGKILL the daemon at every ``service.*`` probe
+  point (after claim, after compute, inside the publish transaction);
+  after recovery every job is ``done``, no job published twice, and
+  every ``findings_sha256`` is byte-identical to an uninterrupted
+  baseline run;
+* ``memory_governor`` — a 1 GiB allocation inside a worker governed
+  by a 256 MiB ``RLIMIT_AS`` surfaces as a typed
+  ``ResourceExhausted`` and the *same* worker process keeps serving
+  (the pool stays warm — exhaustion degrades, it does not kill);
+* ``dead_letter`` — repeated process-killing failures against one
+  image fingerprint trip the persistent circuit breaker: the job
+  dead-letters, resubmission reports ``quarantined``, and the
+  dead-letter queue carries the breaker evidence an operator triages.
+
+Usage:
+    python benchmarks/bench_service_chaos.py [--quick] [--out out.json]
+"""
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_service_chaos.json")
+
+
+class PropertyViolation(AssertionError):
+    """A chaos acceptance property failed."""
+
+
+def _require(condition, message):
+    if not condition:
+        raise PropertyViolation(message)
+
+
+def run_kill_sweep(work_dir, quick):
+    from repro.service.chaos import chaos_sweep
+
+    profiles = ("dir645",) if quick else ("dir645", "dgn1000")
+    document = chaos_sweep(
+        work_dir, profiles=profiles, workers=1 if quick else 2
+    )
+    for point in document["points"]:
+        _require(
+            point["killed"],
+            "%s: daemon was not killed (%s)"
+            % (point["point"], point["exit_detail"]),
+        )
+        _require(
+            not point["lost"],
+            "%s lost jobs: %s" % (point["point"], point["lost"]),
+        )
+        _require(
+            not point["duplicated"],
+            "%s published twice: %s"
+            % (point["point"], point["duplicated"]),
+        )
+        _require(
+            not point["mismatched"],
+            "%s fingerprints diverged: %s"
+            % (point["point"], point["mismatched"]),
+        )
+    return document
+
+
+def run_memory_governor():
+    from repro.pipeline import WorkerPool
+
+    with WorkerPool(rlimits={"as_mb": 256}) as pool:
+        worker = pool.acquire()
+        governed_pid = worker.pid
+        bomb = worker.control("alloc", 1 << 30, timeout=60)
+        _require(
+            bomb["ok"] is False
+            and bomb["error_type"] == "ResourceExhausted",
+            "memory bomb was not degraded typed: %s" % bomb,
+        )
+        pong = worker.control("ping")
+        _require(
+            pong["pid"] == governed_pid,
+            "worker did not survive the memory bomb",
+        )
+        small = worker.control("alloc", 1 << 20, timeout=60)
+        _require(small["ok"] is True,
+                 "governed worker cannot serve after the bomb")
+        pool.release(worker)
+        _require(pool.warm_count == 1, "pool went cold after the bomb")
+    return {
+        "rlimit_as_mb": 256,
+        "bomb_bytes": 1 << 30,
+        "degraded_typed": True,
+        "worker_survived": True,
+    }
+
+
+def run_dead_letter(work_dir):
+    from repro.service import JobQueue, ResultsDB, job_spec
+
+    db = ResultsDB(os.path.join(work_dir, "deadletter.sqlite"))
+    try:
+        queue = JobQueue(db, crash_threshold=2)
+        spec = job_spec("profile", key="dir645", scale=0.05)
+        job_id, _ = queue.submit(spec)
+        for error_type in ("WorkerCrash", "WorkerStalled"):
+            queue.submit(spec)
+            queue.claim_batch()
+            queue.fail(job_id, error="injected poison",
+                       error_type=error_type)
+        _require(
+            queue.get(job_id)["state"] == "dead",
+            "poison job did not dead-letter: %s" % queue.get(job_id),
+        )
+        _require(
+            queue.submit(spec)[1] == "quarantined",
+            "quarantined image was resubmittable",
+        )
+        letters = queue.dead_letter()
+        _require(
+            letters and letters[0]["quarantined"],
+            "dead-letter queue missing breaker evidence: %s" % letters,
+        )
+        _require(
+            queue.retry_dead(job_id) == "requeued",
+            "operator revival failed",
+        )
+        return {
+            "dead_letter": letters,
+            "quarantined_images": queue.quarantined_images(),
+            "revived": True,
+        }
+    finally:
+        db.close()
+
+
+def _render(results):
+    lines = ["service chaos smoke"]
+    sweep = results.get("kill_sweep")
+    if sweep:
+        for point in sweep["points"]:
+            lines.append(
+                "  %-18s killed=%s done=%d/%d ok=%s"
+                % (point["point"], point["killed"], point["done"],
+                   point["submitted"], point["ok"])
+            )
+        lines.append("  sweep wall: %.1fs" % sweep["wall_seconds"])
+    if "memory_governor" in results:
+        lines.append("  memory governor: 1 GiB bomb under 256 MiB "
+                     "rlimit degraded typed, worker stayed warm")
+    if "dead_letter" in results:
+        entry = results["dead_letter"]["dead_letter"][0]
+        lines.append(
+            "  dead letter: job %d quarantined after %d crashes, "
+            "operator revival ok"
+            % (entry["job_id"], entry["crash_count"])
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="one profile, one worker (CI smoke size)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="result JSON path (default %(default)s)")
+    args = parser.parse_args(argv)
+
+    work_dir = tempfile.mkdtemp(prefix="bench-service-chaos-")
+    results = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    code = 0
+    try:
+        results["kill_sweep"] = run_kill_sweep(work_dir, args.quick)
+        results["memory_governor"] = run_memory_governor()
+        results["dead_letter"] = run_dead_letter(work_dir)
+    except PropertyViolation as exc:
+        print("PROPERTY VIOLATED: %s" % exc, file=sys.stderr)
+        results["violation"] = str(exc)
+        code = 1
+    finally:
+        # The triage document is the artifact CI uploads; keep it next
+        # to the result JSON regardless of pass/fail.
+        triage = os.path.join(work_dir, "chaos-triage.json")
+        if os.path.exists(triage):
+            shutil.copy(triage, os.path.join(
+                os.path.dirname(os.path.abspath(args.out)) or ".",
+                "chaos-triage.json",
+            ))
+        shutil.rmtree(work_dir, ignore_errors=True)
+    if code == 0:
+        print(_render(results))
+    with open(args.out, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    print("wrote %s" % args.out)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -342,10 +342,18 @@ def _cmd_cache_gc(args):
 
 
 def _cmd_serve(args):
+    import signal
     import threading
 
     from repro.service import AnalysisDaemon, serve
 
+    rlimits = {}
+    if args.max_memory_mb:
+        rlimits["as_mb"] = args.max_memory_mb
+    if args.max_cpu_seconds:
+        rlimits["cpu_seconds"] = args.max_cpu_seconds
+    if args.max_file_mb:
+        rlimits["fsize_mb"] = args.max_file_mb
     daemon = AnalysisDaemon(
         db_path=args.db,
         cache_dir=None if args.no_cache else args.cache_dir,
@@ -355,12 +363,31 @@ def _cmd_serve(args):
         incremental=args.incremental,
         telemetry_path=args.telemetry,
         scale=args.scale,
+        rlimits=rlimits or None,
+        heartbeat=args.heartbeat,
+        max_queue_depth=args.max_queue_depth,
+        max_attempts=args.max_attempts,
+        crash_threshold=args.crash_threshold,
     )
     server = serve(
         daemon, host=args.host, port=args.port,
         allow_shutdown=args.allow_shutdown, verbose=args.verbose,
     )
     host, port = server.server_address[:2]
+
+    # SIGTERM / SIGINT drain gracefully: stop claiming immediately,
+    # let the in-flight batch publish, then exit.  The handler only
+    # trips the flag — the actual teardown runs in the main thread's
+    # finally block, never inside signal context.
+    def _drain(signum, frame):
+        daemon.draining = True
+        print("\nsignal %d: draining (in-flight batch completes, "
+              "pending jobs stay durable)" % signum, flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+
     resumed = daemon.start()
     if resumed:
         print("resumed %d job(s) stranded by a previous daemon" % resumed)
@@ -369,11 +396,12 @@ def _cmd_serve(args):
     try:
         server.serve_forever(poll_interval=0.2)
     except KeyboardInterrupt:
-        print("\nshutting down")
+        pass
     finally:
         threading.Thread(target=server.shutdown, daemon=True).start()
         server.server_close()
-        daemon.stop()
+        daemon.stop(drain_timeout=args.drain_timeout)
+    print("daemon stopped")
     return EXIT_OK
 
 
@@ -424,6 +452,27 @@ def _cmd_client(args):
             return EXIT_OK
         if args.client_command == "stats":
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return EXIT_OK
+        if args.client_command == "readyz":
+            probe = client.readyz()
+            print(json.dumps(probe, indent=2, sort_keys=True))
+            return EXIT_OK if probe.get("ready") else EXIT_ANALYSIS_FAILED
+        if args.client_command == "deadletter":
+            print(json.dumps(client.dead_letter(), indent=2,
+                             sort_keys=True))
+            return EXIT_OK
+        if args.client_command == "retry":
+            result = client.retry_dead(args.job_id)
+            print("job %d: %s" % (args.job_id, result["outcome"]))
+            return EXIT_OK
+        if args.client_command == "quarantine":
+            print(json.dumps(client.quarantine(), indent=2,
+                             sort_keys=True))
+            return EXIT_OK
+        if args.client_command == "quarantine-reset":
+            result = client.reset_quarantine(args.dedup_key)
+            print("breaker cleared for %s (%d row)" % (
+                args.dedup_key[:16], result["removed"]))
             return EXIT_OK
         if args.client_command == "shutdown":
             client.shutdown()
@@ -818,6 +867,32 @@ def main(argv=None):
     serve.add_argument("--telemetry",
                        help="also append the event stream to this "
                             "JSONL file")
+    serve.add_argument("--max-memory-mb", type=int, default=0,
+                       help="per-worker RLIMIT_AS in MiB; exhaustion "
+                            "degrades to a typed ResourceExhausted "
+                            "(0 = ungoverned)")
+    serve.add_argument("--max-cpu-seconds", type=int, default=0,
+                       help="per-worker RLIMIT_CPU soft limit; a spent "
+                            "budget recycles the worker (0 = off)")
+    serve.add_argument("--max-file-mb", type=int, default=0,
+                       help="per-worker RLIMIT_FSIZE in MiB (0 = off)")
+    serve.add_argument("--heartbeat", type=float, default=0.0,
+                       help="worker heartbeat interval in seconds; "
+                            "silent workers are reaped SIGTERM→SIGKILL "
+                            "(0 = off)")
+    serve.add_argument("--max-queue-depth", type=int, default=0,
+                       help="pending+running backlog beyond which "
+                            "submissions get HTTP 429 + Retry-After "
+                            "(0 = unbounded)")
+    serve.add_argument("--max-attempts", type=int, default=5,
+                       help="cross-restart retry budget before a job "
+                            "dead-letters")
+    serve.add_argument("--crash-threshold", type=int, default=3,
+                       help="process-killing failures per image before "
+                            "its fingerprint is quarantined")
+    serve.add_argument("--drain-timeout", type=float, default=60.0,
+                       help="seconds to wait for the in-flight batch "
+                            "on SIGTERM/SIGINT")
     serve.add_argument("--allow-shutdown", action="store_true",
                        help="enable POST /api/v1/shutdown (CI smoke)")
     serve.add_argument("--verbose", action="store_true",
@@ -860,6 +935,20 @@ def main(argv=None):
             c.add_argument("--after", type=int, default=0,
                            help="resume after this event_id")
     client_sub.add_parser("stats", help="queue + store statistics")
+    client_sub.add_parser("readyz", help="readiness probe (exit 1 "
+                                         "while draining)")
+    client_sub.add_parser("deadletter",
+                          help="list dead-lettered jobs + breaker info")
+    c_retry = client_sub.add_parser(
+        "retry", help="requeue a dead-lettered job with a fresh budget"
+    )
+    c_retry.add_argument("job_id", type=int)
+    client_sub.add_parser("quarantine",
+                          help="show the per-image circuit breaker")
+    c_qreset = client_sub.add_parser(
+        "quarantine-reset", help="clear one image's circuit breaker"
+    )
+    c_qreset.add_argument("dedup_key")
     client_sub.add_parser("shutdown", help="stop the daemon (needs "
                                            "--allow-shutdown)")
     client.set_defaults(func=_cmd_client)

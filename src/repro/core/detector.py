@@ -101,6 +101,17 @@ class DTaint:
         """Record one function's fault; first fault per function wins."""
         if name in self.degraded:
             return
+        if isinstance(exc, MemoryError):
+            # Under RLIMIT_AS governance an allocation burst inside one
+            # function surfaces as MemoryError; map it into the typed
+            # taxonomy so the offending function degrades like any
+            # other fault instead of reading as an anonymous crash.
+            from repro.errors import ResourceExhausted
+
+            exc = ResourceExhausted(
+                "memory limit exhausted during %s" % phase,
+                function=name, addr=addr, resource="memory",
+            )
         elapsed = time.perf_counter() - started if started else 0.0
         self.degraded[name] = DegradedFunction.from_fault(
             name, addr, phase, exc, elapsed=elapsed

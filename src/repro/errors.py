@@ -125,6 +125,25 @@ class DeadlineExceeded(AnalysisFault):
     phase = "deadline"
 
 
+class ResourceExhausted(AnalysisFault):
+    """A per-job OS resource limit (memory, CPU, file size) was hit.
+
+    Workers run under ``resource.setrlimit`` governance; when analysis
+    of one function trips a limit (``MemoryError`` under RLIMIT_AS,
+    ``SIGXCPU`` under RLIMIT_CPU) the function degrades to this typed
+    fault and the scan continues, exactly like the other members of
+    the taxonomy.  ``resource`` names the exhausted limit
+    (``memory`` / ``cpu`` / ``filesize``).
+    """
+
+    phase = "resource"
+
+    def __init__(self, message, function=None, addr=None, site=None,
+                 resource="memory"):
+        self.resource = resource
+        super().__init__(message, function=function, addr=addr, site=site)
+
+
 class PipelineError(ReproError):
     """Raised by the fleet orchestration layer (``repro.pipeline``)."""
 
@@ -148,4 +167,40 @@ class WorkerCrash(PipelineError):
         self.exitcode = exitcode
         super().__init__(
             "worker for job %r crashed (exitcode=%s)" % (job_id, exitcode)
+        )
+
+
+class WorkerStalled(PipelineError):
+    """A fleet worker stopped heartbeating while holding a job.
+
+    Distinct from :class:`AnalysisTimeout` (the job-level deadline): a
+    stall means the *process* is frozen — stopped, deadlocked in
+    native code, or swapped to death — and the supervisor reaps it
+    with SIGTERM→SIGKILL escalation independent of any job budget.
+    """
+
+    def __init__(self, job_id, silent_seconds):
+        self.job_id = job_id
+        self.silent_seconds = silent_seconds
+        super().__init__(
+            "worker for job %r silent for %.1fs (heartbeat lost)"
+            % (job_id, silent_seconds)
+        )
+
+
+class QueueFull(PipelineError):
+    """The job queue refused a submission under backpressure.
+
+    ``retry_after`` is the server's hint (in seconds) for when the
+    client should try again; the REST layer maps this to HTTP 429
+    with a ``Retry-After`` header.
+    """
+
+    def __init__(self, depth, limit, retry_after=5.0):
+        self.depth = depth
+        self.limit = limit
+        self.retry_after = retry_after
+        super().__init__(
+            "queue is full (%d pending >= limit %d); retry in %.0fs"
+            % (depth, limit, retry_after)
         )

@@ -25,7 +25,19 @@ site                    target                        faults
 ``firmware.unpack``     file label (may be empty)     malformed
 ``firmware.file``       filesystem path               malformed
 ``results``             output file basename          malformed
+``service.claim``       queue batch label             kill9
+``service.dispatch``    queue batch label             kill9
+``service.publish``     queue batch label             kill9
+``service.api``         request path                  disconnect
 ======================  ============================  ==================
+
+Beyond the typed exception faults there are two **action faults** for
+service chaos: ``kill9`` delivers an un-catchable ``SIGKILL`` to the
+current process at the probe (modelling a daemon killed mid-claim /
+mid-publish), and ``disconnect`` raises ``ConnectionResetError``
+(modelling a client connection torn mid-response).  Both fire through
+the same spec/shots machinery, so a chaos sweep arms them exactly like
+any analysis fault.
 
 Determinism: a spec either names its target exactly or uses ``*``
 (first eligible probe at that site).  :func:`pick_target` maps an
@@ -38,6 +50,8 @@ Spec string form (CLI / :class:`~repro.pipeline.scheduler.FleetJob`):
 ``malformed@firmware.file:/bin/httpd``.
 """
 
+import os
+import signal
 from dataclasses import dataclass, field
 
 from repro.errors import (
@@ -45,6 +59,7 @@ from repro.errors import (
     DecodeFault,
     LiftFault,
     MalformedInput,
+    ResourceExhausted,
     SymexecFault,
 )
 
@@ -54,7 +69,12 @@ FAULT_CLASSES = {
     "symexec": SymexecFault,
     "deadline": DeadlineExceeded,
     "malformed": MalformedInput,
+    "resource": ResourceExhausted,
 }
+
+# Action faults do something to the process instead of raising a typed
+# analysis error: service chaos points.
+ACTION_FAULTS = ("kill9", "disconnect")
 
 MATCH_ANY = "*"
 
@@ -68,10 +88,11 @@ class FaultSpec:
     target: str = MATCH_ANY    # exact target, or '*' for first eligible
 
     def __post_init__(self):
-        if self.fault not in FAULT_CLASSES:
+        if self.fault not in FAULT_CLASSES and self.fault not in ACTION_FAULTS:
             raise ValueError(
                 "unknown fault %r (choices: %s)"
-                % (self.fault, ", ".join(sorted(FAULT_CLASSES)))
+                % (self.fault,
+                   ", ".join(sorted(FAULT_CLASSES) + sorted(ACTION_FAULTS)))
             )
 
     @classmethod
@@ -128,6 +149,14 @@ class FaultInjector:
             self.fired.append(
                 FiredFault(spec=spec, target=target or spec.target)
             )
+            if spec.fault == "kill9":
+                # Un-catchable hard death at this exact point: the
+                # chaos harness asserts durable state recovers.
+                os.kill(os.getpid(), signal.SIGKILL)
+            if spec.fault == "disconnect":
+                raise ConnectionResetError(
+                    "injected dropped connection at %s" % site
+                )
             raise FAULT_CLASSES[spec.fault](
                 "injected %s fault at %s" % (spec.fault, site),
                 **_fault_kwargs(spec.fault, target),

@@ -23,6 +23,13 @@ MODE_DIR = 0o040755
 
 COMPRESS_THRESHOLD = 64
 
+# Decompression bombs: a hostile image can declare a tiny stored blob
+# that inflates without bound.  Per-file and whole-image budgets cap
+# what unpack() will ever materialise; an oversized *entry* degrades
+# to a typed per-file skip, a blown *image* budget is malformed input.
+MAX_FILE_BYTES = 64 << 20
+MAX_IMAGE_BYTES = 256 << 20
+
 
 class SimpleFS:
     """An in-memory root filesystem that packs to/from bytes."""
@@ -94,7 +101,8 @@ class SimpleFS:
         return super_block + table + payload
 
     @classmethod
-    def unpack(cls, data):
+    def unpack(cls, data, max_file_bytes=MAX_FILE_BYTES,
+               max_image_bytes=MAX_IMAGE_BYTES):
         """Parse bytes back into a :class:`SimpleFS`.
 
         Image-level corruption (bad magic, truncated superblock or
@@ -102,6 +110,13 @@ class SimpleFS:
         corrupt *entry* inside an otherwise intact image is dropped
         into ``fs.skipped`` as ``(path, reason)`` instead — one bad
         file must not lose the rest of the filesystem.
+
+        Allocation is bounded: a file whose declared size exceeds
+        ``max_file_bytes`` is skipped *before* any decompression
+        happens (and the inflate itself is capped, so a lying header
+        cannot expand past its declaration), while an image whose
+        total unpacked size would exceed ``max_image_bytes`` raises —
+        a filesystem that big is an attack, not firmware.
         """
         header_size = struct.calcsize(_SUPER)
         if len(data) < header_size:
@@ -122,6 +137,7 @@ class SimpleFS:
 
         fs = cls()
         cursor = 0
+        unpacked_total = 0
         entry_size = struct.calcsize(_ENTRY)
         for index in range(count):
             if cursor + entry_size > len(table):
@@ -132,12 +148,20 @@ class SimpleFS:
             cursor += entry_size
             path_bytes = table[cursor:cursor + path_len]
             cursor += path_len
+            # The image budget counts declared sizes, so it is checked
+            # before any allocation happens for this entry.
+            unpacked_total += raw_len
+            if unpacked_total > max_image_bytes:
+                raise FirmwareError(
+                    "SimpleFS image inflates past the %d MiB budget"
+                    % (max_image_bytes >> 20)
+                )
             # Entry framing is intact past this point; anything wrong
             # with this one file degrades to a typed per-file skip.
             try:
                 fs._unpack_entry(
                     path_bytes, mode, offset, stored_len, raw_len,
-                    body, payload_base,
+                    body, payload_base, max_file_bytes,
                 )
             except MalformedInput as exc:
                 label = (
@@ -148,12 +172,19 @@ class SimpleFS:
         return fs
 
     def _unpack_entry(self, path_bytes, mode, offset, stored_len, raw_len,
-                      body, payload_base):
+                      body, payload_base, max_file_bytes=MAX_FILE_BYTES):
         try:
             path = path_bytes.decode("utf-8")
         except UnicodeDecodeError as exc:
             raise FirmwareError("undecodable path: %s" % exc)
         faultinject.check("firmware.file", path)
+        if raw_len > max_file_bytes:
+            # Checked before any slice or inflate: a decompression
+            # bomb never allocates, it just loses its one entry.
+            raise FirmwareError(
+                "file %r declares %d bytes, over the %d MiB cap"
+                % (path, raw_len, max_file_bytes >> 20)
+            )
         start = payload_base + offset
         stored = body[start:start + stored_len]
         if len(stored) != stored_len:
@@ -161,13 +192,19 @@ class SimpleFS:
         if stored_len == raw_len:
             content = stored
         else:
+            # Bounded inflate: never produce more than the declared
+            # size, so even a header that lies about raw_len cannot
+            # make this allocate past the cap.
+            inflater = zlib.decompressobj()
             try:
-                content = zlib.decompress(stored)
+                content = inflater.decompress(stored, raw_len)
             except zlib.error as exc:
                 raise FirmwareError(
                     "corrupt compressed file %r: %s" % (path, exc)
                 )
-            if len(content) != raw_len:
+            if (inflater.unconsumed_tail
+                    or inflater.decompress(b"", 1)
+                    or len(content) != raw_len):
                 raise FirmwareError("bad decompressed size for %r" % path)
         if mode == MODE_DIR & 0xFFFF:
             self.add_dir(path)

@@ -72,6 +72,10 @@ class ElfFile:
     # Cap on how much zero-fill a PT_LOAD may demand (memsz - filesz);
     # a malformed header must not be able to allocate gigabytes.
     MAX_SEGMENT_MEMSZ = 1 << 28
+    # Cap on the *sum* of PT_LOAD memsz: e_phnum is attacker-
+    # controlled, so many individually-plausible segments must not
+    # multiply into an unbounded mapping either.
+    MAX_TOTAL_MEMSZ = 1 << 29
 
     @classmethod
     def parse(cls, data):
@@ -111,6 +115,7 @@ class ElfFile:
 
         elf = cls(data=data, endian=endian, machine=e_machine, entry=e_entry)
 
+        total_memsz = 0
         for i in range(e_phnum):
             base = e_phoff + i * e_phentsize
             if base + C.PHDR_SIZE > len(data):
@@ -124,6 +129,13 @@ class ElfFile:
                 if memsz < filesz or memsz > cls.MAX_SEGMENT_MEMSZ:
                     raise ELFError(
                         "PT_LOAD %d has implausible memsz 0x%x" % (i, memsz)
+                    )
+                total_memsz += memsz
+                if total_memsz > cls.MAX_TOTAL_MEMSZ:
+                    raise ELFError(
+                        "PT_LOAD segments total 0x%x bytes, over the "
+                        "0x%x mapping budget" % (total_memsz,
+                                                 cls.MAX_TOTAL_MEMSZ)
                     )
                 elf.segments.append(
                     ElfSegment(p_type, offset, vaddr, filesz, memsz, flags)

@@ -39,7 +39,13 @@ from dataclasses import dataclass, field
 from multiprocessing import connection
 
 from repro import faultinject
-from repro.errors import AnalysisTimeout, PipelineError, ReproError, WorkerCrash
+from repro.errors import (
+    AnalysisTimeout,
+    PipelineError,
+    ReproError,
+    WorkerCrash,
+    WorkerStalled,
+)
 from repro.pipeline.cache import (
     ReportCache,
     SummaryCache,
@@ -105,6 +111,7 @@ class _Running:
     worker: object               # PoolWorker serving this attempt
     started: float
     deadline: float = None
+    last_heartbeat: float = 0.0  # perf_counter of the latest sign of life
 
     @property
     def conn(self):
@@ -256,7 +263,8 @@ class FleetScheduler:
     def __init__(self, jobs=1, timeout=None, retries=1, cache_dir=None,
                  use_summary_cache=True, use_report_cache=True,
                  use_fleet_index=False, telemetry=None, backoff=0.1,
-                 backoff_cap=5.0, pool=None):
+                 backoff_cap=5.0, pool=None, rlimits=None, heartbeat=0.0,
+                 heartbeat_timeout=0.0):
         if jobs < 1:
             raise PipelineError("need at least one worker slot")
         self.jobs = jobs
@@ -265,6 +273,21 @@ class FleetScheduler:
         self.backoff = max(backoff or 0.0, 0.0)
         self.backoff_cap = backoff_cap
         self.telemetry = telemetry or Telemetry(path=None)
+        self._rlimits = dict(rlimits) if rlimits else None
+        self.heartbeat = max(float(heartbeat or 0.0), 0.0)
+        # A worker silent longer than this while holding a job is
+        # presumed frozen and reaped (SIGTERM→SIGKILL).  Only
+        # meaningful when heartbeats are on.  The default is generous
+        # (10 intervals, floor 5s): the beat thread shares the GIL
+        # with the analysis, so long C-level operations legitimately
+        # delay beats — the detector targets frozen processes, not
+        # slow ones.
+        if self.heartbeat and not heartbeat_timeout:
+            heartbeat_timeout = max(10.0 * self.heartbeat, 5.0)
+        self.heartbeat_timeout = (
+            max(float(heartbeat_timeout or 0.0), 0.0)
+            if self.heartbeat else 0.0
+        )
         self._options = {
             "cache_dir": cache_dir,
             "use_summary_cache": use_summary_cache,
@@ -281,7 +304,9 @@ class FleetScheduler:
     @property
     def pool(self):
         if self._pool is None:
-            self._pool = WorkerPool()
+            self._pool = WorkerPool(
+                rlimits=self._rlimits, heartbeat=self.heartbeat
+            )
         return self._pool
 
     def close(self):
@@ -382,21 +407,39 @@ class FleetScheduler:
             target=job.describe_target(),
         )
         return _Running(job=job, attempt=attempt, worker=worker,
-                        started=started, deadline=deadline)
+                        started=started, deadline=deadline,
+                        last_heartbeat=started)
 
     def _poll(self, running, queue, results):
-        """One scheduler tick: reap finished workers, enforce deadlines."""
+        """One scheduler tick: reap finished workers, enforce deadlines.
+
+        Three independent liveness checks per live worker, in order:
+        a readable pipe (result, typed error, or heartbeat), the
+        per-job wall-clock deadline, and — when heartbeats are on —
+        the stall detector, which reaps a worker whose beat went
+        silent even though its deadline has not expired (frozen
+        process, SIGSTOP, deadlock in native code).
+        """
         conns = [record.conn for record in running]
         ready = connection.wait(conns, timeout=0.05) if conns else []
         now = time.perf_counter()
         finished = []
         for record in running:
             if record.conn in ready:
-                finished.append((record, self._reap(record)))
+                outcome = self._reap(record)
+                if outcome is None:      # heartbeat(s) only: still alive
+                    continue
+                finished.append((record, outcome))
             elif record.deadline is not None and now > record.deadline:
                 self.pool.discard(record.worker)
                 finished.append((record, AnalysisTimeout(
                     record.job.job_id, self.timeout
+                )))
+            elif (self.heartbeat_timeout
+                    and now - record.last_heartbeat > self.heartbeat_timeout):
+                self.pool.discard(record.worker)
+                finished.append((record, WorkerStalled(
+                    record.job.job_id, now - record.last_heartbeat
                 )))
         for record, outcome in finished:
             running.remove(record)
@@ -407,21 +450,35 @@ class FleetScheduler:
                 self._fail(record, outcome, elapsed, queue, results)
 
     def _reap(self, record):
-        """Read the worker's result message; a dead pipe is a crash.
+        """Drain the worker's pipe; returns a payload, an error, or None.
 
-        A clean payload (including an in-worker typed error) leaves
-        the worker warm for the next job; a dead pipe means the
-        process itself is gone and the worker is discarded.
+        ``None`` means only heartbeats arrived — the job is still in
+        flight.  A clean payload (including an in-worker typed error)
+        leaves the worker warm for the next job, unless it carries
+        ``recycle`` (resource budget spent: orderly retirement); a
+        dead pipe means the process itself is gone and the worker is
+        discarded.
         """
-        try:
-            payload = record.conn.recv()
-        except (EOFError, OSError):
-            record.worker.process.join(5)
-            crash = WorkerCrash(record.job.job_id,
-                                exitcode=record.worker.process.exitcode)
-            self.pool.discard(record.worker)
-            return crash
-        self.pool.release(record.worker)
+        while True:
+            try:
+                payload = record.conn.recv()
+            except (EOFError, OSError):
+                record.worker.process.join(5)
+                crash = WorkerCrash(record.job.job_id,
+                                    exitcode=record.worker.process.exitcode)
+                self.pool.discard(record.worker)
+                return crash
+            if (isinstance(payload, dict)
+                    and payload.get("control") == "heartbeat"):
+                record.last_heartbeat = time.perf_counter()
+                if record.conn.poll():
+                    continue             # more frames queued behind it
+                return None
+            break
+        if payload.pop("recycle", False):
+            self.pool.recycle(record.worker)
+        else:
+            self.pool.release(record.worker)
         if payload.get("status") == "ok":
             return payload
         # The worker caught its own exception: rehydrate it typed.
@@ -507,6 +564,7 @@ class FleetScheduler:
             error, "worker_error_type", "") or type(error).__name__
         kind = ("job_timeout" if isinstance(error, AnalysisTimeout)
                 else "job_crash" if isinstance(error, WorkerCrash)
+                else "job_stalled" if isinstance(error, WorkerStalled)
                 else "job_error")
         self.telemetry.emit(
             kind, job=record.job.job_id, attempt=record.attempt,

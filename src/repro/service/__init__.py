@@ -25,7 +25,7 @@ byte-identical canonical-findings fingerprints as in-process
 ``fleet-scan`` runs.
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ServiceClient, ServiceError, ServiceTimeout
 from repro.service.daemon import (
     AnalysisDaemon,
     fleet_job_from_spec,
@@ -33,9 +33,11 @@ from repro.service.daemon import (
 )
 from repro.service.queue import (
     CANCELLED,
+    DEAD,
     DONE,
     FAILED,
     PENDING,
+    POISON_ERROR_TYPES,
     RUNNING,
     STATES,
     TERMINAL_STATES,
@@ -60,9 +62,10 @@ except ImportError:                  # pragma: no cover - no http.server
 __all__ = [
     "AnalysisDaemon", "fleet_job_from_spec", "verify_roundtrip",
     "JobQueue", "job_spec", "dedup_key",
-    "PENDING", "RUNNING", "DONE", "FAILED", "CANCELLED",
-    "STATES", "TERMINAL_STATES",
+    "PENDING", "RUNNING", "DONE", "FAILED", "CANCELLED", "DEAD",
+    "STATES", "TERMINAL_STATES", "POISON_ERROR_TYPES",
     "ResultsDB", "migrate_output_dir", "export_run_dir",
     "default_db_path", "DB_FILENAME", "SCHEMA_VERSION",
-    "ServiceClient", "ServiceError", "ServiceServer", "serve",
+    "ServiceClient", "ServiceError", "ServiceTimeout",
+    "ServiceServer", "serve",
 ]

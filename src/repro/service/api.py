@@ -17,13 +17,25 @@ POST   /jobs/<id>/cancel            cancel pending / request-cancel
 GET    /jobs/<id>/events?after=     NDJSON progress stream (resume
                                     with the last ``event_id``)
 GET    /jobs/<id>/findings          canonical findings + fingerprint
+POST   /jobs/<id>/retry             requeue a dead-lettered job with a
+                                    fresh budget (operator action)
+GET    /deadletter                  the dead-letter queue + breaker info
+GET    /quarantine                  per-image circuit-breaker table
+POST   /quarantine/reset            clear one ``{dedup_key}`` breaker
 GET    /findings?function=&kind=    fleet-wide indexed findings query
 GET    /stats                       queue + store + pool statistics
 GET    /healthz                     liveness probe
+GET    /readyz                      readiness probe (503 while
+                                    draining / dispatcher dead)
 POST   /shutdown                    clean stop (only with
                                     ``allow_shutdown``; CI smoke uses
                                     this)
 ====== =========================== =====================================
+
+Backpressure: when the daemon's queue depth is at its configured
+limit, ``POST /jobs`` returns **429** with a ``Retry-After`` header —
+durable submission is the client's to retry, not the server's to
+buffer unboundedly.
 """
 
 import json
@@ -31,7 +43,8 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import PipelineError
+from repro import faultinject
+from repro.errors import PipelineError, QueueFull
 from repro.service.queue import STATES, job_spec
 
 API_PREFIX = "/api/v1"
@@ -101,16 +114,33 @@ class ServiceHandler(BaseHTTPRequestHandler):
             for key, values in parse_qs(url.query).items()
         }
         try:
+            # Chaos probe: a ``disconnect@service.api`` spec tears this
+            # connection mid-request, exercising the client's
+            # retry/resume machinery against a real dropped socket.
+            faultinject.check("service.api", url.path)
             handler = self._resolve(method, parts)
             if handler is None:
                 return self._error(
                     "no route %s %s" % (method, url.path), status=404
                 )
             handler(query)
+        except QueueFull as exc:
+            body = (json.dumps({
+                "error": str(exc), "retry_after": exc.retry_after,
+            }, sort_keys=True) + "\n").encode("utf-8")
+            self.send_response(429)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Retry-After",
+                             str(int(max(exc.retry_after, 1))))
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         except PipelineError as exc:
             self._error(str(exc), status=400)
         except (BrokenPipeError, ConnectionResetError):
-            pass
+            # Torn client connection (or an injected one): close the
+            # socket without a response; the client retries.
+            self.close_connection = True
         except Exception as exc:      # never kill the serving thread
             self._error("internal error: %s" % exc, status=500)
 
@@ -118,12 +148,18 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if method == "GET":
             if parts == ["healthz"]:
                 return self._get_healthz
+            if parts == ["readyz"]:
+                return self._get_readyz
             if parts == ["stats"]:
                 return self._get_stats
             if parts == ["jobs"]:
                 return self._get_jobs
             if parts == ["findings"]:
                 return self._get_findings
+            if parts == ["deadletter"]:
+                return self._get_deadletter
+            if parts == ["quarantine"]:
+                return self._get_quarantine
             if len(parts) == 2 and parts[0] == "jobs":
                 return lambda q: self._get_job(parts[1], q)
             if len(parts) == 3 and parts[0] == "jobs":
@@ -136,9 +172,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 return self._post_job
             if parts == ["shutdown"]:
                 return self._post_shutdown
-            if (len(parts) == 3 and parts[0] == "jobs"
-                    and parts[2] == "cancel"):
-                return lambda q: self._post_cancel(parts[1], q)
+            if parts == ["quarantine", "reset"]:
+                return self._post_quarantine_reset
+            if len(parts) == 3 and parts[0] == "jobs":
+                if parts[2] == "cancel":
+                    return lambda q: self._post_cancel(parts[1], q)
+                if parts[2] == "retry":
+                    return lambda q: self._post_retry(parts[1], q)
         return None
 
     @staticmethod
@@ -152,6 +192,43 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def _get_healthz(self, query):
         self._send_json({"ok": True, "service": "dtaint"})
+
+    def _get_readyz(self, query):
+        ready, reason = self.daemon.ready()
+        self._send_json(
+            {"ready": ready, "reason": reason},
+            status=200 if ready else 503,
+        )
+
+    def _get_deadletter(self, query):
+        self._send_json({
+            "jobs": self.daemon.queue.dead_letter(
+                limit=int(query.get("limit", 200))
+            ),
+        })
+
+    def _get_quarantine(self, query):
+        self._send_json({
+            "images": self.daemon.queue.quarantined_images(),
+        })
+
+    def _post_retry(self, raw_id, query):
+        outcome = self.daemon.queue.retry_dead(self._job_id(raw_id))
+        if outcome == "missing":
+            return self._error("no such job", status=404)
+        if outcome == "not_dead":
+            return self._error("job is not dead-lettered", status=409)
+        self._send_json({
+            "job_id": self._job_id(raw_id), "outcome": outcome,
+        })
+
+    def _post_quarantine_reset(self, query):
+        body = self._read_body()
+        key = body.get("dedup_key", "")
+        if not key:
+            raise PipelineError("dedup_key is required")
+        removed = self.daemon.queue.reset_quarantine(key)
+        self._send_json({"dedup_key": key, "removed": removed})
 
     def _get_stats(self, query):
         self._send_json(self.daemon.stats())

@@ -1,14 +1,31 @@
-"""A thin urllib client for the daemon's REST API.
+"""A resilient urllib client for the daemon's REST API.
 
 ``ServiceClient`` is the programmatic face (used by ``dtaint client``
 and the CI smoke); every method maps 1:1 onto an endpoint and returns
 parsed JSON.  Transport and HTTP-level failures surface as
 :class:`ServiceError` so callers can distinguish "the daemon said no"
 from "there is no daemon".
+
+Resilience contract:
+
+* **connection errors retry** — every request gets ``retries``
+  bounded attempts with exponential backoff and deterministic jitter
+  (crc32 of ``path:attempt``, so two clients hammering the same
+  endpoint still spread out while a given client's schedule is
+  reproducible).  This is safe for every endpoint the client exposes:
+  reads are idempotent by nature and submission is idempotent by
+  ``dedup_key``.
+* **backpressure is honoured** — HTTP 429 sleeps for the server's
+  ``Retry-After`` hint and retries, up to the same attempt budget.
+* **progress streams resume** — :meth:`stream_events` remembers the
+  last ``event_id`` it yielded and reconnects from that cursor after
+  a dropped connection, so a consumer never misses or re-reads an
+  event across daemon restarts.
 """
 
 import json
 import time
+import zlib
 from urllib import error as urlerror
 from urllib import request as urlrequest
 
@@ -25,14 +42,40 @@ class ServiceError(PipelineError):
         self.status = status
 
 
+class ServiceTimeout(ServiceError):
+    """A wait deadline expired before the job reached a terminal
+    state.  Carries the job and its last observed state so callers
+    can decide between extending the wait and cancelling."""
+
+    def __init__(self, job_id, state, timeout_seconds):
+        self.job_id = job_id
+        self.state = state
+        self.timeout_seconds = timeout_seconds
+        ServiceError.__init__(
+            self,
+            "job %s still %s after %.0fs"
+            % (job_id, state, timeout_seconds),
+        )
+
+
+def _jitter(key, attempt):
+    """Deterministic jitter fraction in [0, 1) from (key, attempt)."""
+    blob = ("%s:%d" % (key, attempt)).encode("utf-8")
+    return (zlib.crc32(blob) % 1000) / 1000.0
+
+
 class ServiceClient:
     """Speaks the ``/api/v1`` surface of one daemon."""
 
-    def __init__(self, url, timeout=30.0):
+    def __init__(self, url, timeout=30.0, retries=3, backoff=0.2,
+                 backoff_cap=10.0):
         self.base = url.rstrip("/")
         if not self.base.startswith("http"):
             self.base = "http://" + self.base
         self.timeout = timeout
+        self.retries = max(int(retries), 0)
+        self.backoff = max(float(backoff), 0.0)
+        self.backoff_cap = backoff_cap
 
     # -- transport ---------------------------------------------------------
 
@@ -43,33 +86,71 @@ class ServiceClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        req = urlrequest.Request(url, data=data, headers=headers,
-                                 method=method)
-        try:
-            with urlrequest.urlopen(req, timeout=self.timeout) as response:
-                payload = response.read().decode("utf-8")
-        except urlerror.HTTPError as exc:
-            detail = exc.read().decode("utf-8", "replace")
+        last_error = None
+        for attempt in range(self.retries + 1):
+            req = urlrequest.Request(url, data=data, headers=headers,
+                                     method=method)
             try:
-                detail = json.loads(detail).get("error", detail)
-            except ValueError:
-                pass
-            raise ServiceError(
-                "%s %s -> %d: %s" % (method, path, exc.code, detail),
-                status=exc.code,
-            )
-        except (urlerror.URLError, OSError) as exc:
-            raise ServiceError(
-                "cannot reach daemon at %s: %s" % (self.base, exc)
-            )
-        if raw:
-            return payload
-        return json.loads(payload) if payload.strip() else {}
+                with urlrequest.urlopen(
+                    req, timeout=self.timeout
+                ) as response:
+                    payload = response.read().decode("utf-8")
+                if raw:
+                    return payload
+                return json.loads(payload) if payload.strip() else {}
+            except urlerror.HTTPError as exc:
+                if exc.code == 429 and attempt < self.retries:
+                    # Backpressure: the server told us when to come
+                    # back; submission is idempotent so a retry can
+                    # never double-enqueue.
+                    exc.read()
+                    retry_after = float(
+                        exc.headers.get("Retry-After") or 1.0
+                    )
+                    time.sleep(min(retry_after, self.backoff_cap))
+                    continue
+                detail = exc.read().decode("utf-8", "replace")
+                try:
+                    detail = json.loads(detail).get("error", detail)
+                except ValueError:
+                    pass
+                raise ServiceError(
+                    "%s %s -> %d: %s" % (method, path, exc.code, detail),
+                    status=exc.code,
+                )
+            except (urlerror.URLError, ConnectionError, OSError) as exc:
+                # Dropped/refused connection or a reply torn mid-read:
+                # transient by assumption, retried on a deterministic
+                # schedule.
+                last_error = exc
+                if attempt < self.retries:
+                    delay = self.backoff * (2 ** attempt)
+                    delay *= 1.0 + _jitter(path, attempt)
+                    time.sleep(min(delay, self.backoff_cap))
+                    continue
+        raise ServiceError(
+            "cannot reach daemon at %s after %d attempts: %s"
+            % (self.base, self.retries + 1, last_error)
+        )
 
     # -- endpoints ---------------------------------------------------------
 
     def healthz(self):
         return self._request("GET", "/healthz")
+
+    def readyz(self):
+        """Readiness; returns ``{"ready": bool, "reason": str}``.
+
+        A draining daemon answers 503, which surfaces here as a
+        normal response rather than an error so probes can branch on
+        ``ready``.
+        """
+        try:
+            return self._request("GET", "/readyz")
+        except ServiceError as exc:
+            if exc.status == 503:
+                return {"ready": False, "reason": str(exc)}
+            raise
 
     def stats(self):
         return self._request("GET", "/stats")
@@ -94,6 +175,22 @@ class ServiceClient:
     def cancel(self, job_id):
         return self._request("POST", "/jobs/%d/cancel" % int(job_id))
 
+    def retry_dead(self, job_id):
+        """Requeue one dead-lettered job (operator action)."""
+        return self._request("POST", "/jobs/%d/retry" % int(job_id))
+
+    def dead_letter(self, limit=200):
+        return self._request(
+            "GET", "/deadletter?limit=%d" % int(limit)
+        )["jobs"]
+
+    def quarantine(self):
+        return self._request("GET", "/quarantine")["images"]
+
+    def reset_quarantine(self, dedup_key):
+        return self._request("POST", "/quarantine/reset",
+                             body={"dedup_key": dedup_key})
+
     def events(self, job_id, after=0, limit=1000):
         payload = self._request(
             "GET", "/jobs/%d/events?after=%d&limit=%d"
@@ -103,6 +200,37 @@ class ServiceClient:
         return [
             json.loads(line) for line in payload.splitlines() if line.strip()
         ]
+
+    def stream_events(self, job_id, after=0, poll=0.2, stop=None):
+        """Yield a job's progress events, resuming across disconnects.
+
+        A generator over the NDJSON feed: polls for new events after
+        cursor ``after``, yields each one, and keeps the cursor at the
+        last ``event_id`` seen — a dropped connection (or a daemon
+        restart) costs one retried request, never a missed or
+        duplicated event.  Ends when the job reaches a terminal state
+        and the feed is drained, or when ``stop()`` returns true.
+        """
+        cursor = int(after)
+        while True:
+            if stop is not None and stop():
+                return
+            batch = self.events(job_id, after=cursor)
+            for record in batch:
+                cursor = max(cursor, record.get("event_id", cursor))
+                yield record
+            if not batch:
+                job = self.job(job_id)
+                if job["state"] in TERMINAL_STATES:
+                    # One final drain: events appended between the
+                    # empty read and the state check.
+                    for record in self.events(job_id, after=cursor):
+                        cursor = max(
+                            cursor, record.get("event_id", cursor)
+                        )
+                        yield record
+                    return
+                time.sleep(poll)
 
     def findings(self, job_id):
         return self._request("GET", "/jobs/%d/findings" % int(job_id))
@@ -123,16 +251,23 @@ class ServiceClient:
 
     # -- conveniences ------------------------------------------------------
 
-    def wait(self, job_id, timeout=300.0, poll=0.2):
-        """Poll until the job reaches a terminal state; returns it."""
+    def wait(self, job_id, timeout=300.0, poll=0.1, poll_cap=2.0):
+        """Poll until the job reaches a terminal state; returns it.
+
+        The poll interval starts at ``poll`` and doubles up to
+        ``poll_cap`` — fast turnaround for quick jobs without hammering
+        the daemon while a long scan runs.  Raises
+        :class:`ServiceTimeout` (typed, carries the last observed
+        state) when ``timeout`` expires first.
+        """
         deadline = time.monotonic() + timeout
+        delay = max(poll, 0.01)
         while True:
             job = self.job(job_id)
             if job["state"] in TERMINAL_STATES:
                 return job
-            if time.monotonic() >= deadline:
-                raise ServiceError(
-                    "job %s still %s after %.0fs"
-                    % (job_id, job["state"], timeout)
-                )
-            time.sleep(poll)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceTimeout(job_id, job["state"], timeout)
+            time.sleep(min(delay, poll_cap, remaining))
+            delay = min(delay * 2, poll_cap)

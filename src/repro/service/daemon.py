@@ -27,9 +27,17 @@ import json
 import threading
 import time
 
+from repro import faultinject
+from repro.errors import QueueFull
 from repro.pipeline.scheduler import FleetJob, FleetScheduler
 from repro.pipeline.telemetry import Telemetry
-from repro.service.queue import JobQueue
+from repro.service.queue import (
+    DEFAULT_CRASH_THRESHOLD,
+    DEFAULT_MAX_ATTEMPTS,
+    DONE,
+    FAILED,
+    JobQueue,
+)
 from repro.service.store import ResultsDB
 
 
@@ -50,12 +58,21 @@ class AnalysisDaemon:
 
     def __init__(self, db_path, cache_dir=None, workers=2, timeout=None,
                  retries=1, incremental=False, telemetry_path=None,
-                 poll_interval=0.2, scale=None):
+                 poll_interval=0.2, scale=None, rlimits=None,
+                 heartbeat=0.0, max_queue_depth=0,
+                 max_attempts=DEFAULT_MAX_ATTEMPTS,
+                 crash_threshold=DEFAULT_CRASH_THRESHOLD,
+                 retry_after=5.0):
         self.db = ResultsDB(db_path)
-        self.queue = JobQueue(self.db)
+        self.queue = JobQueue(self.db, max_attempts=max_attempts,
+                              crash_threshold=crash_threshold)
         self.workers = max(int(workers), 1)
         self.poll_interval = poll_interval
         self.default_scale = scale
+        # Backpressure: pending + running jobs beyond this depth make
+        # submit() raise QueueFull (HTTP 429 at the API).  0 = off.
+        self.max_queue_depth = max(int(max_queue_depth or 0), 0)
+        self.retry_after = retry_after
         self.telemetry = Telemetry(path=telemetry_path)
         self.telemetry.add_sink(self._event_sink)
         self.scheduler = FleetScheduler(
@@ -65,6 +82,8 @@ class AnalysisDaemon:
             cache_dir=cache_dir,
             use_fleet_index=incremental,
             telemetry=self.telemetry,
+            rlimits=rlimits,
+            heartbeat=heartbeat,
         )
         self.started_ts = time.time()
         self.batches = 0
@@ -72,6 +91,7 @@ class AnalysisDaemon:
         self._queue_ids = {}         # fleet job_id -> queue job_id
         self._stop = threading.Event()
         self._thread = None
+        self.draining = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -81,21 +101,40 @@ class AnalysisDaemon:
         if resumed:
             self.telemetry.emit("daemon_resume", requeued=resumed)
         self._stop.clear()
+        self.draining = False
         self._thread = threading.Thread(
             target=self._dispatch_loop, name="dtaint-dispatch", daemon=True,
         )
         self._thread.start()
         return resumed
 
-    def stop(self):
-        """Stop dispatching, reap the worker pool, close the store."""
+    def stop(self, drain_timeout=60.0):
+        """Graceful drain: finish the in-flight batch, then shut down.
+
+        The dispatcher thread stops claiming immediately; the batch it
+        is mid-way through runs to completion (results published +
+        queue rows finished in their one transaction) up to
+        ``drain_timeout`` seconds.  Everything still ``pending`` is
+        durable in sqlite and simply waits for the next daemon; a
+        batch abandoned by a drain timeout is swept back to pending by
+        the next start-up's :meth:`JobQueue.recover`.
+        """
+        self.draining = True
         self._stop.set()
         if self._thread is not None:
-            self._thread.join(30)
+            self._thread.join(drain_timeout)
             self._thread = None
         self.scheduler.close()
         self.telemetry.close()
         self.db.close()
+
+    def ready(self):
+        """Readiness: accepting work and able to make progress."""
+        if self.draining or self._stop.is_set():
+            return False, "draining"
+        if self._thread is not None and not self._thread.is_alive():
+            return False, "dispatcher thread died"
+        return True, "ok"
 
     def __enter__(self):
         return self
@@ -115,10 +154,23 @@ class AnalysisDaemon:
 
         Public so tests (and synchronous embedders) can drive the
         daemon deterministically without the dispatcher thread.
+
+        Crash safety: the queue rows' terminal states are written by
+        ``record_run``'s finisher *inside the transaction that
+        publishes the results*, so there is no instant at which
+        results exist without their jobs being done (or vice versa).
+        A daemon killed anywhere in this method leaves the jobs in
+        ``running``; the next start-up sweeps them back to pending and
+        the batch re-runs without duplicating history.  The three
+        ``service.*`` fault-injection probes mark the interesting kill
+        points: just after the claim commits, after compute finishes,
+        and inside the publish transaction.
         """
         rows = self.queue.claim_batch(limit=self.workers)
         if not rows:
             return 0
+        batch_label = ",".join(str(row["job_id"]) for row in rows)
+        faultinject.check("service.claim", batch_label)
         fleet_jobs = []
         self._queue_ids = {}
         for row in rows:
@@ -128,20 +180,28 @@ class AnalysisDaemon:
         start = time.perf_counter()
         results = self.scheduler.run(fleet_jobs)
         wall = time.perf_counter() - start
+        faultinject.check("service.dispatch", batch_label)
+
+        def finish_queue_rows(conn, run_id, image_ids):
+            for row, result in zip(rows, results):
+                if result.ok:
+                    self.queue.finish_in(
+                        conn, row["job_id"], DONE,
+                        image_id=image_ids.get(result.job.job_id),
+                    )
+                else:
+                    self.queue.finish_in(
+                        conn, row["job_id"], FAILED,
+                        error=result.error,
+                        error_type=result.error_type,
+                    )
+            faultinject.check("service.publish", batch_label)
+
         run_id, image_ids = self.db.record_run(
             results, wall, kind="service",
             queue_job_ids=self._queue_ids,
+            finisher=finish_queue_rows,
         )
-        for row, result in zip(rows, results):
-            if result.ok:
-                self.queue.complete(
-                    row["job_id"], image_id=image_ids.get(result.job.job_id)
-                )
-            else:
-                self.queue.fail(
-                    row["job_id"], error=result.error,
-                    error_type=result.error_type,
-                )
         self.batches += 1
         self.jobs_processed += len(rows)
         self.telemetry.emit(
@@ -158,7 +218,17 @@ class AnalysisDaemon:
     # -- frontends ---------------------------------------------------------
 
     def submit(self, spec, priority=0):
-        """Idempotent submission; returns the queue job row."""
+        """Idempotent submission; returns the queue job row.
+
+        Raises :class:`~repro.errors.QueueFull` when the backlog
+        (pending + running) is at ``max_queue_depth`` — the REST layer
+        maps this to HTTP 429 with a ``Retry-After`` hint.
+        """
+        if self.max_queue_depth:
+            depth = self.queue.depth()
+            if depth >= self.max_queue_depth:
+                raise QueueFull(depth, self.max_queue_depth,
+                                retry_after=self.retry_after)
         job_id, outcome = self.queue.submit(spec, priority=priority)
         self.telemetry.emit(
             "job_submitted", queue_job_id=job_id, outcome=outcome,
@@ -208,6 +278,13 @@ class AnalysisDaemon:
             ),
             "batches": self.batches,
             "jobs_processed": self.jobs_processed,
+            "draining": self.draining,
+            "queue_depth": self.queue.depth(),
+            "max_queue_depth": self.max_queue_depth,
+            "quarantined_images": sum(
+                1 for row in self.queue.quarantined_images()
+                if row["quarantined"]
+            ),
         })
         return stats
 

@@ -2,10 +2,12 @@
 
 Jobs move ``pending → running → done | failed``, with ``cancelled``
 reachable from ``pending`` (and *requested* on a running job, which
-the daemon honours at the next safe point).  Everything is one table
-(``queue_jobs`` in :mod:`repro.service.store`), so the queue survives
-daemon restarts for free: on start-up :meth:`JobQueue.recover` sweeps
-jobs stranded in ``running`` by a crash back to ``pending``.
+the daemon honours at the next safe point) and ``dead`` — the
+**dead-letter** state — reachable from any failure path.  Everything
+is one table (``queue_jobs`` in :mod:`repro.service.store`), so the
+queue survives daemon restarts for free: on start-up
+:meth:`JobQueue.recover` sweeps jobs stranded in ``running`` by a
+crash back to ``pending``.
 
 Submission is **idempotent**: every job carries a ``dedup_key``
 derived from the image fingerprint (file content hash for on-disk
@@ -14,6 +16,21 @@ fingerprint.  Submitting the same work twice returns the first job —
 live or already finished — instead of scanning again; a *failed* or
 *cancelled* job is revived to ``pending`` so resubmission is also the
 retry knob.
+
+Poison-job containment is two independent, both persistent, layers:
+
+* **retry budget** — ``attempts`` lives in the job row, so it counts
+  across daemon restarts; a job that has burned ``max_attempts``
+  moves to ``dead`` instead of ``failed`` and resubmission does *not*
+  revive it (only an explicit :meth:`retry_dead` does).
+* **per-image circuit breaker** — process-killing failure modes
+  (worker crash / stall / timeout, or a daemon death with the job in
+  flight) increment a crash counter keyed by the image's
+  ``dedup_key`` in the ``image_quarantine`` table.  At
+  ``crash_threshold`` the fingerprint is quarantined: its jobs go to
+  ``dead``, :meth:`claim_batch` refuses to dispatch it, and
+  resubmission reports ``'quarantined'`` until an operator calls
+  :meth:`reset_quarantine`.
 
 Claiming is priority-ordered (higher first, FIFO within a priority)
 and transactional, so concurrent dispatchers can never double-claim.
@@ -30,9 +47,19 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
+DEAD = "dead"
 
-STATES = (PENDING, RUNNING, DONE, FAILED, CANCELLED)
-TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+STATES = (PENDING, RUNNING, DONE, FAILED, CANCELLED, DEAD)
+TERMINAL_STATES = (DONE, FAILED, CANCELLED, DEAD)
+
+# Failure modes that indicate the *image* kills processes (rather
+# than merely failing analysis): these feed the circuit breaker.
+POISON_ERROR_TYPES = (
+    "WorkerCrash", "WorkerStalled", "AnalysisTimeout", "DaemonCrash",
+)
+
+DEFAULT_MAX_ATTEMPTS = 5
+DEFAULT_CRASH_THRESHOLD = 3
 
 _SPEC_FIELDS = ("kind", "key", "path", "scale", "modules")
 
@@ -85,10 +112,14 @@ def dedup_key(spec, config_fingerprint=""):
 
 
 class JobQueue:
-    """Durable, priority-ordered, idempotent job queue."""
+    """Durable, priority-ordered, idempotent job queue with poison
+    containment (dead-letter state + per-image circuit breaker)."""
 
-    def __init__(self, db):
+    def __init__(self, db, max_attempts=DEFAULT_MAX_ATTEMPTS,
+                 crash_threshold=DEFAULT_CRASH_THRESHOLD):
         self.db = db
+        self.max_attempts = max(int(max_attempts), 1)
+        self.crash_threshold = max(int(crash_threshold), 1)
 
     # -- submission --------------------------------------------------------
 
@@ -96,9 +127,11 @@ class JobQueue:
         """Enqueue a job; returns ``(job_id, outcome)``.
 
         ``outcome`` is ``'created'`` for new work, ``'deduplicated'``
-        when an equivalent job is pending/running/done, and
-        ``'revived'`` when a failed/cancelled job went back to
-        pending.
+        when an equivalent job is pending/running/done, ``'revived'``
+        when a failed/cancelled job went back to pending, and
+        ``'quarantined'`` when the image is dead-lettered — the job is
+        *not* requeued until an operator intervenes
+        (:meth:`retry_dead` / :meth:`reset_quarantine`).
         """
         key = key or dedup_key(spec)
         with self.db._transaction() as conn:
@@ -107,6 +140,10 @@ class JobQueue:
                 (key,),
             ).fetchone()
             if row is None:
+                if self._is_quarantined(conn, key):
+                    raise PipelineError(
+                        "image fingerprint %s is quarantined" % key[:16]
+                    )
                 cursor = conn.execute(
                     "INSERT INTO queue_jobs(dedup_key, spec_json, "
                     "priority, state, submitted_ts) VALUES (?, ?, ?, ?, ?)",
@@ -114,12 +151,14 @@ class JobQueue:
                      PENDING, time.time()),
                 )
                 return cursor.lastrowid, "created"
+            if row["state"] == DEAD:
+                return row["job_id"], "quarantined"
             if row["state"] in (FAILED, CANCELLED):
                 conn.execute(
                     "UPDATE queue_jobs SET state = ?, priority = ?, "
                     "cancel_requested = 0, submitted_ts = ?, "
                     "started_ts = NULL, finished_ts = NULL, error = '', "
-                    "error_type = '' WHERE job_id = ?",
+                    "error_type = '', attempts = 0 WHERE job_id = ?",
                     (PENDING, int(priority), time.time(), row["job_id"]),
                 )
                 return row["job_id"], "revived"
@@ -128,12 +167,19 @@ class JobQueue:
     # -- dispatch ----------------------------------------------------------
 
     def claim_batch(self, limit=1):
-        """Atomically move up to ``limit`` pending jobs to running."""
+        """Atomically move up to ``limit`` pending jobs to running.
+
+        Quarantined image fingerprints are never dispatched, even if a
+        pending row slipped in before the breaker tripped.
+        """
         with self.db._transaction() as conn:
             rows = conn.execute(
-                "SELECT * FROM queue_jobs WHERE state = ? AND "
-                "cancel_requested = 0 "
-                "ORDER BY priority DESC, job_id LIMIT ?",
+                "SELECT q.* FROM queue_jobs q "
+                "LEFT JOIN image_quarantine iq ON iq.dedup_key = "
+                "q.dedup_key AND iq.quarantined = 1 "
+                "WHERE q.state = ? AND q.cancel_requested = 0 "
+                "AND iq.dedup_key IS NULL "
+                "ORDER BY q.priority DESC, q.job_id LIMIT ?",
                 (PENDING, int(limit)),
             ).fetchall()
             now = time.time()
@@ -148,21 +194,42 @@ class JobQueue:
         return claimed
 
     def complete(self, job_id, image_id=None):
-        self._finish(job_id, DONE, image_id=image_id)
+        with self.db._transaction() as conn:
+            self.finish_in(conn, job_id, DONE, image_id=image_id)
 
     def fail(self, job_id, error="", error_type=""):
-        self._finish(job_id, FAILED, error=error, error_type=error_type)
-
-    def _finish(self, job_id, state, image_id=None, error="",
-                error_type=""):
         with self.db._transaction() as conn:
-            conn.execute(
-                "UPDATE queue_jobs SET state = ?, finished_ts = ?, "
-                "image_id = COALESCE(?, image_id), error = ?, "
-                "error_type = ? WHERE job_id = ?",
-                (state, time.time(), image_id, error, error_type,
-                 int(job_id)),
-            )
+            self.finish_in(conn, job_id, FAILED, error=error,
+                           error_type=error_type)
+
+    def finish_in(self, conn, job_id, state, image_id=None, error="",
+                  error_type=""):
+        """Apply one job's terminal disposition inside an open
+        transaction (the daemon folds these into the same transaction
+        that publishes the batch's results); returns the state the job
+        actually landed in (a failure may escalate to ``dead``).
+        """
+        if state == FAILED:
+            row = conn.execute(
+                "SELECT dedup_key, attempts FROM queue_jobs "
+                "WHERE job_id = ?", (int(job_id),),
+            ).fetchone()
+            if row is not None:
+                tripped = False
+                if error_type in POISON_ERROR_TYPES:
+                    tripped = self._record_crash(
+                        conn, row["dedup_key"], error_type
+                    )
+                if tripped or row["attempts"] >= self.max_attempts:
+                    state = DEAD
+        conn.execute(
+            "UPDATE queue_jobs SET state = ?, finished_ts = ?, "
+            "image_id = COALESCE(?, image_id), error = ?, "
+            "error_type = ? WHERE job_id = ?",
+            (state, time.time(), image_id, error, error_type,
+             int(job_id)),
+        )
+        return state
 
     # -- cancellation ------------------------------------------------------
 
@@ -199,13 +266,133 @@ class JobQueue:
     # -- recovery ----------------------------------------------------------
 
     def recover(self):
-        """Requeue jobs a dead daemon left in ``running``; returns n."""
+        """Requeue jobs a dead daemon left in ``running``; returns n.
+
+        A job found ``running`` at start-up was in flight when the
+        previous daemon died — that counts as one crash signal against
+        its image fingerprint (the breaker is how a reliably
+        daemon-killing image eventually stops being retried), and the
+        cross-restart attempt budget applies: over budget or over the
+        crash threshold, the job dead-letters instead of requeueing.
+        """
+        with self.db._transaction() as conn:
+            rows = conn.execute(
+                "SELECT job_id, dedup_key, attempts FROM queue_jobs "
+                "WHERE state = ?", (RUNNING,),
+            ).fetchall()
+            requeued = 0
+            for row in rows:
+                tripped = self._record_crash(
+                    conn, row["dedup_key"], "DaemonCrash"
+                )
+                if tripped or row["attempts"] >= self.max_attempts:
+                    conn.execute(
+                        "UPDATE queue_jobs SET state = ?, finished_ts = ?,"
+                        " error = ?, error_type = ? WHERE job_id = ?",
+                        (DEAD, time.time(),
+                         "daemon died while job was in flight",
+                         "DaemonCrash", row["job_id"]),
+                    )
+                else:
+                    conn.execute(
+                        "UPDATE queue_jobs SET state = ?, "
+                        "started_ts = NULL WHERE job_id = ?",
+                        (PENDING, row["job_id"]),
+                    )
+                    requeued += 1
+            return requeued
+
+    # -- dead-letter / quarantine operations -------------------------------
+
+    def dead_letter(self, limit=200):
+        """The dead-letter queue: jobs needing operator attention."""
+        jobs = self.list_jobs(state=DEAD, limit=limit)
+        breaker = {
+            row["dedup_key"]: row for row in self.quarantined_images()
+        }
+        for job in jobs:
+            info = breaker.get(job["dedup_key"])
+            job["crash_count"] = info["crash_count"] if info else 0
+            job["quarantined"] = bool(info and info["quarantined"])
+        return jobs
+
+    def retry_dead(self, job_id):
+        """Give one dead-lettered job a fresh budget; returns outcome.
+
+        Resets the attempt counter *and* the image's circuit breaker —
+        an operator retrying a dead job has decided the image deserves
+        another chance (say, after a daemon bug was fixed).
+        """
+        with self.db._transaction() as conn:
+            row = conn.execute(
+                "SELECT state, dedup_key FROM queue_jobs WHERE job_id = ?",
+                (int(job_id),),
+            ).fetchone()
+            if row is None:
+                return "missing"
+            if row["state"] != DEAD:
+                return "not_dead"
+            conn.execute(
+                "UPDATE queue_jobs SET state = ?, attempts = 0, "
+                "cancel_requested = 0, submitted_ts = ?, "
+                "started_ts = NULL, finished_ts = NULL, error = '', "
+                "error_type = '' WHERE job_id = ?",
+                (PENDING, time.time(), int(job_id)),
+            )
+            conn.execute(
+                "DELETE FROM image_quarantine WHERE dedup_key = ?",
+                (row["dedup_key"],),
+            )
+            return "requeued"
+
+    def reset_quarantine(self, dedup_key):
+        """Clear one image fingerprint's circuit breaker; returns n."""
         with self.db._transaction() as conn:
             cursor = conn.execute(
-                "UPDATE queue_jobs SET state = ?, started_ts = NULL "
-                "WHERE state = ?", (PENDING, RUNNING),
+                "DELETE FROM image_quarantine WHERE dedup_key = ?",
+                (dedup_key,),
             )
             return cursor.rowcount
+
+    def quarantined_images(self):
+        """Every fingerprint the breaker is tracking (crashes ≥ 1)."""
+        with self.db._lock:
+            rows = self.db._conn.execute(
+                "SELECT * FROM image_quarantine ORDER BY updated_ts DESC"
+            ).fetchall()
+        return [{key: row[key] for key in row.keys()} for row in rows]
+
+    def _record_crash(self, conn, dedup_key, error_type):
+        """Count one crash against an image; True if the breaker trips."""
+        now = time.time()
+        conn.execute(
+            "INSERT INTO image_quarantine(dedup_key, crash_count, "
+            "last_error_type, updated_ts) VALUES (?, 1, ?, ?) "
+            "ON CONFLICT(dedup_key) DO UPDATE SET "
+            "crash_count = crash_count + 1, "
+            "last_error_type = excluded.last_error_type, "
+            "updated_ts = excluded.updated_ts",
+            (dedup_key, error_type, now),
+        )
+        row = conn.execute(
+            "SELECT crash_count FROM image_quarantine WHERE dedup_key = ?",
+            (dedup_key,),
+        ).fetchone()
+        if row["crash_count"] >= self.crash_threshold:
+            conn.execute(
+                "UPDATE image_quarantine SET quarantined = 1 "
+                "WHERE dedup_key = ?", (dedup_key,),
+            )
+            return True
+        return False
+
+    @staticmethod
+    def _is_quarantined(conn, dedup_key):
+        row = conn.execute(
+            "SELECT quarantined FROM image_quarantine WHERE dedup_key = ?",
+            (dedup_key,),
+        ).fetchone()
+        return bool(row and row["quarantined"])
 
     # -- introspection -----------------------------------------------------
 
@@ -239,6 +426,15 @@ class JobQueue:
         counts = {state: 0 for state in STATES}
         counts.update({row["state"]: row["n"] for row in rows})
         return counts
+
+    def depth(self):
+        """Jobs waiting or in flight: the backpressure signal."""
+        with self.db._lock:
+            row = self.db._conn.execute(
+                "SELECT COUNT(*) AS n FROM queue_jobs WHERE state IN "
+                "(?, ?)", (PENDING, RUNNING),
+            ).fetchone()
+        return row["n"]
 
     @staticmethod
     def _as_dict(row, **overrides):

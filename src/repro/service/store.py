@@ -38,13 +38,25 @@ import os
 import sqlite3
 import threading
 import time
+import zlib
 
 from repro import faultinject
 from repro.errors import PipelineError
 from repro.pipeline.results import image_document, rollup_document
 
-SCHEMA_VERSION = 1
+# v2: adds the image_quarantine table (per-image crash circuit
+# breaker).  Additive only — a v1 file upgrades in place via the
+# idempotent schema below.
+SCHEMA_VERSION = 2
 DB_FILENAME = "dtaint.sqlite"
+
+# Cross-process lock discipline: sqlite blocks up to busy_timeout for
+# a competing writer, and on top of that every BEGIN/COMMIT retries a
+# bounded number of times with deterministic-jitter backoff before a
+# raw "database is locked" is allowed to surface.
+BUSY_TIMEOUT_MS = 10_000
+LOCK_RETRIES = 5
+LOCK_RETRY_BASE = 0.05
 
 # Indexed columns extracted from each canonical finding (the rest of
 # the finding rides along verbatim in finding_json).
@@ -146,6 +158,13 @@ CREATE TABLE IF NOT EXISTS events (
     payload_json TEXT NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_events_job ON events(queue_job_id, event_id);
+CREATE TABLE IF NOT EXISTS image_quarantine (
+    dedup_key TEXT PRIMARY KEY,
+    crash_count INTEGER NOT NULL DEFAULT 0,
+    quarantined INTEGER NOT NULL DEFAULT 0,
+    last_error_type TEXT NOT NULL DEFAULT '',
+    updated_ts REAL NOT NULL DEFAULT 0
+);
 """
 
 
@@ -208,8 +227,9 @@ class ResultsDB:
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA synchronous=NORMAL")
         conn.execute("PRAGMA foreign_keys=ON")
+        conn.execute("PRAGMA busy_timeout=%d" % BUSY_TIMEOUT_MS)
         with self._lock:
-            conn.execute("BEGIN IMMEDIATE")
+            _locked_retry(conn, "BEGIN IMMEDIATE")
             try:
                 for statement in _SCHEMA.split(";"):
                     if statement.strip():
@@ -217,6 +237,14 @@ class ResultsDB:
                 conn.execute(
                     "INSERT OR IGNORE INTO meta(key, value) VALUES (?, ?)",
                     ("schema_version", str(SCHEMA_VERSION)),
+                )
+                # Additive upgrades (v1 -> v2 only adds a table): the
+                # idempotent DDL above already ran, so just advance
+                # the recorded version; never regress it.
+                conn.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'schema_version'"
+                    " AND CAST(value AS INTEGER) < ?",
+                    (str(SCHEMA_VERSION), SCHEMA_VERSION),
                 )
                 conn.execute("COMMIT")
             except BaseException:
@@ -244,7 +272,7 @@ class ResultsDB:
     # -- write paths -------------------------------------------------------
 
     def record_run(self, results, wall_seconds, kind="fleet", source="",
-                   queue_job_ids=None):
+                   queue_job_ids=None, finisher=None):
         """Persist one fleet batch; returns ``(run_id, job->image map)``.
 
         The whole batch is one transaction: the ``results``
@@ -252,6 +280,12 @@ class ResultsDB:
         commit, modelling a daemon killed mid-publication — the
         journal rolls everything back and the previous history stays
         intact.
+
+        ``finisher(conn, run_id, image_ids)``, when given, runs inside
+        the *same* transaction — the daemon uses it to mark queue rows
+        done/failed atomically with the results they describe, so no
+        crash point can separate "results published" from "job
+        completed" (the pair either both commit or both roll back).
         """
         rollup = rollup_document(results, wall_seconds)
         queue_job_ids = queue_job_ids or {}
@@ -265,6 +299,8 @@ class ResultsDB:
                     conn, run_id, document,
                     queue_job_ids.get(result.job.job_id),
                 )
+            if finisher is not None:
+                finisher(conn, run_id, image_ids)
             faultinject.check("results", self.basename)
         return run_id, image_ids
 
@@ -567,7 +603,7 @@ class ResultsDB:
                 ).fetchone()["n"]
             if dry_run or not (old_runs or old_jobs):
                 return stats
-            self._conn.execute("BEGIN IMMEDIATE")
+            _locked_retry(self._conn, "BEGIN IMMEDIATE")
             try:
                 if old_runs:
                     marks = ",".join("?" for _ in old_runs)
@@ -593,21 +629,55 @@ class ResultsDB:
         return stats
 
 
+def _locked_retry(conn, sql):
+    """Run ``sql`` with bounded retry on ``database is locked``.
+
+    ``busy_timeout`` already makes sqlite wait for a competing writer;
+    this adds a second, bounded line of defence (deadline expiry under
+    heavy cross-process contention) with exponential backoff and
+    deterministic jitter, so concurrent daemons/CLIs never surface a
+    raw :class:`sqlite3.OperationalError` on the first collision.
+    """
+    for attempt in range(LOCK_RETRIES):
+        try:
+            conn.execute(sql)
+            return
+        except sqlite3.OperationalError as exc:
+            text = str(exc)
+            if "locked" not in text and "busy" not in text:
+                raise
+            if attempt == LOCK_RETRIES - 1:
+                raise
+            key = ("%s:%d" % (sql, attempt)).encode("utf-8")
+            jitter = (zlib.crc32(key) % 1000) / 1000.0
+            time.sleep(LOCK_RETRY_BASE * (2 ** attempt) * (1.0 + jitter))
+
+
 class _Transaction:
-    """``BEGIN IMMEDIATE`` ... ``COMMIT``/``ROLLBACK`` under the lock."""
+    """``BEGIN IMMEDIATE`` ... ``COMMIT``/``ROLLBACK`` under the lock,
+    with bounded lock-retry on both boundary statements."""
 
     def __init__(self, db):
         self.db = db
 
     def __enter__(self):
         self.db._lock.acquire()
-        self.db._conn.execute("BEGIN IMMEDIATE")
+        try:
+            _locked_retry(self.db._conn, "BEGIN IMMEDIATE")
+        except BaseException:
+            self.db._lock.release()
+            raise
         return self.db._conn
 
     def __exit__(self, exc_type, exc, tb):
         try:
             if exc_type is None:
-                self.db._conn.execute("COMMIT")
+                try:
+                    _locked_retry(self.db._conn, "COMMIT")
+                except sqlite3.OperationalError:
+                    # Leave the connection clean before surfacing.
+                    self.db._conn.execute("ROLLBACK")
+                    raise
             else:
                 self.db._conn.execute("ROLLBACK")
         finally:

@@ -205,3 +205,74 @@ class TestMalformedFirmware:
         assert len(unpacked) == 0
         assert len(unpacked.skipped) == 1
         assert "undecodable path" in unpacked.skipped[0][1]
+
+
+class TestBoundedAllocation:
+    """Decompression bombs and forged sizes cannot allocate past the
+    declared budgets — they lose an entry (typed skip) or the image
+    (typed error), never the process."""
+
+    @staticmethod
+    def _reseal(packed):
+        import zlib
+
+        header_size = struct.calcsize("<4sIII")
+        new_crc = zlib.crc32(bytes(packed[header_size:])) & 0xFFFFFFFF
+        struct.pack_into("<I", packed, header_size - 4, new_crc)
+
+    def test_oversized_entry_is_skipped_before_inflating(self):
+        fs = SimpleFS()
+        fs.add_file("/bin/ok", b"fine")
+        fs.add_file("/bin/bomb", b"A" * 4096)   # compresses tiny
+        packed = fs.pack()
+        unpacked = SimpleFS.unpack(packed, max_file_bytes=1024)
+        assert "/bin/ok" in unpacked
+        assert "/bin/bomb" not in unpacked
+        [(label, reason)] = unpacked.skipped
+        assert label == "/bin/bomb"
+        assert "over the" in reason
+
+    def test_lying_raw_len_cannot_inflate_past_declaration(self):
+        """A header understating raw_len must not make the inflater
+        produce (and allocate) the real, larger expansion."""
+        fs = SimpleFS()
+        fs.add_file("/bin/liar", b"B" * 4096)
+        packed = bytearray(fs.pack())
+        header_size = struct.calcsize("<4sIII")
+        # Shrink the declared raw_len (offset 12 into the only entry);
+        # keep it != stored_len so the compressed path still runs.
+        struct.pack_into("<I", packed, header_size + 12, 512)
+        self._reseal(packed)
+        unpacked = SimpleFS.unpack(bytes(packed))
+        assert "/bin/liar" not in unpacked
+        [(label, reason)] = unpacked.skipped
+        assert label == "/bin/liar"
+        assert "bad decompressed size" in reason
+
+    def test_image_inflation_budget_is_typed(self):
+        fs = SimpleFS()
+        fs.add_file("/bin/a", b"C" * 4096)
+        fs.add_file("/bin/b", b"D" * 4096)
+        packed = fs.pack()
+        with pytest.raises(FirmwareError) as excinfo:
+            SimpleFS.unpack(packed, max_file_bytes=1 << 20,
+                            max_image_bytes=6000)
+        assert "budget" in str(excinfo.value)
+
+    def test_unpack_round_trip_unaffected_by_budgets(self):
+        fs = SimpleFS()
+        fs.add_file("/bin/a", b"E" * 4096)
+        fs.add_file("/etc/version", b"v1\n")
+        unpacked = SimpleFS.unpack(fs.pack())
+        assert unpacked.skipped == []
+        assert unpacked.read_file("/bin/a") == b"E" * 4096
+
+    def test_total_pt_load_budget_is_typed(self, built, monkeypatch):
+        elf = built.elf_bytes
+        parsed = ElfFile.parse(elf)
+        total = sum(seg.memsz for seg in parsed.segments)
+        assert total > 0
+        monkeypatch.setattr(ElfFile, "MAX_TOTAL_MEMSZ", total - 1)
+        with pytest.raises(ELFError) as excinfo:
+            ElfFile.parse(elf)
+        assert "mapping budget" in str(excinfo.value)

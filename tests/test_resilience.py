@@ -1,0 +1,449 @@
+"""Service resilience: rlimits, stall reaping, poison jobs, chaos.
+
+The acceptance properties of the robustness layer:
+
+* **resource governance** — workers run under ``setrlimit``; a
+  memory bomb degrades to a typed ``ResourceExhausted`` while the
+  pool stays warm; a spent CPU budget recycles the worker instead of
+  poisoning later jobs;
+* **stall reaping** — a frozen worker (SIGSTOP, native deadlock) is
+  detected by heartbeat silence and reaped SIGTERM→SIGKILL,
+  independent of the per-job deadline;
+* **poison containment** — the persistent retry budget and the
+  per-image circuit breaker dead-letter a process-killing job across
+  daemon restarts; only an operator revives it;
+* **service lifecycle** — queue-depth backpressure surfaces as HTTP
+  429 + ``Retry-After``; ``/readyz`` flips during drain; the client
+  retries torn connections and resumes event streams; transactions
+  wait out cross-process lock contention;
+* **crash-proof publish** — kill -9 at the worst point (inside the
+  publish transaction) loses nothing, duplicates nothing, and the
+  recovered findings fingerprints are byte-identical.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.errors import QueueFull, ResourceExhausted
+from repro.faultinject import injected
+from repro.pipeline import FleetJob, FleetScheduler, WorkerPool
+from repro.pipeline.telemetry import Telemetry
+from repro.service import (
+    DEAD,
+    FAILED,
+    PENDING,
+    AnalysisDaemon,
+    JobQueue,
+    ResultsDB,
+    ServiceClient,
+    ServiceError,
+    ServiceTimeout,
+    job_spec,
+    serve,
+)
+from repro.service.chaos import (
+    baseline_fingerprints,
+    chaos_run,
+    lock_contender,
+)
+
+PROFILE_SPEC = dict(kind="profile", key="dir645", scale=0.05)
+
+
+def _queue(tmp_path, **kwargs):
+    db = ResultsDB(str(tmp_path / "dtaint.sqlite"))
+    return db, JobQueue(db, **kwargs)
+
+
+class TestResourceGovernance:
+    def test_rlimits_applied_and_reported(self):
+        with WorkerPool(rlimits={"as_mb": 256, "fsize_mb": 64}) as pool:
+            worker = pool.acquire()
+            try:
+                pong = worker.control("ping")
+                assert pong["control"] == "pong"
+                assert pong["rlimits"].get("as_bytes") == 256 << 20
+                assert pong["rlimits"].get("fsize_bytes") == 64 << 20
+            finally:
+                pool.release(worker)
+
+    def test_memory_bomb_degrades_typed_and_worker_stays_warm(self):
+        """A 1 GiB allocation under a 256 MiB RLIMIT_AS surfaces as
+        the typed fault; the same worker then keeps serving."""
+        with WorkerPool(rlimits={"as_mb": 256}) as pool:
+            worker = pool.acquire()
+            try:
+                bomb = worker.control("alloc", 1 << 30, timeout=30)
+                assert bomb["ok"] is False
+                assert bomb["error_type"] == "ResourceExhausted"
+                # Still alive, still the same process, still answers.
+                pong = worker.control("ping")
+                assert pong["pid"] == worker.pid
+                small = worker.control("alloc", 1 << 20, timeout=30)
+                assert small["ok"] is True
+            finally:
+                pool.release(worker)
+            assert pool.warm_count == 1
+
+    def test_ungoverned_worker_allocates_freely(self):
+        with WorkerPool() as pool:
+            worker = pool.acquire()
+            try:
+                assert worker.control("ping")["rlimits"] == {}
+                assert worker.control("alloc", 1 << 26,
+                                      timeout=30)["ok"] is True
+            finally:
+                pool.release(worker)
+
+    def test_cpu_budget_exhaustion_recycles_worker(self):
+        """A job that burns past RLIMIT_CPU's soft limit either
+        finishes degraded or fails typed — and the worker retires
+        (the CPU clock is process-cumulative), counted as a recycle
+        rather than a crash."""
+        scheduler = FleetScheduler(
+            jobs=1, retries=0, rlimits={"cpu_seconds": 1},
+        )
+        try:
+            [result] = scheduler.run([
+                FleetJob(job_id="burn", kind="profile", key="dir645",
+                         scale=0.25),
+            ])
+            if not result.ok:
+                assert result.error_type == "ResourceExhausted"
+            assert scheduler.pool.recycled_total >= 1
+            assert scheduler.pool.discarded_total == 0
+        finally:
+            scheduler.close()
+
+
+class TestStallReaping:
+    def test_sigstopped_worker_is_reaped_as_stalled(self):
+        """Heartbeat silence (not the job deadline) detects a frozen
+        worker; the job fails typed and the worker is discarded."""
+        pids = []
+        telemetry = Telemetry(sinks=[
+            lambda record: pids.append(record["pid"])
+            if record["event"] == "job_start" else None
+        ])
+        scheduler = FleetScheduler(
+            jobs=1, retries=0, heartbeat=0.1, heartbeat_timeout=0.8,
+            telemetry=telemetry,
+        )
+        results = []
+        thread = threading.Thread(target=lambda: results.extend(
+            scheduler.run([
+                FleetJob(job_id="frozen", kind="profile", key="dir645",
+                         scale=0.25),
+            ])
+        ))
+        try:
+            thread.start()
+            deadline = time.monotonic() + 30
+            while not pids and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pids, "job never started"
+            time.sleep(0.3)          # let a few beats through first
+            os.kill(pids[0], signal.SIGSTOP)
+            thread.join(30)
+            assert not thread.is_alive()
+            [result] = results
+            assert not result.ok
+            assert result.error_type == "WorkerStalled"
+            assert scheduler.pool.discarded_total >= 1
+        finally:
+            if thread.is_alive():      # unfreeze on assertion failure
+                os.kill(pids[0], signal.SIGCONT)
+                thread.join(60)
+            scheduler.close()
+
+    @staticmethod
+    def _wait_stopped(pid, timeout=10.0):
+        """Block until the kernel reports the process stopped ('T')."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with open("/proc/%d/stat" % pid) as handle:
+                state = handle.read().rsplit(")", 1)[1].split()[0]
+            if state == "T":
+                return
+            time.sleep(0.01)
+        raise AssertionError("worker %d never stopped" % pid)
+
+    def test_kill_escalates_sigterm_to_sigkill(self):
+        """A worker that cannot honour SIGTERM (here: SIGSTOPped, so
+        SIGTERM stays pending forever) is put down by the SIGKILL
+        escalation in PoolWorker.kill()."""
+        with WorkerPool() as pool:
+            worker = pool.acquire()
+            assert worker.control("ping")["pid"] == worker.pid
+            os.kill(worker.pid, signal.SIGSTOP)
+            self._wait_stopped(worker.pid)
+            pool.discard(worker)
+            assert not worker.process.is_alive()
+            assert worker.process.exitcode == -signal.SIGKILL
+            assert pool.discarded_total == 1
+
+    def test_healthy_worker_stops_on_sigterm_without_sigkill(self):
+        with WorkerPool() as pool:
+            worker = pool.acquire()
+            assert worker.control("ping")["pid"] == worker.pid
+            pool.discard(worker)
+            assert not worker.process.is_alive()
+            assert worker.process.exitcode == -signal.SIGTERM
+
+
+class TestPoisonContainment:
+    def test_circuit_breaker_quarantines_after_repeated_crashes(
+            self, tmp_path):
+        db, queue = _queue(tmp_path, crash_threshold=2)
+        try:
+            job_id, outcome = queue.submit(job_spec(**PROFILE_SPEC))
+            assert outcome == "created"
+            # Crash 1: poison failure, below threshold -> failed.
+            assert queue.claim_batch()[0]["job_id"] == job_id
+            queue.fail(job_id, error="boom", error_type="WorkerCrash")
+            assert queue.get(job_id)["state"] == FAILED
+            [image] = queue.quarantined_images()
+            assert image["crash_count"] == 1
+            assert not image["quarantined"]
+            # Crash 2: the breaker trips, the job dead-letters.
+            assert queue.submit(job_spec(**PROFILE_SPEC))[1] == "revived"
+            queue.claim_batch()
+            queue.fail(job_id, error="boom", error_type="WorkerStalled")
+            assert queue.get(job_id)["state"] == DEAD
+            # Quarantined: not resubmittable, not claimable.
+            assert queue.submit(job_spec(**PROFILE_SPEC))[1] \
+                == "quarantined"
+            assert queue.claim_batch() == []
+            [entry] = queue.dead_letter()
+            assert entry["job_id"] == job_id
+            assert entry["quarantined"] is True
+            assert entry["crash_count"] == 2
+            # Operator revival resets both budget and breaker.
+            assert queue.retry_dead(job_id) == "requeued"
+            assert queue.get(job_id)["state"] == PENDING
+            assert queue.get(job_id)["attempts"] == 0
+            assert queue.quarantined_images() == []
+            assert queue.claim_batch()[0]["job_id"] == job_id
+        finally:
+            db.close()
+
+    def test_attempt_budget_survives_daemon_restarts(self, tmp_path):
+        """A job in flight when the daemon dies burns one attempt;
+        the budget is the job row, so it counts across restarts."""
+        db, queue = _queue(tmp_path, max_attempts=2, crash_threshold=10)
+        try:
+            job_id, _ = queue.submit(job_spec(**PROFILE_SPEC))
+            queue.claim_batch()             # restart 1: died in flight
+            assert queue.recover() == 1     # attempts=1 < 2: requeued
+            assert queue.get(job_id)["state"] == PENDING
+            queue.claim_batch()             # restart 2: died again
+            assert queue.recover() == 0     # attempts=2: dead-letter
+            job = queue.get(job_id)
+            assert job["state"] == DEAD
+            assert job["error_type"] == "DaemonCrash"
+        finally:
+            db.close()
+
+    def test_plain_analysis_failures_do_not_feed_the_breaker(
+            self, tmp_path):
+        db, queue = _queue(tmp_path, crash_threshold=1)
+        try:
+            job_id, _ = queue.submit(job_spec(**PROFILE_SPEC))
+            queue.claim_batch()
+            queue.fail(job_id, error="bad file",
+                       error_type="MalformedInput")
+            assert queue.get(job_id)["state"] == FAILED
+            assert queue.quarantined_images() == []
+        finally:
+            db.close()
+
+    def test_retry_dead_of_live_job_is_rejected(self, tmp_path):
+        db, queue = _queue(tmp_path)
+        try:
+            job_id, _ = queue.submit(job_spec(**PROFILE_SPEC))
+            assert queue.retry_dead(job_id) == "not_dead"
+            assert queue.retry_dead(424242) == "missing"
+        finally:
+            db.close()
+
+
+@pytest.fixture
+def idle_service(tmp_path):
+    """An API server over a daemon whose dispatcher never runs —
+    submissions stay pending, so lifecycle tests are race-free."""
+    daemon = AnalysisDaemon(
+        str(tmp_path / "dtaint.sqlite"), workers=1, max_queue_depth=1,
+        retry_after=2.0,
+    )
+    server = serve(daemon, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(
+        "http://127.0.0.1:%d" % server.server_address[1],
+        retries=0, backoff=0.05,
+    )
+    try:
+        yield daemon, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        daemon.scheduler.close()
+        daemon.db.close()
+
+
+class TestLifecycle:
+    def test_backpressure_is_429_with_retry_after(self, idle_service):
+        daemon, client = idle_service
+        assert client.submit(**PROFILE_SPEC)["outcome"] == "created"
+        # Depth 1 == max_queue_depth: the next distinct job bounces.
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(kind="profile", key="dgn1000", scale=0.05)
+        assert excinfo.value.status == 429
+        # In-process submission raises the typed error directly.
+        with pytest.raises(QueueFull) as excinfo:
+            daemon.submit(job_spec("profile", key="dgn1000", scale=0.05))
+        assert excinfo.value.retry_after == 2.0
+        # Draining the backlog reopens the door.
+        jobs = client.jobs(state="pending")
+        client.cancel(jobs[0]["job_id"])
+        assert client.submit(kind="profile", key="dgn1000",
+                             scale=0.05)["outcome"] == "created"
+
+    def test_readyz_flips_while_draining(self, idle_service):
+        daemon, client = idle_service
+        assert client.readyz()["ready"] is True
+        daemon.draining = True
+        probe = client.readyz()
+        assert probe["ready"] is False
+        daemon.draining = False
+        assert client.readyz()["ready"] is True
+
+    def test_wait_timeout_is_typed_and_carries_state(self, idle_service):
+        _daemon, client = idle_service
+        job = client.submit(**PROFILE_SPEC)
+        with pytest.raises(ServiceTimeout) as excinfo:
+            client.wait(job["job_id"], timeout=0.4, poll=0.05)
+        assert excinfo.value.job_id == job["job_id"]
+        assert excinfo.value.state == PENDING
+
+    def test_stats_expose_backpressure_and_drain_state(self,
+                                                       idle_service):
+        daemon, client = idle_service
+        client.submit(**PROFILE_SPEC)
+        stats = client.stats()
+        assert stats["queue_depth"] == 1
+        assert stats["max_queue_depth"] == 1
+        assert stats["draining"] is False
+        assert stats["quarantined_images"] == 0
+
+
+class TestClientResilience:
+    def test_unreachable_daemon_raises_after_retry_budget(self):
+        client = ServiceClient("http://127.0.0.1:9", retries=2,
+                               backoff=0.01, timeout=0.5)
+        with pytest.raises(ServiceError) as excinfo:
+            client.healthz()
+        assert "after 3 attempts" in str(excinfo.value)
+
+    def test_torn_connection_is_retried_transparently(self,
+                                                      idle_service):
+        _daemon, _client = idle_service
+        client = ServiceClient(_client.base, retries=2, backoff=0.05)
+        with injected(["disconnect@service.api:*"], shots=1) as injector:
+            assert client.healthz()["ok"] is True
+        assert injector.fired_specs() == ["disconnect@service.api:*"]
+
+    def test_zero_retry_client_surfaces_the_disconnect(self,
+                                                       idle_service):
+        _daemon, client = idle_service          # retries=0 fixture
+        with injected(["disconnect@service.api:*"], shots=1):
+            with pytest.raises(ServiceError):
+                client.healthz()
+
+    def test_stream_events_resumes_across_disconnects(self,
+                                                      idle_service):
+        """The NDJSON stream yields every event exactly once even
+        when connections tear mid-stream: the cursor survives the
+        reconnect."""
+        daemon, _client = idle_service
+        job = daemon.submit(job_spec(**PROFILE_SPEC))
+        for index in range(6):
+            daemon.db.append_event(job["job_id"], {
+                "event": "probe", "index": index, "seq": index, "ts": 0.0,
+            })
+        client = ServiceClient(_client.base, retries=3, backoff=0.05)
+        daemon.queue.cancel(job["job_id"])      # terminal: stream ends
+        reference = [
+            (e["event_id"], e["index"])
+            for e in client.events(job["job_id"])
+        ]
+        assert len(reference) == 6
+        with injected(["disconnect@service.api:*"], shots=2) as injector:
+            streamed = [
+                (e["event_id"], e["index"])
+                for e in client.stream_events(job["job_id"], poll=0.05)
+            ]
+        assert injector.fired
+        assert streamed == reference            # no loss, no duplicates
+
+    def test_stream_events_resumes_from_cursor(self, idle_service):
+        daemon, client = idle_service
+        job = daemon.submit(job_spec(**PROFILE_SPEC))
+        for index in range(4):
+            daemon.db.append_event(job["job_id"], {
+                "event": "probe", "index": index, "seq": index, "ts": 0.0,
+            })
+        daemon.queue.cancel(job["job_id"])
+        events = client.events(job["job_id"])
+        assert len(events) == 4
+        cursor = events[0]["event_id"]
+        resumed = list(client.stream_events(job["job_id"], after=cursor,
+                                            poll=0.05))
+        assert [e["event_id"] for e in resumed] == \
+            [e["event_id"] for e in events[1:]]
+
+
+class TestLockContention:
+    def test_transactions_wait_out_a_cross_process_writer(self,
+                                                          tmp_path):
+        db_path = str(tmp_path / "dtaint.sqlite")
+        db = ResultsDB(db_path)
+        try:
+            queue = JobQueue(db)
+            with lock_contender(db_path, hold=1.0):
+                # The contender holds BEGIN IMMEDIATE; this write must
+                # wait it out via busy_timeout instead of raising
+                # "database is locked".
+                started = time.monotonic()
+                job_id, outcome = queue.submit(job_spec(**PROFILE_SPEC))
+            assert outcome == "created"
+            assert queue.get(job_id)["state"] == PENDING
+            assert time.monotonic() - started < 30
+        finally:
+            db.close()
+
+
+class TestChaosKillPoints:
+    def test_kill9_inside_publish_loses_and_duplicates_nothing(
+            self, tmp_path):
+        """The worst kill point: inside the publish transaction after
+        the queue rows were marked done.  WAL rollback must restore a
+        consistent pre-publish state; recovery re-runs the batch and
+        lands byte-identical fingerprints."""
+        profiles = ("dir645",)
+        baseline = baseline_fingerprints(
+            str(tmp_path), profiles=profiles, workers=1
+        )
+        outcome = chaos_run(
+            "service.publish", str(tmp_path), baseline,
+            profiles=profiles, workers=1,
+        )
+        assert outcome.killed, outcome.exit_detail
+        assert outcome.recovered == 1
+        assert outcome.ok, outcome.to_dict()
+        assert outcome.done == len(profiles)
+        assert outcome.fingerprints == baseline
