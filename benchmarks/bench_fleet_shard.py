@@ -1,0 +1,298 @@
+"""Intra-image shard-scheduling benchmark: hikvision split over a pool.
+
+Measures what the shard scheduler buys on the fleet's hot image
+(hikvision dominates ``BENCH_hotpath.json``'s fleet scan):
+
+* ``unsharded``  — the whole-image baseline every fleet worker used to
+  pay (1 job slot, no sharding);
+* ``sharded_1w`` — the sharded task graph (plan → N exec shards →
+  merge) run on a single worker: the 1-worker sharded baseline, whose
+  per-task walls also feed the schedule model;
+* ``sharded_4w`` — the same task graph run on a 4-worker pool.
+
+Speedup methodology: shard exec tasks are independent worker
+processes, so on a host with >= 4 cores the 4-worker makespan is the
+serial prefix/suffix (plan + merge) plus an LPT packing of the
+measured exec walls onto 4 workers.  On hosts with fewer cores (CI
+containers are often throttled to one) the actually-measured 4-worker
+wall only reflects timeslicing, so the benchmark records BOTH the
+measured wall and the schedule-modeled speedup, uses the model as the
+headline ``speedup`` when cores < 4, and says so in the artifact
+(``speedup_modeled``/``cores`` fields).
+
+Measurement hygiene: every configuration runs in its own fresh
+subprocess, so each one starts from identical cold interpreter state —
+no run inherits intern pools, allocator arenas, or page-cache warmth
+from a predecessor, and ordering artifacts cannot favour one config
+over another.  The timed ``sharded_1w`` configuration (whose task
+walls feed both sides of the schedule model) additionally runs
+``--trials`` times and each task slot keeps its minimum wall across
+trials — the standard timeit rationale: variance above the minimum is
+interference from the host, not variability in the code under test.
+
+Identity gate: the findings fingerprints of all three runs must be
+byte-identical — sharding may only ever change the schedule, never the
+findings.  A divergence exits nonzero regardless of flags.
+
+Usage:
+    python benchmarks/bench_fleet_shard.py [--quick] [--out out.json]
+    python benchmarks/bench_fleet_shard.py --record    # update baseline
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.corpus.profiles import (  # noqa: E402
+    analyzed_module_prefixes,
+    build_firmware,
+)
+from repro.pipeline.results import findings_fingerprint  # noqa: E402
+from repro.pipeline.scheduler import FleetJob, FleetScheduler  # noqa: E402
+from repro.pipeline.telemetry import Telemetry  # noqa: E402
+
+REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_fleet_shard.json")
+
+IMAGE = "hikvision"
+
+
+def _run_config(elf_path, modules, shards, jobs):
+    """One fleet run; returns (fingerprint, wall, task walls, report)."""
+    events = []
+    telemetry = Telemetry()
+    telemetry.add_sink(lambda record: events.append(dict(record)))
+    scheduler = FleetScheduler(jobs=jobs, retries=1, telemetry=telemetry)
+    try:
+        start = time.perf_counter()
+        results = scheduler.run([
+            FleetJob(job_id="bench", kind="elf", path=elf_path,
+                     modules=modules, shards=shards),
+        ])
+        wall = time.perf_counter() - start
+    finally:
+        scheduler.close()
+    result = results[0]
+    if not result.ok:
+        raise SystemExit("bench run failed: %s" % result.error)
+
+    starts, execs = {}, []
+    plan = merge = 0.0
+    for event in events:
+        kind = event.get("event")
+        if kind == "shard_task_start":
+            starts[(event.get("phase"), event.get("shard"))] = event["ts"]
+        elif kind == "shard_task_finish":
+            execs.append(event["ts"] - starts[("exec", event.get("shard"))])
+        elif kind == "shard_plan":
+            plan = event["ts"] - starts[("plan", -1)]
+        elif kind == "shard_merge_finish":
+            merge = event["ts"] - starts[("merge", -1)]
+    tasks = {"plan": plan, "exec": sorted(execs, reverse=True),
+             "merge": merge}
+    return findings_fingerprint(result.report), wall, tasks, result.report
+
+
+def _run_isolated(elf_path, modules, shards, jobs):
+    """Run one configuration in a fresh interpreter; returns its stats.
+
+    Fresh-process isolation keeps every configuration's measurement
+    honest: an in-process predecessor run leaves warmed intern pools
+    and a grown allocator heap behind, which measurably shifts the
+    walls of whatever runs next.
+    """
+    handle, result_path = tempfile.mkstemp(
+        suffix=".json", dir=os.path.dirname(elf_path)
+    )
+    os.close(handle)
+    command = [
+        sys.executable, os.path.abspath(__file__), "--one-config",
+        "--elf", elf_path, "--modules", ",".join(modules),
+        "--one-shards", str(shards), "--one-jobs", str(jobs),
+        "--result-out", result_path,
+    ]
+    status = subprocess.run(command).returncode
+    if status != 0:
+        raise SystemExit(
+            "bench subprocess (shards=%d jobs=%d) failed with status %d"
+            % (shards, jobs, status)
+        )
+    with open(result_path) as stream:
+        data = json.load(stream)
+    os.unlink(result_path)
+    return data["fingerprint"], data["wall"], data["tasks"]
+
+
+def _min_tasks(trials):
+    """Per-slot minimum across trials (timeit's least-interference rule)."""
+    base = min(
+        trials, key=lambda t: t["plan"] + sum(t["exec"]) + t["merge"]
+    )
+    if any(len(t["exec"]) != len(base["exec"]) for t in trials):
+        return base        # shard count diverged: keep the best trial
+    return {
+        "plan": min(t["plan"] for t in trials),
+        "merge": min(t["merge"] for t in trials),
+        "exec": [
+            min(t["exec"][slot] for t in trials)
+            for slot in range(len(base["exec"]))
+        ],
+    }
+
+
+def _modeled_makespan(tasks, workers):
+    """Plan + LPT packing of exec walls onto ``workers`` + merge."""
+    loads = [0.0] * workers
+    for span in tasks["exec"]:
+        slot = min(range(workers), key=lambda index: loads[index])
+        loads[slot] += span
+    return tasks["plan"] + max(loads + [0.0]) + tasks["merge"]
+
+
+def run_bench(scale, shards, workers, quick=False, trials=1):
+    built = build_firmware(IMAGE, scale=scale)
+    workdir = tempfile.mkdtemp(prefix="dtaint-bench-shard-")
+    elf_path = os.path.join(workdir, "%s.elf" % IMAGE)
+    with open(elf_path, "wb") as handle:
+        handle.write(built.elf_bytes)
+    modules = analyzed_module_prefixes(IMAGE)
+
+    fp_ref, wall_ref, _tasks = _run_isolated(elf_path, modules, 0, 1)
+    one_trials = [
+        _run_isolated(elf_path, modules, shards, 1)
+        for _ in range(max(1, trials))
+    ]
+    fp_one = one_trials[0][0]
+    if any(trial[0] != fp_one for trial in one_trials):
+        raise SystemExit("sharded_1w trials disagree on the fingerprint")
+    wall_one = min(trial[1] for trial in one_trials)
+    tasks_one = _min_tasks([trial[2] for trial in one_trials])
+    fp_many, wall_many, _tasks_many = _run_isolated(
+        elf_path, modules, shards, workers
+    )
+
+    identical = fp_ref == fp_one == fp_many
+    cores = os.cpu_count() or 1
+    t1 = tasks_one["plan"] + sum(tasks_one["exec"]) + tasks_one["merge"]
+    t_modeled = _modeled_makespan(tasks_one, workers)
+    speedup_modeled = t1 / t_modeled if t_modeled else 0.0
+    speedup_measured = wall_one / wall_many if wall_many else 0.0
+    # With fewer physical cores than workers the measured wall only
+    # shows timeslicing; the schedule model (exact for independent
+    # processes) is the meaningful number there.
+    speedup = speedup_measured if cores >= workers else speedup_modeled
+    return {
+        "image": IMAGE,
+        "scale": scale,
+        "shards": shards,
+        "workers": workers,
+        "cores": cores,
+        "quick": quick,
+        "trials": max(1, trials),
+        "fingerprints": {
+            "unsharded": fp_ref,
+            "sharded_1w": fp_one,
+            "sharded_%dw" % workers: fp_many,
+        },
+        "findings_identical": identical,
+        "wall_seconds": {
+            "unsharded": round(wall_ref, 3),
+            "sharded_1w": round(wall_one, 3),
+            "sharded_%dw" % workers: round(wall_many, 3),
+        },
+        "tasks_1w": {
+            "plan": round(tasks_one["plan"], 3),
+            "merge": round(tasks_one["merge"], 3),
+            "exec": [round(span, 3) for span in tasks_one["exec"]],
+        },
+        "speedup": round(speedup, 3),
+        "speedup_modeled": round(speedup_modeled, 3),
+        "speedup_measured": round(speedup_measured, 3),
+        "speedup_is_modeled": cores < workers,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small scale + identity gate only (CI)")
+    parser.add_argument("--out", help="also write results JSON here")
+    parser.add_argument("--record", action="store_true",
+                        help="update %s" % os.path.basename(DEFAULT_BASELINE))
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--min-speedup", type=float, default=2.5,
+                        help="full-mode gate on the headline speedup")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="sharded_1w timing trials (default 3, 1 "
+                             "with --quick)")
+    # Internal single-configuration mode used for fresh-process
+    # isolation; the parent invokes this script recursively with it.
+    parser.add_argument("--one-config", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--elf", help=argparse.SUPPRESS)
+    parser.add_argument("--modules", help=argparse.SUPPRESS)
+    parser.add_argument("--one-shards", type=int, help=argparse.SUPPRESS)
+    parser.add_argument("--one-jobs", type=int, help=argparse.SUPPRESS)
+    parser.add_argument("--result-out", help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    if args.one_config:
+        modules = [m for m in (args.modules or "").split(",") if m]
+        fingerprint, wall, tasks, _ = _run_config(
+            args.elf, modules, args.one_shards, args.one_jobs
+        )
+        with open(args.result_out, "w") as handle:
+            json.dump({"fingerprint": fingerprint, "wall": wall,
+                       "tasks": tasks}, handle)
+        return 0
+
+    scale = args.scale if args.scale is not None else (
+        0.1 if args.quick else 0.25
+    )
+    shards = args.shards if args.shards is not None else (
+        4 if args.quick else 16
+    )
+    workers = 2 if args.quick and args.workers == 4 else args.workers
+    trials = args.trials if args.trials is not None else (
+        1 if args.quick else 3
+    )
+
+    results = run_bench(scale, shards, workers, quick=args.quick,
+                        trials=trials)
+    results["host"] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    blob = json.dumps(results, indent=2, sort_keys=True) + "\n"
+    print(blob)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(blob)
+    if args.record:
+        with open(DEFAULT_BASELINE, "w") as handle:
+            handle.write(blob)
+
+    if not results["findings_identical"]:
+        print("FAIL: sharded findings diverge from the unsharded run",
+              file=sys.stderr)
+        return 1
+    if not args.quick and results["speedup"] < args.min_speedup:
+        print("FAIL: speedup %.2fx below gate %.2fx"
+              % (results["speedup"], args.min_speedup), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -198,6 +198,11 @@ def _cmd_fleet_scan(args):
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return EXIT_USAGE
+    try:
+        shards = _parse_shards(getattr(args, "shards", "0"))
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
     jobs = []
     for key in keys:
         fault = "crash" if key == args.inject_crash else ""
@@ -205,6 +210,7 @@ def _cmd_fleet_scan(args):
             job_id=key, kind="profile", key=key, scale=args.scale,
             fault=fault, fault_attempts=10 ** 6 if fault else 0,
             faults=tuple(args.inject or ()),
+            shards=shards,
         ))
 
     telemetry_path = args.telemetry
@@ -368,6 +374,7 @@ def _cmd_serve(args):
         max_queue_depth=args.max_queue_depth,
         max_attempts=args.max_attempts,
         crash_threshold=args.crash_threshold,
+        shards=_parse_shards(getattr(args, "shards", "0")),
     )
     server = serve(
         daemon, host=args.host, port=args.port,
@@ -486,16 +493,39 @@ def _cmd_client(args):
     return EXIT_USAGE
 
 
+def _parse_shards(value):
+    """``--shards auto|N`` -> the FleetJob shard count (auto = -1)."""
+    from repro.pipeline.shards import AUTO_SHARDS
+
+    text = str(value or "0").strip().lower()
+    if text == "auto":
+        return AUTO_SHARDS
+    try:
+        count = int(text)
+    except ValueError:
+        raise ValueError("--shards takes 'auto' or an integer, not %r"
+                         % (value,))
+    if count < -1:
+        raise ValueError("--shards must be 'auto', -1, or >= 0")
+    return count
+
+
 def _fleet_scan_via_server(args, keys):
     """fleet-scan --server: submit the fleet over HTTP and wait."""
     from repro.service import ServiceClient, ServiceError
 
+    try:
+        shards = _parse_shards(getattr(args, "shards", "0"))
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
     client = ServiceClient(args.server)
     try:
         client.healthz()
         submitted = []
         for key in keys:
-            job = client.submit(kind="profile", key=key, scale=args.scale)
+            job = client.submit(kind="profile", key=key, scale=args.scale,
+                                shards=shards)
             submitted.append((key, job["job_id"]))
             print("submitted %s as job %d (%s)"
                   % (key, job["job_id"], job["outcome"]))
@@ -742,6 +772,11 @@ def main(argv=None):
     )
     fleet_scan.add_argument("profiles", nargs="*",
                             help="profile keys (default: all six)")
+    fleet_scan.add_argument(
+        "--shards", default="0", metavar="auto|N",
+        help="split each image into cost-balanced shards scheduled "
+             "across the worker pool ('auto' sizes from --jobs; 0 "
+             "disables; findings are byte-identical either way)")
     fleet_scan.add_argument("--jobs", type=int, default=4,
                             help="concurrent worker processes")
     fleet_scan.add_argument("--scale", type=float, default=0.25)
@@ -867,6 +902,10 @@ def main(argv=None):
     serve.add_argument("--telemetry",
                        help="also append the event stream to this "
                             "JSONL file")
+    serve.add_argument("--shards", default="0", metavar="auto|N",
+                       help="default shard count for submissions that "
+                            "omit one ('auto' sizes from --workers; "
+                            "0 = unsharded)")
     serve.add_argument("--max-memory-mb", type=int, default=0,
                        help="per-worker RLIMIT_AS in MiB; exhaustion "
                             "degrades to a typed ResourceExhausted "

@@ -91,6 +91,11 @@ class DTaint:
         self.summary_cache = summary_cache
         self.degraded = {}            # function name -> DegradedFunction
         self._selected_count = 0
+        # name -> TypeMap, filled by run_dataflow's first alias pass —
+        # or pre-installed via attach_prebuilt, which makes that pass
+        # a no-op (shard workers already ran it).
+        self._types = None
+        self._prebuilt_structure = None
         # Per-run phase accounting: the profiler is cumulative per
         # process, so the report carries the delta since construction.
         self._profile_baseline = profiling.PROFILER.snapshot()
@@ -159,6 +164,36 @@ class DTaint:
         self.timer.stop()
         return self.functions
 
+    def attach_prebuilt(self, functions, call_graph, selected_count,
+                        degraded=(), summaries=None, types=None,
+                        structure=None):
+        """Adopt per-function state produced elsewhere (shard merge).
+
+        Installs what ``build_cfg`` + ``analyze_functions`` + the
+        first alias pass would have computed — the per-function,
+        embarrassingly-parallel part of the pipeline — so the
+        remaining inherently-serial stages (indirect-call resolution,
+        bottom-up interprocedural enrichment, the second alias pass,
+        detection) run exactly as an unsharded scan would.  The empty
+        cfg/ssa timer brackets keep ``stage_seconds``'s shape
+        identical.  ``structure``, when given, carries the shards'
+        precomputed ``layouts`` and summary-sourced ``address_taken``
+        contributions for the similarity stage.
+        """
+        self.timer.start("cfg")
+        self.functions = functions
+        self.call_graph = call_graph
+        self._selected_count = selected_count
+        for entry in degraded:
+            self.degraded.setdefault(entry.function, entry)
+        self.timer.stop()
+        self.timer.start("ssa")
+        self.summaries = dict(summaries or {})
+        self.timer.stop()
+        self._types = dict(types or {})
+        self._prebuilt_structure = structure
+        return self.summaries
+
     def analyze_functions(self):
         """Stage 1: static symbolic analysis, one summary per function.
 
@@ -202,17 +237,20 @@ class DTaint:
         if self.summaries is None:
             self.analyze_functions()
         self.timer.start("aliasing")
-        self._types = {}
-        for name, summary in list(self.summaries.items()):
-            started = time.perf_counter()
-            try:
-                types = infer_types(summary)
-                self._types[name] = types
-                if self.config.enable_aliasing:
-                    alias_replace(summary, types)
-            except Exception as exc:
-                self._degrade(name, summary.addr, "aliasing", exc, started)
-                del self.summaries[name]
+        if self._types is None:
+            self._types = {}
+            for name, summary in list(self.summaries.items()):
+                started = time.perf_counter()
+                try:
+                    types = infer_types(summary)
+                    self._types[name] = types
+                    if self.config.enable_aliasing:
+                        alias_replace(summary, types)
+                except Exception as exc:
+                    self._degrade(
+                        name, summary.addr, "aliasing", exc, started
+                    )
+                    del self.summaries[name]
         self.timer.stop()
 
         self.timer.start("structure")
@@ -223,12 +261,23 @@ class DTaint:
             # Indirect-call resolution is an image-wide refinement; a
             # fault here costs resolution quality, never the scan.
             try:
-                candidates = address_taken_functions(
-                    self.binary, self.summaries
-                )
+                prebuilt = self._prebuilt_structure
+                layouts = None
+                if prebuilt is not None:
+                    # Shards already extracted layouts and the
+                    # summary-sourced address-taken contribution; only
+                    # the data-section scan remains image-global.
+                    candidates = address_taken_functions(self.binary, None)
+                    candidates |= set(prebuilt.get("address_taken", ()))
+                    layouts = prebuilt.get("layouts")
+                else:
+                    candidates = address_taken_functions(
+                        self.binary, self.summaries
+                    )
                 self.resolutions = resolve_indirect_calls(
                     self.summaries, self.call_graph,
                     candidates=sorted(candidates) or None,
+                    layouts=layouts,
                 )
             except Exception:
                 self.resolutions = []

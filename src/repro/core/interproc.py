@@ -29,6 +29,7 @@ from repro.symexec.value import (
     SymTaint,
     SymVar,
     mk_deref,
+    node_set,
     pretty,
     substitute,
 )
@@ -72,16 +73,26 @@ def _actual_mapping(callsite):
     return mapping
 
 
+# Expressions are interned (identity == structural equality), so the
+# exportability of a destination is a pure function of the object —
+# memoised id-keyed, pinning the expression via the stored reference.
+_EXPORTABLE_MEMO = {}
+
+
 def _exportable(dest):
     """Algorithm 2's check: d.rootPtr is an argument/return/heap pointer."""
+    memo = _EXPORTABLE_MEMO.get(id(dest))
+    if memo is not None and memo[0] is dest:
+        return memo[1]
     root = root_pointer(dest)
     if root is None:
-        return False
-    if isinstance(root, (SymRet, SymHeap, SymTaint)):
-        return True
-    if isinstance(root, SymVar) and root.name in _ARG_NAMES:
-        return True
-    return False
+        result = False
+    elif isinstance(root, (SymRet, SymHeap, SymTaint)):
+        result = True
+    else:
+        result = isinstance(root, SymVar) and root.name in _ARG_NAMES
+    _EXPORTABLE_MEMO[id(dest)] = (dest, result)
+    return result
 
 
 def _chain_hash(function_name, callsite_addr):
@@ -149,6 +160,56 @@ class InterproceduralAnalysis:
         # get the conservative empty summary (skip the import, count the
         # substitution) instead of poisoning the caller.
         self.degraded = set(degraded)
+        # (expr, frozen mapping) -> substituted expr.  The same callee
+        # definitions get rebased onto the same actual arguments at
+        # many call sites (helpers called with the canonical arg tuple
+        # everywhere), so this pure-function memo removes most of the
+        # substitution work on hot call graphs.
+        self._subst_memo = {}
+        # Per-callee views that every callsite import would otherwise
+        # recompute: the exportable subset of its def pairs and the
+        # constraints that mention a formal argument at all (the only
+        # ones a callsite mapping can ever rewrite).  Both are pure
+        # functions of the finished callee, which bottom-up order
+        # guarantees is immutable by the time any caller imports it.
+        self._export_memo = {}
+        self._argcon_memo = {}
+
+    def _substitute(self, expr, mapping, key):
+        # No key of the mapping occurs in the expression: identity.
+        # Same check substitute() opens with, hoisted here so no-op
+        # rewrites never pay the memo (or bloat it with x -> x rows).
+        if not mapping or node_set(expr).isdisjoint(mapping):
+            return expr
+        token = (expr, key)
+        hit = self._subst_memo.get(token)
+        if hit is None:
+            hit = substitute(expr, mapping)
+            if len(self._subst_memo) > 2_000_000:
+                self._subst_memo.clear()
+            self._subst_memo[token] = hit
+        return hit
+
+    def _export_pairs(self, callee):
+        pairs = self._export_memo.get(callee.name)
+        if pairs is None:
+            pairs = tuple(
+                pair for pair in callee.def_pairs
+                if _exportable(pair.dest)
+            )
+            self._export_memo[callee.name] = pairs
+        return pairs
+
+    def _arg_constraints(self, callee):
+        constraints = self._argcon_memo.get(callee.name)
+        if constraints is None:
+            args = set(SymVar(name) for name in _ARG_NAMES)
+            constraints = tuple(
+                constraint for constraint in callee.base.constraints
+                if not node_set(constraint.expr).isdisjoint(args)
+            )
+            self._argcon_memo[callee.name] = constraints
+        return constraints
 
     def run(self, names=None, on_fault=None):
         """Process functions callees-first; every function exactly once.
@@ -222,24 +283,29 @@ class InterproceduralAnalysis:
                                 import_constraints=first_variant)
 
         if ret_substitutions:
+            # ``ret_substitutions`` is final here, so its frozen form
+            # is a stable memo key for the closing rewrite pass.
+            rkey = frozenset(ret_substitutions.items())
             enriched.def_pairs = [
                 DefPair(
-                    dest=substitute(p.dest, ret_substitutions),
-                    value=substitute(p.value, ret_substitutions),
+                    dest=self._substitute(p.dest, ret_substitutions, rkey),
+                    value=self._substitute(p.value, ret_substitutions,
+                                           rkey),
                     site=p.site,
                 )
                 for p in enriched.def_pairs
             ]
             enriched.constraints = [
                 Constraint(
-                    expr=substitute(c.expr, ret_substitutions),
+                    expr=self._substitute(c.expr, ret_substitutions, rkey),
                     taken=c.taken, site=c.site,
                 )
                 for c in enriched.constraints
             ]
             for callsite in enriched.callsites:
                 callsite.args = [
-                    substitute(a, ret_substitutions) if a is not None else None
+                    self._substitute(a, ret_substitutions, rkey)
+                    if a is not None else None
                     for a in callsite.args
                 ]
 
@@ -248,9 +314,10 @@ class InterproceduralAnalysis:
         return enriched
 
     def _representative_ret(self, summary, ret_substitutions):
+        rkey = frozenset(ret_substitutions.items())
         values = []
         for value in summary.ret_values:
-            values.append(substitute(value, ret_substitutions))
+            values.append(self._substitute(value, ret_substitutions, rkey))
         distinct = [v for v in dict.fromkeys(values) if v != SymConst(0)]
         if not distinct:
             return SymConst(0)
@@ -326,24 +393,23 @@ class InterproceduralAnalysis:
         keeps the definition sets from compounding up deep call chains.
         """
         mapping = _actual_mapping(callsite)
+        mkey = frozenset(mapping.items())
 
         # The callee's return expression replaces ret_{callsite}
         # (ReplaceRetVariable) — rebased onto the actual arguments.
         ret_value = callee.ret_value
         if ret_value is not None and not isinstance(ret_value, SymConst):
-            rebased = substitute(ret_value, mapping)
+            rebased = self._substitute(ret_value, mapping, mkey)
             ret_substitutions[SymRet(callsite.addr)] = rebased
 
         seen = set(
             (p.dest, p.value) for p in enriched.def_pairs[-256:]
         )
-        for pair in callee.def_pairs:
+        for pair in self._export_pairs(callee):
             if budget[0] <= 0:
                 break
-            if not _exportable(pair.dest):
-                continue
-            new_dest = substitute(pair.dest, mapping)
-            new_value = substitute(pair.value, mapping)
+            new_dest = self._substitute(pair.dest, mapping, mkey)
+            new_value = self._substitute(pair.value, mapping, mkey)
             if (new_dest, new_value) in seen:
                 continue
             seen.add((new_dest, new_value))
@@ -355,7 +421,9 @@ class InterproceduralAnalysis:
         # Taint objects seen by the callee become visible to the caller
         # under the actual-argument names.
         for pointer in callee.taint_objects:
-            enriched.taint_objects.add(substitute(pointer, mapping))
+            enriched.taint_objects.add(
+                self._substitute(pointer, mapping, mkey)
+            )
 
         # Constraints the callee applies to its *arguments* travel up
         # (a sanitizing helper counts as sanitization at the caller).
@@ -364,10 +432,10 @@ class InterproceduralAnalysis:
         # DAGs, and a check more than one level below the sink seldom
         # guards it.
         count = 0
-        for constraint in callee.base.constraints:
+        for constraint in self._arg_constraints(callee):
             if not import_constraints or count >= 32:
                 break
-            rewritten = substitute(constraint.expr, mapping)
+            rewritten = self._substitute(constraint.expr, mapping, mkey)
             if rewritten != constraint.expr:
                 enriched.constraints.append(
                     Constraint(expr=rewritten, taken=constraint.taken,

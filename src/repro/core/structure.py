@@ -241,7 +241,7 @@ class IndirectResolution:
 
 
 def resolve_indirect_calls(summaries, call_graph, candidates=None,
-                           min_score=0.0):
+                           min_score=0.0, layouts=None):
     """Resolve indirect callsites by layout similarity.
 
     ``candidates`` restricts the callee pool (e.g. to address-taken
@@ -250,16 +250,22 @@ def resolve_indirect_calls(summaries, call_graph, candidates=None,
     rooted at the callsite's first argument; the callee-side layout is
     the one rooted at its ``arg0``.  The best strictly-positive score
     wins (paper: "establish data dependencies of two data structures
-    with the highest similarity").
+    with the highest similarity").  ``layouts`` optionally supplies
+    precomputed per-function layout maps (the shard merge path);
+    missing functions are extracted here as usual.
     """
     with PROFILER.phase("similarity"):
         return _resolve_indirect_calls(summaries, call_graph, candidates,
-                                       min_score)
+                                       min_score, layouts)
 
 
-def _resolve_indirect_calls(summaries, call_graph, candidates, min_score):
+def _resolve_indirect_calls(summaries, call_graph, candidates, min_score,
+                            precomputed=None):
+    precomputed = precomputed or {}
     layouts = {
-        name: extract_layouts(summary) for name, summary in summaries.items()
+        name: (precomputed[name] if name in precomputed
+               else extract_layouts(summary))
+        for name, summary in summaries.items()
     }
     arg0 = SymVar("arg0")
     if candidates is None:

@@ -18,18 +18,28 @@ class ResourceUsage:
 
 
 @contextmanager
-def measure():
+def measure(trace_python_heap=False):
     """Measure wall/CPU time and memory over a ``with`` block.
 
     ``peak_traced_mb`` is tracemalloc's Python-heap peak over the
     block (deterministic); ``max_rss_mb`` the process high-water mark
     (monotonic across blocks).
+
+    Heap tracing is opt-in: tracemalloc hooks every allocation, which
+    slows allocation-heavy analysis code by double-digit percentages —
+    an observer tax the pipeline's per-task bookkeeping must not pay.
+    Only the Table VI evaluation (which reports the deterministic
+    Python-heap peak) asks for it; everyone else reads the free
+    ``ru_maxrss`` high-water mark.  When tracing is off and no outer
+    caller started it, ``peak_traced_mb`` stays 0.0.
     """
     usage = ResourceUsage(0.0, 0.0, 0.0, 0.0, 0.0)
     tracing_already = tracemalloc.is_tracing()
-    if not tracing_already:
+    tracing = trace_python_heap or tracing_already
+    if tracing and not tracing_already:
         tracemalloc.start()
-    tracemalloc.reset_peak()
+    if tracing:
+        tracemalloc.reset_peak()
     cpu_start = time.process_time()
     wall_start = time.perf_counter()
     try:
@@ -42,10 +52,11 @@ def measure():
             usage.cpu_percent = (
                 100.0 * usage.cpu_seconds / (usage.wall_seconds * cores)
             )
-        _current, peak = tracemalloc.get_traced_memory()
-        usage.peak_traced_mb = peak / (1024.0 * 1024.0)
-        if not tracing_already:
-            tracemalloc.stop()
+        if tracing:
+            _current, peak = tracemalloc.get_traced_memory()
+            usage.peak_traced_mb = peak / (1024.0 * 1024.0)
+            if not tracing_already:
+                tracemalloc.stop()
         usage.max_rss_mb = (
             resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
         )

@@ -175,9 +175,9 @@ def table6_resources(context, key="dir645"):
     config = DTaintConfig(modules=analyzed_module_prefixes(key))
     detector = DTaint(built.binary, config=config, name=key)
     detector.build_cfg()
-    with measure() as ssa_usage:
+    with measure(trace_python_heap=True) as ssa_usage:
         detector.analyze_functions()
-    with measure() as ddg_usage:
+    with measure(trace_python_heap=True) as ddg_usage:
         detector.run_dataflow()
         detector.detect()
     return [

@@ -39,13 +39,30 @@ class IncrementalSummaryCache:
         self.binary = None
         self.fingerprints = {}          # name -> FunctionFingerprint
         self._by_addr = {}              # entry addr -> FunctionFingerprint
+        self._seeded = False
         self.hits = 0
         self.misses = 0
 
     # -- detector hooks ----------------------------------------------------
 
+    def seed_fingerprints(self, binary, fingerprints):
+        """Adopt fingerprints computed elsewhere instead of rebinding.
+
+        Shard workers recover only their subset of the CFG; closure
+        digests recomputed over such a partial call graph would be
+        wrong (cross-shard callee edges missing).  The plan task
+        computes them once on the full graph and ships them, and this
+        seeding makes the subsequent ``bind_functions`` hook a no-op.
+        """
+        self.binary = binary
+        self.fingerprints = dict(fingerprints)
+        self._by_addr = {fp.addr: fp for fp in self.fingerprints.values()}
+        self._seeded = True
+
     def bind_functions(self, binary, functions, call_graph):
         """Fingerprint the recovered functions (detector build_cfg hook)."""
+        if self._seeded:
+            return
         with profiling.PROFILER.phase("increment"):
             self.binary = binary
             self.fingerprints = fingerprint_functions(
@@ -100,8 +117,16 @@ class IncrementalSummaryCache:
                 strays=strays,
             )
 
-    def flush(self):
-        self.bound.flush()
+    def flush(self, include_bundle=True):
+        """Persist staged writes.
+
+        Shard workers flush only their fleet-index records (content
+        addressed, first writer wins — safe concurrently); the
+        per-binary bundle is whole-file-replace and is flushed exactly
+        once, by the merge task (``include_bundle=False`` here).
+        """
+        if include_bundle:
+            self.bound.flush()
         self.index.flush()
 
     # -- whole-image findings reuse ----------------------------------------

@@ -187,6 +187,30 @@ class BoundSummaryCache:
         self._load()[addr] = serialize_summary(summary)
         self._dirty = True
 
+    def export_blobs(self, addrs=None):
+        """Serialized blobs for ``addrs`` (all when ``None``).
+
+        Shard workers use this to ship their freshly-``put`` pre-alias
+        blobs to the merge task, which preloads them and performs the
+        single whole-file flush (the bundle's write protocol is
+        replace-whole-file — concurrent shard flushes would clobber
+        each other).
+        """
+        bundle = self._load()
+        if addrs is None:
+            return dict(bundle)
+        return {
+            addr: bundle[addr] for addr in addrs if addr in bundle
+        }
+
+    def preload(self, blobs):
+        """Adopt shipped blobs; existing entries win, new ones dirty."""
+        bundle = self._load()
+        for addr, blob in blobs.items():
+            if addr not in bundle:
+                bundle[addr] = blob
+                self._dirty = True
+
     def flush(self):
         """Persist the bundle atomically; no-op when nothing changed."""
         if not self._dirty:

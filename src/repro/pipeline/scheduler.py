@@ -33,9 +33,11 @@ the parent process.
 """
 
 import os
+import shutil
+import tempfile
 import time
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing import connection
 
 from repro import faultinject
@@ -46,12 +48,14 @@ from repro.errors import (
     WorkerCrash,
     WorkerStalled,
 )
+from repro.pipeline import sharedstate
 from repro.pipeline.cache import (
     ReportCache,
     SummaryCache,
     binary_sha256,
     report_fingerprint,
 )
+from repro.pipeline.shards import AUTO_SHARDS
 from repro.pipeline.telemetry import Telemetry
 from repro.pipeline.workerpool import WorkerPool
 
@@ -75,9 +79,25 @@ class FleetJob:
     # 'decode@cfg:handle_request'): installed in the worker before the
     # scan so the fault degrades one function instead of the job.
     faults: tuple = ()
+    # Intra-image sharding (repro.pipeline.shards): 0/1 = unsharded,
+    # N>1 = split into at most N shards, AUTO_SHARDS (-1) = let the
+    # scheduler pick from its worker count.
+    shards: int = 0
+    # Shard-lifecycle fields; the scheduler stamps these on the task
+    # copies it derives from the job — callers leave the defaults.
+    shard_phase: str = ""        # '' | 'plan' | 'exec' | 'merge'
+    shard_index: int = -1
+    shard_names: tuple = ()
+    shard_gen: int = 0           # plan generation, guards stale tasks
+    shard_payload: object = None
 
     def describe_target(self):
-        return self.key if self.kind == "profile" else self.path
+        target = self.key if self.kind == "profile" else self.path
+        if self.shard_phase == "exec":
+            return "%s#%d" % (target, self.shard_index)
+        if self.shard_phase:
+            return "%s#%s" % (target, self.shard_phase)
+        return target
 
 
 @dataclass
@@ -170,6 +190,19 @@ def execute_job(job, attempt=1, cache_dir=None, use_summary_cache=True,
     """
     from repro.core import DTaint
     from repro.eval.resources import measure
+
+    if job.shard_phase:
+        # Shard-lifecycle tasks (plan / exec / merge) have their own
+        # executors; the plan phase re-enters here via an unsharded
+        # job copy when the image turns out not worth splitting.
+        from repro.pipeline.shards import execute_phase
+
+        return execute_phase(
+            job, attempt, cache_dir=cache_dir,
+            use_summary_cache=use_summary_cache,
+            use_report_cache=use_report_cache,
+            use_fleet_index=use_fleet_index,
+        )
 
     _inject_fault(job, attempt)
     injector = None
@@ -300,6 +333,15 @@ class FleetScheduler:
         # the caller finished configuring the parent process.
         self._pool = pool
         self._owns_pool = pool is None
+        # Memoised backoff schedule, pruned when a job reaches a
+        # terminal state so long daemon runs stay bounded.
+        self._backoff_state = {}
+        # Sharding infrastructure, all lazily created: the spill
+        # directory exec/merge tasks exchange pickles through, and the
+        # published interned-expression arena seed every worker shares
+        # (None = not yet tried, False = publish failed, stay local).
+        self._spill_dir = None
+        self._arena_block = None
 
     @property
     def pool(self):
@@ -314,6 +356,12 @@ class FleetScheduler:
         if self._owns_pool and self._pool is not None:
             self._pool.close()
             self._pool = None
+        if self._arena_block:
+            self._arena_block.unlink()
+        self._arena_block = None
+        if self._spill_dir is not None:
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+            self._spill_dir = None
 
     def __enter__(self):
         return self
@@ -331,8 +379,26 @@ class FleetScheduler:
             raise PipelineError("duplicate job_id in fleet")
         # Queue entries are (job, attempt, not_before): retries sit in
         # the queue until their backoff delay expires, without ever
-        # blocking the scheduler loop or other jobs' slots.
-        queue = [(job, 1, 0.0) for job in fleet_jobs]
+        # blocking the scheduler loop or other jobs' slots.  A job
+        # marked for sharding enters as its own plan task; the plan's
+        # shard tasks later jump the queue front, so idle workers
+        # steal shard work from hot images before starting new ones.
+        queue = []
+        for job in fleet_jobs:
+            resolved = self._resolve_shards(job)
+            if resolved > 1:
+                queue.append(
+                    (replace(job, shards=resolved, shard_phase="plan",
+                             shard_payload={
+                                 "spill_dir": self._ensure_spill_dir(),
+                             }),
+                     1, 0.0)
+                )
+            else:
+                queue.append((job, 1, 0.0))
+        # job_id -> in-flight shard fan-out bookkeeping (plan payload,
+        # outstanding shard set, published per-run shared blocks).
+        shard_states = {}
         running = []
         run_start = time.perf_counter()
         self.telemetry.emit(
@@ -357,10 +423,13 @@ class FleetScheduler:
                     soonest = min(e[2] for e in queue)
                     time.sleep(min(max(soonest - now, 0.0), 0.05))
                     continue
-                self._poll(running, queue, results)
+                self._poll(running, queue, results, shard_states)
         finally:
             for record in running:   # unwind on unexpected scheduler error
                 self.pool.discard(record.worker)
+            for state in shard_states.values():
+                for block in state.get("blocks", ()):
+                    block.unlink()
         wall = time.perf_counter() - run_start
         ordered = [results[job.job_id] for job in fleet_jobs]
         self.telemetry.emit(
@@ -402,15 +471,22 @@ class FleetScheduler:
             worker.send_job(job, attempt, self._options)
         started = time.perf_counter()
         deadline = started + self.timeout if self.timeout else None
-        self.telemetry.emit(
-            "job_start", job=job.job_id, attempt=attempt, pid=worker.pid,
-            target=job.describe_target(),
-        )
+        if job.shard_phase:
+            self.telemetry.emit(
+                "shard_task_start", job=job.job_id, attempt=attempt,
+                pid=worker.pid, target=job.describe_target(),
+                phase=job.shard_phase, shard=job.shard_index,
+            )
+        else:
+            self.telemetry.emit(
+                "job_start", job=job.job_id, attempt=attempt,
+                pid=worker.pid, target=job.describe_target(),
+            )
         return _Running(job=job, attempt=attempt, worker=worker,
                         started=started, deadline=deadline,
                         last_heartbeat=started)
 
-    def _poll(self, running, queue, results):
+    def _poll(self, running, queue, results, shard_states=None):
         """One scheduler tick: reap finished workers, enforce deadlines.
 
         Three independent liveness checks per live worker, in order:
@@ -441,10 +517,24 @@ class FleetScheduler:
                 finished.append((record, WorkerStalled(
                     record.job.job_id, now - record.last_heartbeat
                 )))
+        if shard_states is None:
+            shard_states = {}
         for record, outcome in finished:
             running.remove(record)
             elapsed = time.perf_counter() - record.started
-            if isinstance(outcome, dict):
+            if record.job.shard_phase:
+                if not isinstance(outcome, dict):
+                    self._fail_shard(record, outcome, elapsed, queue,
+                                     results, shard_states)
+                elif outcome.get("status") == "ok":
+                    # A plan that short-circuited (cache hit, image too
+                    # small) or a finished merge: a complete result.
+                    self._finish_sharded_ok(record, outcome, elapsed,
+                                            results, shard_states)
+                else:
+                    self._advance_shard(record, outcome, elapsed, queue,
+                                        shard_states)
+            elif isinstance(outcome, dict):
                 self._complete(record, outcome, elapsed, results)
             else:
                 self._fail(record, outcome, elapsed, queue, results)
@@ -479,7 +569,7 @@ class FleetScheduler:
             self.pool.recycle(record.worker)
         else:
             self.pool.release(record.worker)
-        if payload.get("status") == "ok":
+        if payload.get("status") in ("ok", "plan", "shard"):
             return payload
         # The worker caught its own exception: rehydrate it typed.
         error = PipelineError(
@@ -488,6 +578,189 @@ class FleetScheduler:
         )
         error.worker_error_type = payload.get("error_type", "")
         return error
+
+    # -- shard lifecycle -----------------------------------------------
+
+    def _resolve_shards(self, job):
+        """Effective shard count for a job (<=1 means run unsharded).
+
+        Jobs carrying in-analysis fault specs never shard: the
+        injector's install/uninstall and cache bypass are scoped to a
+        single worker process.
+        """
+        count = int(job.shards or 0)
+        if count == 0 or job.faults:
+            return 0
+        if count == AUTO_SHARDS:
+            # Over-decompose relative to the worker count so the
+            # greedy planner's tail imbalance amortises and freed
+            # workers always find another shard to steal.
+            return max(2, min(4 * self.jobs, 16))
+        return count
+
+    def _ensure_spill_dir(self):
+        if self._spill_dir is None:
+            self._spill_dir = tempfile.mkdtemp(prefix="dtaint-shards-")
+        return self._spill_dir
+
+    def _ensure_arena_ref(self):
+        """Publish the interned-expression seed pool once per scheduler.
+
+        Idle workers attach immediately via the pool's control
+        channel; busy ones attach lazily from the ref each shard task
+        carries (the worker-side memo makes repeats free).  Publishing
+        is strictly an optimisation — on any failure workers simply
+        build their own arenas, as an unsharded run would.
+        """
+        if self._arena_block is None:
+            try:
+                from repro.symexec.value import export_arena_seed
+
+                self._arena_block = sharedstate.publish(
+                    export_arena_seed(), label="dtaint-arena"
+                )
+            except Exception:
+                self._arena_block = False
+            else:
+                self.pool.share("arena", self._arena_block.ref)
+        return self._arena_block.ref if self._arena_block else None
+
+    def _advance_shard(self, record, payload, elapsed, queue, shard_states):
+        """Fold one finished plan/exec task into the fan-out state."""
+        jid = record.job.job_id
+        if payload.get("status") == "plan":
+            self._accept_plan(record, payload, queue, shard_states)
+            return
+        state = shard_states.get(jid)
+        if state is None or payload.get("gen") != state["gen"]:
+            return      # stale task from a superseded (failed) plan
+        state["done"][payload["index"]] = payload
+        self.telemetry.emit(
+            "shard_task_finish", job=jid, shard=payload["index"],
+            elapsed=round(elapsed, 4),
+            functions=payload.get("functions", 0),
+            degraded=payload.get("degraded", 0),
+        )
+        if len(state["done"]) == state["pending"]:
+            self._enqueue_merge(record, state, queue)
+
+    def _accept_plan(self, record, payload, queue, shard_states):
+        jid = record.job.job_id
+        shards = payload["shards"]
+        blocks = []
+        segment_ref = None
+        if payload.get("segment_records"):
+            # Fleet dedup-index records every shard is about to probe,
+            # published once instead of read per worker per function.
+            block = sharedstate.publish(
+                payload["segment_records"], label="dtaint-index"
+            )
+            blocks.append(block)
+            segment_ref = block.ref
+        base = {
+            "sha256": payload["sha256"],
+            "spill": payload["spill"],
+            "spill_dir": self._ensure_spill_dir(),
+            "bin_name": payload.get("bin_name", ""),
+            "fingerprints_blob": payload.get("fingerprints_blob"),
+            "segment_ref": segment_ref,
+            "arena_ref": self._ensure_arena_ref(),
+        }
+        shard_states[jid] = {
+            "gen": record.attempt,
+            "attempt": record.attempt,
+            "payload": payload,
+            "base": base,
+            "pending": len(shards),
+            "done": {},
+            "t0": record.started,
+            "blocks": blocks,
+        }
+        plan_info = payload.get("plan_info", {})
+        self.telemetry.emit(
+            "shard_plan", job=jid, shards=len(shards),
+            components=plan_info.get("components", 0),
+            edges=plan_info.get("edges", 0),
+        )
+        # Front of the queue: finishing a hot image's shards beats
+        # starting fresh images, and any idle worker can steal one.
+        queue[:0] = [
+            (replace(record.job, shard_phase="exec", shard_index=index,
+                     shard_names=tuple(names), shard_gen=record.attempt,
+                     shard_payload=base),
+             record.attempt, 0.0)
+            for index, names in enumerate(shards)
+        ]
+
+    def _enqueue_merge(self, record, state, queue):
+        plan = state["payload"]
+        ordered = [state["done"][i] for i in sorted(state["done"])]
+        merge_payload = dict(state["base"])
+        merge_payload.update(
+            selected=plan.get("selected", 0),
+            shard_spills=[out["spill_out"] for out in ordered],
+            plan_profile=plan.get("profile"),
+            plan_cache=plan.get("cache"),
+            plan_info=plan.get("plan_info", {}),
+            build_seconds=plan.get("resources", {}).get(
+                "build_seconds", 0.0
+            ),
+        )
+        queue.insert(0, (
+            replace(record.job, shard_phase="merge", shard_index=-1,
+                    shard_names=(), shard_gen=state["gen"],
+                    shard_payload=merge_payload),
+            state["attempt"], 0.0,
+        ))
+
+    def _finish_sharded_ok(self, record, payload, elapsed, results,
+                           shard_states):
+        state = shard_states.pop(record.job.job_id, None)
+        if state is not None:
+            for block in state.get("blocks", ()):
+                block.unlink()
+            # The image's wall time spans plan start to merge finish;
+            # per-task elapsed would under-report it in the rollup.
+            elapsed = time.perf_counter() - state["t0"]
+            payload.setdefault("resources", {})["image_wall_seconds"] = (
+                round(elapsed, 4)
+            )
+            self.telemetry.emit(
+                "shard_merge_finish", job=record.job.job_id,
+                shards=state["pending"],
+                image_wall_seconds=round(elapsed, 4),
+            )
+        self._complete(record, payload, elapsed, results)
+
+    def _fail_shard(self, record, error, elapsed, queue, results,
+                    shard_states):
+        """Any shard-task failure falls the whole image back to an
+        unsharded retry: conservative, but the fallback preserves every
+        failure-handling property (bounded retry, quarantine, typed
+        errors) without a shard-granular recovery protocol."""
+        jid = record.job.job_id
+        state = shard_states.pop(jid, None)
+        if record.job.shard_phase != "plan" and state is None:
+            return      # stale sibling of an already-failed generation
+        if state is not None:
+            for block in state.get("blocks", ()):
+                block.unlink()
+        queue[:] = [
+            entry for entry in queue
+            if not (entry[0].job_id == jid and entry[0].shard_phase)
+        ]
+        self.telemetry.emit(
+            "shard_fallback", job=jid, phase=record.job.shard_phase,
+            error_type=getattr(error, "worker_error_type", "")
+            or type(error).__name__,
+        )
+        record.job = replace(
+            record.job, shards=0, shard_phase="", shard_index=-1,
+            shard_names=(), shard_gen=0, shard_payload=None,
+        )
+        self._fail(record, error, elapsed, queue, results)
+
+    # ------------------------------------------------------------------
 
     def _complete(self, record, payload, elapsed, results):
         result = results[record.job.job_id]
@@ -501,6 +774,7 @@ class FleetScheduler:
         result.resources = payload.get("resources", {})
         result.elapsed = elapsed
         result.error = result.error_type = ""
+        self._backoff_state.pop(record.job.job_id, None)
         cache = result.cache
         cache_event = {
             "job": record.job.job_id,
@@ -584,6 +858,7 @@ class FleetScheduler:
             )
         else:
             result.status = "quarantined"
+            self._backoff_state.pop(record.job.job_id, None)
             self.telemetry.emit(
                 "job_quarantined", job=record.job.job_id,
                 attempts=record.attempt, error_type=result.error_type,
@@ -596,10 +871,21 @@ class FleetScheduler:
         ``j in [0, 1)`` is derived from ``crc32(job_id:attempt)`` —
         the same job retries on the same schedule every run, while
         distinct jobs spread out instead of thundering back together.
+        The per-job schedule is memoised and pruned when the job
+        reaches a terminal state (``_complete`` / quarantine), so a
+        long-lived daemon's scheduler holds state only for jobs that
+        are actually mid-retry.
         """
         if not self.backoff or attempt <= 1:
             return 0.0
-        key = ("%s:%d" % (job_id, attempt)).encode("utf-8")
-        jitter = (zlib.crc32(key) % 1000) / 1000.0
-        delay = self.backoff * (2 ** (attempt - 2)) * (1.0 + jitter)
-        return min(delay, self.backoff_cap)
+        per_job = self._backoff_state.setdefault(job_id, {})
+        delay = per_job.get(attempt)
+        if delay is None:
+            key = ("%s:%d" % (job_id, attempt)).encode("utf-8")
+            jitter = (zlib.crc32(key) % 1000) / 1000.0
+            delay = min(
+                self.backoff * (2 ** (attempt - 2)) * (1.0 + jitter),
+                self.backoff_cap,
+            )
+            per_job[attempt] = delay
+        return delay

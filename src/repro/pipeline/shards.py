@@ -1,0 +1,805 @@
+"""Intra-image shard scheduling: split one hot image across the pool.
+
+The fleet scheduler's unit of work used to be a whole image, so one
+hot binary (hikvision in ``BENCH_hotpath.json``) serialised the scan
+while other cores idled.  DTaint's bottom-up design makes the fix
+natural: per-function summaries are **context-independent** (paper
+Algorithm 2), so any partition of the function set can be symbolically
+executed in parallel and merged before the interprocedural phase —
+findings stay byte-identical to an unsharded run.
+
+A sharded image becomes a three-phase task graph run on the ordinary
+:class:`~repro.pipeline.workerpool.WorkerPool` (idle workers steal
+whatever shard task is queued next, across images):
+
+``plan``
+    One worker loads the image, derives a direct-call edge set (the
+    real call graph in incremental mode — it is already built for
+    fingerprinting — or a vectorised instruction scout otherwise),
+    condenses it into dependency components and groups them into
+    cost-balanced shards.  Trivially small images short-circuit to a
+    plain unsharded run in place.
+``exec`` (one task per shard)
+    Recovers CFGs for its function subset only (summaries never
+    depend on *which* other functions were recovered: direct-call
+    targets resolve against the full symbol table), runs symexec +
+    type inference + the first alias pass, extracts structure layouts,
+    and spills its results for the merge.
+``merge``
+    Reassembles the full function map (skeletons, not lifted IR),
+    re-builds the call graph, adopts the shard summaries verbatim and
+    runs the inherently serial tail — indirect-call resolution,
+    bottom-up interprocedural enrichment, the second alias pass and
+    detection — exactly as the unsharded pipeline would.
+
+Byte-identity argument, in brief: shard summaries equal unsharded
+summaries (context independence + full-symbol-table target
+resolution), the merged function map reproduces the unsharded map's
+iteration order (address-sorted locals, then import stubs in symbol
+order), and every later stage is a deterministic function of those
+two inputs.  ``tests/test_shards.py`` enforces this on the golden
+corpus for shard counts 1, 2 and auto.
+"""
+
+import contextlib
+import gc
+import os
+import pickle
+import time
+from dataclasses import dataclass, replace
+
+import networkx as nx
+import numpy as np
+
+from repro import profiling
+from repro.errors import PipelineError
+from repro.pipeline.cache import (
+    ReportCache,
+    SummaryCache,
+    binary_sha256,
+    report_fingerprint,
+    _atomic_write,
+)
+
+AUTO_SHARDS = -1
+
+# Below this total cost (bytes of function body) an image is not worth
+# splitting: per-task dispatch would dominate the saved compute.
+MIN_SHARD_COST = 8192
+
+
+class NameFilter:
+    """Picklable ``function_filter`` callable selecting a name set."""
+
+    def __init__(self, names):
+        self.names = frozenset(names)
+
+    def __call__(self, name):
+        return name in self.names
+
+
+@dataclass
+class FunctionSkeleton:
+    """A :class:`~repro.cfg.model.Function` stand-in for the merge.
+
+    Shipping lifted IR across the process boundary costs more than
+    re-lifting (tens of MB per hot image); the merge only needs what
+    the call graph and the report counters read — name, address,
+    block count and the call sites.
+    """
+
+    name: str
+    addr: int
+    size: int
+    block_count: int
+    call_sites: tuple
+    is_import: bool = False
+
+    def contains(self, addr):
+        return self.addr <= addr < self.addr + self.size
+
+
+def skeletonize(function):
+    return FunctionSkeleton(
+        name=function.name,
+        addr=function.addr,
+        size=function.size,
+        block_count=function.block_count,
+        call_sites=tuple(function.call_sites),
+        is_import=function.is_import,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Direct-call scout: vectorised edge recovery for shard planning.
+
+def scan_direct_call_edges(binary, names):
+    """Approximate direct-call edges ``(caller, callee)`` via numpy.
+
+    One pass over the executable segments decoding only the two
+    call-shaped instruction patterns (ARM ``BL`` with the
+    always-condition, MIPS ``JAL``) as vectorised word operations —
+    milliseconds where CFG recovery takes seconds.  Accuracy only
+    shapes shard *balance* (a missed edge can split a component that
+    interprocedural work later treats as one unit); correctness never
+    depends on it, because summaries are context-independent.
+    """
+    selected = {
+        name: symbol for name, symbol in binary.functions.items()
+        if name in names and not symbol.is_import
+    }
+    if not selected:
+        return []
+    entries = np.array(
+        sorted(symbol.addr for symbol in selected.values()), dtype=np.int64
+    )
+    by_addr = {symbol.addr: name for name, symbol in selected.items()}
+    ends = entries + np.array(
+        [selected[by_addr[int(addr)]].size for addr in entries],
+        dtype=np.int64,
+    )
+    arch = binary.arch.name
+    dtype = ">u4" if binary.arch.is_big_endian else "<u4"
+    edges = set()
+    for vaddr, data, executable in binary.segments:
+        if not executable or len(data) < 4:
+            continue
+        words = np.frombuffer(
+            data[: len(data) // 4 * 4], dtype=dtype
+        ).astype(np.int64)
+        addrs = vaddr + 4 * np.arange(words.shape[0], dtype=np.int64)
+        if arch == "arm":
+            mask = (words >> 24) == 0xEB          # BL, condition AL
+            offsets = words[mask] & 0x00FFFFFF
+            offsets = np.where(
+                offsets & 0x00800000, offsets - 0x01000000, offsets
+            )
+            targets = addrs[mask] + 8 + (offsets << 2)
+            sites = addrs[mask]
+        elif arch == "mips":
+            mask = (words >> 26) == 0x03           # JAL
+            targets = (
+                ((addrs[mask] + 4) & ~np.int64(0x0FFFFFFF))
+                | ((words[mask] & 0x03FFFFFF) << 2)
+            )
+            sites = addrs[mask]
+        else:
+            continue
+        if targets.shape[0] == 0:
+            continue
+        # Exact-match targets to function entries.
+        hit = np.searchsorted(entries, targets)
+        valid = (hit < entries.shape[0]) & (
+            entries[np.minimum(hit, entries.shape[0] - 1)] == targets
+        )
+        # Map each call site to its containing function by extent.
+        owner = np.searchsorted(entries, sites, side="right") - 1
+        valid &= owner >= 0
+        owner = np.maximum(owner, 0)
+        valid &= sites < ends[owner]
+        for site_owner, target in zip(owner[valid], targets[valid]):
+            caller = by_addr[int(entries[site_owner])]
+            callee = by_addr[int(target)]
+            if caller != callee:
+                edges.add((caller, callee))
+    return sorted(edges)
+
+
+# ---------------------------------------------------------------------------
+# The planner: condensation components -> cost-balanced shards.
+
+@dataclass
+class ShardPlan:
+    shards: tuple        # tuple of sorted name tuples
+    costs: tuple         # per-shard cost totals
+    components: int
+    edges: int
+
+    def describe(self):
+        return {
+            "shards": len(self.shards),
+            "components": self.components,
+            "edges": self.edges,
+            "costs": [round(float(c), 1) for c in self.costs],
+        }
+
+
+def plan_shards(costs, edges, shard_count, min_shard_cost=MIN_SHARD_COST):
+    """Group callgraph-condensation components into balanced shards.
+
+    ``costs`` maps function name -> estimated analysis cost (function
+    size in bytes by default; callers with cached per-function phase
+    times can substitute them).  Components (strongly-connected
+    subgraphs of the direct call graph — the unit
+    :mod:`repro.increment.fingerprint` already hashes closures over)
+    are walked in topological order and greedily assigned to the
+    least-loaded shard, so mutually-recursive clusters never split and
+    the balance bound is the classic list-scheduling 2-approximation.
+    Deterministic: nodes, edges, components and ties all resolve in
+    sorted order.
+    """
+    names = sorted(costs)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(names)
+    edge_count = 0
+    for caller, callee in sorted(edges):
+        if caller in costs and callee in costs and caller != callee:
+            graph.add_edge(caller, callee)
+            edge_count += 1
+    condensed = nx.condensation(graph)
+    components = [
+        tuple(sorted(condensed.nodes[scc]["members"]))
+        for scc in nx.topological_sort(condensed)
+    ]
+    total = float(sum(costs.values()))
+    effective = max(int(shard_count), 1)
+    if min_shard_cost > 0:
+        effective = min(effective, max(int(total // min_shard_cost), 1))
+    effective = min(effective, max(len(components), 1))
+    if effective <= 1:
+        return ShardPlan(
+            shards=(tuple(names),) if names else (),
+            costs=(total,) if names else (),
+            components=len(components), edges=edge_count,
+        )
+    bins = [[] for _ in range(effective)]
+    loads = [0.0] * effective
+    for members in components:
+        cost = sum(costs[name] for name in members)
+        index = min(range(effective), key=lambda i: (loads[i], i))
+        bins[index].extend(members)
+        loads[index] += cost
+    shards, shard_costs = [], []
+    for index, members in enumerate(bins):
+        if members:
+            shards.append(tuple(sorted(members)))
+            shard_costs.append(loads[index])
+    return ShardPlan(
+        shards=tuple(shards), costs=tuple(shard_costs),
+        components=len(components), edges=edge_count,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker-side phase executors (dispatched from execute_job).
+
+def _base_config(job):
+    """The job's DTaintConfig, identically to ``_load_job_binary``."""
+    from repro.core import DTaintConfig
+
+    if job.kind == "profile":
+        from repro.corpus.profiles import analyzed_module_prefixes
+
+        return DTaintConfig(modules=analyzed_module_prefixes(job.key))
+    return DTaintConfig(modules=tuple(job.modules))
+
+
+def _materialize(job, spill_dir):
+    """Load the job's binary; returns (name, binary, config, sha, spill).
+
+    ``spill`` is an on-disk ELF every later shard/merge task can
+    reload in O(ms): the job's own path for ``elf`` jobs, a spilled
+    copy of the built image for ``profile`` jobs (building a synthetic
+    profile costs seconds — paying it once in the plan instead of once
+    per task is most of the sharding win for profile jobs).
+    """
+    from repro.loader.binary import load_elf
+
+    if job.kind == "profile":
+        from repro.corpus.profiles import build_firmware
+
+        built = build_firmware(job.key, scale=job.scale)
+        sha = binary_sha256(built.elf_bytes)
+        spill = os.path.join(spill_dir, "%s.elf" % sha)
+        if not os.path.exists(spill):
+            _atomic_write(spill, built.elf_bytes)
+        # Analyse the ELF round-trip form, so plan/exec/merge all see
+        # bit-identical inputs regardless of which one built it.
+        return (built.name, load_elf(built.elf_bytes, name=built.name),
+                _base_config(job), sha, spill)
+    if job.kind == "elf":
+        with open(job.path, "rb") as handle:
+            data = handle.read()
+        return (job.path, load_elf(data, name=job.path),
+                _base_config(job), sha256_of(data), job.path)
+    raise PipelineError("unknown job kind %r" % job.kind)
+
+
+def sha256_of(data):
+    return binary_sha256(data)
+
+
+def _selected_names(binary, config):
+    """Non-import function names the detector would select."""
+    names = []
+    selected = 0
+    for symbol in binary.local_functions:
+        if config.modules and not any(
+            symbol.name.startswith(prefix) for prefix in config.modules
+        ):
+            continue
+        if symbol.is_import:
+            continue
+        selected += 1
+        names.append(symbol.name)
+    return names, selected
+
+
+def execute_phase(job, attempt, cache_dir=None, use_summary_cache=True,
+                  use_report_cache=True, use_fleet_index=False):
+    """Dispatch one shard-lifecycle task (worker side)."""
+    options = dict(
+        cache_dir=cache_dir, use_summary_cache=use_summary_cache,
+        use_report_cache=use_report_cache, use_fleet_index=use_fleet_index,
+    )
+    if job.shard_phase == "plan":
+        return _execute_plan(job, attempt, **options)
+    if job.shard_phase == "exec":
+        return _execute_shard(job, attempt, **options)
+    if job.shard_phase == "merge":
+        return _execute_merge(job, attempt, **options)
+    raise PipelineError("unknown shard phase %r" % job.shard_phase)
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Suspend the cyclic GC over an allocation-heavy region.
+
+    Unpickling a shard spill and the interprocedural enrichment both
+    allocate millions of small, mostly-acyclic expression nodes; the
+    generational collector's scans over them are pure overhead.  One
+    explicit collection on exit reclaims whatever cycles did form.
+
+    Inside a pool worker this is a no-op: the worker loop already has
+    gc disabled for the whole job and runs the catch-up collection
+    after posting the result (see ``_pool_worker_main``), so the
+    ``was_enabled`` guard keeps the collection off the critical path
+    there while direct callers (tests, one-shot runs) still get it.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+            gc.collect()
+
+
+def _unsharded_fallthrough(job, attempt, options):
+    """Run the image unsharded in place (plan decided not to split)."""
+    from repro.pipeline.scheduler import execute_job
+
+    plain = replace(
+        job, shard_phase="", shard_index=-1, shard_names=(),
+        shard_payload=None, shards=0,
+    )
+    return execute_job(plain, attempt=attempt, **options)
+
+
+def _execute_plan(job, attempt, cache_dir=None, use_summary_cache=True,
+                  use_report_cache=True, use_fleet_index=False):
+    """Phase 1: load, probe caches, partition into shards."""
+    from repro.eval.resources import measure
+    from repro.pipeline.scheduler import _inject_fault
+
+    _inject_fault(job, attempt)
+    with measure() as usage:
+        payload = _plan_body(
+            job, attempt, cache_dir=cache_dir,
+            use_summary_cache=use_summary_cache,
+            use_report_cache=use_report_cache,
+            use_fleet_index=use_fleet_index,
+        )
+    # ``measure`` only finalises ``usage`` in its exit hook, so the
+    # numbers are read *after* the block — for every payload shape
+    # (plan, cache-hit ok, unsharded fallthrough alike).
+    resources = payload.setdefault("resources", {})
+    resources.update(
+        wall_seconds=usage.wall_seconds,
+        cpu_seconds=usage.cpu_seconds,
+        max_rss_mb=usage.max_rss_mb,
+    )
+    return payload
+
+
+def _plan_body(job, attempt, cache_dir, use_summary_cache,
+               use_report_cache, use_fleet_index):
+    baseline = profiling.PROFILER.snapshot()
+    options = dict(
+        cache_dir=cache_dir, use_summary_cache=use_summary_cache,
+        use_report_cache=use_report_cache, use_fleet_index=use_fleet_index,
+    )
+    spill_dir = (job.shard_payload or {}).get("spill_dir", "")
+    build_start = time.perf_counter()
+    bin_name, binary, config, sha, spill = _materialize(job, spill_dir)
+    build_seconds = time.perf_counter() - build_start
+
+    cache_stats = {"summary_hits": 0, "summary_misses": 0,
+                   "report_cache_hit": False, "cache_corrupt": 0}
+    report_fp = report_fingerprint(config) if cache_dir else None
+    if cache_dir and use_report_cache and not use_fleet_index:
+        report_dict = ReportCache(cache_dir).get(sha, report_fp)
+        if report_dict is not None:
+            # Whole-report hit: nothing to shard, return the
+            # standard completed-job payload right here.
+            cache_stats["report_cache_hit"] = True
+            return _ok_payload(report_dict, sha, cache_stats, None,
+                               build_seconds)
+
+    fingerprints_blob = None
+    segment_records = None
+    with profiling.PROFILER.phase("plan"):
+        names, selected = _selected_names(binary, config)
+        costs = {
+            name: float(max(binary.functions[name].size, 64))
+            for name in names
+        }
+    if use_fleet_index and cache_dir and use_summary_cache:
+        from repro.core import DTaint
+        from repro.increment.index import pack_segment
+        from repro.increment.reuse import open_incremental_cache
+
+        bound = open_incremental_cache(cache_dir, sha, config)
+        detector = DTaint(binary, config=config, name=bin_name,
+                          summary_cache=bound)
+        detector.build_cfg()
+        report_dict = bound.lookup_image_report(report_fp)
+        if report_dict is not None:
+            cache_stats["image_findings_hit"] = True
+            bound.flush()
+            cache_stats.update(bound.stats)
+            return _ok_payload(
+                report_dict, sha, cache_stats,
+                bound.closure_fingerprints(), build_seconds,
+            )
+        with profiling.PROFILER.phase("plan"):
+            # The real call graph is already built for
+            # fingerprinting — use it (strictly better balance
+            # than the scout) and ship the fingerprints so shards
+            # skip recomputing closures on partial graphs.
+            edges = sorted(
+                (caller, callee)
+                for caller, callee in detector.call_graph.graph.edges()
+                if caller in costs and callee in costs
+            )
+            fingerprints_blob = pickle.dumps(
+                bound.fingerprints, protocol=4
+            )
+            closures = sorted(
+                fp.closure for fp in bound.fingerprints.values()
+            )
+            segment_records = pack_segment(
+                bound.index.collect_records(closures)
+            )
+    else:
+        with profiling.PROFILER.phase("plan"):
+            edges = scan_direct_call_edges(binary, set(names))
+
+    with profiling.PROFILER.phase("plan"):
+        plan = plan_shards(costs, edges, max(job.shards, 1))
+    if len(plan.shards) <= 1:
+        return _unsharded_fallthrough(job, attempt, options)
+    profile = profiling.delta(baseline, profiling.PROFILER.snapshot())
+    return {
+        "status": "plan",
+        "sha256": sha,
+        "spill": spill,
+        "bin_name": bin_name,
+        "selected": selected,
+        "shards": [list(names) for names in plan.shards],
+        "plan_info": plan.describe(),
+        "fingerprints_blob": fingerprints_blob,
+        "segment_records": segment_records,
+        "profile": profile,
+        "cache": cache_stats,
+        "resources": {"build_seconds": build_seconds},
+    }
+
+
+def _ok_payload(report_dict, sha, cache_stats, fingerprints,
+                build_seconds):
+    return {
+        "status": "ok",
+        "report": report_dict,
+        "sha256": sha,
+        "cache": cache_stats,
+        "fingerprints": fingerprints,
+        "fired_faults": [],
+        "resources": {"build_seconds": build_seconds},
+    }
+
+
+def _open_shard_cache(sp, sha, config, binary, cache_dir,
+                      use_summary_cache, use_fleet_index):
+    """The shard-local summary cache (never flushes the bundle)."""
+    if not (cache_dir and use_summary_cache):
+        return None
+    if use_fleet_index:
+        from repro.increment.index import load_segment
+        from repro.increment.reuse import open_incremental_cache
+        from repro.pipeline import sharedstate
+
+        bound = open_incremental_cache(cache_dir, sha, config)
+        blob = sp.get("fingerprints_blob")
+        if blob:
+            bound.seed_fingerprints(binary, pickle.loads(blob))
+        segment_ref = sp.get("segment_ref")
+        if segment_ref:
+            records = sharedstate.attach_once(
+                tuple(segment_ref), load_segment
+            )
+            if records:
+                bound.index.attach_segment(records)
+        return bound
+    return SummaryCache(cache_dir).for_binary(sha, config)
+
+
+def _execute_shard(job, attempt, cache_dir=None, use_summary_cache=True,
+                   use_report_cache=True, use_fleet_index=False):
+    """Phase 2: symexec + alias pass 1 + layouts for one function subset."""
+    from repro.core import DTaint
+    from repro.core.aliasing import alias_replace
+    from repro.core.types import infer_types
+    from repro.eval.resources import measure
+    from repro.loader.binary import load_elf
+    from repro.pipeline import sharedstate
+    from repro.symexec.value import attach_arena_seed
+
+    sp = job.shard_payload or {}
+    baseline = profiling.PROFILER.snapshot()
+    with measure() as usage, _gc_paused():
+        arena_ref = sp.get("arena_ref")
+        if arena_ref:
+            sharedstate.attach_once(tuple(arena_ref), attach_arena_seed)
+        with open(sp["spill"], "rb") as handle:
+            data = handle.read()
+        binary = load_elf(data, name=sp.get("bin_name", job.job_id))
+        sha = sp["sha256"]
+        config = _base_config(job)
+        shard_config = replace(
+            config, function_filter=NameFilter(job.shard_names)
+        )
+        bound = _open_shard_cache(
+            sp, sha, config, binary, cache_dir, use_summary_cache,
+            use_fleet_index,
+        )
+        detector = DTaint(binary, config=shard_config,
+                          name=sp.get("bin_name", ""), summary_cache=bound)
+        detector.build_cfg()
+        detector.analyze_functions()
+        # Bundle blobs are captured *pre-alias* (the cache stores
+        # summaries as ``put`` serialized them; the alias pass below
+        # mutates the live objects only).
+        blobs = {}
+        if bound is not None:
+            store = bound.bound if use_fleet_index else bound
+            addrs = {s.addr for s in detector.summaries.values()}
+            blobs = store.export_blobs(addrs)
+        types_map = {}
+        for name, summary in list(detector.summaries.items()):
+            started = time.perf_counter()
+            try:
+                types = infer_types(summary)
+                types_map[name] = types
+                if config.enable_aliasing:
+                    alias_replace(summary, types)
+            except Exception as exc:
+                detector._degrade(name, summary.addr, "aliasing", exc,
+                                  started)
+                del detector.summaries[name]
+                types_map.pop(name, None)
+        layouts = {}
+        addr_taken = ()
+        if config.enable_structure_similarity:
+            from repro.core.structure import (
+                address_taken_functions,
+                extract_layouts,
+            )
+
+            with profiling.PROFILER.phase("similarity"):
+                for name, summary in detector.summaries.items():
+                    try:
+                        layouts[name] = extract_layouts(summary)
+                    except Exception:
+                        pass          # merge recomputes on a miss
+                try:
+                    addr_taken = tuple(sorted(_summary_address_taken(
+                        binary, detector.summaries,
+                        address_taken_functions,
+                    )))
+                except Exception:
+                    addr_taken = ()
+        if bound is not None and use_fleet_index:
+            # Batched per-shard index write; the per-binary bundle is
+            # flushed exactly once, by the merge.
+            bound.flush(include_bundle=False)
+        skeletons = [
+            skeletonize(function)
+            for function in detector.functions.values()
+            if not function.is_import
+        ]
+        # The profile delta rides in the spill so the merge can fold
+        # every shard's phase seconds into the image's phase_times
+        # without the scheduler re-threading per-task payloads.
+        profile = profiling.delta(baseline, profiling.PROFILER.snapshot())
+        out = {
+            "index": job.shard_index,
+            "summaries": detector.summaries,
+            "types": types_map,
+            "layouts": layouts,
+            "skeletons": skeletons,
+            "degraded": list(detector.degraded.values()),
+            "blobs": blobs,
+            "addr_taken": addr_taken,
+            "profile": profile,
+            "cache": dict(bound.stats) if bound is not None else {},
+        }
+        spill_out = os.path.join(
+            sp["spill_dir"],
+            "%s.shard.%d.%d.pkl" % (sha, job.shard_gen, job.shard_index),
+        )
+        _atomic_write(spill_out, pickle.dumps(out, protocol=4))
+    return {
+        "status": "shard",
+        "index": job.shard_index,
+        "gen": job.shard_gen,
+        "spill_out": spill_out,
+        "functions": len(detector.summaries),
+        "degraded": len(detector.degraded),
+        "profile": profile,
+        "cache": dict(bound.stats) if bound is not None else {},
+        "resources": {
+            "wall_seconds": usage.wall_seconds,
+            "cpu_seconds": usage.cpu_seconds,
+            "max_rss_mb": usage.max_rss_mb,
+        },
+    }
+
+
+def _summary_address_taken(binary, summaries, address_taken_functions):
+    """The summary-sourced half of ``address_taken_functions``."""
+    data_part = address_taken_functions(binary, None)
+    full = address_taken_functions(binary, summaries)
+    return full - data_part
+
+
+def _execute_merge(job, attempt, cache_dir=None, use_summary_cache=True,
+                   use_report_cache=True, use_fleet_index=False):
+    """Phase 3: deterministic reassembly + the serial pipeline tail."""
+    from repro.cfg import build_call_graph
+    from repro.cfg.model import Function
+    from repro.core import DTaint
+    from repro.eval.resources import measure
+    from repro.loader.binary import load_elf
+
+    sp = job.shard_payload or {}
+    baseline = profiling.PROFILER.snapshot()
+    with measure() as usage, _gc_paused():
+        with open(sp["spill"], "rb") as handle:
+            data = handle.read()
+        binary = load_elf(data, name=sp.get("bin_name", job.job_id))
+        sha = sp["sha256"]
+        config = _base_config(job)
+        shard_outs = []
+        for path in sp["shard_spills"]:
+            with open(path, "rb") as handle:
+                shard_outs.append(pickle.load(handle))
+        shard_outs.sort(key=lambda out: out["index"])
+
+        with profiling.PROFILER.phase("merge"):
+            skeletons = sorted(
+                (sk for out in shard_outs for sk in out["skeletons"]),
+                key=lambda sk: sk.addr,
+            )
+            # Reproduce the unsharded function-map order exactly:
+            # address-sorted recovered locals, then import stubs in
+            # symbol-table order (CFGBuilder.build_all's layout).
+            functions = {sk.name: sk for sk in skeletons}
+            for symbol in binary.functions.values():
+                if symbol.is_import and symbol.name not in functions:
+                    functions[symbol.name] = Function(
+                        name=symbol.name, addr=symbol.addr,
+                        size=symbol.size, is_import=True,
+                    )
+            summaries, types_map, layouts = {}, {}, {}
+            degraded, addr_taken, blobs = [], set(), {}
+            shard_profiles = []
+            cache_totals = {}
+            for out in shard_outs:
+                summaries.update(out["summaries"])
+                types_map.update(out["types"])
+                layouts.update(out["layouts"])
+                degraded.extend(out["degraded"])
+                addr_taken.update(out["addr_taken"])
+                blobs.update(out["blobs"])
+                shard_profiles.append(out["profile"])
+            call_graph = build_call_graph(functions)
+
+        bound = _open_shard_cache(
+            sp, sha, config, binary, cache_dir, use_summary_cache,
+            use_fleet_index,
+        )
+        if bound is not None:
+            store = bound.bound if use_fleet_index else bound
+            store.preload(blobs)
+        detector = DTaint(binary, config=config,
+                          name=sp.get("bin_name", ""), summary_cache=bound)
+        detector.attach_prebuilt(
+            functions, call_graph, sp.get("selected", 0),
+            degraded=degraded, summaries=summaries, types=types_map,
+            structure={
+                "layouts": layouts,
+                "address_taken": sorted(addr_taken),
+            },
+        )
+        report = detector.detect()
+        report_dict = report.to_dict()
+
+        cache_stats = {"summary_hits": 0, "summary_misses": 0,
+                       "report_cache_hit": False, "cache_corrupt": 0}
+        for out in shard_outs:
+            for key, value in (out.get("cache") or {}).items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    cache_totals[key] = cache_totals.get(key, 0) + value
+        for key, value in (sp.get("plan_cache") or {}).items():
+            if isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                cache_totals[key] = cache_totals.get(key, 0) + value
+        cache_stats.update(cache_totals)
+        fingerprints = None
+        if bound is not None:
+            if use_fleet_index:
+                report_fp = report_fingerprint(config)
+                bound.store_image_report(report_fp, report_dict)
+                fingerprints = bound.closure_fingerprints()
+            bound.flush()
+            for key, value in bound.stats.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    cache_stats[key] = cache_stats.get(key, 0) + value
+        if cache_dir and use_report_cache and not use_fleet_index:
+            ReportCache(cache_dir).put(
+                sha, report_fingerprint(config), report_dict
+            )
+        # The report's own profile covers only this process; fold in
+        # the plan's and every shard's deltas so per-image phase_times
+        # reflect total analysis compute (each process contributed its
+        # own delta exactly once — nothing double-counts).
+        merge_profile = profiling.delta(
+            baseline, profiling.PROFILER.snapshot()
+        )
+        profiles = [p for p in [sp.get("plan_profile")] + shard_profiles
+                    if p] + [merge_profile]
+        report_dict["phase_profile"] = profiling.merge(profiles)
+        report_dict["summary_cache"] = {
+            "hits": int(cache_stats.get("summary_hits", 0)),
+            "misses": int(cache_stats.get("summary_misses", 0)),
+        }
+        for path in sp["shard_spills"]:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+    return {
+        "status": "ok",
+        "report": report_dict,
+        "sha256": sha,
+        "cache": cache_stats,
+        "fingerprints": fingerprints,
+        "fired_faults": [],
+        "shard_stats": {
+            "shards": len(shard_outs),
+            "plan_info": sp.get("plan_info", {}),
+        },
+        "resources": {
+            "wall_seconds": usage.wall_seconds,
+            "cpu_seconds": usage.cpu_seconds,
+            "max_rss_mb": usage.max_rss_mb,
+            "build_seconds": sp.get("build_seconds", 0.0),
+        },
+    }

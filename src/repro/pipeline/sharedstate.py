@@ -1,0 +1,154 @@
+"""Read-only analysis state shared across pool workers.
+
+A sharded scan fans one image's work over every pool worker, and the
+naive form pays a per-worker copy of state that is identical
+everywhere: the interned-expression seed pool (symexec arenas) and
+the fleet dedup-index records the shards are about to probe.  This
+module publishes such state **once**, from the scheduler process, as
+read-only blocks every worker attaches to:
+
+* the primary transport is POSIX shared memory
+  (:class:`multiprocessing.shared_memory.SharedMemory`) — one copy in
+  the page cache regardless of worker count;
+* hosts without a usable ``/dev/shm`` fall back transparently to an
+  mmap-able temp file (same sharing property via the page cache, one
+  extra path lookup on attach).
+
+Lifetime rules (documented in DESIGN.md): blocks are created by the
+scheduler, owned by the scheduler, and unlinked by the scheduler —
+``FleetScheduler.close()`` (or the end of ``run()`` for per-run
+blocks) calls :func:`unlink`.  Workers only ever attach + copy out +
+detach, so a worker crash can never leak or tear a block; a scheduler
+crash leaves at most a named block the next boot's tmpfs wipe
+reclaims.  Attachment is idempotent per worker process (a global memo
+short-circuits repeats) because warm workers serve many shards.
+"""
+
+import mmap
+import os
+import pickle
+import tempfile
+
+try:                                      # pragma: no cover - stdlib probe
+    from multiprocessing import shared_memory as _shm
+except ImportError:                       # pragma: no cover
+    _shm = None
+
+
+class SharedBlock:
+    """One published read-only block and the handle to reattach it.
+
+    ``ref`` is a plain picklable tuple shipped to workers:
+    ``("shm", name, size)`` or ``("file", path, size)``.
+    """
+
+    def __init__(self, kind, name, size, owner=None):
+        self.kind = kind
+        self.name = name
+        self.size = size
+        self._owner = owner          # parent-side SharedMemory keepalive
+
+    @property
+    def ref(self):
+        return (self.kind, self.name, self.size)
+
+    def unlink(self):
+        """Release the block (owner side); safe to call twice."""
+        if self.kind == "shm" and self._owner is not None:
+            try:
+                self._owner.close()
+                self._owner.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+            self._owner = None
+        elif self.kind == "file":
+            try:
+                os.unlink(self.name)
+            except OSError:
+                pass
+
+
+def publish(data, label="dtaint"):
+    """Publish ``data`` (bytes) as a read-only block; returns the block."""
+    if _shm is not None:
+        try:
+            segment = _shm.SharedMemory(
+                create=True, size=max(len(data), 1)
+            )
+            segment.buf[: len(data)] = data
+            return SharedBlock("shm", segment.name, len(data),
+                               owner=segment)
+        except (OSError, ValueError):
+            pass                     # no usable /dev/shm: fall through
+    handle = tempfile.NamedTemporaryFile(
+        prefix="%s-" % label, suffix=".shared", delete=False
+    )
+    with handle:
+        handle.write(data)
+    return SharedBlock("file", handle.name, len(data))
+
+
+def attach(ref):
+    """Read a published block back as bytes (worker side)."""
+    kind, name, size = ref
+    if kind == "shm":
+        if _shm is None:
+            raise FileNotFoundError("shared_memory unavailable")
+        segment = _shm.SharedMemory(name=name)
+        try:
+            return bytes(segment.buf[:size])
+        finally:
+            segment.close()
+            # Attaching registers with the resource tracker too (until
+            # 3.13's track=False) — unregister, or a worker exiting
+            # would unlink a block the scheduler still owns.
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(segment._name,
+                                            "shared_memory")
+            except Exception:
+                pass
+    with open(name, "rb") as handle:
+        if size == 0:
+            return b""
+        with mmap.mmap(handle.fileno(), size,
+                       prot=mmap.PROT_READ) as view:
+            return view[:size]
+
+
+def publish_object(obj, label="dtaint"):
+    """Pickle + publish an object; returns the block."""
+    return publish(pickle.dumps(obj, protocol=4), label=label)
+
+
+def attach_object(ref):
+    """Unpickle a block published with :func:`publish_object`."""
+    return pickle.loads(attach(ref))
+
+
+# -- worker-side idempotent attachment --------------------------------------
+
+_ATTACHED = {}      # ref -> summary of what attaching did (memo)
+
+
+def attach_once(ref, apply):
+    """Attach ``ref`` and run ``apply(data)`` once per worker process.
+
+    Warm pool workers serve many shard tasks that all carry the same
+    block refs; the memo makes repeats free.  Returns ``apply``'s
+    result (memoised).  A block the owner already unlinked reads as
+    ``None`` — attachment is an optimisation, never a correctness
+    dependency.
+    """
+    key = tuple(ref)
+    if key in _ATTACHED:
+        return _ATTACHED[key]
+    try:
+        data = attach(ref)
+    except (FileNotFoundError, OSError, ValueError):
+        _ATTACHED[key] = None
+        return None
+    result = apply(data)
+    _ATTACHED[key] = result
+    return result

@@ -45,6 +45,7 @@ The ``fork`` start method is preferred for the same reason as before:
 workers inherit loaded modules and the parent's hash seed.
 """
 
+import gc
 import itertools
 import multiprocessing
 import os
@@ -163,6 +164,23 @@ def _control_reply(message, rlimits_applied):
             "pid": os.getpid(),
             "rlimits": dict(rlimits_applied),
         }
+    if command == "attach":
+        # Attach a scheduler-published read-only block (see
+        # repro.pipeline.sharedstate) into this worker, e.g. the
+        # interned-expression arena seed.  Failure is reported, never
+        # raised: a worker that cannot attach just builds its own
+        # state, exactly as an unshared run would.
+        from repro.pipeline import sharedstate
+
+        kind, ref = message[1], message[2]
+        ok = False
+        if kind == "arena":
+            from repro.symexec.value import attach_arena_seed
+
+            ok = sharedstate.attach_once(
+                tuple(ref), attach_arena_seed
+            ) is not None
+        return {"control": "attach", "kind": kind, "ok": bool(ok)}
     if command == "alloc":
         # Diagnostic: try one big allocation under the armed rlimits.
         # Proves the memory governor converts exhaustion to the typed
@@ -202,10 +220,23 @@ def _pool_worker_main(conn, rlimits=None, heartbeat=0.0,
             break                    # parent died or closed us: exit
         if message is _STOP:
             break
+        collect_after_send = False
         if isinstance(message, tuple) and isinstance(message[0], str):
             payload = _control_reply(message, rlimits_applied)
         else:
             job, attempt, options = message
+            # Pool gc policy: the cyclic collector is off for the whole
+            # job body and the catch-up collection runs *after* the
+            # result is posted.  Analysis allocates millions of mostly
+            # acyclic expression nodes, so generational scans during
+            # the job are pure overhead — and the one real collection
+            # belongs in the worker's idle gap, not on the critical
+            # path between "analysis done" and "parent has the result".
+            # Reference counting still frees acyclic garbage promptly,
+            # so the RLIMIT_AS governor semantics are unchanged.
+            collect_after_send = gc.isenabled()
+            if collect_after_send:
+                gc.disable()
             try:
                 with beat:
                     payload = execute_job(job, attempt=attempt, **options)
@@ -238,6 +269,9 @@ def _pool_worker_main(conn, rlimits=None, heartbeat=0.0,
                 conn.send(payload)
         except (BrokenPipeError, OSError):
             break
+        if collect_after_send:
+            gc.enable()
+            gc.collect()
     beat.stop()
     conn.close()
 
@@ -330,6 +364,9 @@ class WorkerPool:
         self.recycled_total = 0
         self.discarded_total = 0
         self._closed = False
+        # (kind, ref) tuples of published read-only blocks every
+        # worker should attach — replayed into each new spawn.
+        self.shared_refs = []
 
     # ------------------------------------------------------------------
 
@@ -379,6 +416,23 @@ class WorkerPool:
     def warm_count(self):
         return len(self._idle)
 
+    def share(self, kind, ref):
+        """Announce a published read-only block to the whole pool.
+
+        Idle workers attach immediately over their control channel;
+        every future spawn attaches right after start.  Workers busy
+        at announcement time pick the block up from the ref each shard
+        task carries — the worker-side memo in
+        :mod:`repro.pipeline.sharedstate` makes the repeat free.
+        """
+        ref = tuple(ref)
+        self.shared_refs.append((kind, ref))
+        for worker in list(self._idle):
+            try:
+                worker.control("attach", kind, ref, timeout=5.0)
+            except (PipelineError, OSError, EOFError):
+                pass     # attach is best-effort; the worker stays usable
+
     def prewarm(self, count):
         """Fork ``count`` idle workers ahead of the first job."""
         need = max(count - len(self._idle), 0)
@@ -416,7 +470,13 @@ class WorkerPool:
         process.start()
         child_conn.close()
         self.spawned_total += 1
-        return PoolWorker(process, parent_conn, worker_id)
+        worker = PoolWorker(process, parent_conn, worker_id)
+        for kind, ref in self.shared_refs:
+            try:
+                worker.control("attach", kind, ref, timeout=5.0)
+            except (PipelineError, OSError, EOFError):
+                break
+        return worker
 
     def _stop(self, worker):
         """Ask a worker to exit its loop, then make sure it did."""

@@ -3,7 +3,8 @@
 A single per-process :class:`PhaseProfiler` accumulates wall-clock
 seconds and event counters per analysis phase (``lift``, ``symexec``,
 ``alias``, ``similarity``, ``detect``, ``interproc``, ``increment`` —
-the last covering fingerprinting and fleet-dedup work).  The hooks are
+the last covering fingerprinting and fleet-dedup work — plus the
+shard-scheduling phases ``plan`` and ``merge``).  The hooks are
 cheap enough to stay enabled permanently: one ``perf_counter`` pair
 per timed region and one dict increment per counted event, so every
 scan carries its own phase breakdown — ``dtaint scan --profile``
@@ -19,7 +20,7 @@ import time
 from contextlib import contextmanager
 
 PHASES = ("lift", "symexec", "alias", "similarity", "detect", "interproc",
-          "increment")
+          "increment", "plan", "merge")
 
 
 class PhaseProfiler:

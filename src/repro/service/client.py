@@ -156,11 +156,13 @@ class ServiceClient:
         return self._request("GET", "/stats")
 
     def submit(self, kind="profile", key="", path="", scale=None,
-               modules=(), priority=0):
+               modules=(), priority=0, shards=0):
         body = {"kind": kind, "key": key, "path": path,
                 "modules": list(modules), "priority": priority}
         if scale is not None:
             body["scale"] = scale
+        if shards:
+            body["shards"] = int(shards)
         return self._request("POST", "/jobs", body=body)
 
     def jobs(self, state=None, limit=200):

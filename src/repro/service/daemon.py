@@ -41,7 +41,7 @@ from repro.service.queue import (
 from repro.service.store import ResultsDB
 
 
-def fleet_job_from_spec(spec, job_id):
+def fleet_job_from_spec(spec, job_id, default_shards=0):
     """Materialise a queue spec into the scheduler's job form."""
     return FleetJob(
         job_id=job_id,
@@ -50,6 +50,7 @@ def fleet_job_from_spec(spec, job_id):
         path=spec.get("path", ""),
         scale=spec.get("scale", 0.25),
         modules=tuple(spec.get("modules") or ()),
+        shards=int(spec.get("shards") or default_shards or 0),
     )
 
 
@@ -62,13 +63,16 @@ class AnalysisDaemon:
                  heartbeat=0.0, max_queue_depth=0,
                  max_attempts=DEFAULT_MAX_ATTEMPTS,
                  crash_threshold=DEFAULT_CRASH_THRESHOLD,
-                 retry_after=5.0):
+                 retry_after=5.0, shards=0):
         self.db = ResultsDB(db_path)
         self.queue = JobQueue(self.db, max_attempts=max_attempts,
                               crash_threshold=crash_threshold)
         self.workers = max(int(workers), 1)
         self.poll_interval = poll_interval
         self.default_scale = scale
+        # Default intra-image shard count applied to jobs whose spec
+        # doesn't set one (0 = unsharded, -1 = auto).
+        self.default_shards = int(shards or 0)
         # Backpressure: pending + running jobs beyond this depth make
         # submit() raise QueueFull (HTTP 429 at the API).  0 = off.
         self.max_queue_depth = max(int(max_queue_depth or 0), 0)
@@ -176,7 +180,10 @@ class AnalysisDaemon:
         for row in rows:
             fleet_id = "q%d" % row["job_id"]
             self._queue_ids[fleet_id] = row["job_id"]
-            fleet_jobs.append(fleet_job_from_spec(row["spec"], fleet_id))
+            fleet_jobs.append(
+                fleet_job_from_spec(row["spec"], fleet_id,
+                                    self.default_shards)
+            )
         start = time.perf_counter()
         results = self.scheduler.run(fleet_jobs)
         wall = time.perf_counter() - start

@@ -64,8 +64,14 @@ DEFAULT_CRASH_THRESHOLD = 3
 _SPEC_FIELDS = ("kind", "key", "path", "scale", "modules")
 
 
-def job_spec(kind, key="", path="", scale=0.25, modules=()):
-    """A normalised job-submission spec (the queue's unit of work)."""
+def job_spec(kind, key="", path="", scale=0.25, modules=(), shards=0):
+    """A normalised job-submission spec (the queue's unit of work).
+
+    ``shards`` requests intra-image shard scheduling (0 = unsharded,
+    -1 = auto, N>1 = at most N shards).  It is deliberately *not* part
+    of the dedup identity (``_SPEC_FIELDS``): sharding changes how an
+    image is scheduled, never what its findings are.
+    """
     if kind not in ("profile", "elf"):
         raise PipelineError("unknown job kind %r" % kind)
     if kind == "profile" and not key:
@@ -78,6 +84,7 @@ def job_spec(kind, key="", path="", scale=0.25, modules=()):
         "path": path,
         "scale": float(scale),
         "modules": sorted(modules or ()),
+        "shards": int(shards or 0),
     }
 
 

@@ -94,11 +94,21 @@ class TestReport:
 
 class TestResources:
     def test_measure_reports_positive_numbers(self):
-        with measure() as usage:
+        with measure(trace_python_heap=True) as usage:
             _ = [i * i for i in range(200000)]
         assert usage.wall_seconds > 0
         assert usage.cpu_seconds > 0
         assert usage.peak_traced_mb > 0
+        assert usage.max_rss_mb > 0
+
+    def test_measure_skips_heap_tracing_by_default(self):
+        import tracemalloc
+
+        with measure() as usage:
+            assert not tracemalloc.is_tracing()
+            _ = [i * i for i in range(200000)]
+        assert usage.wall_seconds > 0
+        assert usage.peak_traced_mb == 0.0
         assert usage.max_rss_mb > 0
 
 

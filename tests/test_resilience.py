@@ -108,8 +108,11 @@ class TestResourceGovernance:
             jobs=1, retries=0, rlimits={"cpu_seconds": 1},
         )
         try:
+            # The hot image costs well over one CPU-second even with
+            # the collector off and heap tracing opt-out, so the soft
+            # RLIMIT_CPU reliably fires mid-job.
             [result] = scheduler.run([
-                FleetJob(job_id="burn", kind="profile", key="dir645",
+                FleetJob(job_id="burn", kind="profile", key="hikvision",
                          scale=0.25),
             ])
             if not result.ok:

@@ -1,0 +1,326 @@
+"""Intra-image shard scheduling: planner, shared state, byte-identity.
+
+The acceptance property of the whole subsystem is that sharding is
+*invisible* in the output: any shard count (including auto) must yield
+a findings fingerprint and coverage counters byte-identical to the
+unsharded pipeline, because shards only repartition the
+pre-interprocedural work and the merge reassembles the exact state the
+serial tail would have seen.  Everything else here — planner
+determinism, component integrity, the vectorised call scout, shared
+read-only blocks, summary-blob shipping, the unsharded fallback —
+exists in service of that property.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.profiles import analyzed_module_prefixes, build_firmware
+from repro.increment.index import FleetIndex, load_segment, pack_segment
+from repro.loader.link import build_executable
+from repro.pipeline import FleetJob, FleetScheduler, findings_fingerprint
+from repro.pipeline import sharedstate
+from repro.pipeline.shards import (
+    AUTO_SHARDS,
+    plan_shards,
+    scan_direct_call_edges,
+)
+from repro.pipeline.telemetry import Telemetry
+from repro.service import fleet_job_from_spec, job_spec
+from repro.symexec.value import attach_arena_seed, export_arena_seed
+
+IMAGE = "dir645"
+SCALE = 0.25    # smallest build whose cost clears two min-cost shards
+
+
+@pytest.fixture(scope="module")
+def image_elf(tmp_path_factory):
+    built = build_firmware(IMAGE, scale=SCALE)
+    path = tmp_path_factory.mktemp("shards") / ("%s.elf" % IMAGE)
+    path.write_bytes(built.elf_bytes)
+    return str(path)
+
+
+def _image_job(path, shards, job_id="img"):
+    return FleetJob(job_id=job_id, kind="elf", path=path,
+                    modules=analyzed_module_prefixes(IMAGE),
+                    shards=shards)
+
+
+# ---------------------------------------------------------------------------
+# Planner: determinism, component integrity, balance.
+
+
+def _component_edges(names, edges):
+    graph = {name: set() for name in names}
+    for caller, callee in edges:
+        if caller in graph and callee in graph:
+            graph[caller].add(callee)
+            graph[callee].add(caller)      # undirected reach suffices
+    return graph
+
+
+class TestShardPlanner:
+    def test_partition_and_determinism(self):
+        costs = {"f%02d" % i: 100 + i for i in range(20)}
+        edges = [("f00", "f01"), ("f01", "f00"), ("f02", "f03")]
+        plans = [plan_shards(costs, edges, 4, min_shard_cost=0)
+                 for _ in range(3)]
+        first = plans[0]
+        assert all(plan.shards == first.shards for plan in plans)
+        flat = [name for shard in first.shards for name in shard]
+        assert sorted(flat) == sorted(costs)        # exact partition
+        assert len(first.shards) == 4
+
+    def test_mutual_recursion_never_splits(self):
+        costs = {name: 1000 for name in "abcdef"}
+        # a<->b and c<->d are SCCs; they must land whole.
+        edges = [("a", "b"), ("b", "a"), ("c", "d"), ("d", "c")]
+        plan = plan_shards(costs, edges, 6, min_shard_cost=0)
+        homes = {name: index for index, shard in enumerate(plan.shards)
+                 for name in shard}
+        assert homes["a"] == homes["b"]
+        assert homes["c"] == homes["d"]
+
+    def test_min_cost_collapses_small_images(self):
+        costs = {"a": 10, "b": 10}
+        plan = plan_shards(costs, [], 8, min_shard_cost=8192)
+        assert len(plan.shards) == 1
+
+    def test_shards_capped_by_components(self):
+        costs = {name: 50 for name in "abc"}
+        plan = plan_shards(costs, [], 16, min_shard_cost=0)
+        assert len(plan.shards) <= 3
+
+    @given(
+        costs=st.dictionaries(
+            st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+            st.integers(min_value=1, max_value=5000),
+            min_size=1, max_size=16,
+        ),
+        shard_count=st.integers(min_value=1, max_value=8),
+        seed=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_plan_is_a_deterministic_partition(self, costs, shard_count,
+                                               seed):
+        names = sorted(costs)
+        edges = []
+        for _ in range(min(len(names) * 2, 20)):
+            edges.append((seed.choice(names), seed.choice(names)))
+        plan_a = plan_shards(costs, edges, shard_count, min_shard_cost=0)
+        plan_b = plan_shards(dict(reversed(list(costs.items()))),
+                             list(reversed(edges)), shard_count,
+                             min_shard_cost=0)
+        assert plan_a.shards == plan_b.shards     # input order irrelevant
+        flat = [name for shard in plan_a.shards for name in shard]
+        assert sorted(flat) == names              # partition: no loss/dup
+        assert len(plan_a.shards) <= shard_count
+        assert abs(sum(plan_a.costs) - sum(costs.values())) < 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Direct-call scout.
+
+
+class TestCallScout:
+    def test_recovers_direct_arm_edges(self):
+        source = (
+            ".globl main\nmain:\n    push {lr}\n    bl helper\n"
+            "    pop {pc}\n"
+            ".globl helper\nhelper:\n    push {lr}\n    bl leaf\n"
+            "    pop {pc}\n"
+            ".globl leaf\nleaf:\n    bx lr\n"
+        )
+        elf_bytes, _ = build_executable("arm", source)
+        from repro.loader.binary import load_elf
+
+        binary = load_elf(elf_bytes)
+        edges = scan_direct_call_edges(
+            binary, {"main", "helper", "leaf"}
+        )
+        assert ("main", "helper") in edges
+        assert ("helper", "leaf") in edges
+        assert ("main", "leaf") not in edges
+
+    def test_empty_selection(self):
+        source = ".globl main\nmain:\n    bx lr\n"
+        elf_bytes, _ = build_executable("arm", source)
+        from repro.loader.binary import load_elf
+
+        assert scan_direct_call_edges(load_elf(elf_bytes), set()) == []
+
+
+# ---------------------------------------------------------------------------
+# The acceptance property: shard count never changes findings.
+
+
+class TestShardIdentity:
+    def test_shard_counts_yield_identical_findings(self, image_elf):
+        """0 / 1 / 2 / auto shards: one fingerprint, one coverage."""
+        events = []
+        telemetry = Telemetry()
+        telemetry.add_sink(lambda record: events.append(dict(record)))
+        baseline = None
+        with FleetScheduler(jobs=1, backoff=0.0,
+                            telemetry=telemetry) as scheduler:
+            for shards in (0, 1, 2, AUTO_SHARDS):
+                result = scheduler.run(
+                    [_image_job(image_elf, shards,
+                                job_id="s%d" % shards)]
+                )[0]
+                assert result.ok, result.error
+                probe = (findings_fingerprint(result.report),
+                         result.report.get("coverage"))
+                if baseline is None:
+                    baseline = probe
+                assert probe == baseline, "shards=%d diverged" % shards
+        # The test only means something if sharding actually engaged.
+        planned = [event for event in events
+                   if event["event"] == "shard_plan"]
+        assert planned and any(event["shards"] >= 2 for event in planned)
+        merged = [event for event in events
+                  if event["event"] == "shard_merge_finish"]
+        assert merged, "sharded runs must go through the merge task"
+
+    def test_failed_shard_falls_back_to_unsharded(self, image_elf):
+        events = []
+        telemetry = Telemetry()
+        telemetry.add_sink(lambda record: events.append(dict(record)))
+        with FleetScheduler(jobs=1, retries=1, backoff=0.0,
+                            telemetry=telemetry) as scheduler:
+            clean = scheduler.run(
+                [_image_job(image_elf, 2, job_id="clean")]
+            )[0]
+            broken = scheduler.run(
+                [FleetJob(job_id="boom", kind="elf", path=image_elf,
+                          modules=analyzed_module_prefixes(IMAGE),
+                          shards=2, fault="error", fault_attempts=1)]
+            )[0]
+        assert clean.ok and broken.ok
+        assert broken.attempts == 2
+        kinds = [event["event"] for event in events]
+        assert "shard_fallback" in kinds
+        assert findings_fingerprint(broken.report) == \
+            findings_fingerprint(clean.report)
+
+    def test_backoff_state_is_pruned_after_run(self, image_elf):
+        with FleetScheduler(jobs=1, retries=2, backoff=0.01) as scheduler:
+            result = scheduler.run(
+                [FleetJob(job_id="flaky", kind="elf", path=image_elf,
+                          fault="error", fault_attempts=1)]
+            )[0]
+            assert result.ok and result.attempts == 2
+            # Retry jitter memos must not accumulate across a fleet's
+            # lifetime: terminal jobs drop their per-job state.
+            assert scheduler._backoff_state == {}
+
+
+# ---------------------------------------------------------------------------
+# Shared read-only blocks.
+
+
+class TestSharedState:
+    def test_publish_attach_roundtrip(self):
+        payload = b"shard-shared-bytes" * 100
+        block = sharedstate.publish(payload)
+        try:
+            assert sharedstate.attach(block.ref) == payload
+        finally:
+            block.unlink()
+
+    def test_object_roundtrip_and_double_unlink(self):
+        block = sharedstate.publish_object({"records": [1, 2, 3]})
+        assert sharedstate.attach_object(block.ref) == {
+            "records": [1, 2, 3]
+        }
+        block.unlink()
+        block.unlink()      # owner-side release is idempotent
+
+    def test_attach_once_memoises_and_tolerates_unlinked(self):
+        block = sharedstate.publish(b"seed")
+        calls = []
+
+        def apply(data):
+            calls.append(data)
+            return len(data)
+
+        try:
+            assert sharedstate.attach_once(block.ref, apply) == 4
+            assert sharedstate.attach_once(block.ref, apply) == 4
+            assert len(calls) == 1      # second attach served by memo
+        finally:
+            block.unlink()
+        # A vanished block is a cache miss, never an error.
+        gone = ("file", "/nonexistent/dtaint-gone.shared", 4)
+        assert sharedstate.attach_once(gone, apply) is None
+
+    def test_arena_seed_roundtrip(self):
+        from repro.symexec.value import SymConst
+
+        SymConst(0x1234ABCD)        # ensure at least one pooled atom
+        seed = export_arena_seed(max_items=64)
+        assert attach_arena_seed(seed) > 0
+        block = sharedstate.publish(seed)
+        try:
+            assert attach_arena_seed(sharedstate.attach(block.ref)) > 0
+        finally:
+            block.unlink()
+
+    def test_index_segment_roundtrip(self, tmp_path):
+        records = {"c" * 16: b"record-one", "d" * 16: b"record-two"}
+        packed = pack_segment(records)
+        assert load_segment(packed) == records
+        assert load_segment(memoryview(packed)) == records
+        index = FleetIndex(str(tmp_path), "cfg")
+        index.attach_segment(load_segment(packed))
+        assert index._segment == records
+
+    def test_summary_cache_blob_shipping(self, tmp_path):
+        from repro.pipeline.cache import BoundSummaryCache
+
+        source = BoundSummaryCache(str(tmp_path / "a.pkl"))
+        bundle = source._load()
+        bundle[0x1000] = pickle.dumps({"f": 1})
+        bundle[0x2000] = pickle.dumps({"g": 2})
+        blobs = source.export_blobs([0x1000, 0x2000, 0x9999])
+        assert sorted(blobs) == [0x1000, 0x2000]
+        target = BoundSummaryCache(str(tmp_path / "b.pkl"))
+        target._load()[0x1000] = b"existing-wins"
+        target.preload(blobs)
+        assert target._load()[0x1000] == b"existing-wins"
+        assert target._load()[0x2000] == blobs[0x2000]
+
+
+# ---------------------------------------------------------------------------
+# Service plumbing: shard counts survive the queue round trip.
+
+
+class TestServicePlumbing:
+    def test_job_spec_carries_shards(self):
+        spec = job_spec("elf", path="/tmp/x.elf", shards=2)
+        assert spec["shards"] == 2
+        job = fleet_job_from_spec(spec, "j1")
+        assert job.shards == 2
+
+    def test_daemon_default_applies_only_when_unset(self):
+        spec = job_spec("elf", path="/tmp/x.elf")
+        assert fleet_job_from_spec(spec, "j2").shards == 0
+        assert fleet_job_from_spec(spec, "j3",
+                                   default_shards=AUTO_SHARDS).shards == \
+            AUTO_SHARDS
+        pinned = job_spec("elf", path="/tmp/x.elf", shards=4)
+        assert fleet_job_from_spec(pinned, "j4",
+                                   default_shards=AUTO_SHARDS).shards == 4
+
+    def test_cli_shard_parser(self):
+        from repro.cli import _parse_shards
+
+        assert _parse_shards("auto") == AUTO_SHARDS
+        assert _parse_shards("0") == 0
+        assert _parse_shards("8") == 8
+        with pytest.raises(ValueError):
+            _parse_shards("many")
