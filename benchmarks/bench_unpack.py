@@ -1,0 +1,161 @@
+"""Recursive-extraction benchmark: matryoshka fleet through the driver.
+
+Times the recursive UnpackParser driver over the seeded matryoshka
+corpus (deeply nested: partition table → XOR vendor blob → TRX →
+LZMA kernel + SimpleFS → cramfs → SimpleFS/logfs → ELFs) and gates
+the two correctness properties the extraction subsystem promises:
+
+* **manifest determinism** — unpacking the same image twice yields a
+  byte-identical canonical manifest (the CI ``unpack-smoke`` job runs
+  this whole bench twice and compares the *artifacts* byte-for-byte);
+* **member/flat identity** — analysing an ELF through
+  ``FleetJob(kind='firmware')`` produces the same binary sha and the
+  same findings fingerprint as analysing the identical loose ELF,
+  because a member's cache identity is the extracted bytes' sha256.
+
+Usage:
+    python benchmarks/bench_unpack.py [--quick] [--out out.json]
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.corpus.matryoshka import (  # noqa: E402
+    generate_matryoshka_fleet,
+    tiny_elf,
+)
+from repro.firmware.binwalk import extract_tree  # noqa: E402
+from repro.firmware.image import pack_trx  # noqa: E402
+from repro.firmware.simplefs import SimpleFS  # noqa: E402
+from repro.pipeline.results import findings_fingerprint  # noqa: E402
+from repro.pipeline.scheduler import FleetJob, execute_job  # noqa: E402
+
+
+def _manifest_fingerprint(manifest):
+    blob = json.dumps(
+        manifest, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def bench_extraction(count, seed):
+    """Unpack the fleet twice; returns per-image stats + determinism."""
+    fleet = generate_matryoshka_fleet(count=count, seed=seed)
+    images = []
+    timings = {}
+    deterministic = True
+    for image in fleet:
+        start = time.perf_counter()
+        tree = extract_tree(image.blob, name=image.name)
+        wall = time.perf_counter() - start
+        first = _manifest_fingerprint(tree.manifest())
+        second = _manifest_fingerprint(
+            extract_tree(image.blob, name=image.name).manifest()
+        )
+        deterministic = deterministic and first == second
+        elves = [display for _m, display, _d in tree.elves()]
+        if sorted(elves) != sorted(image.expected_elves):
+            raise SystemExit(
+                "extraction of %s missed members: %s != %s"
+                % (image.name, sorted(elves), sorted(image.expected_elves))
+            )
+        images.append({
+            "name": image.name,
+            "bytes": len(image.blob),
+            "depth": tree.max_depth,
+            "nodes": len(tree.nodes()),
+            "elves": len(elves),
+            "manifest_sha256": first,
+        })
+        timings[image.name] = round(wall, 4)
+    return images, timings, deterministic
+
+
+def bench_member_identity(workdir):
+    """Firmware-member scan vs flat-ELF scan of the same binary."""
+    elf_bytes = tiny_elf(0xBEEF)
+    fs = SimpleFS()
+    fs.add_file("/bin/httpd", elf_bytes)
+    image_path = os.path.join(workdir, "flat.trx")
+    with open(image_path, "wb") as handle:
+        handle.write(pack_trx(b"KERNELKERNEL", fs.pack()))
+    elf_path = os.path.join(workdir, "httpd.elf")
+    with open(elf_path, "wb") as handle:
+        handle.write(elf_bytes)
+
+    fw = execute_job(FleetJob("fw", kind="firmware", path=image_path))
+    flat = execute_job(FleetJob("flat", kind="elf", path=elf_path))
+
+    def nameless_fingerprint(report):
+        # The canonical document carries the display name ("image!member"
+        # vs the loose ELF's path), which is *supposed* to differ; the
+        # identity gate is about the analysis output.
+        trimmed = dict(report)
+        trimmed["binary"] = ""
+        return findings_fingerprint(trimmed)
+
+    fw_fp = nameless_fingerprint(fw["report"])
+    flat_fp = nameless_fingerprint(flat["report"])
+    return {
+        "sha_identical": fw["sha256"] == flat["sha256"],
+        "findings_identical": fw_fp == flat_fp,
+        "findings_fingerprint": fw_fp,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="2 images instead of 4")
+    parser.add_argument("--seed", type=int, default=20180625)
+    parser.add_argument("--out", default="",
+                        help="write the JSON artifact here")
+    args = parser.parse_args(argv)
+
+    count = 2 if args.quick else 4
+    images, timings, deterministic = bench_extraction(count, args.seed)
+    with tempfile.TemporaryDirectory() as workdir:
+        identity = bench_member_identity(workdir)
+
+    # Everything except "timings" is a pure function of the image
+    # bytes; the CI unpack-smoke job runs this bench twice and asserts
+    # the timing-stripped artifacts compare equal.
+    artifact = {
+        "quick": bool(args.quick),
+        "seed": args.seed,
+        "images": images,
+        "timings": timings,
+        "manifests_deterministic": deterministic,
+        "member_scan": identity,
+        "host": {
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+    }
+    payload = json.dumps(artifact, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+    print(payload)
+
+    ok = (deterministic and identity["sha_identical"]
+          and identity["findings_identical"])
+    if not ok:
+        print("FAIL: determinism or member-identity gate broken",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,10 @@
 ``dtaint scan FILE``          — analyse an ELF binary for taint-style bugs
 ``dtaint firmware FILE``      — extract a firmware image and analyse its
                                  main network binary
+``dtaint unpack FILE``        — recursively extract a firmware image and
+                                 print the extraction tree (``--json``
+                                 for the manifest, ``--out DIR`` to
+                                 write the embedded ELFs)
 ``dtaint corpus KEY``         — build a synthetic vendor image
                                  (dir645, dir890l, dgn1000, dgn2200,
                                  uniview, hikvision) and analyse it
@@ -108,19 +112,22 @@ def _cmd_scan(args):
 
 
 def _cmd_firmware(args):
-    from repro.firmware.binwalk import extract_filesystem, pick_target_binary
+    from repro.firmware.binwalk import extract_tree, pick_target_binary
     from repro.loader.binary import load_elf
 
     with open(args.file, "rb") as handle:
         blob = handle.read()
     try:
         with _injection(args):
-            fs, container = extract_filesystem(blob, name=args.file)
-            print("container: %s, %d filesystem entries"
-                  % (container.container, len(fs)))
-            for path, reason in fs.skipped:
-                print("skipped %s: %s" % (path, reason), file=sys.stderr)
-            path, data = pick_target_binary(fs)
+            tree = extract_tree(blob, name=args.file)
+            elves = tree.elves()
+            print("container: %s, %d node(s), %d embedded ELF(s)"
+                  % (tree.root.parser, len(tree.nodes()), len(elves)))
+            for node_path, node in tree.walk():
+                for note in node.notes:
+                    print("note %s: %s" % (node_path, note),
+                          file=sys.stderr)
+            path, data = pick_target_binary(tree)
             print("analysing %s (%d bytes)" % (path, len(data)))
             binary = load_elf(data, name=path)
             report = DTaint(binary, name=path).run()
@@ -131,6 +138,45 @@ def _cmd_firmware(args):
     policy = _degradation_policy(args, report.degraded_count)
     if policy is not None:
         return policy
+    return EXIT_OK
+
+
+def _cmd_unpack(args):
+    import json
+    import os
+
+    from repro.firmware.binwalk import extract_tree
+
+    with open(args.file, "rb") as handle:
+        blob = handle.read()
+    try:
+        with _injection(args):
+            tree = extract_tree(blob, name=args.file)
+    except MalformedInput as exc:
+        print("unpack failed: %s" % exc, file=sys.stderr)
+        return EXIT_ANALYSIS_FAILED
+    if args.json:
+        print(json.dumps(tree.manifest(), indent=2, sort_keys=True))
+    else:
+        print(tree.render())
+        elves = tree.elves()
+        print("%d node(s), %d embedded ELF(s), max depth %d"
+              % (len(tree.nodes()), len(elves), tree.max_depth))
+        for member, display, data in elves:
+            print("  elf %s (%d bytes) member=%s"
+                  % (display, len(data), member))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        manifest_path = os.path.join(args.out, "manifest.json")
+        with open(manifest_path, "w") as handle:
+            json.dump(tree.manifest(), handle, indent=2, sort_keys=True)
+        for member, display, data in tree.elves():
+            safe = display.strip("/").replace("/", "_") or "elf"
+            out_path = os.path.join(args.out, safe)
+            with open(out_path, "wb") as handle:
+                handle.write(data)
+        print("extracted to %s (manifest.json + %d ELF(s))"
+              % (args.out, len(tree.elves())))
     return EXIT_OK
 
 
@@ -181,7 +227,13 @@ def _cmd_fleet_scan(args):
     if args.jobs < 1:
         print("--jobs must be at least 1", file=sys.stderr)
         return 2
-    keys = args.profiles or list(PROFILE_ORDER)
+    images = list(getattr(args, "image", None) or ())
+    # Explicit --image runs scan only those images unless profiles are
+    # also named; a bare fleet-scan still means the whole profile fleet.
+    if images and not args.profiles:
+        keys = []
+    else:
+        keys = args.profiles or list(PROFILE_ORDER)
     unknown = [k for k in keys if k not in PROFILES]
     if unknown:
         print("unknown profile(s) %s; choices: %s"
@@ -189,7 +241,7 @@ def _cmd_fleet_scan(args):
               file=sys.stderr)
         return 2
     if args.server:
-        return _fleet_scan_via_server(args, keys)
+        return _fleet_scan_via_server(args, keys, images)
     try:
         from repro.pipeline.faultinject import FaultSpec
 
@@ -212,6 +264,36 @@ def _cmd_fleet_scan(args):
             faults=tuple(args.inject or ()),
             shards=shards,
         ))
+    if images:
+        from repro.pipeline.scheduler import expand_firmware_jobs
+
+        # Job ids become results-store filenames (images/<id>.json), so
+        # they must not carry path separators; basenames are
+        # disambiguated with a counter when two images share one.
+        id_counts = {}
+        for image_path in images:
+            base = os.path.basename(image_path) or "image"
+            seen = id_counts.get(base, 0)
+            id_counts[base] = seen + 1
+            image_id = base if not seen else "%s~%d" % (base, seen)
+            try:
+                member_jobs = expand_firmware_jobs(
+                    job_id=image_id, path=image_path, shards=shards,
+                )
+            except OSError as exc:
+                print("cannot read image %s: %s" % (image_path, exc),
+                      file=sys.stderr)
+                return EXIT_USAGE
+            except ReproError as exc:
+                print("cannot unpack image %s: %s" % (image_path, exc),
+                      file=sys.stderr)
+                return EXIT_ANALYSIS_FAILED
+            print("image %s: %d embedded ELF job(s)"
+                  % (image_path, len(member_jobs)))
+            jobs.extend(member_jobs)
+    if not jobs:
+        print("nothing to scan (no profiles, no --image)", file=sys.stderr)
+        return EXIT_USAGE
 
     telemetry_path = args.telemetry
     if telemetry_path is None and args.out:
@@ -510,7 +592,7 @@ def _parse_shards(value):
     return count
 
 
-def _fleet_scan_via_server(args, keys):
+def _fleet_scan_via_server(args, keys, images=()):
     """fleet-scan --server: submit the fleet over HTTP and wait."""
     from repro.service import ServiceClient, ServiceError
 
@@ -529,6 +611,20 @@ def _fleet_scan_via_server(args, keys):
             submitted.append((key, job["job_id"]))
             print("submitted %s as job %d (%s)"
                   % (key, job["job_id"], job["outcome"]))
+        for image_path in images:
+            try:
+                responses = client.submit_firmware(
+                    image_path, shards=shards,
+                )
+            except (OSError, ReproError) as exc:
+                print("cannot submit image %s: %s" % (image_path, exc),
+                      file=sys.stderr)
+                return EXIT_ANALYSIS_FAILED
+            for index, job in enumerate(responses):
+                label = "%s#%d" % (image_path, index)
+                submitted.append((label, job["job_id"]))
+                print("submitted %s as job %d (%s)"
+                      % (label, job["job_id"], job["outcome"]))
         failed = 0
         for key, job_id in submitted:
             job = client.wait(job_id, timeout=args.timeout or 600.0)
@@ -757,6 +853,21 @@ def main(argv=None):
     add_degradation_options(firmware)
     firmware.set_defaults(func=_cmd_firmware)
 
+    unpack = sub.add_parser(
+        "unpack",
+        help="recursively extract a firmware image and print the tree",
+    )
+    unpack.add_argument("file")
+    unpack.add_argument("--json", action="store_true",
+                        help="print the canonical manifest instead of "
+                             "the ASCII tree")
+    unpack.add_argument("--out", metavar="DIR",
+                        help="write manifest.json and every embedded "
+                             "ELF into DIR")
+    unpack.add_argument("--inject", action="append", metavar="SPEC",
+                        help="fault spec(s) scoped to the extraction")
+    unpack.set_defaults(func=_cmd_unpack)
+
     corpus = sub.add_parser("corpus", help="build + analyse a vendor profile")
     corpus.add_argument("key")
     corpus.add_argument("--scale", type=float, default=0.25)
@@ -771,7 +882,12 @@ def main(argv=None):
         help="analyse many vendor images in parallel, with caching",
     )
     fleet_scan.add_argument("profiles", nargs="*",
-                            help="profile keys (default: all six)")
+                            help="profile keys (default: all six, unless "
+                                 "--image is given)")
+    fleet_scan.add_argument("--image", action="append", metavar="FILE",
+                            help="firmware image to unpack recursively "
+                                 "and scan: one job per embedded ELF "
+                                 "(repeatable)")
     fleet_scan.add_argument(
         "--shards", default="0", metavar="auto|N",
         help="split each image into cost-balanced shards scheduled "

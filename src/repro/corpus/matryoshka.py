@@ -1,0 +1,195 @@
+"""Matryoshka firmware images: nested fixtures for the extractor.
+
+Real crawled firmware (paper §II-A) is rarely one container around
+one filesystem: vendors ship partition tables whose entries are
+obfuscated wrappers around TRX images whose rootfs files are
+themselves filesystem images.  This module builds such images out of
+the repo's own packers — every blob is a real, fully parseable nest
+that exercises every registered UnpackParser (PTBL, vendor-blob, TRX,
+uImage, gzip, LZMA, SimpleFS, cramfs, logfs, ELF) — with real
+loadable ELFs at the leaves so the downstream analysis has genuine
+targets.
+
+Determinism matters: fleet fingerprints compare manifests across
+runs, so everything here derives from the seed (or an image id), and
+nothing reads clocks or global randomness.
+"""
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.firmware import cramfs, logfs
+from repro.firmware import image as img
+from repro.firmware.simplefs import SimpleFS
+from repro.loader.link import build_executable
+
+# A tiny but real ARM program; the %#010x literal makes each variant
+# byte-distinct, so every ELF in a nest has its own fingerprint.
+_ELF_SRC = r"""
+.globl main
+main:
+    push {r4, lr}
+    ldr r0, =%#010x
+    bl strcpy
+    pop {r4, pc}
+.globl handler
+handler:
+    mov r0, #1
+    bx lr
+.ltorg
+"""
+
+
+@lru_cache(maxsize=64)
+def tiny_elf(tag):
+    """A small real ARM ELF whose bytes depend on ``tag``."""
+    elf_bytes, _program = build_executable(
+        "arm", _ELF_SRC % (tag & 0xFFFFFFFF), imports=("strcpy",)
+    )
+    return elf_bytes
+
+
+@dataclass
+class MatryoshkaImage:
+    """One built nested image plus what extraction must find."""
+
+    name: str
+    blob: bytes
+    target: str                  # display path of the main target ELF
+    expected_elves: tuple        # all display paths, extraction order
+    depth: int = 0               # nesting depth the blob was built with
+    meta: dict = field(default_factory=dict)
+
+
+def build_matryoshka(seed=0, name="matryoshka", target_name="httpd"):
+    """Build one deeply nested image (≥3 levels, every parser used).
+
+    Layout::
+
+        PTBL
+        ├── loader            raw data
+        ├── firmware          vendor-blob(XOR key from seed)
+        │   └── TRX
+        │       ├── kernel    LZMA(raw kernel text)
+        │       └── rootfs    SimpleFS
+        │           ├── /bin/<target>           ELF  (the target)
+        │           ├── /data/store.cram        cramfs
+        │           │   ├── /images/inner.sfs   SimpleFS → ELF
+        │           │   └── /images/journal.lf  logfs   → ELF
+        │           └── /etc/* config files
+        └── recovery          gzip(uImage(kernel, logfs → ELF))
+    """
+    rng = random.Random(seed)
+    tag = rng.randrange(1 << 32)
+    xor_key = rng.randrange(1, 256)
+
+    target_elf = tiny_elf(tag)
+    busybox_elf = tiny_elf(tag ^ 0x1)
+    helper_elf = tiny_elf(tag ^ 0x2)
+    recover_elf = tiny_elf(tag ^ 0x3)
+
+    journal = logfs.pack([
+        ("/bin/logd", helper_elf),
+        ("/etc/journal.conf", b"rotate=%d\n" % rng.randrange(3, 9)),
+    ])
+    inner_sfs = SimpleFS()
+    inner_sfs.add_file("/bin/busybox", busybox_elf)
+    store = cramfs.pack({
+        "/images/inner.sfs": inner_sfs.pack(),
+        "/images/journal.lf": journal,
+    })
+
+    rootfs = SimpleFS()
+    rootfs.add_dir("/bin")
+    rootfs.add_dir("/etc")
+    rootfs.add_file("/bin/%s" % target_name, target_elf)
+    rootfs.add_file("/data/store.cram", store)
+    rootfs.add_file("/etc/version", b"%s build %d\n" % (
+        name.encode("utf-8"), seed))
+
+    kernel_text = (b"\x00" * 64
+                   + b"Linux version 2.6.%d (%s)" % (rng.randrange(20, 40),
+                                                     name.encode("utf-8"))
+                   + bytes(rng.randrange(256) for _ in range(96)))
+    trx = img.pack_trx(img.pack_lzma(kernel_text), rootfs.pack())
+    firmware = img.pack_vendor_blob(inner=trx, xor_key=xor_key)
+
+    recovery_fs = logfs.pack([("/sbin/recover", recover_elf)])
+    recovery = img.pack_gzip(
+        img.pack_uimage(b"recovery-kernel-stub" * 3, recovery_fs,
+                        name="recovery")
+    )
+
+    blob = img.pack_parts([
+        ("loader", bytes(rng.randrange(256) for _ in range(48))),
+        ("firmware", firmware),
+        ("recovery", recovery),
+    ])
+    return MatryoshkaImage(
+        name=name,
+        blob=blob,
+        target="/bin/%s" % target_name,
+        expected_elves=(
+            "/bin/%s" % target_name,
+            "/bin/busybox",
+            "/bin/logd",
+            "/sbin/recover",
+        ),
+        depth=6,
+        meta={"xor_key": xor_key, "seed": seed},
+    )
+
+
+_TARGET_NAMES = ("httpd", "cgibin", "setup.cgi", "mwareserver", "centaurus")
+
+
+def generate_matryoshka_fleet(count=4, seed=20180625):
+    """``count`` deterministic nested images, varied targets/keys."""
+    rng = random.Random(seed)
+    images = []
+    for index in range(count):
+        images.append(
+            build_matryoshka(
+                seed=rng.randrange(1 << 30),
+                name="matryoshka-%03d" % index,
+                target_name=_TARGET_NAMES[index % len(_TARGET_NAMES)],
+            )
+        )
+    return images
+
+
+def build_image_blob(fleet_image, target_name="httpd"):
+    """A concrete firmware blob for one metadata :class:`FleetImage`.
+
+    The fleet module models the crawl as metadata with a ``container``
+    trait; this turns a record into actual bytes whose outermost
+    format honours that trait, seeded from ``image_id`` so repeated
+    builds are byte-identical.
+    """
+    seed = hash_seed(fleet_image.image_id)
+    rng = random.Random(seed)
+    elf = tiny_elf(rng.randrange(1 << 32))
+    fs = SimpleFS()
+    fs.add_dir("/bin")
+    fs.add_file("/bin/%s" % target_name, elf)
+    fs.add_file("/etc/board", fleet_image.image_id.encode("utf-8"))
+    kernel = b"\x00" * 32 + b"kernel " + fleet_image.image_id.encode("utf-8")
+    if fleet_image.container == "uimage":
+        blob = img.pack_uimage(kernel, fs.pack(),
+                               name=fleet_image.product[:31])
+    else:
+        blob = img.pack_trx(kernel, fs.pack())
+    if fleet_image.container == "vendor-blob" or fleet_image.encrypted:
+        blob = img.pack_vendor_blob(inner=blob,
+                                    xor_key=rng.randrange(1, 256))
+    return blob
+
+
+def hash_seed(text):
+    """Stable 32-bit seed from a string (no PYTHONHASHSEED exposure)."""
+    import hashlib
+
+    return int.from_bytes(
+        hashlib.sha256(text.encode("utf-8")).digest()[:4], "big"
+    )

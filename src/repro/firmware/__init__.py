@@ -1,23 +1,39 @@
-"""Firmware containers, filesystem, extraction, and the boot model.
+"""Firmware containers, filesystems, extraction, and the boot model.
 
 The pipeline stages mirror the paper's §IV implementation: a firmware
 image arrives as an opaque blob; a Binwalk-style signature scanner
 (:mod:`repro.firmware.binwalk`) carves the container
 (:mod:`repro.firmware.image`), unpacks the root filesystem
-(:mod:`repro.firmware.simplefs`), and the binary of interest is loaded
-for analysis.  :mod:`repro.firmware.emulation` is the FIRMADYNE-style
-full-system boot model behind Figure 1.
+(:mod:`repro.firmware.simplefs`, :mod:`repro.firmware.logfs`,
+:mod:`repro.firmware.cramfs`), and the binary of interest is loaded
+for analysis.  Nested images go through the recursive UnpackParser
+registry (:mod:`repro.firmware.unpack` + plugins in
+:mod:`repro.firmware.parsers`).  :mod:`repro.firmware.emulation` is
+the FIRMADYNE-style full-system boot model behind Figure 1.
 """
 
-from repro.firmware.binwalk import extract_filesystem, scan
+from repro.firmware.binwalk import extract_filesystem, extract_tree, scan
 from repro.firmware.image import FirmwareImage, pack_trx, pack_uimage
 from repro.firmware.simplefs import SimpleFS
+from repro.firmware.unpack import (
+    ExtractionTree,
+    RecursiveExtractor,
+    UnpackParser,
+    register,
+    registered_parsers,
+)
 
 __all__ = [
+    "ExtractionTree",
     "FirmwareImage",
+    "RecursiveExtractor",
     "SimpleFS",
+    "UnpackParser",
     "extract_filesystem",
+    "extract_tree",
     "pack_trx",
     "pack_uimage",
+    "register",
+    "registered_parsers",
     "scan",
 ]

@@ -4,27 +4,28 @@ DTaint's front end "uses a custom-written extraction utility built
 around the Binwalk API to extract the root file system".  This module
 is that utility: a magic-signature scanner over the raw blob, a
 Shannon-entropy profile (how real Binwalk spots encrypted or
-compressed regions), and a carver that parses the matched container
-and unpacks the SimpleFS rootfs.
+compressed regions), and two carving paths:
+
+* :func:`extract_filesystem` — the flat path: outermost container →
+  SimpleFS rootfs, for the classic TRX/uImage single-filesystem image;
+* :func:`extract_tree` — the recursive path
+  (:mod:`repro.firmware.unpack`): carve → identify → unpack → recurse
+  through nested containers, compression wrappers, and filesystems
+  until every embedded binary is surfaced.
+
+The signature table is derived from the UnpackParser registry, so a
+newly registered format is scannable here without touching this file.
 """
 
 import math
-import struct
 from dataclasses import dataclass
 
 from repro import faultinject
 from repro.errors import FirmwareError
 from repro.firmware import image as img
+from repro.firmware import unpack as unpack_mod
 from repro.firmware.simplefs import MAGIC as SFS_MAGIC, SimpleFS
-
-_SIGNATURES = (
-    ("trx", img.TRX_MAGIC),
-    ("uimage", struct.pack(">I", img.UIMAGE_MAGIC)),
-    ("simplefs", SFS_MAGIC),
-    ("vendor-blob", img.VENDOR_MAGIC),
-    ("elf", b"\x7fELF"),
-    ("gzip", b"\x1f\x8b\x08"),
-)
+from repro.firmware.unpack import ELF_MAGIC
 
 
 @dataclass
@@ -34,10 +35,18 @@ class Signature:
     description: str
 
 
+def signatures():
+    """``(kind, magic)`` pairs from the UnpackParser registry."""
+    return tuple(
+        (parser.name, magic)
+        for magic, parser in unpack_mod.signature_table()
+    )
+
+
 def scan(data):
     """Find all known magic signatures in ``data`` (sorted by offset)."""
     hits = []
-    for kind, magic in _SIGNATURES:
+    for kind, magic in signatures():
         start = 0
         while True:
             index = data.find(magic, start)
@@ -77,26 +86,42 @@ def entropy_profile(data, block_size=1024):
 
 
 def carve(data):
-    """Parse the outermost container in ``data``."""
-    hits = scan(data)
-    for hit in hits:
-        if hit.kind == "trx":
-            return img.parse_trx(data, hit.offset)
-        if hit.kind == "uimage":
-            return img.parse_uimage(data, hit.offset)
-        if hit.kind == "vendor-blob":
-            raise FirmwareError(
-                "proprietary vendor wrapper at 0x%x (cannot unpack)"
-                % hit.offset
-            )
+    """Parse the outermost container in ``data``.
+
+    Every candidate signature is tried **in offset order**; a
+    candidate that fails to parse (decoy magic, corrupt header,
+    undecodable wrapper) is recorded and the next one is tried.  The
+    call fails only when no candidate parses — a stray vendor-blob
+    marker ahead of a valid TRX no longer aborts the extraction.
+    """
+    failures = []
+    for hit in scan(data):
+        try:
+            if hit.kind == "trx":
+                return img.parse_trx(data, hit.offset)
+            if hit.kind == "uimage":
+                return img.parse_uimage(data, hit.offset)
+            if hit.kind == "vendor-blob":
+                # Recover the XOR key from the wrapper header and
+                # carve the deobfuscated payload in its place.
+                inner, _span, _key = img.parse_vendor_blob(data, hit.offset)
+                return carve(inner)
+        except FirmwareError as exc:
+            failures.append("%s@0x%x: %s" % (hit.kind, hit.offset, exc))
+    if failures:
+        raise FirmwareError(
+            "no candidate container parsed: %s" % "; ".join(failures)
+        )
     raise FirmwareError("no known container signature found")
 
 
 def extract_filesystem(data, name=""):
-    """Full pipeline: blob -> container -> SimpleFS root filesystem.
+    """Flat pipeline: blob -> container -> SimpleFS root filesystem.
 
     Malformed blobs raise :class:`FirmwareError`; ``name`` labels the
-    image for fault probes and error messages.
+    image for fault probes and error messages.  Images whose rootfs is
+    not a SimpleFS (nested matryoshka images) need
+    :func:`extract_tree` instead.
     """
     faultinject.check("firmware.unpack", name)
     container = carve(data)
@@ -110,21 +135,44 @@ def extract_filesystem(data, name=""):
     return SimpleFS.unpack(rootfs_data), container
 
 
+def extract_tree(data, name="", **budget_kwargs):
+    """Recursive pipeline: blob -> full extraction tree.
+
+    Delegates to :func:`repro.firmware.unpack.unpack`: nested
+    containers, compression wrappers, obfuscated vendor blobs and
+    filesystems are all carved until only leaves remain.  Returns an
+    :class:`repro.firmware.unpack.ExtractionTree`.
+    """
+    return unpack_mod.unpack(data, name=name, **budget_kwargs)
+
+
+def _elf_candidates(source):
+    """Normalise any extraction product into ``[(path, elf_bytes)]``."""
+    if hasattr(source, "elves"):            # ExtractionTree
+        return [(display, data) for _member, display, data
+                in source.elves()]
+    if hasattr(source, "files"):            # SimpleFS
+        pairs = source.files()
+    else:                                   # plain [(path, data)] list
+        pairs = list(source)
+    return [(path, data) for path, data in pairs
+            if data[:4] == ELF_MAGIC]
+
+
 def pick_target_binary(fs, preferred=("cgibin", "setup.cgi", "httpd",
                                       "mwareserver", "centaurus")):
     """Choose the network-facing ELF the analysis should load.
 
     Preference order mirrors the paper's six targets; falls back to
-    the largest ELF in the filesystem.
+    the largest ELF.  ``fs`` may be a SimpleFS, an ExtractionTree, or
+    a plain ``[(path, data)]`` list.  A preferred name matches only a
+    path's final component — ``/bin/foohttpd`` is not ``httpd``.
     """
-    candidates = []
-    for path, data in fs.files():
-        if data[:4] == b"\x7fELF":
-            candidates.append((path, data))
+    candidates = _elf_candidates(fs)
     if not candidates:
         raise FirmwareError("no ELF executables in the filesystem")
     for name in preferred:
         for path, data in candidates:
-            if path.endswith("/" + name) or path.endswith(name):
+            if path.rpartition("/")[2] == name:
                 return path, data
     return max(candidates, key=lambda item: len(item[1]))

@@ -1,0 +1,130 @@
+"""CramFS-like read-only compressed filesystem.
+
+Real cramfs packs a directory tree into a superblock + inode table +
+per-file runs of fixed-size zlib blocks, mounted read-only straight
+from flash.  This keeps that shape: a superblock whose ``size`` field
+states the exact image extent (what lets a recursive carver skip the
+whole filesystem in one hop), an inode table of path records, and a
+block area where each file is a run of ``[u16 compressed_len][blob]``
+blocks of up to :data:`BLOCK_SIZE` raw bytes each.
+"""
+
+import struct
+import zlib
+
+from repro.errors import FirmwareError
+from repro.firmware.simplefs import MAX_FILE_BYTES
+
+# Real cramfs's 0x28cd3d45 magic, little-endian on the wire.
+MAGIC = b"\x45\x3d\xcd\x28"
+_SUPER = "<4sIII"        # magic, total size, file count, crc32
+_SUPER_SIZE = struct.calcsize(_SUPER)
+_ENTRY = "<HHII"         # path_len, mode, raw_len, block_offset
+_ENTRY_SIZE = struct.calcsize(_ENTRY)
+_BLOCK_HDR = "<H"        # compressed length of one block
+
+BLOCK_SIZE = 4096
+MAX_FILES = 4096
+
+
+def pack(files):
+    """Serialise ``{path: bytes}`` into a cramfs-like image."""
+    entries = []
+    blocks = bytearray()
+    for path in sorted(files):
+        data = bytes(files[path])
+        if not path.startswith("/"):
+            raise FirmwareError("cramfs paths must be absolute: %r" % path)
+        path_bytes = path.encode("utf-8")
+        entries.append((path_bytes, len(data), len(blocks)))
+        for start in range(0, len(data), BLOCK_SIZE):
+            raw = data[start:start + BLOCK_SIZE]
+            stored = zlib.compress(raw, 6)
+            blocks += struct.pack(_BLOCK_HDR, len(stored)) + stored
+        if not data:
+            pass                     # zero blocks; raw_len 0 says it all
+    table = b"".join(
+        struct.pack(_ENTRY, len(path_bytes), 0o100755, raw_len, offset)
+        + path_bytes
+        for path_bytes, raw_len, offset in entries
+    )
+    body = table + bytes(blocks)
+    total = _SUPER_SIZE + len(body)
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return struct.pack(_SUPER, MAGIC, total, len(entries), crc) + body
+
+
+def unpack(data, offset=0, max_file_bytes=MAX_FILE_BYTES):
+    """Parse a cramfs-like image; returns ``(files, skipped, span)``.
+
+    Image-level corruption (bad magic, truncated extent, checksum
+    mismatch, an absurd file count) raises :class:`FirmwareError`; a
+    corrupt *file* inside an intact image degrades to a ``skipped``
+    entry, mirroring the SimpleFS per-file skip contract.
+    """
+    if len(data) < offset + _SUPER_SIZE:
+        raise FirmwareError("truncated cramfs superblock")
+    magic, total, count, crc = struct.unpack_from(_SUPER, data, offset)
+    if magic != MAGIC:
+        raise FirmwareError("not a cramfs image at offset 0x%x" % offset)
+    if total < _SUPER_SIZE or offset + total > len(data):
+        raise FirmwareError("cramfs extent runs past the region")
+    if count > MAX_FILES:
+        raise FirmwareError("cramfs declares %d files (cap %d)"
+                            % (count, MAX_FILES))
+    body = data[offset + _SUPER_SIZE:offset + total]
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise FirmwareError("cramfs checksum mismatch")
+
+    files = {}
+    skipped = []
+    cursor = 0
+    records = []
+    for index in range(count):
+        if cursor + _ENTRY_SIZE > len(body):
+            raise FirmwareError("truncated cramfs inode table")
+        path_len, _mode, raw_len, block_off = struct.unpack_from(
+            _ENTRY, body, cursor
+        )
+        cursor += _ENTRY_SIZE
+        path = body[cursor:cursor + path_len].decode("utf-8", "replace")
+        cursor += path_len
+        records.append((path or "entry %d" % index, raw_len, block_off))
+    block_area = body[cursor:]
+    for path, raw_len, block_off in records:
+        if raw_len > max_file_bytes:
+            skipped.append((path, "file declares %d bytes, over the "
+                            "per-file cap" % raw_len))
+            continue
+        try:
+            files[path] = _read_blocks(block_area, block_off, raw_len, path)
+        except FirmwareError as exc:
+            skipped.append((path, str(exc)))
+    return files, skipped, total
+
+
+def _read_blocks(area, block_off, raw_len, path):
+    chunks = []
+    produced = 0
+    cursor = block_off
+    while produced < raw_len:
+        if cursor + 2 > len(area):
+            raise FirmwareError("block run for %r past the block area"
+                                % path)
+        (stored_len,) = struct.unpack_from(_BLOCK_HDR, area, cursor)
+        cursor += 2
+        stored = area[cursor:cursor + stored_len]
+        if len(stored) != stored_len:
+            raise FirmwareError("truncated block for %r" % path)
+        cursor += stored_len
+        want = min(BLOCK_SIZE, raw_len - produced)
+        inflater = zlib.decompressobj()
+        try:
+            raw = inflater.decompress(stored, want)
+        except zlib.error as exc:
+            raise FirmwareError("corrupt block for %r: %s" % (path, exc))
+        if inflater.decompress(b"", 1) or len(raw) != want:
+            raise FirmwareError("bad block size for %r" % path)
+        chunks.append(raw)
+        produced += len(raw)
+    return b"".join(chunks)

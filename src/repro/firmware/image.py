@@ -8,13 +8,22 @@ Two structurally faithful containers cover the fleet:
 * **uImage** — the U-Boot legacy image header: magic ``0x27051956``,
   header CRC, timestamp, sizes, load/entry addresses, data CRC, and a
   32-byte name, followed by the payload (here: kernel stub + SimpleFS
-  rootfs at a marked offset).
+  rootfs at a marked offset);
+* **PTBL** — a multi-partition table (the mtd-partition layout most
+  real images carry): named partitions with explicit offsets/sizes
+  that must be in-bounds, in order, and non-overlapping;
+* **vendor-blob** — a proprietary XOR-obfuscated wrapper modelling
+  the images Binwalk fails on (paper §VI: >65% of images fail to
+  unpack cleanly).  The key byte sits in its own header, so a
+  deobfuscating parser *can* recover the inner container — the
+  recovery is validated against the decoded payload's magic.
 
-A ``vendor-blob`` (proprietary, optionally XOR-obfuscated) wrapper
-models the images Binwalk fails on (paper §VI: >65% of images fail to
-unpack cleanly).
+``pack_gzip``/``pack_lzma`` wrap payloads the way vendors ship
+compressed kernels; the matching parsers live in
+:mod:`repro.firmware.parsers`.
 """
 
+import lzma
 import struct
 import zlib
 from dataclasses import dataclass
@@ -40,6 +49,7 @@ class FirmwareImage:
     name: str = ""
     load_addr: int = 0
     entry_addr: int = 0
+    loader: bytes = b""
 
 
 def pack_trx(kernel, rootfs, loader=b""):
@@ -74,6 +84,8 @@ def _parse_trx(data, offset):
     if data[offset:offset + 4] != TRX_MAGIC:
         raise FirmwareError("not a TRX image at offset 0x%x" % offset)
     total, crc = struct.unpack_from("<II", data, offset + 4)
+    if total < TRX_HEADER_SIZE:
+        raise FirmwareError("TRX length smaller than its own header")
     if offset + total > len(data):
         raise FirmwareError("TRX length runs past the blob")
     body = data[offset + 12:offset + total]
@@ -82,9 +94,25 @@ def _parse_trx(data, offset):
     _version, loader_off, kernel_off, rootfs_off = struct.unpack_from(
         "<IIII", data, offset + 12
     )
+    # A crafted header can order the partition offsets arbitrarily;
+    # slicing with inverted or out-of-range offsets silently produces
+    # empty partitions, so the ordering is validated up front:
+    # header <= [loader <=] kernel <= rootfs <= total.
+    if not (TRX_HEADER_SIZE <= kernel_off <= rootfs_off <= total):
+        raise FirmwareError(
+            "TRX partition offsets out of order (kernel=0x%x, "
+            "rootfs=0x%x, total=0x%x)" % (kernel_off, rootfs_off, total)
+        )
+    if loader_off and not (TRX_HEADER_SIZE <= loader_off <= kernel_off):
+        raise FirmwareError(
+            "TRX loader offset 0x%x outside [header, kernel)" % loader_off
+        )
+    loader = data[offset + loader_off:offset + kernel_off] if loader_off \
+        else b""
     kernel = data[offset + kernel_off:offset + rootfs_off]
     rootfs = data[offset + rootfs_off:offset + total]
-    return FirmwareImage(container="trx", kernel=kernel, rootfs=rootfs)
+    return FirmwareImage(container="trx", kernel=kernel, rootfs=rootfs,
+                         loader=loader)
 
 
 def pack_uimage(kernel, rootfs, name="firmware", load_addr=0x80000000,
@@ -145,7 +173,17 @@ def _parse_uimage(data, offset):
         raise FirmwareError("uImage payload truncated")
     if zlib.crc32(payload) & 0xFFFFFFFF != data_crc:
         raise FirmwareError("uImage data CRC mismatch")
+    if size < 4:
+        raise FirmwareError("uImage payload too small for a rootfs offset")
     rootfs_off = struct.unpack_from(">I", payload, 0)[0]
+    # The rootfs offset is read from attacker-controlled payload bytes;
+    # unvalidated it silently yields an empty (or inverted) kernel and
+    # a rootfs slice of garbage.
+    if not (4 <= rootfs_off <= size):
+        raise FirmwareError(
+            "uImage rootfs offset 0x%x outside the %d-byte payload"
+            % (rootfs_off, size)
+        )
     kernel = payload[4:rootfs_off]
     rootfs = payload[rootfs_off:]
     return FirmwareImage(
@@ -155,15 +193,161 @@ def _parse_uimage(data, offset):
 
 
 VENDOR_MAGIC = b"VNDR"
+VENDOR_HEADER_SIZE = 12      # magic + key byte + pad + payload length
 
 
-def pack_vendor_blob(kernel, rootfs, xor_key=0x5A):
-    """A proprietary wrapper: magic + XOR-obfuscated TRX body.
+def pack_vendor_blob(kernel=b"", rootfs=b"", xor_key=0x5A, inner=None):
+    """A proprietary wrapper: magic + XOR-obfuscated inner container.
 
-    Models the encrypted/unknown images Binwalk cannot unpack.
+    Models the obfuscated images Binwalk chokes on.  By default the
+    inner container is a TRX built from ``kernel``/``rootfs``; pass
+    ``inner`` to wrap pre-built container bytes instead (nested
+    matryoshka images wrap whole sub-images this way).
     """
-    inner = pack_trx(kernel, rootfs)
+    if inner is None:
+        inner = pack_trx(kernel, rootfs)
     obfuscated = bytes(b ^ xor_key for b in inner)
     return VENDOR_MAGIC + struct.pack("<BxxxI", xor_key, len(obfuscated)) + (
         obfuscated
     )
+
+
+def parse_vendor_blob(data, offset=0):
+    """Deobfuscate a vendor blob; returns ``(inner_bytes, span, key)``.
+
+    The XOR key is recovered from the wrapper's own header and
+    cross-checked against the first deobfuscated byte (known-plaintext
+    recovery: every supported inner container starts with a known
+    magic).  A decoy ``VNDR`` whose payload decodes to nothing
+    recognisable raises :class:`FirmwareError` — the carver then moves
+    on to the next candidate signature instead of emitting garbage.
+    """
+    if data[offset:offset + 4] != VENDOR_MAGIC:
+        raise FirmwareError("not a vendor blob at offset 0x%x" % offset)
+    if len(data) < offset + VENDOR_HEADER_SIZE:
+        raise FirmwareError("truncated vendor-blob header")
+    xor_key, length = struct.unpack_from("<BxxxI", data, offset + 4)
+    start = offset + VENDOR_HEADER_SIZE
+    obfuscated = data[start:start + length]
+    if len(obfuscated) != length:
+        raise FirmwareError("vendor-blob payload runs past the region")
+    inner = bytes(b ^ xor_key for b in obfuscated)
+    known_magics = (TRX_MAGIC, struct.pack(">I", UIMAGE_MAGIC),
+                    PARTS_MAGIC)
+    if not any(inner.startswith(magic) for magic in known_magics):
+        raise FirmwareError(
+            "vendor-blob payload (key 0x%02x from header) decodes to no "
+            "known container" % xor_key
+        )
+    return inner, VENDOR_HEADER_SIZE + length, xor_key
+
+
+# ---------------------------------------------------------------------------
+# Multi-partition table container.
+
+PARTS_MAGIC = b"PTBL"
+PARTS_HEADER = "<4sII"       # magic, partition count, crc32(body)
+PARTS_HEADER_SIZE = struct.calcsize(PARTS_HEADER)
+PARTS_ENTRY = "<8sII"        # name, absolute offset, size
+PARTS_ENTRY_SIZE = struct.calcsize(PARTS_ENTRY)
+MAX_PARTITIONS = 64
+
+
+def pack_parts(partitions):
+    """Build a PTBL image from ``[(name, bytes), ...]`` partitions."""
+    if len(partitions) > MAX_PARTITIONS:
+        raise FirmwareError("too many partitions (%d)" % len(partitions))
+    table_size = PARTS_HEADER_SIZE + PARTS_ENTRY_SIZE * len(partitions)
+    entries = []
+    payload = b""
+    cursor = table_size
+    for name, data in partitions:
+        name_bytes = name.encode("utf-8")[:8].ljust(8, b"\x00")
+        entries.append(struct.pack(PARTS_ENTRY, name_bytes, cursor,
+                                   len(data)))
+        payload += bytes(data)
+        cursor += len(data)
+    body = b"".join(entries) + payload
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return struct.pack(PARTS_HEADER, PARTS_MAGIC, len(partitions), crc) + body
+
+
+def parse_parts(data, offset=0):
+    """Parse a PTBL container; returns ``([(name, bytes), ...], span)``.
+
+    Entries must lie inside the image, start past the table, appear in
+    ascending offset order, and not overlap — crafted tables violating
+    any of that raise :class:`FirmwareError` instead of silently
+    producing empty or aliased partitions.
+    """
+    try:
+        return _parse_parts(data, offset)
+    except FirmwareError:
+        raise
+    except (struct.error, IndexError, ValueError, OverflowError) as exc:
+        raise FirmwareError("malformed partition table: %s" % exc)
+
+
+def _parse_parts(data, offset):
+    if data[offset:offset + 4] != PARTS_MAGIC:
+        raise FirmwareError("not a partition table at offset 0x%x" % offset)
+    _magic, count, crc = struct.unpack_from(PARTS_HEADER, data, offset)
+    if count > MAX_PARTITIONS:
+        raise FirmwareError("partition table declares %d entries (cap %d)"
+                            % (count, MAX_PARTITIONS))
+    table_size = PARTS_HEADER_SIZE + PARTS_ENTRY_SIZE * count
+    if offset + table_size > len(data):
+        raise FirmwareError("partition table runs past the region")
+    entries = []
+    end = table_size
+    for index in range(count):
+        name_bytes, part_off, size = struct.unpack_from(
+            PARTS_ENTRY, data, offset + PARTS_HEADER_SIZE
+            + index * PARTS_ENTRY_SIZE
+        )
+        name = name_bytes.rstrip(b"\x00").decode("utf-8", "replace") \
+            or "part%d" % index
+        entries.append((name, part_off, size))
+        end = max(end, part_off + size)
+    if offset + end > len(data):
+        raise FirmwareError("partition data runs past the region")
+    body = data[offset + PARTS_HEADER_SIZE:offset + end]
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise FirmwareError("partition table CRC mismatch")
+    previous_end = table_size
+    partitions = []
+    for name, part_off, size in entries:
+        if part_off < table_size:
+            raise FirmwareError(
+                "partition %r starts inside the table (0x%x)"
+                % (name, part_off)
+            )
+        if part_off < previous_end:
+            raise FirmwareError(
+                "partition %r out of order or overlapping (0x%x < 0x%x)"
+                % (name, part_off, previous_end)
+            )
+        partitions.append((name, data[offset + part_off:
+                                      offset + part_off + size]))
+        previous_end = part_off + size
+    return partitions, end
+
+
+# ---------------------------------------------------------------------------
+# Compression wrappers (gzip / LZMA-alone), the way vendors ship
+# compressed kernels.  The matching bounded parsers live in
+# :mod:`repro.firmware.parsers`.
+
+LZMA_FILTERS = [{"id": lzma.FILTER_LZMA1, "preset": 6}]
+
+
+def pack_gzip(data):
+    """gzip-wrap ``data`` (deterministic: no mtime, no filename)."""
+    compressor = zlib.compressobj(6, zlib.DEFLATED, 16 + zlib.MAX_WBITS)
+    return compressor.compress(bytes(data)) + compressor.flush()
+
+
+def pack_lzma(data):
+    """LZMA-alone-wrap ``data`` (the classic compressed-kernel format)."""
+    return lzma.compress(bytes(data), format=lzma.FORMAT_ALONE,
+                         filters=LZMA_FILTERS)

@@ -1,0 +1,159 @@
+"""LogFS: a JFFS2-style log-structured flash filesystem.
+
+JFFS2 stores a filesystem as an append-only sequence of nodes on
+flash: each write appends a node carrying the full path, a version
+counter and a CRC; readers replay the log and keep, per path, only
+the highest-version node.  Deletions are "deletion markers" — a node
+whose flag says the path is gone.  Torn or bit-rotted nodes are
+expected on flash and are skipped, not fatal.
+
+This module keeps that structure faithfully while staying small:
+
+* node = header (magic, flags, version, lengths, CRC) + path + payload;
+* nodes are 4-byte aligned, padded with ``0xFF`` (the erased-flash
+  pattern, exactly what a real flash dump shows between nodes);
+* replay is last-version-wins, deletion markers drop a path, and a
+  node with a bad CRC is skipped into ``skipped`` — one torn write
+  must not lose the rest of the filesystem.
+"""
+
+import struct
+import zlib
+
+from repro.errors import FirmwareError
+from repro.firmware.simplefs import MAX_FILE_BYTES
+
+# 0x1985 is the real JFFS2 magic bitmask; 'LF' tags our node layout.
+MAGIC = b"\x85\x19LF"
+_NODE = "<4sHHIIII"      # magic, flags, mode, version, path_len,
+                         # stored_len, raw_len
+_NODE_SIZE = struct.calcsize(_NODE)
+_CRC = "<I"              # crc32 over (path + payload), after the header
+
+FLAG_DELETED = 0x0001
+FLAG_COMPRESSED = 0x0002
+
+_PAD = 0xFF              # erased-flash fill between nodes
+_ALIGN = 4
+
+
+def _align(offset):
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def pack(entries):
+    """Serialise a write log into LogFS bytes.
+
+    ``entries`` is an iterable of ``(path, data)`` or
+    ``(path, data, deleted)`` tuples **in write order** — pass the
+    same path twice to model an overwrite (replay keeps the last
+    one), or ``deleted=True`` for a deletion marker.
+    """
+    out = bytearray()
+    version = 0
+    for entry in entries:
+        if len(entry) == 2:
+            path, data = entry
+            deleted = False
+        else:
+            path, data, deleted = entry
+        if not path.startswith("/"):
+            raise FirmwareError("LogFS paths must be absolute: %r" % path)
+        version += 1
+        payload = b"" if deleted else bytes(data)
+        flags = FLAG_DELETED if deleted else 0
+        stored = payload
+        if len(payload) >= 64:
+            compressed = zlib.compress(payload, 6)
+            if len(compressed) < len(payload):
+                stored = compressed
+                flags |= FLAG_COMPRESSED
+        path_bytes = path.encode("utf-8")
+        header = struct.pack(
+            _NODE, MAGIC, flags, 0o100755, version,
+            len(path_bytes), len(stored), len(payload),
+        )
+        crc = zlib.crc32(path_bytes + stored) & 0xFFFFFFFF
+        out += header + struct.pack(_CRC, crc) + path_bytes + stored
+        while len(out) % _ALIGN:
+            out.append(_PAD)
+    # Trailing erased-flash tail, the way a partition dump ends.
+    out += bytes([_PAD]) * _ALIGN
+    return bytes(out)
+
+
+def unpack(data, offset=0, max_file_bytes=MAX_FILE_BYTES):
+    """Replay a LogFS region; returns ``(files, skipped, span)``.
+
+    ``files`` maps path -> content after last-version-wins replay,
+    ``skipped`` lists ``(label, reason)`` for nodes dropped by CRC or
+    budget, and ``span`` is the number of bytes the log occupies from
+    ``offset`` (including the erased tail) — the extent a recursive
+    carver should attribute to this filesystem.
+    """
+    if data[offset:offset + 4] != MAGIC:
+        raise FirmwareError("not a LogFS node log at offset 0x%x" % offset)
+    latest = {}            # path -> (version, content or None)
+    skipped = []
+    cursor = offset
+    end = len(data)
+    while cursor < end:
+        window = data[cursor:cursor + 4]
+        if window[:4] != MAGIC:
+            # Erased-flash padding continues the log; anything else
+            # ends the extent (the next container's bytes).
+            if window and all(b == _PAD for b in window):
+                cursor += len(window)
+                continue
+            break
+        if cursor + _NODE_SIZE + 4 > end:
+            skipped.append(("node@0x%x" % (cursor - offset),
+                            "truncated node header"))
+            cursor = end
+            break
+        (_magic, flags, _mode, version, path_len, stored_len,
+         raw_len) = struct.unpack_from(_NODE, data, cursor)
+        (crc,) = struct.unpack_from(_CRC, data, cursor + _NODE_SIZE)
+        body_start = cursor + _NODE_SIZE + 4
+        body_end = body_start + path_len + stored_len
+        if body_end > end:
+            skipped.append(("node@0x%x" % (cursor - offset),
+                            "node body runs past the region"))
+            cursor = end
+            break
+        path_bytes = data[body_start:body_start + path_len]
+        stored = data[body_start + path_len:body_end]
+        cursor = _align(body_end)
+        label = path_bytes.decode("utf-8", "replace")
+        if zlib.crc32(path_bytes + stored) & 0xFFFFFFFF != crc:
+            skipped.append((label, "node CRC mismatch"))
+            continue
+        if raw_len > max_file_bytes:
+            skipped.append((label, "node declares %d bytes, over the "
+                            "per-file cap" % raw_len))
+            continue
+        if flags & FLAG_COMPRESSED:
+            inflater = zlib.decompressobj()
+            try:
+                content = inflater.decompress(stored, raw_len)
+            except zlib.error as exc:
+                skipped.append((label, "corrupt compressed node: %s" % exc))
+                continue
+            if inflater.decompress(b"", 1) or len(content) != raw_len:
+                skipped.append((label, "bad decompressed node size"))
+                continue
+        else:
+            content = stored
+            if len(content) != raw_len:
+                skipped.append((label, "stored/raw length mismatch"))
+                continue
+        previous = latest.get(label)
+        if previous is None or version >= previous[0]:
+            latest[label] = (
+                version, None if flags & FLAG_DELETED else content
+            )
+    files = {
+        path: content for path, (_v, content) in latest.items()
+        if content is not None
+    }
+    return files, skipped, cursor - offset

@@ -1,0 +1,263 @@
+"""The UnpackParser plugins (binaryanalysis-ng style, one per format).
+
+Each parser is registered against its magic signature(s) and turns a
+validated match into a :class:`~repro.firmware.unpack.CarvedUnit`
+whose child regions the recursive driver re-scans.  Containers come
+from :mod:`repro.firmware.image`, filesystems from
+:mod:`repro.firmware.simplefs` / :mod:`~repro.firmware.logfs` /
+:mod:`~repro.firmware.cramfs`; the compression parsers here inflate
+with explicit budgets so a bomb can never allocate past the
+extraction's trust-boundary limits.
+"""
+
+import lzma
+import struct
+import zlib
+
+from repro.errors import FirmwareError
+from repro.firmware import cramfs, logfs
+from repro.firmware import image as img
+from repro.firmware import simplefs
+from repro.firmware.simplefs import SimpleFS
+from repro.firmware.unpack import (
+    ELF_MAGIC,
+    CarvedUnit,
+    Region,
+    UnpackParser,
+    register,
+)
+
+_INFLATE_CHUNK = 1 << 16
+
+
+def _bounded_inflate(decompressor, data, budget, what):
+    """Drain ``decompressor`` over ``data`` without exceeding the
+    extraction's remaining inflate budget; returns (output, consumed).
+
+    Works for both protocols: zlib objects hand back unconsumed input
+    via ``unconsumed_tail`` (which must be re-fed), lzma objects
+    buffer it internally.  Decompression happens in bounded chunks so
+    a bomb trips the budget instead of allocating its full expansion.
+    """
+    cap = budget.remaining_bytes()
+    is_zlib = hasattr(decompressor, "unconsumed_tail")
+    out = []
+    produced = 0
+    feed = data
+    while not decompressor.eof:
+        try:
+            chunk = decompressor.decompress(feed, _INFLATE_CHUNK)
+        except (zlib.error, lzma.LZMAError, EOFError) as exc:
+            raise FirmwareError("corrupt %s stream: %s" % (what, exc))
+        feed = decompressor.unconsumed_tail if is_zlib else b""
+        produced += len(chunk)
+        if produced > cap:
+            raise FirmwareError(
+                "%s payload inflates past the extraction budget" % what
+            )
+        out.append(chunk)
+        if not chunk and not decompressor.eof:
+            # No output, no stream end: the input ran dry mid-stream.
+            raise FirmwareError("truncated %s stream" % what)
+    consumed = len(data) - len(decompressor.unused_data)
+    return b"".join(out), consumed
+
+
+@register
+class TrxParser(UnpackParser):
+    """Broadcom-style TRX container → loader / kernel / rootfs."""
+
+    name = "trx"
+    signatures = (img.TRX_MAGIC,)
+
+    def parse(self, data, offset, budget):
+        image = img.parse_trx(data, offset)
+        total = struct.unpack_from("<I", data, offset + 4)[0]
+        children = []
+        if image.loader:
+            children.append(Region("loader", image.loader))
+        children.append(Region("kernel", image.kernel))
+        children.append(Region("rootfs", image.rootfs))
+        return CarvedUnit(size=total, children=children)
+
+
+@register
+class UImageParser(UnpackParser):
+    """U-Boot legacy image → kernel / rootfs."""
+
+    name = "uimage"
+    signatures = (struct.pack(">I", img.UIMAGE_MAGIC),)
+
+    def parse(self, data, offset, budget):
+        image = img.parse_uimage(data, offset)
+        size = struct.unpack_from(">I", data, offset + 12)[0]
+        return CarvedUnit(
+            size=img.UIMAGE_HEADER_SIZE + size,
+            children=[Region("kernel", image.kernel),
+                      Region("rootfs", image.rootfs)],
+            meta={"name": image.name,
+                  "load_addr": "0x%x" % image.load_addr,
+                  "entry_addr": "0x%x" % image.entry_addr},
+        )
+
+
+@register
+class VendorBlobParser(UnpackParser):
+    """Proprietary XOR wrapper; the key is recovered from its header
+    and validated against the deobfuscated payload's magic."""
+
+    name = "vendor-blob"
+    signatures = (img.VENDOR_MAGIC,)
+
+    def parse(self, data, offset, budget):
+        inner, span, key = img.parse_vendor_blob(data, offset)
+        return CarvedUnit(
+            size=span,
+            children=[Region("payload", inner)],
+            meta={"xor_key": "0x%02x" % key},
+        )
+
+
+@register
+class PartitionTableParser(UnpackParser):
+    """Multi-partition PTBL container → one region per partition."""
+
+    name = "parts"
+    signatures = (img.PARTS_MAGIC,)
+
+    def parse(self, data, offset, budget):
+        partitions, span = img.parse_parts(data, offset)
+        return CarvedUnit(
+            size=span,
+            children=[Region(name, blob) for name, blob in partitions],
+            meta={"partitions": len(partitions)},
+        )
+
+
+@register
+class GzipParser(UnpackParser):
+    """gzip-wrapped payload (compressed kernels, recovery images)."""
+
+    name = "gzip"
+    signatures = (b"\x1f\x8b\x08",)
+
+    def parse(self, data, offset, budget):
+        decompressor = zlib.decompressobj(16 + zlib.MAX_WBITS)
+        payload, consumed = _bounded_inflate(
+            decompressor, data[offset:], budget, "gzip"
+        )
+        if not payload:
+            raise FirmwareError("empty gzip payload")
+        return CarvedUnit(size=consumed,
+                          children=[Region("unpacked", payload)])
+
+
+@register
+class LzmaParser(UnpackParser):
+    """LZMA-alone-wrapped payload (the classic compressed kernel)."""
+
+    name = "lzma"
+    signatures = (b"\x5d\x00\x00",)
+
+    def parse(self, data, offset, budget):
+        if len(data) < offset + 13:
+            raise FirmwareError("truncated LZMA header")
+        properties = data[offset]
+        dict_size = struct.unpack_from("<I", data, offset + 1)[0]
+        # lc/lp/pb encode into one byte < 225; a sane dictionary is a
+        # power of two no larger than 64 MiB.  Anything else is a
+        # false-positive hit on the weak 3-byte signature.
+        if properties >= 225 or dict_size == 0 or dict_size > (64 << 20) \
+                or dict_size & (dict_size - 1):
+            raise FirmwareError("implausible LZMA header")
+        decompressor = lzma.LZMADecompressor(format=lzma.FORMAT_ALONE)
+        payload, consumed = _bounded_inflate(
+            decompressor, data[offset:], budget, "LZMA"
+        )
+        if not payload:
+            raise FirmwareError("empty LZMA payload")
+        return CarvedUnit(size=consumed,
+                          children=[Region("unpacked", payload)])
+
+
+def _fs_children(files):
+    """Filesystem files as offset-0-only regions (a magic in the
+    middle of a config file is content, not a nested image)."""
+    return [
+        Region(path, content, scan_anywhere=False)
+        for path, content in sorted(files.items())
+    ]
+
+
+@register
+class SimpleFSParser(UnpackParser):
+    """The SquashFS stand-in; files become child regions."""
+
+    name = "simplefs"
+    signatures = (simplefs.MAGIC,)
+
+    def parse(self, data, offset, budget):
+        size = simplefs.span(data, offset)
+        fs = SimpleFS.unpack(
+            data[offset:offset + size],
+            max_image_bytes=max(budget.remaining_bytes(), 1),
+        )
+        return CarvedUnit(
+            size=size,
+            children=_fs_children(dict(fs.files())),
+            meta={"entries": len(fs)},
+            skipped=list(fs.skipped),
+        )
+
+
+@register
+class LogFSParser(UnpackParser):
+    """JFFS2-style log filesystem; replayed last-version-wins."""
+
+    name = "logfs"
+    signatures = (logfs.MAGIC,)
+
+    def parse(self, data, offset, budget):
+        files, skipped, size = logfs.unpack(data, offset)
+        return CarvedUnit(
+            size=size,
+            children=_fs_children(files),
+            meta={"entries": len(files)},
+            skipped=skipped,
+        )
+
+
+@register
+class CramFSParser(UnpackParser):
+    """CramFS-like read-only compressed filesystem."""
+
+    name = "cramfs"
+    signatures = (cramfs.MAGIC,)
+
+    def parse(self, data, offset, budget):
+        files, skipped, size = cramfs.unpack(data, offset)
+        return CarvedUnit(
+            size=size,
+            children=_fs_children(files),
+            meta={"entries": len(files)},
+            skipped=skipped,
+        )
+
+
+@register
+class ElfParser(UnpackParser):
+    """ELF executables are terminal: the analysis target itself."""
+
+    name = "elf"
+    signatures = (ELF_MAGIC,)
+
+    def parse(self, data, offset, budget):
+        if len(data) < offset + 16:
+            raise FirmwareError("truncated ELF ident")
+        ei_class = data[offset + 4]
+        if ei_class not in (1, 2):
+            raise FirmwareError("bad ELF class %d" % ei_class)
+        return CarvedUnit(
+            size=len(data) - offset,
+            meta={"class": "ELF%d" % (32 if ei_class == 1 else 64)},
+        )

@@ -212,6 +212,27 @@ class SimpleFS:
             self._files[path] = (mode, content)
 
 
+def span(data, offset=0):
+    """Exact byte extent of the SimpleFS image starting at ``offset``.
+
+    Lets a recursive carver attribute the right slice to the
+    filesystem without unpacking it first; malformed superblocks
+    raise :class:`FirmwareError`.
+    """
+    header_size = struct.calcsize(_SUPER)
+    if len(data) < offset + header_size:
+        raise FirmwareError("truncated SimpleFS superblock")
+    magic, count, table_size, _crc = struct.unpack_from(
+        _SUPER, data, offset
+    )
+    if magic != MAGIC:
+        raise FirmwareError("bad SimpleFS magic %r" % magic)
+    body = data[offset + header_size:]
+    if table_size > len(body):
+        raise FirmwareError("SimpleFS inode table runs past the image")
+    return header_size + table_size + _payload_size(body, count, table_size)
+
+
 def _payload_size(body, count, table_size):
     """Total payload length = max(offset+stored_len) over the table."""
     entry_size = struct.calcsize(_ENTRY)

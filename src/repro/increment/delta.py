@@ -181,8 +181,15 @@ def render_delta(delta_doc):
 # End-to-end: scan two ELFs and diff them.
 
 
-def scan_image(path, config=None, cache_dir=None):
-    """Scan one ELF incrementally; returns the delta-ready image dict."""
+def scan_image(path, config=None, cache_dir=None, member=""):
+    """Scan one binary incrementally; returns the delta-ready dict.
+
+    ``path`` may be a bare ELF or a packed firmware image — anything
+    without an ELF magic goes through the recursive extractor, and
+    ``member`` selects which embedded binary to scan (default: the
+    preferred network-facing target), so a delta can compare two
+    *image* releases directly.
+    """
     from repro.core import DTaint, DTaintConfig
     from repro.increment.reuse import open_incremental_cache
     from repro.loader.binary import load_elf
@@ -190,14 +197,20 @@ def scan_image(path, config=None, cache_dir=None):
 
     with open(path, "rb") as handle:
         data = handle.read()
+    name = path
+    if data[:4] != b"\x7fELF" or member:
+        from repro.pipeline.scheduler import extract_member
+
+        display, data = extract_member(data, member, name=path)
+        name = "%s!%s" % (path, display)
     sha = binary_sha256(data)
-    binary = load_elf(data, name=path)
+    binary = load_elf(data, name=name)
     config = config or DTaintConfig()
     cache = (
         open_incremental_cache(cache_dir, sha, config)
         if cache_dir else None
     )
-    detector = DTaint(binary, config=config, name=path, summary_cache=cache)
+    detector = DTaint(binary, config=config, name=name, summary_cache=cache)
     report = detector.run()
     if cache is not None:
         cache.flush()
@@ -217,7 +230,7 @@ def scan_image(path, config=None, cache_dir=None):
         }
         cache_stats = {}
     return {
-        "name": path,
+        "name": name,
         "sha256": sha,
         "findings": canonical_report(report.to_dict()),
         "fingerprints": fingerprints,

@@ -210,8 +210,12 @@ class ResultsStore:
 
     def write_image(self, result):
         """Persist one job's result; returns the path written."""
+        # A job id with path separators (e.g. derived from an image
+        # path) must not escape the images/ directory — os.path.join
+        # silently discards every prefix before an absolute component.
+        safe_id = str(result.job.job_id).replace(os.sep, "_").lstrip("_")
         path = os.path.join(
-            self.out_dir, "images", "%s.json" % result.job.job_id
+            self.out_dir, "images", "%s.json" % (safe_id or "job")
         )
         return _write_json(path, image_document(result))
 

@@ -62,14 +62,23 @@ from repro.pipeline.workerpool import WorkerPool
 
 @dataclass
 class FleetJob:
-    """One unit of fleet work: a vendor profile or an ELF on disk."""
+    """One unit of fleet work: a profile, an ELF, or a firmware member.
+
+    ``kind='firmware'`` points ``path`` at a packed image; the worker
+    runs the recursive extractor and analyses the one ELF named by
+    ``member`` (an extraction-tree member id, see
+    :meth:`repro.firmware.unpack.ExtractionTree.elves`) — empty means
+    the preferred target binary.  :func:`expand_firmware_jobs` fans an
+    image into one such job per embedded ELF.
+    """
 
     job_id: str
-    kind: str = "profile"        # 'profile' | 'elf'
+    kind: str = "profile"        # 'profile' | 'elf' | 'firmware'
     key: str = ""                # corpus profile key (kind='profile')
-    path: str = ""               # ELF path on disk (kind='elf')
+    path: str = ""               # ELF/image path on disk
     scale: float = 0.25          # profile build scale
     modules: tuple = ()          # analysed module prefixes (kind='elf')
+    member: str = ""             # extraction member id (kind='firmware')
     # Deterministic fault injection for chaos tests and the crash-
     # isolation acceptance check: the named fault fires while the
     # attempt number is <= fault_attempts.
@@ -93,6 +102,8 @@ class FleetJob:
 
     def describe_target(self):
         target = self.key if self.kind == "profile" else self.path
+        if self.kind == "firmware" and self.member:
+            target = "%s!%s" % (target, self.member)
         if self.shard_phase == "exec":
             return "%s#%d" % (target, self.shard_index)
         if self.shard_phase:
@@ -158,7 +169,70 @@ def _load_job_binary(job):
             data = handle.read()
         config = DTaintConfig(modules=tuple(job.modules))
         return job.path, load_elf(data, name=job.path), config, binary_sha256(data)
+    if job.kind == "firmware":
+        from repro.loader.binary import load_elf
+
+        with open(job.path, "rb") as handle:
+            data = handle.read()
+        display, elf_bytes = extract_member(data, job.member,
+                                            name=job.path)
+        name = "%s!%s" % (job.path, display)
+        config = DTaintConfig(modules=tuple(job.modules))
+        # The sha is the *member's*, not the image's: a binary carved
+        # out of firmware and the same binary scanned flat share one
+        # cache identity, so summaries and findings transfer.
+        return (name, load_elf(elf_bytes, name=name), config,
+                binary_sha256(elf_bytes))
     raise PipelineError("unknown job kind %r" % job.kind)
+
+
+def extract_member(data, member="", name=""):
+    """Unpack an image and select one ELF; returns (display, bytes).
+
+    ``member`` is the stable tree path from
+    :meth:`~repro.firmware.unpack.ExtractionTree.elves`; empty picks
+    the preferred network-facing target.  An unknown member is a
+    :class:`PipelineError` (a stale job spec, not a bad image).
+    """
+    from repro.firmware.binwalk import extract_tree, pick_target_binary
+
+    tree = extract_tree(data, name=name)
+    if not member:
+        display, elf_bytes = pick_target_binary(tree)
+        return display, elf_bytes
+    for member_id, display, elf_bytes in tree.elves():
+        if member_id == member or display == member:
+            return display, elf_bytes
+    raise PipelineError(
+        "no extracted member %r in %s (have: %s)"
+        % (member, name or "image",
+           ", ".join(m for m, _d, _b in tree.elves()) or "none")
+    )
+
+
+def expand_firmware_jobs(job_id, path, modules=(), data=None, **extra):
+    """One :class:`FleetJob` per ELF inside the image at ``path``.
+
+    The extraction runs once here (client side); each returned job
+    carries the member id so the worker re-extracts only its own
+    target.  ``data`` skips the read when the caller already holds the
+    blob.  Extra keyword fields are forwarded to every job.
+    """
+    if data is None:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    from repro.firmware.binwalk import extract_tree
+
+    tree = extract_tree(data, name=path)
+    jobs = []
+    for index, (member, _display, _elf) in enumerate(tree.elves()):
+        jobs.append(FleetJob(
+            job_id="%s.%d" % (job_id, index), kind="firmware",
+            path=path, member=member, modules=tuple(modules), **extra,
+        ))
+    if not jobs:
+        raise PipelineError("no ELF executables inside %s" % path)
+    return jobs
 
 
 def _inject_fault(job, attempt):

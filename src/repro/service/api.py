@@ -283,6 +283,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
             scale=body.get("scale", self.daemon.default_scale or 0.25),
             modules=body.get("modules") or (),
             shards=int(body.get("shards") or 0),
+            member=body.get("member", ""),
         )
         job = self.daemon.submit(spec, priority=int(body.get("priority", 0)))
         status = 201 if job["outcome"] == "created" else 200

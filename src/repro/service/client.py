@@ -156,14 +156,36 @@ class ServiceClient:
         return self._request("GET", "/stats")
 
     def submit(self, kind="profile", key="", path="", scale=None,
-               modules=(), priority=0, shards=0):
+               modules=(), priority=0, shards=0, member=""):
         body = {"kind": kind, "key": key, "path": path,
                 "modules": list(modules), "priority": priority}
         if scale is not None:
             body["scale"] = scale
         if shards:
             body["shards"] = int(shards)
+        if member:
+            body["member"] = member
         return self._request("POST", "/jobs", body=body)
+
+    def submit_firmware(self, path, modules=(), priority=0, shards=0):
+        """Fan one firmware image into one job per embedded ELF.
+
+        The image is unpacked locally to enumerate members (the
+        daemon's workers re-extract only their own target); returns
+        the list of per-member submission results.
+        """
+        from repro.firmware.binwalk import extract_tree
+
+        with open(path, "rb") as handle:
+            data = handle.read()
+        tree = extract_tree(data, name=path)
+        responses = []
+        for member, _display, _elf in tree.elves():
+            responses.append(self.submit(
+                kind="firmware", path=path, member=member,
+                modules=modules, priority=priority, shards=shards,
+            ))
+        return responses
 
     def jobs(self, state=None, limit=200):
         path = "/jobs?limit=%d" % limit

@@ -51,6 +51,7 @@ def fleet_job_from_spec(spec, job_id, default_shards=0):
         scale=spec.get("scale", 0.25),
         modules=tuple(spec.get("modules") or ()),
         shards=int(spec.get("shards") or default_shards or 0),
+        member=spec.get("member", ""),
     )
 
 

@@ -61,23 +61,28 @@ POISON_ERROR_TYPES = (
 DEFAULT_MAX_ATTEMPTS = 5
 DEFAULT_CRASH_THRESHOLD = 3
 
-_SPEC_FIELDS = ("kind", "key", "path", "scale", "modules")
+_SPEC_FIELDS = ("kind", "key", "path", "scale", "modules", "member")
 
 
-def job_spec(kind, key="", path="", scale=0.25, modules=(), shards=0):
+def job_spec(kind, key="", path="", scale=0.25, modules=(), shards=0,
+             member=""):
     """A normalised job-submission spec (the queue's unit of work).
 
     ``shards`` requests intra-image shard scheduling (0 = unsharded,
     -1 = auto, N>1 = at most N shards).  It is deliberately *not* part
     of the dedup identity (``_SPEC_FIELDS``): sharding changes how an
-    image is scheduled, never what its findings are.
+    image is scheduled, never what its findings are.  ``member`` (for
+    ``kind='firmware'``) names one extracted ELF inside the image and
+    *is* identity: two members of one image are two units of work.
     """
-    if kind not in ("profile", "elf"):
+    if kind not in ("profile", "elf", "firmware"):
         raise PipelineError("unknown job kind %r" % kind)
     if kind == "profile" and not key:
         raise PipelineError("profile jobs need a profile key")
-    if kind == "elf" and not path:
-        raise PipelineError("elf jobs need a file path")
+    if kind in ("elf", "firmware") and not path:
+        raise PipelineError("%s jobs need a file path" % kind)
+    if member and kind != "firmware":
+        raise PipelineError("member selection needs kind='firmware'")
     return {
         "kind": kind,
         "key": key,
@@ -85,6 +90,7 @@ def job_spec(kind, key="", path="", scale=0.25, modules=(), shards=0):
         "scale": float(scale),
         "modules": sorted(modules or ()),
         "shards": int(shards or 0),
+        "member": member,
     }
 
 
@@ -98,7 +104,9 @@ def dedup_key(spec, config_fingerprint=""):
     their image fingerprint.
     """
     fields = {name: spec.get(name) for name in _SPEC_FIELDS}
-    if spec.get("kind") == "elf":
+    if spec.get("kind") in ("elf", "firmware"):
+        # Firmware members hash the whole image: a re-packed image at
+        # the same path queues fresh work for every member.
         try:
             with open(spec["path"], "rb") as handle:
                 fields["content_sha256"] = hashlib.sha256(
