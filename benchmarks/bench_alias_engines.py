@@ -1,0 +1,113 @@
+"""Alias-engine showdown benchmark: precision/recall/runtime per engine.
+
+Runs :func:`repro.alias.compare.compare_engines` — seeded labeled
+programs, the alias-stress fixtures, and the vendor corpus at the
+golden scale — and enforces the subsystem's acceptance gates:
+
+* ``dtaint_golden_identical`` — the default engine's canonical vendor
+  reports are byte-identical to the committed golden corpus (engine
+  selection must be a no-op for ``--alias-engine dtaint``);
+* ``sse_fixture_fp_reduction`` — the sse engine reports strictly fewer
+  false positives than dtaint on the seeded fixtures;
+* ``sse_recall_preserved`` — sse recall over all ground-truth
+  vulnerable fragments is at least dtaint's.
+
+The measurement document is written to ``BENCH_alias_engines.json`` at
+the repo root with ``--record`` (the committed artifact), and the run
+exits nonzero when any gate fails.
+
+Usage:
+    python benchmarks/bench_alias_engines.py [--quick] [--out out.json]
+    python benchmarks/bench_alias_engines.py --record   # update artifact
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.alias.compare import (  # noqa: E402
+    compare_engines,
+    render_comparison,
+)
+
+REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+DEFAULT_ARTIFACT = os.path.join(REPO_ROOT, "BENCH_alias_engines.json")
+
+# Every gate the comparison computes as a boolean must hold.
+REQUIRED_GATES = (
+    "dtaint_golden_identical",
+    "sse_fixture_fp_reduction",
+    "sse_recall_preserved",
+)
+
+
+def run_suite(quick=False, seed=1):
+    comparison = compare_engines(
+        seed=seed,
+        count=20 if quick else 50,
+        vendor=not quick,
+        log=print,
+    )
+    return {
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "comparison": comparison,
+    }
+
+
+def check_gates(results):
+    """Returns the list of failed gate names (empty = all green)."""
+    gates = results["comparison"].get("gates", {})
+    failed = []
+    for name in REQUIRED_GATES:
+        value = gates.get(name)
+        if value is None:
+            # The golden gate is None when the vendor leg was skipped
+            # (--quick) or the golden corpus is absent; not a failure.
+            continue
+        if value is not True:
+            failed.append(name)
+    return failed
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer programs, skip the vendor leg")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=None,
+                        help="write the measurement document to this path")
+    parser.add_argument("--record", action="store_true",
+                        help="write the committed artifact (%s)"
+                             % os.path.basename(DEFAULT_ARTIFACT))
+    args = parser.parse_args(argv)
+
+    results = run_suite(quick=args.quick, seed=args.seed)
+    print(render_comparison(results["comparison"]))
+
+    failed = check_gates(results)
+    document = {"schema": 1}
+    document.update(results)
+    document["gates_failed"] = failed
+
+    for path in filter(None, [args.out,
+                              DEFAULT_ARTIFACT if args.record else None]):
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % path)
+
+    if failed:
+        print("GATES FAILED: %s" % ", ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -160,13 +160,21 @@ def run_latency(work_dir, jobs):
 
 
 def run_smoke(work_dir):
+    from repro.alias import ENGINE_NAMES
     from repro.service import ServiceClient
 
     target = _build_targets(work_dir, 1)[0]
-    reference = findings_fingerprint(
-        execute_job(FleetJob(job_id="ref", kind="elf", path=target))
-        ["report"]
-    )
+    # One in-process reference per alias engine: the daemon must
+    # reproduce each byte-for-byte, and must treat the engines as
+    # distinct jobs (engine choice is dedup identity).
+    reference = {
+        engine: findings_fingerprint(
+            execute_job(FleetJob(job_id="ref-" + engine, kind="elf",
+                                 path=target, alias_engine=engine))
+            ["report"]
+        )
+        for engine in ENGINE_NAMES
+    }
     db_path = os.path.join(work_dir, "serve.sqlite")
     process = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve",
@@ -190,25 +198,37 @@ def run_smoke(work_dir):
             "http://%s:%s" % (match.group(1), match.group(2))
         )
         _require(client.healthz()["ok"], "healthz failed")
+        per_engine = {}
+        job_ids = set()
         start = time.perf_counter()
-        job = client.submit(kind="elf", path=target)
-        _require(job["outcome"] == "created", "submission not created")
-        finished = client.wait(job["job_id"], timeout=180)
+        for engine, expected in sorted(reference.items()):
+            job = client.submit(kind="elf", path=target,
+                                alias_engine=engine)
+            _require(job["outcome"] == "created",
+                     "%s submission not created" % engine)
+            job_ids.add(job["job_id"])
+            finished = client.wait(job["job_id"], timeout=180)
+            _require(
+                finished["state"] == "done",
+                "%s job finished %s: %s"
+                % (engine, finished["state"], finished["error"]),
+            )
+            findings = client.findings(job["job_id"])
+            _require(
+                findings["findings_sha256"] == expected,
+                "HTTP %s findings fingerprint %r != in-process %r"
+                % (engine, findings["findings_sha256"], expected),
+            )
+            events = client.events(job["job_id"])
+            _require(
+                any(e["event"] == "job_finish" for e in events),
+                "%s progress stream missing job_finish" % engine,
+            )
+            per_engine[engine] = findings["findings_sha256"]
         elapsed = time.perf_counter() - start
         _require(
-            finished["state"] == "done",
-            "job finished %s: %s" % (finished["state"], finished["error"]),
-        )
-        findings = client.findings(job["job_id"])
-        _require(
-            findings["findings_sha256"] == reference,
-            "HTTP findings fingerprint %r != in-process %r"
-            % (findings["findings_sha256"], reference),
-        )
-        events = client.events(job["job_id"])
-        _require(
-            any(e["event"] == "job_finish" for e in events),
-            "progress stream missing job_finish",
+            len(job_ids) == len(reference),
+            "engines dedup'd into one job: %s" % sorted(job_ids),
         )
         client.shutdown()
         process.wait(30)
@@ -218,7 +238,7 @@ def run_smoke(work_dir):
         )
         return {
             "submit_to_done_s": round(elapsed, 4),
-            "findings_sha256": findings["findings_sha256"],
+            "findings_sha256": per_engine,
             "fingerprint_match": True,
             "clean_shutdown": True,
         }
@@ -248,10 +268,14 @@ def _render(results):
         )
     smoke = results.get("smoke")
     if smoke:
+        rendered = "  ".join(
+            "%s=%s..." % (engine, sha[:12])
+            for engine, sha in sorted(smoke["findings_sha256"].items())
+        )
         lines.append(
-            "  smoke: HTTP submit->done %.3fs, fingerprint %s..., "
+            "  smoke: HTTP submit->done %.3fs (both engines), %s, "
             "clean shutdown"
-            % (smoke["submit_to_done_s"], smoke["findings_sha256"][:16])
+            % (smoke["submit_to_done_s"], rendered)
         )
     return "\n".join(lines)
 

@@ -1,0 +1,24 @@
+"""Selectable alias-analysis engines behind a common interface.
+
+``get_engine("dtaint")`` is the paper's Algorithm-1 heuristics (the
+default, byte-identical to the historical pipeline); ``get_engine
+("sse")`` is the sparse-symbolic-execution engine from the authors'
+follow-up paper.  See ``base.py`` for the interface contract and
+``compare.py`` for the precision/recall/runtime showdown harness.
+"""
+
+from repro.alias.base import (
+    DEFAULT_ENGINE,
+    ENGINE_NAMES,
+    AliasEngine,
+    AliasResult,
+    get_engine,
+)
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINE_NAMES",
+    "AliasEngine",
+    "AliasResult",
+    "get_engine",
+]

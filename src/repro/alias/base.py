@@ -1,0 +1,106 @@
+"""The alias-engine interface and registry.
+
+DTaint's Algorithm-1 heuristics and the follow-up paper's sparse
+symbolic-execution aliasing answer the same question — which stored
+pointer names alias which cells — with different precision/cost
+trade-offs.  This module pins the common surface so the detector,
+the shard executors and the comparison harness can treat the choice
+as configuration:
+
+* :meth:`AliasEngine.query` is the pure form: given a function
+  summary (base or enriched) and its inferred types, return an
+  :class:`AliasResult` over interned symexec values without touching
+  the summary.
+* :meth:`AliasEngine.apply` is the summary-compatible export: mutate
+  ``summary.def_pairs`` exactly the way ``alias_replace`` historically
+  did (append re-expressed pairs; an engine may additionally prune
+  pairs it can prove dead) and return the appended pairs.  Summaries
+  stay the same cacheable shape for the increment/dedup layers.
+
+Engine identity is part of cache identity: ``alias_engine`` is in the
+config fingerprint (see ``pipeline/cache.py``), so summaries and
+reports produced under one engine are never served to a run using the
+other.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import PipelineError
+
+DEFAULT_ENGINE = "dtaint"
+ENGINE_NAMES = ("dtaint", "sse")
+
+
+@dataclass(frozen=True)
+class AliasResult:
+    """One engine's verdict over one function summary.
+
+    ``entries`` are the surviving :class:`~repro.core.aliasing.
+    AliasEntry` rows (``alias = base + offset``); ``killed`` are the
+    definition pairs the engine proved dead (always empty for the
+    ``dtaint`` engine, which never prunes).
+    """
+
+    engine: str
+    entries: tuple = ()
+    killed: tuple = ()
+
+    def cell_names(self):
+        """``(alias, cell)`` pairs: both interned names of each cell."""
+        from repro.symexec.value import SymConst, mk_add
+
+        out = []
+        for entry in self.entries:
+            cell = (
+                entry.base if entry.offset == 0
+                else mk_add(entry.base, SymConst(entry.offset))
+            )
+            out.append((entry.alias, cell))
+        return out
+
+    def related(self, a, b):
+        """The alias relation over interned values.
+
+        Reflexive by interning (equality is identity) and symmetric by
+        construction: ``a`` and ``b`` are related when identical or
+        when some entry names them as the two names of one cell.
+        """
+        if a is b:
+            return True
+        for alias, cell in self.cell_names():
+            if (a is alias and b is cell) or (a is cell and b is alias):
+                return True
+        return False
+
+
+class AliasEngine:
+    """Duck-typed protocol; engines subclass for documentation only."""
+
+    name = "abstract"
+
+    def query(self, summary, types):
+        raise NotImplementedError
+
+    def apply(self, summary, types, max_new=512):
+        raise NotImplementedError
+
+
+_INSTANCES = {}
+
+
+def get_engine(name):
+    """Resolve an engine by name; engines are stateless singletons."""
+    name = name or DEFAULT_ENGINE
+    engine = _INSTANCES.get(name)
+    if engine is None:
+        if name == "dtaint":
+            from repro.alias.dtaint import DTaintAliasEngine as cls
+        elif name == "sse":
+            from repro.alias.sse import SseAliasEngine as cls
+        else:
+            raise PipelineError(
+                "unknown alias engine %r (expected one of %s)"
+                % (name, ", ".join(ENGINE_NAMES))
+            )
+        engine = _INSTANCES[name] = cls()
+    return engine

@@ -1,0 +1,23 @@
+"""The paper's Algorithm-1 heuristics behind the engine interface.
+
+A thin adapter over ``repro.core.aliasing``: :meth:`apply` delegates
+to ``alias_replace`` unchanged, so selecting ``--alias-engine dtaint``
+(the default) is byte-identical to the pre-engine pipeline — the
+golden-corpus differential test pins exactly that.
+"""
+
+from repro.alias.base import AliasResult
+from repro.core.aliasing import alias_replace, find_aliases
+
+
+class DTaintAliasEngine:
+    """Heuristic base+offset pattern match (paper Algorithm 1)."""
+
+    name = "dtaint"
+
+    def query(self, summary, types):
+        entries = find_aliases(summary.def_pairs, types)
+        return AliasResult(engine=self.name, entries=tuple(entries))
+
+    def apply(self, summary, types, max_new=512):
+        return alias_replace(summary, types, max_new)

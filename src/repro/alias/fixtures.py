@@ -1,0 +1,117 @@
+"""Seeded alias-stress fixtures with hand-assigned ground truth.
+
+Each fixture is a tiny two-function program built around the
+interprocedural dead-store pattern the dtaint engine cannot see
+through: a callee stores a pointer into a struct field of its
+argument, *overwrites* the field with a second pointer, and taints
+exactly one of the two buffers; the caller loads the field and passes
+it to ``strcpy``.
+
+* ``dead_store_fp`` taints the buffer only reachable through the
+  *dead* store.  Algorithm 1 keeps the stale alias, exports it, and
+  the caller reports a vulnerable path that no execution can take — a
+  seeded false positive.  The sse engine kills the dead store before
+  export, so the program scans clean.
+* ``dead_store_recall`` is the twin with the *live* buffer tainted: a
+  genuine vulnerability both engines must report (the recall gate).
+* ``distinct_cells`` writes two *different* field offsets — identical
+  cells only by a sloppy analysis — and taints through the first.
+  Also genuinely vulnerable: it proves the sse engine's kill is keyed
+  on interned cell identity, not on "same base pointer".
+
+These are static-level labels (the diffcheck oracle is not run here);
+the labels follow from the construction and are pinned by tests.
+"""
+
+from repro.corpus.builder import GroundTruth, build_binary
+from repro.corpus.minicc import (
+    Addr,
+    Arg,
+    Call,
+    DeclBuf,
+    DeclVar,
+    Imm,
+    Load,
+    MiniFunc,
+    Ret,
+    Set,
+    Store,
+    Var,
+    compiler_for,
+)
+
+BO = "buffer-overflow"
+FIELD = 0x4C
+FIELD2 = 0x50
+
+
+def _fill_and_use(name, taint_dead, second_offset=FIELD):
+    """The two-function skeleton shared by every fixture.
+
+    ``<name>_fill(req)`` stores ``&stale`` then ``&fresh`` into
+    ``req+FIELD`` (the second store at ``second_offset``), then
+    ``read`` taints one buffer.  ``<name>(req)`` loads ``req+FIELD``
+    and strcpy's it into a 16-byte local.
+    """
+    tainted = "stale" if taint_dead else "fresh"
+    fill = MiniFunc(name + "_fill", 1, [
+        DeclBuf("stale", 64),
+        DeclBuf("fresh", 64),
+        DeclVar("n"),
+        Store(Arg(0), FIELD, Addr("stale")),
+        Store(Arg(0), second_offset, Addr("fresh")),
+        Call("n", "read", [Imm(0), Addr(tainted), Imm(64)]),
+        Ret(Imm(0)),
+    ])
+    handler = MiniFunc(name, 1, [
+        DeclBuf("small", 16),
+        DeclVar("p"),
+        Call(None, fill.name, [Arg(0)]),
+        Set("p", Load(Arg(0), FIELD)),
+        Call(None, "strcpy", [Addr("small"), Var("p")]),
+        Ret(Imm(0)),
+    ])
+    return [handler, fill]
+
+
+def dead_store_fp(name="alias_dead_store"):
+    """Field overwritten; taint only behind the dead store: clean."""
+    functions = _fill_and_use(name, taint_dead=True)
+    truth = [GroundTruth(function=name, kind=BO, sink="strcpy",
+                         source="read", cve="", vulnerable=False)]
+    return functions, truth
+
+
+def dead_store_recall(name="alias_live_store"):
+    """Field overwritten; taint behind the live store: vulnerable."""
+    functions = _fill_and_use(name, taint_dead=False)
+    truth = [GroundTruth(function=name, kind=BO, sink="strcpy",
+                         source="read", cve="", vulnerable=True)]
+    return functions, truth
+
+
+def distinct_cells(name="alias_distinct_cells"):
+    """Second store hits a different field: no kill, vulnerable."""
+    functions = _fill_and_use(name, taint_dead=True, second_offset=FIELD2)
+    truth = [GroundTruth(function=name, kind=BO, sink="strcpy",
+                         source="read", cve="", vulnerable=True)]
+    return functions, truth
+
+
+FIXTURES = {
+    "dead_store_fp": dead_store_fp,
+    "dead_store_recall": dead_store_recall,
+    "distinct_cells": distinct_cells,
+}
+
+
+def build_fixture(key, arch="arm"):
+    """Build one fixture into a loaded BuiltBinary with ground truth."""
+    functions, ground_truth = FIXTURES[key]()
+    module = "ax_%s_%s" % (key, arch)
+    compiler = compiler_for(arch, module)
+    source, imports = compiler.compile_module(functions)
+    return build_binary(
+        module, arch, source, imports,
+        entry=functions[0].name, ground_truth=ground_truth,
+    )

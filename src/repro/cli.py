@@ -89,6 +89,7 @@ def _cmd_scan(args):
             config = DTaintConfig(
                 modules=tuple(args.modules or ()),
                 deadline_seconds=args.deadline,
+                alias_engine=args.alias_engine,
             )
             report = DTaint(binary, config=config, name=args.file).run()
     except MalformedInput as exc:
@@ -263,6 +264,7 @@ def _cmd_fleet_scan(args):
             fault=fault, fault_attempts=10 ** 6 if fault else 0,
             faults=tuple(args.inject or ()),
             shards=shards,
+            alias_engine=args.alias_engine,
         ))
     if images:
         from repro.pipeline.scheduler import expand_firmware_jobs
@@ -279,6 +281,7 @@ def _cmd_fleet_scan(args):
             try:
                 member_jobs = expand_firmware_jobs(
                     job_id=image_id, path=image_path, shards=shards,
+                    alias_engine=args.alias_engine,
                 )
             except OSError as exc:
                 print("cannot read image %s: %s" % (image_path, exc),
@@ -457,6 +460,7 @@ def _cmd_serve(args):
         max_attempts=args.max_attempts,
         crash_threshold=args.crash_threshold,
         shards=_parse_shards(getattr(args, "shards", "0")),
+        alias_engine=args.alias_engine,
     )
     server = serve(
         daemon, host=args.host, port=args.port,
@@ -509,6 +513,7 @@ def _cmd_client(args):
                 scale=args.scale,
                 modules=args.modules or (),
                 priority=args.priority,
+                alias_engine=getattr(args, "alias_engine", ""),
             )
             print("job %d: %s (%s)" % (
                 job["job_id"], job["state"], job["outcome"]))
@@ -607,7 +612,8 @@ def _fleet_scan_via_server(args, keys, images=()):
         submitted = []
         for key in keys:
             job = client.submit(kind="profile", key=key, scale=args.scale,
-                                shards=shards)
+                                shards=shards,
+                                alias_engine=args.alias_engine)
             submitted.append((key, job["job_id"]))
             print("submitted %s as job %d (%s)"
                   % (key, job["job_id"], job["outcome"]))
@@ -615,6 +621,7 @@ def _fleet_scan_via_server(args, keys, images=()):
             try:
                 responses = client.submit_firmware(
                     image_path, shards=shards,
+                    alias_engine=args.alias_engine,
                 )
             except (OSError, ReproError) as exc:
                 print("cannot submit image %s: %s" % (image_path, exc),
@@ -790,6 +797,7 @@ def _cmd_diffcheck(args):
         run_baseline=not args.no_baseline,
         shrink=not args.no_shrink,
         telemetry=telemetry,
+        alias_engine=args.alias_engine,
     )
     report = harness.run()
     telemetry.close()
@@ -809,6 +817,46 @@ def _cmd_diffcheck(args):
     return EXIT_OK
 
 
+def _cmd_alias_compare(args):
+    import json
+    import os
+
+    from repro.alias.compare import compare_engines, render_comparison
+
+    if args.count < 1:
+        print("--count must be at least 1", file=sys.stderr)
+        return EXIT_USAGE
+    document = compare_engines(
+        seed=args.seed,
+        count=args.count,
+        arches=tuple(args.arch) if args.arch else None,
+        scale=args.scale,
+        vendor=not args.no_vendor,
+        log=None if args.json else print,
+    )
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(render_comparison(document))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, "alias_compare.json")
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("comparison: %s" % path)
+    # The default engine drifting from the golden corpus is the one
+    # divergence this command treats as a failure (CI gates on it).
+    if document["gates"].get("dtaint_golden_identical") is False:
+        print("dtaint engine diverged from the golden corpus: %s"
+              % ", ".join(
+                  document["engines"]["dtaint"]["vendor"]
+                  ["golden_divergences"]),
+              file=sys.stderr)
+        return EXIT_FINDINGS
+    return EXIT_OK
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="dtaint",
@@ -816,6 +864,14 @@ def main(argv=None):
                     "embedded firmware binaries (DSN'18 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_alias_engine_option(command, default="dtaint"):
+        command.add_argument(
+            "--alias-engine", choices=("dtaint", "sse"), default=default,
+            help="alias analysis engine: the paper's Algorithm-1 "
+                 "heuristics (dtaint, default) or sparse "
+                 "symbolic-execution aliasing (sse); part of the cache "
+                 "identity")
 
     def add_degradation_options(command):
         command.add_argument(
@@ -845,6 +901,7 @@ def main(argv=None):
     scan.add_argument("--profile", action="store_true",
                       help="print the per-phase time/counter breakdown "
                            "(lift/symexec/alias/similarity/detect)")
+    add_alias_engine_option(scan)
     add_degradation_options(scan)
     scan.set_defaults(func=_cmd_scan)
 
@@ -938,6 +995,7 @@ def main(argv=None):
     fleet_scan.add_argument("--inject-crash", metavar="KEY",
                             help="chaos switch: make this job crash every "
                                  "attempt (demonstrates quarantine)")
+    add_alias_engine_option(fleet_scan)
     add_degradation_options(fleet_scan)
     fleet_scan.set_defaults(func=_cmd_fleet_scan)
 
@@ -1052,6 +1110,7 @@ def main(argv=None):
                        help="enable POST /api/v1/shutdown (CI smoke)")
     serve.add_argument("--verbose", action="store_true",
                        help="log each request to stderr")
+    add_alias_engine_option(serve)
     serve.set_defaults(func=_cmd_serve)
 
     client = sub.add_parser(
@@ -1077,6 +1136,10 @@ def main(argv=None):
     c_submit.add_argument("--wait", action="store_true",
                           help="block until the job finishes")
     c_submit.add_argument("--wait-timeout", type=float, default=600.0)
+    c_submit.add_argument("--alias-engine", choices=("dtaint", "sse"),
+                          default="",
+                          help="alias engine for this submission "
+                               "(default: the daemon's)")
     for name, extra in (("status", "show a job's queue row"),
                         ("wait", "block until a job finishes"),
                         ("findings", "fetch canonical findings"),
@@ -1161,7 +1224,35 @@ def main(argv=None):
                            help="exit %d on any divergence, not just "
                                 "unexplained static false negatives"
                                 % EXIT_FINDINGS)
+    add_alias_engine_option(diffcheck)
     diffcheck.set_defaults(func=_cmd_diffcheck)
+
+    alias_cmp = sub.add_parser(
+        "alias-compare",
+        help="run every alias engine over the labeled corpora and "
+             "report per-engine precision/recall/runtime",
+    )
+    alias_cmp.add_argument("--seed", type=int, default=1,
+                           help="generator seed for the labeled programs")
+    alias_cmp.add_argument("--count", type=int, default=20,
+                           help="number of generated programs")
+    alias_cmp.add_argument("--arch", action="append",
+                           choices=["arm", "mips"],
+                           help="restrict generation to an architecture "
+                                "(repeatable; default both)")
+    alias_cmp.add_argument("--scale", type=float, default=0.1,
+                           help="vendor-corpus build scale (0.1 matches "
+                                "the committed golden corpus; the "
+                                "dtaint-engine golden identity gate only "
+                                "runs at 0.1)")
+    alias_cmp.add_argument("--no-vendor", action="store_true",
+                           help="skip the vendor-corpus leg (labeled "
+                                "programs + fixtures only)")
+    alias_cmp.add_argument("--json", action="store_true",
+                           help="emit the comparison document as JSON")
+    alias_cmp.add_argument("--out",
+                           help="directory for alias_compare.json")
+    alias_cmp.set_defaults(func=_cmd_alias_compare)
 
     args = parser.parse_args(argv)
     return args.func(args)

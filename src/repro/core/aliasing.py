@@ -90,17 +90,20 @@ def alias_replace(summary, types, max_new=512):
 
 
 def _alias_replace(summary, types, max_new):
-    def_pairs = summary.def_pairs
-    aliases = find_aliases(def_pairs, types)
-    if not aliases:
-        return []
+    aliases = find_aliases(summary.def_pairs, types)
+    return apply_entries(summary, aliases, max_new)
 
-    # Symmetric closure: a stored pointer gives the cell two names.
-    # Forward (Algorithm 1 as written): base -> alias - offset, so a
-    # definition through the original pointer is also visible through
-    # the stored name.  Reverse: alias -> base + offset, so imported
-    # definitions expressed through the stored name connect to local
-    # uses of the original pointer.
+
+def rewrite_map(aliases):
+    """Symmetric rewrite closure over a set of :class:`AliasEntry`.
+
+    A stored pointer gives the cell two names.  Forward (Algorithm 1
+    as written): base -> alias - offset, so a definition through the
+    original pointer is also visible through the stored name.
+    Reverse: alias -> base + offset, so imported definitions expressed
+    through the stored name connect to local uses of the original
+    pointer.  Returns ``atom -> [(origin, replacement)]``.
+    """
     rewrites = {}  # atom -> replacement expr
     for entry in aliases:
         forward = (
@@ -113,6 +116,22 @@ def _alias_replace(summary, types, max_new):
             else mk_add(entry.base, SymConst(entry.offset))
         )
         rewrites.setdefault(entry.alias, []).append((entry.base, reverse))
+    return rewrites
+
+
+def apply_entries(summary, aliases, max_new=512):
+    """Append re-expressed definition pairs for ``aliases`` in place.
+
+    The rewrite half of Algorithm 1 (lines 8-13), shared by every
+    alias engine: the engines differ only in which :class:`AliasEntry`
+    rows they pass in (and which definition pairs survive to be
+    rewritten).  Returns the list of added pairs.
+    """
+    def_pairs = summary.def_pairs
+    if not aliases:
+        return []
+
+    rewrites = rewrite_map(aliases)
 
     # Index: which rewritable atoms appear in a destination is a set
     # intersection against its interned sub-node set, not a re-walk —

@@ -11,9 +11,9 @@ import time
 from dataclasses import dataclass, field
 
 from repro import faultinject, profiling
+from repro.alias import get_engine
 from repro.cfg import CFGBuilder, build_call_graph
 from repro.core import sinks as sinks_mod
-from repro.core.aliasing import alias_replace
 from repro.core.interproc import (
     MAX_VARIANTS_PER_CALLSITE,
     InterproceduralAnalysis,
@@ -63,6 +63,11 @@ class DTaintConfig:
     # seconds (0 disables).  A function that exhausts it yields a
     # ``truncated`` summary instead of stalling the scan.
     deadline_seconds: float = 0.0
+    # Which alias engine runs Algorithm 1's role: "dtaint" (the
+    # paper's heuristics, byte-identical to the historical pipeline)
+    # or "sse" (sparse symbolic-execution aliasing).  Part of the
+    # cache fingerprint — see pipeline/cache.py.
+    alias_engine: str = "dtaint"
 
 
 class DTaint:
@@ -237,6 +242,7 @@ class DTaint:
         if self.summaries is None:
             self.analyze_functions()
         self.timer.start("aliasing")
+        alias_engine = get_engine(self.config.alias_engine)
         if self._types is None:
             self._types = {}
             for name, summary in list(self.summaries.items()):
@@ -245,7 +251,7 @@ class DTaint:
                     types = infer_types(summary)
                     self._types[name] = types
                     if self.config.enable_aliasing:
-                        alias_replace(summary, types)
+                        alias_engine.apply(summary, types)
                 except Exception as exc:
                     self._degrade(
                         name, summary.addr, "aliasing", exc, started
@@ -298,14 +304,20 @@ class DTaint:
         )
         if self.config.enable_aliasing:
             # A second alias pass connects imported callee definitions
-            # with the caller's local pointer names.
-            for name, enriched in list(self.enriched.items()):
-                try:
-                    alias_replace(enriched, self._types[name])
-                except Exception as exc:
-                    self._degrade(name, enriched.base.addr, "aliasing", exc)
-                    del self.enriched[name]
-                    self.summaries.pop(name, None)
+            # with the caller's local pointer names.  It is interproc
+            # summary application, so bill the walk to the interproc
+            # phase — the engine's own time still lands in ``alias``
+            # because nested phases account exclusively.
+            with profiling.PROFILER.phase("interproc"):
+                for name, enriched in list(self.enriched.items()):
+                    try:
+                        alias_engine.apply(enriched, self._types[name])
+                    except Exception as exc:
+                        self._degrade(
+                            name, enriched.base.addr, "aliasing", exc
+                        )
+                        del self.enriched[name]
+                        self.summaries.pop(name, None)
         self.timer.stop()
         return self.enriched
 

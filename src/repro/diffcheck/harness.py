@@ -10,7 +10,7 @@ so the reproducer attached to a divergence is minimal.
 
 import time
 
-from repro.core import DTaint
+from repro.core import DTaint, DTaintConfig
 from repro.diffcheck.baselinecheck import baseline_flagged
 from repro.diffcheck.generate import (
     ARCHES,
@@ -61,7 +61,8 @@ class DiffCheck:
 
     def __init__(self, seed=0, count=20, arches=ARCHES, max_fragments=3,
                  max_fillers=2, run_baseline=True, shrink=True,
-                 telemetry=None, max_steps=DEFAULT_MAX_STEPS):
+                 telemetry=None, max_steps=DEFAULT_MAX_STEPS,
+                 alias_engine="dtaint"):
         self.seed = seed
         self.count = count
         self.arches = tuple(arches)
@@ -71,6 +72,7 @@ class DiffCheck:
         self.shrink = shrink
         self.telemetry = telemetry
         self.max_steps = max_steps
+        self.alias_engine = alias_engine
 
     # ------------------------------------------------------------------
 
@@ -128,7 +130,10 @@ class DiffCheck:
         Returns ``(functions_checked, [Divergence, ...])``.
         """
         built = build_program(spec)
-        detector = DTaint(built.binary, name=spec.name)
+        detector = DTaint(
+            built.binary, name=spec.name,
+            config=DTaintConfig(alias_engine=self.alias_engine),
+        )
         static_report = detector.run()
         static_vuln = set()
         static_kinds = {}

@@ -66,15 +66,25 @@ from repro.core.interproc import (
 # v4: deadline_seconds joined the summary fingerprint — a summary
 # truncated under a tight deadline must never serve a deadline-free
 # run (or vice versa).
-CACHE_FORMAT_VERSION = 4
+# v5: alias_engine joined the summary fingerprint — warm caches, the
+# increment dedup index and service idempotent submission keys are all
+# engine-aware, so artifacts produced under one alias engine are never
+# served to a run using the other.
+CACHE_FORMAT_VERSION = 5
 
 # DTaintConfig knobs that shape the *per-function* summaries (symbolic
 # exploration limits) vs. the ones that only steer later whole-report
 # stages.  Keeping the summary fingerprint narrow maximises reuse: a
 # different trace depth or ablation switch re-detects over the same
 # cached summaries.  deadline_seconds belongs here because the soft
-# deadline truncates path exploration mid-function.
-_SUMMARY_FIELDS = ("max_paths", "max_blocks_per_path", "deadline_seconds")
+# deadline truncates path exploration mid-function.  alias_engine
+# belongs here because the increment layer's dedup/reuse records are
+# derived from summaries whose downstream life (alias pass, enrich,
+# findings reuse) depends on the engine; sharing them across engines
+# would let one engine's warm artifacts answer for the other.
+_SUMMARY_FIELDS = (
+    "max_paths", "max_blocks_per_path", "deadline_seconds", "alias_engine",
+)
 _REPORT_FIELDS = _SUMMARY_FIELDS + (
     "max_trace_depth", "enable_aliasing", "enable_structure_similarity",
 )

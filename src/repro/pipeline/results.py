@@ -96,6 +96,7 @@ def image_document(result):
     document = {
         "job_id": result.job.job_id,
         "target": result.job.describe_target(),
+        "alias_engine": getattr(result.job, "alias_engine", "dtaint"),
         "status": result.status,
         "attempts": result.attempts,
         "error": result.error,

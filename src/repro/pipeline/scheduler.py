@@ -79,6 +79,7 @@ class FleetJob:
     scale: float = 0.25          # profile build scale
     modules: tuple = ()          # analysed module prefixes (kind='elf')
     member: str = ""             # extraction member id (kind='firmware')
+    alias_engine: str = "dtaint"  # 'dtaint' | 'sse' (repro.alias)
     # Deterministic fault injection for chaos tests and the crash-
     # isolation acceptance check: the named fault fires while the
     # attempt number is <= fault_attempts.
@@ -160,14 +161,16 @@ def _load_job_binary(job):
         )
 
         built = build_firmware(job.key, scale=job.scale)
-        config = DTaintConfig(modules=analyzed_module_prefixes(job.key))
+        config = DTaintConfig(modules=analyzed_module_prefixes(job.key),
+                              alias_engine=job.alias_engine)
         return built.name, built.binary, config, binary_sha256(built.elf_bytes)
     if job.kind == "elf":
         from repro.loader.binary import load_elf
 
         with open(job.path, "rb") as handle:
             data = handle.read()
-        config = DTaintConfig(modules=tuple(job.modules))
+        config = DTaintConfig(modules=tuple(job.modules),
+                              alias_engine=job.alias_engine)
         return job.path, load_elf(data, name=job.path), config, binary_sha256(data)
     if job.kind == "firmware":
         from repro.loader.binary import load_elf
@@ -177,7 +180,8 @@ def _load_job_binary(job):
         display, elf_bytes = extract_member(data, job.member,
                                             name=job.path)
         name = "%s!%s" % (job.path, display)
-        config = DTaintConfig(modules=tuple(job.modules))
+        config = DTaintConfig(modules=tuple(job.modules),
+                              alias_engine=job.alias_engine)
         # The sha is the *member's*, not the image's: a binary carved
         # out of firmware and the same binary scanned flat share one
         # cache identity, so summaries and findings transfer.

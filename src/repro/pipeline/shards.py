@@ -270,8 +270,10 @@ def _base_config(job):
     if job.kind == "profile":
         from repro.corpus.profiles import analyzed_module_prefixes
 
-        return DTaintConfig(modules=analyzed_module_prefixes(job.key))
-    return DTaintConfig(modules=tuple(job.modules))
+        return DTaintConfig(modules=analyzed_module_prefixes(job.key),
+                            alias_engine=job.alias_engine)
+    return DTaintConfig(modules=tuple(job.modules),
+                        alias_engine=job.alias_engine)
 
 
 def _materialize(job, spill_dir):
@@ -538,8 +540,8 @@ def _open_shard_cache(sp, sha, config, binary, cache_dir,
 def _execute_shard(job, attempt, cache_dir=None, use_summary_cache=True,
                    use_report_cache=True, use_fleet_index=False):
     """Phase 2: symexec + alias pass 1 + layouts for one function subset."""
+    from repro.alias import get_engine
     from repro.core import DTaint
-    from repro.core.aliasing import alias_replace
     from repro.core.types import infer_types
     from repro.eval.resources import measure
     from repro.loader.binary import load_elf
@@ -577,13 +579,14 @@ def _execute_shard(job, attempt, cache_dir=None, use_summary_cache=True,
             addrs = {s.addr for s in detector.summaries.values()}
             blobs = store.export_blobs(addrs)
         types_map = {}
+        alias_engine = get_engine(config.alias_engine)
         for name, summary in list(detector.summaries.items()):
             started = time.perf_counter()
             try:
                 types = infer_types(summary)
                 types_map[name] = types
                 if config.enable_aliasing:
-                    alias_replace(summary, types)
+                    alias_engine.apply(summary, types)
             except Exception as exc:
                 detector._degrade(name, summary.addr, "aliasing", exc,
                                   started)

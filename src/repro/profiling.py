@@ -26,21 +26,35 @@ PHASES = ("lift", "symexec", "alias", "similarity", "detect", "interproc",
 class PhaseProfiler:
     """Accumulates per-phase seconds and counters."""
 
-    __slots__ = ("seconds", "counters")
+    __slots__ = ("seconds", "counters", "_stack")
 
     def __init__(self):
         self.seconds = {}
         self.counters = {}
+        self._stack = []
 
     @contextmanager
     def phase(self, name):
-        """Time a region: ``with profiler.phase("alias"): ...``."""
+        """Time a region: ``with profiler.phase("alias"): ...``.
+
+        Nested phases account *exclusively*: a child region's elapsed
+        time is subtracted from its enclosing phase, so e.g. alias
+        work performed inside interproc summary application bills to
+        ``alias``, not twice — phase seconds always sum to wall time.
+        """
         start = time.perf_counter()
+        self._stack.append(name)
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
+            self._stack.pop()
             self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            if self._stack:
+                parent = self._stack[-1]
+                self.seconds[parent] = (
+                    self.seconds.get(parent, 0.0) - elapsed
+                )
 
     def add_seconds(self, name, elapsed):
         self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
@@ -59,6 +73,7 @@ class PhaseProfiler:
     def reset(self):
         self.seconds.clear()
         self.counters.clear()
+        del self._stack[:]
 
 
 def delta(before, after):

@@ -284,6 +284,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
             modules=body.get("modules") or (),
             shards=int(body.get("shards") or 0),
             member=body.get("member", ""),
+            alias_engine=body.get(
+                "alias_engine", self.daemon.default_alias_engine
+            ),
         )
         job = self.daemon.submit(spec, priority=int(body.get("priority", 0)))
         status = 201 if job["outcome"] == "created" else 200

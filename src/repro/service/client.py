@@ -156,7 +156,8 @@ class ServiceClient:
         return self._request("GET", "/stats")
 
     def submit(self, kind="profile", key="", path="", scale=None,
-               modules=(), priority=0, shards=0, member=""):
+               modules=(), priority=0, shards=0, member="",
+               alias_engine=""):
         body = {"kind": kind, "key": key, "path": path,
                 "modules": list(modules), "priority": priority}
         if scale is not None:
@@ -165,9 +166,12 @@ class ServiceClient:
             body["shards"] = int(shards)
         if member:
             body["member"] = member
+        if alias_engine:
+            body["alias_engine"] = alias_engine
         return self._request("POST", "/jobs", body=body)
 
-    def submit_firmware(self, path, modules=(), priority=0, shards=0):
+    def submit_firmware(self, path, modules=(), priority=0, shards=0,
+                        alias_engine=""):
         """Fan one firmware image into one job per embedded ELF.
 
         The image is unpacked locally to enumerate members (the
@@ -184,6 +188,7 @@ class ServiceClient:
             responses.append(self.submit(
                 kind="firmware", path=path, member=member,
                 modules=modules, priority=priority, shards=shards,
+                alias_engine=alias_engine,
             ))
         return responses
 

@@ -52,6 +52,7 @@ def fleet_job_from_spec(spec, job_id, default_shards=0):
         modules=tuple(spec.get("modules") or ()),
         shards=int(spec.get("shards") or default_shards or 0),
         member=spec.get("member", ""),
+        alias_engine=spec.get("alias_engine") or "dtaint",
     )
 
 
@@ -64,7 +65,7 @@ class AnalysisDaemon:
                  heartbeat=0.0, max_queue_depth=0,
                  max_attempts=DEFAULT_MAX_ATTEMPTS,
                  crash_threshold=DEFAULT_CRASH_THRESHOLD,
-                 retry_after=5.0, shards=0):
+                 retry_after=5.0, shards=0, alias_engine="dtaint"):
         self.db = ResultsDB(db_path)
         self.queue = JobQueue(self.db, max_attempts=max_attempts,
                               crash_threshold=crash_threshold)
@@ -74,6 +75,8 @@ class AnalysisDaemon:
         # Default intra-image shard count applied to jobs whose spec
         # doesn't set one (0 = unsharded, -1 = auto).
         self.default_shards = int(shards or 0)
+        # Alias engine applied to submissions that don't pick one.
+        self.default_alias_engine = alias_engine or "dtaint"
         # Backpressure: pending + running jobs beyond this depth make
         # submit() raise QueueFull (HTTP 429 at the API).  0 = off.
         self.max_queue_depth = max(int(max_queue_depth or 0), 0)

@@ -61,11 +61,12 @@ POISON_ERROR_TYPES = (
 DEFAULT_MAX_ATTEMPTS = 5
 DEFAULT_CRASH_THRESHOLD = 3
 
-_SPEC_FIELDS = ("kind", "key", "path", "scale", "modules", "member")
+_SPEC_FIELDS = ("kind", "key", "path", "scale", "modules", "member",
+                "alias_engine")
 
 
 def job_spec(kind, key="", path="", scale=0.25, modules=(), shards=0,
-             member=""):
+             member="", alias_engine="dtaint"):
     """A normalised job-submission spec (the queue's unit of work).
 
     ``shards`` requests intra-image shard scheduling (0 = unsharded,
@@ -74,7 +75,11 @@ def job_spec(kind, key="", path="", scale=0.25, modules=(), shards=0,
     image is scheduled, never what its findings are.  ``member`` (for
     ``kind='firmware'``) names one extracted ELF inside the image and
     *is* identity: two members of one image are two units of work.
+    ``alias_engine`` *is* identity — the engines produce different
+    findings, so one image under two engines is two units of work.
     """
+    from repro.alias.base import ENGINE_NAMES
+
     if kind not in ("profile", "elf", "firmware"):
         raise PipelineError("unknown job kind %r" % kind)
     if kind == "profile" and not key:
@@ -83,6 +88,12 @@ def job_spec(kind, key="", path="", scale=0.25, modules=(), shards=0,
         raise PipelineError("%s jobs need a file path" % kind)
     if member and kind != "firmware":
         raise PipelineError("member selection needs kind='firmware'")
+    alias_engine = alias_engine or "dtaint"
+    if alias_engine not in ENGINE_NAMES:
+        raise PipelineError(
+            "unknown alias engine %r (expected one of %s)"
+            % (alias_engine, ", ".join(ENGINE_NAMES))
+        )
     return {
         "kind": kind,
         "key": key,
@@ -91,6 +102,7 @@ def job_spec(kind, key="", path="", scale=0.25, modules=(), shards=0,
         "modules": sorted(modules or ()),
         "shards": int(shards or 0),
         "member": member,
+        "alias_engine": alias_engine,
     }
 
 
@@ -104,6 +116,8 @@ def dedup_key(spec, config_fingerprint=""):
     their image fingerprint.
     """
     fields = {name: spec.get(name) for name in _SPEC_FIELDS}
+    # Specs persisted before the engine field existed ran the default.
+    fields["alias_engine"] = spec.get("alias_engine") or "dtaint"
     if spec.get("kind") in ("elf", "firmware"):
         # Firmware members hash the whole image: a re-packed image at
         # the same path queues fresh work for every member.
@@ -119,7 +133,10 @@ def dedup_key(spec, config_fingerprint=""):
         from repro.pipeline.cache import report_fingerprint
 
         config_fingerprint = report_fingerprint(
-            DTaintConfig(modules=tuple(spec.get("modules") or ()))
+            DTaintConfig(
+                modules=tuple(spec.get("modules") or ()),
+                alias_engine=spec.get("alias_engine") or "dtaint",
+            )
         )
     fields["config"] = config_fingerprint
     blob = json.dumps(fields, sort_keys=True).encode("utf-8")

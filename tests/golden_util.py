@@ -5,43 +5,14 @@ only how fast it reports it.  ``canonical_report_doc`` reduces a
 ``Report.to_dict()`` to the semantic content — counters and findings,
 no timings, finding lists sorted by a stable key — so two runs (or two
 implementations) can be compared byte-for-byte as JSON.
+
+The implementation lives in :mod:`repro.alias.compare` (the
+alias-engine showdown needs the same canonicalisation from inside
+``src``, where the test tree is not importable); this module keeps the
+historical import surface for the tests.
 """
 
-import json
-
-_TIMING_KEYS = ("elapsed_seconds", "stage_seconds", "summary_cache",
-                "phase_profile")
-
-
-def _finding_key(finding):
-    return (
-        finding.get("kind", ""),
-        finding.get("function", ""),
-        finding.get("sink_name", ""),
-        finding.get("sink_addr", 0),
-        finding.get("source_name", ""),
-        finding.get("source_addr", 0),
-        finding.get("expr", ""),
-        finding.get("hops", 0),
-    )
-
-
-def canonical_report_doc(report_dict):
-    """Timing-free, deterministically ordered form of a report dict."""
-    doc = {k: v for k, v in report_dict.items() if k not in _TIMING_KEYS}
-    for key in ("vulnerable_paths", "vulnerabilities", "sanitized_paths"):
-        doc[key] = sorted(doc.get(key, ()), key=_finding_key)
-    doc["degraded_functions"] = sorted(
-        (
-            {k: v for k, v in d.items() if k != "elapsed_seconds"}
-            for d in doc.get("degraded_functions", ())
-        ),
-        key=lambda d: (d.get("addr", 0), d.get("function", "")),
-    )
-    return doc
-
-
-def canonical_json(report_dict):
-    """The byte-comparable serialisation of a canonical report."""
-    return json.dumps(canonical_report_doc(report_dict), indent=2,
-                      sort_keys=True)
+from repro.alias.compare import (  # noqa: F401
+    canonical_json,
+    canonical_report_doc,
+)
